@@ -1,0 +1,182 @@
+package logr_test
+
+// One benchmark per table/figure of the paper's evaluation. Each benchmark
+// regenerates its artifact through internal/experiments and prints the
+// same rows/series the paper reports (once, on the first iteration).
+//
+// The dataset scale defaults to the laptop-friendly Small configuration;
+// set LOGR_SCALE=medium or LOGR_SCALE=paper to rerun at larger sizes (the
+// paper-scale spectral and Laserlight sweeps are hours-long, as the
+// original authors' were).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single artifact with e.g.:
+//
+//	go test -bench=BenchmarkFigure2 -benchmem
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"logr/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	switch os.Getenv("LOGR_SCALE") {
+	case "medium":
+		return experiments.Medium
+	case "paper":
+		return experiments.Paper
+	}
+	return experiments.Small
+}
+
+var printed sync.Map
+
+func printOnce(key, body string) {
+	if _, dup := printed.LoadOrStore(key, true); !dup {
+		fmt.Printf("\n%s\n", body)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchScale()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table1(s)
+	}
+	printOnce("table1", "Table 1: dataset summary\n"+out)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchScale()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table2(s)
+	}
+	printOnce("table2", "Table 2: alternative datasets\n"+out)
+}
+
+func BenchmarkFigure2a(b *testing.B) { benchFig2(b, "fig2a") }
+func BenchmarkFigure2b(b *testing.B) { benchFig2(b, "fig2b") }
+func BenchmarkFigure2c(b *testing.B) { benchFig2(b, "fig2c") }
+
+// benchFig2 regenerates the clustering sweep; all three panels come from
+// the same run, so the three benchmarks share the printed series.
+func benchFig2(b *testing.B, key string) {
+	s := benchScale()
+	var pts []experiments.Fig2Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.Figure2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig2", experiments.FormatFigure2(pts))
+}
+
+func BenchmarkFigure3a(b *testing.B) { benchFig3(b) }
+func BenchmarkFigure3b(b *testing.B) { benchFig3(b) }
+
+func benchFig3(b *testing.B) {
+	s := benchScale()
+	var pts []experiments.Fig3Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.Figure3(s, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig3", experiments.FormatFigure3(pts))
+}
+
+func BenchmarkFigure4ab(b *testing.B) { benchFig4(b) }
+func BenchmarkFigure4cd(b *testing.B) { benchFig4(b) }
+func BenchmarkFigure4ef(b *testing.B) { benchFig4(b) }
+
+func benchFig4(b *testing.B) {
+	s := benchScale()
+	var r *experiments.Fig4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig4", experiments.FormatFigure4(r))
+}
+
+func BenchmarkFigure5a(b *testing.B) { benchFig5(b) }
+func BenchmarkFigure5b(b *testing.B) { benchFig5(b) }
+func BenchmarkFigure5c(b *testing.B) { benchFig5(b) }
+
+func benchFig5(b *testing.B) {
+	s := benchScale()
+	var pts []experiments.Fig5Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.Figure5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig5", experiments.FormatFigure5(pts))
+}
+
+func BenchmarkFigure6a(b *testing.B) { benchFig67(b) }
+func BenchmarkFigure6b(b *testing.B) { benchFig67(b) }
+func BenchmarkFigure7a(b *testing.B) { benchFig67(b) }
+func BenchmarkFigure7b(b *testing.B) { benchFig67(b) }
+
+func benchFig67(b *testing.B) {
+	s := benchScale()
+	var r *experiments.Fig67Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure67(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig67", experiments.FormatFigure67(r))
+}
+
+func BenchmarkFigure8a(b *testing.B) { benchFig8(b) }
+func BenchmarkFigure8b(b *testing.B) { benchFig8(b) }
+
+func benchFig8(b *testing.B) {
+	s := benchScale()
+	var r *experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig8", experiments.FormatFigure8(r))
+}
+
+func BenchmarkFigure9a(b *testing.B) { benchFig9(b) }
+func BenchmarkFigure9b(b *testing.B) { benchFig9(b) }
+
+func benchFig9(b *testing.B) {
+	s := benchScale()
+	var r *experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce("fig9", experiments.FormatFigure9(r))
+}

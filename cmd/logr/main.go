@@ -1,0 +1,320 @@
+// Command logr compresses SQL query logs and answers workload-analytics
+// questions from the compressed summary.
+//
+// Usage:
+//
+//	logr gen -dataset pocketdata -total 50000 -out log.sql     generate a synthetic log
+//	logr stats -in log.sql                                     Table-1-style statistics
+//	logr compress -in log.sql -k 8                             compress and report fidelity
+//	logr inspect -in log.sql -k 8                              visualize the summary
+//	logr estimate -in log.sql -k 8 -q "SELECT * FROM t WHERE x = ?"
+//	logr advise -in log.sql -k 8                               index / view suggestions
+//
+// Input files are raw access logs (one SQL statement per line) or compact
+// "count<TAB>sql" files; the format is auto-detected per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logr"
+	"logr/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = runGen(args)
+	case "stats":
+		err = runStats(args)
+	case "compress":
+		err = runCompress(args)
+	case "inspect":
+		err = runInspect(args)
+	case "estimate":
+		err = runEstimate(args)
+	case "advise":
+		err = runAdvise(args)
+	case "drift":
+		err = runDrift(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "logr: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: logr <command> [flags]
+
+commands:
+  gen       generate a synthetic workload (pocketdata | usbank)
+  stats     print Table-1-style statistics for a log
+  compress  compress a log and report Error/Verbosity
+  inspect   visualize the compressed summary
+  estimate  estimate a pattern's frequency from the summary
+  advise    suggest indexes and materialized views
+  drift     score a window of queries against a baseline log
+
+run "logr <command> -h" for command flags`)
+}
+
+func loadWorkload(path string) (*logr.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logr.LoadCompact(f) // compact reader accepts plain lines too
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "pocketdata", "pocketdata or usbank")
+	total := fs.Int("total", 50000, "total queries including duplicates")
+	distinct := fs.Int("distinct", 0, "distinct query target (0 = dataset default)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	compact := fs.Bool("compact", true, "write count<TAB>sql lines instead of raw repeats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var entries []workload.LogEntry
+	switch *dataset {
+	case "pocketdata":
+		d := *distinct
+		if d == 0 {
+			d = 605
+		}
+		entries = workload.PocketData(workload.PocketDataConfig{TotalQueries: *total, DistinctTarget: d, Seed: *seed})
+	case "usbank":
+		d := *distinct
+		if d == 0 {
+			d = 1712
+		}
+		entries = workload.USBank(workload.USBankConfig{TotalQueries: *total, DistinctTarget: d, Seed: *seed})
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *compact {
+		return workload.WriteCompact(w, entries)
+	}
+	return workload.WritePlain(w, entries)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input log file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	w, err := loadWorkload(*in)
+	if err != nil {
+		return err
+	}
+	s := w.Stats()
+	fmt.Printf("queries:                %d\n", s.Queries)
+	fmt.Printf("distinct:               %d\n", s.DistinctQueries)
+	fmt.Printf("distinct (w/o const):   %d\n", s.DistinctNoConst)
+	fmt.Printf("distinct conjunctive:   %d\n", s.DistinctConjunctive)
+	fmt.Printf("distinct rewritable:    %d\n", s.DistinctRewritable)
+	fmt.Printf("max multiplicity:       %d\n", s.MaxMultiplicity)
+	fmt.Printf("features:               %d\n", s.Features)
+	fmt.Printf("features (w/o const):   %d\n", s.FeaturesNoConst)
+	fmt.Printf("avg features/query:     %.2f\n", s.AvgFeaturesPerQuery)
+	fmt.Printf("stored procedures:      %d (skipped)\n", s.StoredProcedures)
+	fmt.Printf("unparseable:            %d (skipped)\n", s.Unparseable)
+	return nil
+}
+
+func compressFlags(fs *flag.FlagSet) (in *string, k *int, method, metric *string, target *float64, seed *int64) {
+	in = fs.String("in", "", "input log file")
+	k = fs.Int("k", 0, "clusters (0 = auto sweep)")
+	method = fs.String("method", "kmeans", "kmeans | spectral | hierarchical")
+	metric = fs.String("metric", "hamming", "distance for spectral/hierarchical")
+	target = fs.Float64("target", 1.0, "target error for the auto sweep (nats)")
+	seed = fs.Int64("seed", 1, "clustering seed")
+	return
+}
+
+func compressFrom(args []string, name string) (*logr.Workload, *logr.Summary, error) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	in, k, method, metric, target, seed := compressFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	if *in == "" {
+		return nil, nil, fmt.Errorf("%s: -in is required", name)
+	}
+	w, err := loadWorkload(*in)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := w.Compress(logr.CompressOptions{
+		Clusters: *k, Method: *method, Metric: *metric,
+		TargetError: *target, Seed: *seed,
+	})
+	return w, s, err
+}
+
+func runCompress(args []string) error {
+	_, s, err := compressFrom(args, "compress")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clusters:          %d\n", s.Clusters())
+	fmt.Printf("total verbosity:   %d\n", s.TotalVerbosity())
+	fmt.Printf("reproduction err:  %.4f nats\n", s.Error())
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in, k, method, metric, target, seed := compressFlags(fs)
+	asHTML := fs.Bool("html", false, "emit an HTML document instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	w, err := loadWorkload(*in)
+	if err != nil {
+		return err
+	}
+	s, err := w.Compress(logr.CompressOptions{
+		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *asHTML {
+		fmt.Print(s.VisualizeHTML())
+		return nil
+	}
+	fmt.Print(s.Visualize())
+	return nil
+}
+
+func runEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	in, k, method, metric, target, seed := compressFlags(fs)
+	q := fs.String("q", "", "pattern query, e.g. \"SELECT * FROM t WHERE x = ?\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *q == "" {
+		return fmt.Errorf("estimate: -in and -q are required")
+	}
+	w, err := loadWorkload(*in)
+	if err != nil {
+		return err
+	}
+	s, err := w.Compress(logr.CompressOptions{
+		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	freq, err := s.EstimateFrequency(*q)
+	if err != nil {
+		return err
+	}
+	count, _ := s.EstimateCount(*q)
+	truth, err := w.Count(*q)
+	if err != nil {
+		fmt.Printf("estimated frequency: %.4f (%.0f queries); pattern has unseen features, true count 0\n", freq, count)
+		return nil
+	}
+	fmt.Printf("estimated frequency: %.4f (%.0f queries)\n", freq, count)
+	fmt.Printf("true count:          %d queries\n", truth)
+	return nil
+}
+
+func runDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline log file")
+	window := fs.String("window", "", "window log file to score")
+	k := fs.Int("k", 8, "baseline clusters")
+	seed := fs.Int64("seed", 1, "clustering seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *window == "" {
+		return fmt.Errorf("drift: -baseline and -window are required")
+	}
+	w, err := loadWorkload(*baseline)
+	if err != nil {
+		return err
+	}
+	s, err := w.Compress(logr.CompressOptions{Clusters: *k, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*window)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := workload.ReadCompact(f)
+	if err != nil {
+		return err
+	}
+	win := make([]logr.Entry, len(entries))
+	for i, e := range entries {
+		win[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	rep := s.CheckDrift(win)
+	fmt.Printf("excess surprisal: %.2f nats/query\n", rep.Score)
+	fmt.Printf("novelty rate:     %.2f%%\n", rep.NoveltyRate*100)
+	fmt.Printf("alert:            %v\n", rep.Alert)
+	return nil
+}
+
+func runAdvise(args []string) error {
+	_, s, err := compressFrom(args, "advise")
+	if err != nil {
+		return err
+	}
+	fmt.Println("index suggestions (predicate frequency):")
+	for i, sg := range s.SuggestIndexes(0.05) {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %5.1f%%  %-16s %s\n", sg.Frequency*100, sg.Table, sg.Predicate)
+	}
+	fmt.Println("materialized-view candidates (table co-occurrence):")
+	for i, v := range s.SuggestViews(0.05) {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %5.1f%%  %v\n", v.Frequency*100, v.Tables)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Workload-drift detector: the Section 2 "Online Database Monitoring"
+// application. A baseline summary is built from a normal day's traffic;
+// incoming windows are scored against it. An injected exfiltration-style
+// workload (new tables, new predicate shapes) trips the alarm while normal
+// windows do not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logr"
+	"logr/internal/workload"
+)
+
+func toPublic(es []workload.LogEntry) []logr.Entry {
+	out := make([]logr.Entry, len(es))
+	for i, e := range es {
+		out[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	return out
+}
+
+func main() {
+	baselineEntries := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries: 40000, DistinctTarget: 250, Seed: 11,
+	})
+	w := logr.FromEntries(toPublic(baselineEntries))
+	sum, err := w.Compress(logr.CompressOptions{Clusters: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d queries summarized into %d clusters (error %.3f nats)\n\n",
+		w.Stats().Queries, sum.Clusters(), sum.Error())
+
+	// Window 1: more of the same workload.
+	normal := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries: 2000, DistinctTarget: 250, Seed: 11,
+	})
+	rep := sum.CheckDrift(toPublic(normal))
+	fmt.Printf("normal window:   score %6.2f nats/query, novelty %4.1f%%, alert=%v\n",
+		rep.Score, rep.NoveltyRate*100, rep.Alert)
+
+	// Window 2: normal traffic with a ~10% injected exfiltration workload —
+	// joins contacts against message bodies, which the app never does.
+	attack := workload.InjectDrift(13, 15, 220)
+	mixed := append(toPublic(normal), toPublic(attack)...)
+	rep = sum.CheckDrift(mixed)
+	fmt.Printf("injected window: score %6.2f nats/query, novelty %4.1f%%, alert=%v\n",
+		rep.Score, rep.NoveltyRate*100, rep.Alert)
+
+	if !rep.Alert {
+		log.Fatal("detector missed the injection")
+	}
+	fmt.Println("\ninjection detected: the window contains feature combinations the")
+	fmt.Println("baseline mixture assigns (near-)zero probability (Section 5's")
+	fmt.Println("workload-injection scenario).")
+}

@@ -1,0 +1,57 @@
+// Materialized-view selector: the Section 2 "Materialized View Selection"
+// application, and a demonstration of why mixtures matter (Section 5).
+//
+// The workload mixes two disjoint sub-workloads. A single naive encoding
+// hallucinates cross-workload table co-occurrences (anti-correlation is
+// inexpressible); the mixture encoding does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logr"
+)
+
+func main() {
+	// Workload A joins messages ⋈ conversations; workload B touches
+	// accounts ⋈ transactions; nothing crosses.
+	entries := []logr.Entry{
+		{SQL: "SELECT m.text, c.name FROM messages m JOIN conversations c ON m.cid = c.cid WHERE m.status = ?", Count: 3000},
+		{SQL: "SELECT m.ts FROM messages m JOIN conversations c ON m.cid = c.cid WHERE c.muted = ?", Count: 1500},
+		{SQL: "SELECT a.balance, t.amount FROM accounts a JOIN transactions t ON a.id = t.account_id WHERE t.posted > ?", Count: 2500},
+		{SQL: "SELECT t.amount FROM accounts a JOIN transactions t ON a.id = t.account_id WHERE a.status = ?", Count: 2000},
+	}
+	w := logr.FromEntries(entries)
+
+	for _, k := range []int{1, 2} {
+		sum, err := w.Compress(logr.CompressOptions{Clusters: k, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %d cluster(s): error %.3f nats ---\n", k, sum.Error())
+		for _, v := range sum.SuggestViews(0.02) {
+			real := "real join"
+			if isPhantom(v.Tables) {
+				real = "PHANTOM (never co-queried)"
+			}
+			fmt.Printf("  %5.1f%%  %-32v %s\n", v.Frequency*100, v.Tables, real)
+		}
+		fmt.Println()
+	}
+	fmt.Println("With K=1 the independence assumption invents phantom cross-workload joins;")
+	fmt.Println("the 2-component mixture assigns them ~0% — the Section 5 anti-correlation argument.")
+}
+
+func isPhantom(tables []string) bool {
+	msgSide, bankSide := false, false
+	for _, t := range tables {
+		switch t {
+		case "messages", "conversations":
+			msgSide = true
+		case "accounts", "transactions":
+			bankSide = true
+		}
+	}
+	return msgSide && bankSide
+}

@@ -1,0 +1,48 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(n, count int) []Vector {
+	r := rand.New(rand.NewSource(1))
+	out := make([]Vector, count)
+	for i := range out {
+		out[i] = randVec(r, n)
+	}
+	return out
+}
+
+func BenchmarkContains(b *testing.B) {
+	vecs := benchVectors(5290, 256) // US-bank-sized universe
+	pat := FromIndices(5290, 17, 433, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs[i%len(vecs)].Contains(pat)
+	}
+}
+
+func BenchmarkHamming(b *testing.B) {
+	vecs := benchVectors(863, 256) // PocketData-sized universe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs[i%len(vecs)].Hamming(vecs[(i+1)%len(vecs)])
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	vecs := benchVectors(863, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vecs[i%len(vecs)].Key()
+	}
+}
+
+func BenchmarkIndices(b *testing.B) {
+	vecs := benchVectors(863, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vecs[i%len(vecs)].Indices()
+	}
+}

@@ -1,0 +1,270 @@
+// Package bitvec implements compact binary feature vectors and the
+// containment algebra used throughout LogR.
+//
+// A Vector represents a set of feature indices drawn from a finite universe
+// of size n (Section 2.1 of the paper): v = (x_1, ..., x_n) with x_i ∈ {0,1}.
+// Queries and patterns are both Vectors; a pattern b is contained in a query
+// q iff b ⊆ q, i.e. every bit set in b is also set in q.
+//
+// The representation is a word-packed bitmap, which makes containment tests,
+// intersections and Hamming distances cheap even for the multi-thousand
+// feature universes produced by diverse logs.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-universe binary vector. The zero value is an empty
+// vector over an empty universe; use New to create one with capacity.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero Vector over a universe of n features.
+func New(n int) Vector {
+	if n < 0 {
+		panic("bitvec: negative universe size")
+	}
+	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a Vector over a universe of n features with the given
+// indices set. Indices may repeat; out-of-range indices cause a panic.
+func FromIndices(n int, indices ...int) Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// Len returns the universe size n.
+func (v Vector) Len() int { return v.n }
+
+// Set sets bit i.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits (the pattern's size |b|).
+func (v Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsZero reports whether no bits are set.
+func (v Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and u have the same universe and the same bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether b ⊆ v: every bit set in b is set in v.
+// This is the pattern-containment relation of Section 2.1.
+func (v Vector) Contains(b Vector) bool {
+	if v.n != b.n {
+		panic("bitvec: universe size mismatch")
+	}
+	for i := range v.words {
+		if b.words[i]&^v.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether v and u share at least one set bit.
+func (v Vector) Intersects(u Vector) bool {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	for i := range v.words {
+		if v.words[i]&u.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And returns v ∧ u as a new Vector.
+func (v Vector) And(u Vector) Vector {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] & u.words[i]
+	}
+	return out
+}
+
+// Or returns v ∨ u as a new Vector.
+func (v Vector) Or(u Vector) Vector {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] | u.words[i]
+	}
+	return out
+}
+
+// AndNot returns v ∧ ¬u (set difference) as a new Vector.
+func (v Vector) AndNot(u Vector) Vector {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] &^ u.words[i]
+	}
+	return out
+}
+
+// OrInPlace sets v to v ∨ u.
+func (v Vector) OrInPlace(u Vector) {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	for i := range v.words {
+		v.words[i] |= u.words[i]
+	}
+}
+
+// Hamming returns the Hamming distance |{i : v_i ≠ u_i}|.
+func (v Vector) Hamming(u Vector) int {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	d := 0
+	for i := range v.words {
+		d += bits.OnesCount64(v.words[i] ^ u.words[i])
+	}
+	return d
+}
+
+// Indices returns the sorted indices of set bits.
+func (v Vector) Indices() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every set bit index in ascending order.
+func (v Vector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Key returns a string usable as a map key identifying the exact bit pattern.
+// Vectors over different universes never collide because the universe size
+// is part of the key.
+func (v Vector) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(v.words)*8 + 8)
+	sb.WriteString(fmt.Sprintf("%d:", v.n))
+	for _, w := range v.words {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * uint(i)))
+		}
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+// String renders the vector as a 0/1 string, e.g. "101100".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Dense returns the vector as a []float64 of 0s and 1s, which the clustering
+// package consumes.
+func (v Vector) Dense() []float64 {
+	out := make([]float64, v.n)
+	v.ForEach(func(i int) { out[i] = 1 })
+	return out
+}
+
+// Grow returns a copy of v over a larger universe of size n (n ≥ v.Len());
+// existing bits keep their indices.
+func (v Vector) Grow(n int) Vector {
+	if n < v.n {
+		panic("bitvec: Grow would shrink universe")
+	}
+	out := New(n)
+	copy(out.words, v.words)
+	return out
+}

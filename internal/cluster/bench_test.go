@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, dim int) ([][]float64, []float64) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			if r.Intn(4) == 0 {
+				p[j] = 1
+			}
+		}
+		pts[i] = p
+		w[i] = float64(1 + r.Intn(100))
+	}
+	return pts, w
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	pts, w := benchPoints(605, 863) // PocketData shape
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(pts, w, KMeansOptions{K: 10, Seed: int64(i)})
+	}
+}
+
+func BenchmarkSpectralModelBuild(b *testing.B) {
+	pts, _ := benchPoints(200, 100)
+	dist := MetricFunc(Hamming, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSpectralModel(pts, dist, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectralCut(b *testing.B) {
+	pts, w := benchPoints(200, 100)
+	m, err := NewSpectralModel(pts, MetricFunc(Hamming, 0), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Cluster(8, w, int64(i))
+	}
+}
+
+func BenchmarkHierarchical(b *testing.B) {
+	pts, w := benchPoints(200, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hierarchical(pts, w, nil)
+	}
+}
+
+func BenchmarkDistances(b *testing.B) {
+	pts, _ := benchPoints(2, 5290)
+	for _, m := range []Metric{Euclidean, Manhattan, Minkowski, Hamming} {
+		fn := MetricFunc(m, 4)
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn(pts[0], pts[1])
+			}
+		})
+	}
+}

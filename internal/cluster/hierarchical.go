@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"math"
+)
+
+// Dendrogram records an agglomerative clustering: a binary merge tree over
+// the input points. The paper (Section 6.1, "Hierarchical Clustering")
+// recommends hierarchical methods because cuts at increasing K are
+// monotonic: the K+1 clustering refines the K clustering, giving dynamic
+// control over the Error/Verbosity trade-off.
+type Dendrogram struct {
+	n      int
+	merges []merge // n-1 merges in order of increasing linkage distance
+}
+
+type merge struct {
+	a, b int     // node ids: 0..n-1 leaves, n+i for the i-th merge
+	dist float64 // linkage distance at which a and b merged
+}
+
+// Len returns the number of leaves (input points).
+func (d *Dendrogram) Len() int { return d.n }
+
+// MergeDistances returns the linkage distance of each merge in order.
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.merges))
+	for i, m := range d.merges {
+		out[i] = m.dist
+	}
+	return out
+}
+
+// Hierarchical builds an average-linkage (UPGMA) dendrogram over weighted
+// points. Average linkage is monotone: merge distances never decrease, so
+// every Cut(K) nests inside Cut(K-1).
+func Hierarchical(points [][]float64, weights []float64, dist DistanceFunc) *Dendrogram {
+	n := len(points)
+	d := &Dendrogram{n: n}
+	if n <= 1 {
+		return d
+	}
+	if dist == nil {
+		dist = MetricFunc(Euclidean, 0)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		if weights != nil {
+			w[i] = weights[i]
+		} else {
+			w[i] = 1
+		}
+	}
+
+	// active cluster set with pairwise average-linkage distances,
+	// updated with the Lance–Williams recurrence.
+	type clust struct {
+		id   int // node id in the dendrogram
+		mass float64
+	}
+	active := make([]clust, n)
+	for i := range active {
+		active[i] = clust{id: i, mass: w[i]}
+	}
+	dm := distanceMatrix(points, dist)
+
+	nextID := n
+	for len(active) > 1 {
+		// find closest pair (indices into active/dm)
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if dm[i][j] < bd {
+					bi, bj, bd = i, j, dm[i][j]
+				}
+			}
+		}
+		mi, mj := active[bi], active[bj]
+		d.merges = append(d.merges, merge{a: mi.id, b: mj.id, dist: bd})
+
+		// Lance–Williams update for weighted average linkage: the distance
+		// from the merged cluster to any other is the mass-weighted mean of
+		// the two constituent distances.
+		total := mi.mass + mj.mass
+		for k := 0; k < len(active); k++ {
+			if k == bi || k == bj {
+				continue
+			}
+			nd := (mi.mass*dm[bi][k] + mj.mass*dm[bj][k]) / total
+			dm[bi][k] = nd
+			dm[k][bi] = nd
+		}
+		active[bi] = clust{id: nextID, mass: total}
+		nextID++
+
+		// remove bj by swapping with the last element
+		last := len(active) - 1
+		active[bj] = active[last]
+		active = active[:last]
+		for k := 0; k < last; k++ {
+			dm[bj][k] = dm[last][k]
+			dm[k][bj] = dm[k][last]
+		}
+		dm[bj][bj] = 0
+	}
+	return d
+}
+
+// Cut returns the K-cluster assignment obtained by undoing the last K-1
+// merges. K is clamped to [1, Len()].
+func (d *Dendrogram) Cut(k int) Assignment {
+	n := d.n
+	if n == 0 {
+		return Assignment{K: maxInt(k, 1)}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// union-find over the first n-k merges
+	parent := make([]int, n+len(d.merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n-k; i++ {
+		m := d.merges[i]
+		node := n + i
+		parent[find(m.a)] = node
+		parent[find(m.b)] = node
+	}
+	labels := make([]int, n)
+	remap := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := remap[r]; !ok {
+			remap[r] = len(remap)
+		}
+		labels[i] = remap[r]
+	}
+	return Assignment{Labels: labels, K: len(remap)}
+}

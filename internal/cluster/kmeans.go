@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansOptions configure Lloyd's algorithm.
+type KMeansOptions struct {
+	K        int
+	MaxIter  int   // default 100
+	Restarts int   // independent runs, best inertia wins; default 1
+	Seed     int64 // RNG seed for reproducible experiments
+}
+
+// KMeans clusters weighted points with Lloyd's algorithm and k-means++
+// seeding (Euclidean geometry, matching the paper's "KMeans Euclidean"
+// configuration). weights may be nil for unweighted clustering.
+//
+// If K ≥ the number of distinct points, each distinct point becomes its own
+// cluster. Empty clusters are re-seeded from the point farthest from its
+// centroid.
+func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignment {
+	n := len(points)
+	if n == 0 || opts.K <= 0 {
+		return Assignment{Labels: make([]int, n), K: maxInt(opts.K, 1)}
+	}
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 1
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := Assignment{}
+	bestInertia := math.Inf(1)
+	for r := 0; r < opts.Restarts; r++ {
+		labels, inertia := kmeansRun(points, w, k, opts.MaxIter, rng)
+		if inertia < bestInertia {
+			bestInertia = inertia
+			best = Assignment{Labels: labels, K: k}
+		}
+	}
+	relabelCompact(&best)
+	return best
+}
+
+func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand) ([]int, float64) {
+	n, dim := len(points), len(points[0])
+	cents := seedPlusPlus(points, w, k, rng)
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// assignment step
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for c := range cents {
+				d := sqDist(p, cents[c])
+				if d < bd {
+					bi, bd = c, d
+				}
+			}
+			if labels[i] != bi {
+				labels[i] = bi
+				changed = true
+			}
+		}
+		// update step
+		sums := make([][]float64, k)
+		mass := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			mass[c] += w[i]
+			for j, v := range p {
+				sums[c][j] += w[i] * v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if mass[c] == 0 {
+				// re-seed from the point with the largest current distance
+				far, fd := 0, -1.0
+				for i, p := range points {
+					d := sqDist(p, cents[labels[i]])
+					if d > fd {
+						far, fd = i, d
+					}
+				}
+				copy(cents[c], points[far])
+				changed = true
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				cents[c][j] = sums[c][j] / mass[c]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	inertia := 0.0
+	for i, p := range points {
+		inertia += w[i] * sqDist(p, cents[labels[i]])
+	}
+	return labels, inertia
+}
+
+// seedPlusPlus performs weighted k-means++ initialization.
+func seedPlusPlus(points [][]float64, w []float64, k int, rng *rand.Rand) [][]float64 {
+	n, dim := len(points), len(points[0])
+	cents := make([][]float64, 0, k)
+	first := weightedPick(w, rng)
+	c0 := make([]float64, dim)
+	copy(c0, points[first])
+	cents = append(cents, c0)
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, cents[0])
+	}
+	for len(cents) < k {
+		probs := make([]float64, n)
+		total := 0.0
+		for i := range probs {
+			probs[i] = w[i] * d2[i]
+			total += probs[i]
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			pick = weightedPick(probs, rng)
+		}
+		c := make([]float64, dim)
+		copy(c, points[pick])
+		cents = append(cents, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cents
+}
+
+func weightedPick(w []float64, rng *rand.Rand) int {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	x := rng.Float64() * total
+	for i, v := range w {
+		x -= v
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// relabelCompact renumbers labels so that every cluster id in [0, K) is
+// non-empty, shrinking K if needed.
+func relabelCompact(a *Assignment) {
+	remap := make(map[int]int)
+	for _, l := range a.Labels {
+		if _, ok := remap[l]; !ok {
+			remap[l] = len(remap)
+		}
+	}
+	for i, l := range a.Labels {
+		a.Labels[i] = remap[l]
+	}
+	a.K = len(remap)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

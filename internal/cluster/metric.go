@@ -1,0 +1,169 @@
+// Package cluster implements the partitioning methods Section 6.1 of the
+// paper evaluates for constructing naive mixture encodings: weighted k-means
+// with k-means++ seeding, spectral clustering over several distance
+// measures (Manhattan, Minkowski, Hamming, Euclidean, Chebyshev, Canberra),
+// and average-linkage hierarchical clustering (the monotone alternative the
+// paper suggests for dynamic Error/Verbosity control).
+//
+// Points are dense feature vectors (0/1 valued for query logs, but nothing
+// here assumes binarity) and each point carries a weight — the multiplicity
+// of a distinct query in the log — so clustering distinct vectors is exactly
+// equivalent to clustering the full log.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric enumerates the built-in distance measures.
+type Metric int
+
+// Supported metrics (Section 6.1 plus footnote 1).
+const (
+	Euclidean Metric = iota
+	Manhattan
+	Minkowski // parameterized by P (the paper uses p = 4)
+	Hamming
+	Chebyshev
+	Canberra
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Manhattan:
+		return "manhattan"
+	case Minkowski:
+		return "minkowski"
+	case Hamming:
+		return "hamming"
+	case Chebyshev:
+		return "chebyshev"
+	case Canberra:
+		return "canberra"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// DistanceFunc computes the distance between two equal-length vectors.
+type DistanceFunc func(a, b []float64) float64
+
+// MetricFunc returns the DistanceFunc for m; p is the Minkowski exponent
+// and is ignored by the other metrics.
+func MetricFunc(m Metric, p float64) DistanceFunc {
+	switch m {
+	case Euclidean:
+		return func(a, b []float64) float64 {
+			s := 0.0
+			for i := range a {
+				d := a[i] - b[i]
+				s += d * d
+			}
+			return math.Sqrt(s)
+		}
+	case Manhattan:
+		return func(a, b []float64) float64 {
+			s := 0.0
+			for i := range a {
+				s += math.Abs(a[i] - b[i])
+			}
+			return s
+		}
+	case Minkowski:
+		if p <= 0 {
+			p = 4
+		}
+		return func(a, b []float64) float64 {
+			s := 0.0
+			for i := range a {
+				s += math.Pow(math.Abs(a[i]-b[i]), p)
+			}
+			return math.Pow(s, 1/p)
+		}
+	case Hamming:
+		// Count(x≠y) / (Count(x≠y) + Count(x=y)) — the normalized form in
+		// Section 6.1, which equals mismatches/length for equal-length
+		// vectors.
+		return func(a, b []float64) float64 {
+			if len(a) == 0 {
+				return 0
+			}
+			ne := 0
+			for i := range a {
+				if a[i] != b[i] {
+					ne++
+				}
+			}
+			return float64(ne) / float64(len(a))
+		}
+	case Chebyshev:
+		return func(a, b []float64) float64 {
+			s := 0.0
+			for i := range a {
+				if d := math.Abs(a[i] - b[i]); d > s {
+					s = d
+				}
+			}
+			return s
+		}
+	case Canberra:
+		return func(a, b []float64) float64 {
+			s := 0.0
+			for i := range a {
+				den := math.Abs(a[i]) + math.Abs(b[i])
+				if den > 0 {
+					s += math.Abs(a[i]-b[i]) / den
+				}
+			}
+			return s
+		}
+	}
+	panic("cluster: unknown metric")
+}
+
+// Assignment maps each input point to a cluster in [0, K).
+type Assignment struct {
+	Labels []int
+	K      int
+}
+
+// Sizes returns the weighted size of each cluster.
+func (a Assignment) Sizes(weights []float64) []float64 {
+	out := make([]float64, a.K)
+	for i, l := range a.Labels {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		out[l] += w
+	}
+	return out
+}
+
+// Partition groups point indices by cluster label.
+func (a Assignment) Partition() [][]int {
+	out := make([][]int, a.K)
+	for i, l := range a.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// distanceMatrix computes the full symmetric pairwise distance matrix.
+func distanceMatrix(points [][]float64, dist DistanceFunc) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(points[i], points[j])
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+)
+
+func benchLog(n, distinct int) *Log {
+	r := rand.New(rand.NewSource(1))
+	l := NewLog(n)
+	for i := 0; i < distinct; i++ {
+		v := bitvec.New(n)
+		base := (i % 8) * (n / 8)
+		for j := 0; j < n/8; j++ {
+			if r.Intn(3) == 0 {
+				v.Set(base + j)
+			}
+		}
+		l.Add(v, 1+r.Intn(1000))
+	}
+	return l
+}
+
+func BenchmarkNaiveEncode(b *testing.B) {
+	l := benchLog(863, 605)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveEncode(l)
+	}
+}
+
+func BenchmarkCompressKMeans(b *testing.B) {
+	l := benchLog(400, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(l, CompressOptions{K: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCount(b *testing.B) {
+	l := benchLog(863, 605)
+	mix, _ := BuildNaiveMixture(l, kmeansAssign(l, 8))
+	pat := bitvec.FromIndices(863, 10, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mix.EstimateCount(pat)
+	}
+}
+
+func BenchmarkTrueCount(b *testing.B) {
+	// the uncompressed alternative EstimateCount replaces: a full log scan
+	l := benchLog(863, 605)
+	pat := bitvec.FromIndices(863, 10, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Count(pat)
+	}
+}
+
+func BenchmarkDeviationSampler(b *testing.B) {
+	l := benchLog(40, 200)
+	enc := NewPatternEncoding(l, []bitvec.Vector{
+		bitvec.FromIndices(40, 1, 2),
+		bitvec.FromIndices(40, 6, 7),
+	})
+	s, err := NewDeviationSampler(l, enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.KL(s.SampleDistribution(rng))
+	}
+}
+
+func BenchmarkCandidatePatterns(b *testing.B) {
+	l := benchLog(200, 300)
+	e := NaiveEncode(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CandidatePatterns(l, e, 0.05, 50)
+	}
+}
+
+func kmeansAssign(l *Log, k int) cluster.Assignment {
+	labels := make([]int, l.Distinct())
+	for i := range labels {
+		labels[i] = i % k
+	}
+	return cluster.Assignment{Labels: labels, K: k}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"logr/internal/cluster"
+)
+
+// Method selects the partitioning algorithm LogR uses to construct naive
+// mixture encodings (Section 6.1 evaluates all three).
+type Method int
+
+// Partitioning methods.
+const (
+	// KMeansMethod is Lloyd's algorithm with Euclidean distance — the
+	// paper's recommendation for time-sensitive applications.
+	KMeansMethod Method = iota
+	// SpectralMethod is normalized spectral clustering under a chosen
+	// distance; with Hamming distance it gives the paper's best
+	// Error/runtime trade-off.
+	SpectralMethod
+	// HierarchicalMethod is average-linkage agglomerative clustering; its
+	// cuts nest, enabling dynamic Error/Verbosity control.
+	HierarchicalMethod
+)
+
+func (m Method) String() string {
+	switch m {
+	case KMeansMethod:
+		return "kmeans"
+	case SpectralMethod:
+		return "spectral"
+	case HierarchicalMethod:
+		return "hierarchical"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// CompressOptions configure LogR compression.
+type CompressOptions struct {
+	// K is the number of clusters. K = 0 enables the auto sweep: K grows
+	// from 1 until Error ≤ TargetError or K = MaxK.
+	K int
+	// Method selects the clustering algorithm (default KMeansMethod).
+	Method Method
+	// Metric selects the distance for Spectral/Hierarchical methods.
+	Metric cluster.Metric
+	// MinkowskiP is the Minkowski exponent (default 4, as in the paper).
+	MinkowskiP float64
+	// Seed makes clustering reproducible.
+	Seed int64
+	// TargetError is the auto-sweep Error threshold (nats).
+	TargetError float64
+	// MaxK bounds the auto sweep (default 32).
+	MaxK int
+}
+
+// Compressed is the result of LogR compression: the naive mixture encoding
+// plus the supporting partition (kept so fidelity can be audited; callers
+// that only need the summary can drop Parts).
+type Compressed struct {
+	Mixture    Mixture
+	Assignment cluster.Assignment
+	Parts      []*Log
+	// Err is the Generalized Reproduction Error of Mixture against Parts.
+	Err float64
+}
+
+// Compress builds a naive mixture encoding of l per opts (Section 6.1: the
+// search for a naive mixture encoding reduces to a search for a log
+// partitioning, here delegated to the chosen clustering method).
+func Compress(l *Log, opts CompressOptions) (*Compressed, error) {
+	if l.Total() == 0 {
+		return &Compressed{Mixture: Mixture{Universe: l.Universe()}}, nil
+	}
+	if opts.MinkowskiP <= 0 {
+		opts.MinkowskiP = 4
+	}
+	if opts.K > 0 {
+		return compressK(l, opts, opts.K)
+	}
+	maxK := opts.MaxK
+	if maxK <= 0 {
+		maxK = 32
+	}
+	// Auto sweeps over the hierarchical method reuse one dendrogram: its
+	// cuts nest (Section 6.1's motivation for hierarchical clustering), so
+	// the K sweep costs a single O(n²·n) build plus cheap cuts.
+	var dendro *cluster.Dendrogram
+	if opts.Method == HierarchicalMethod {
+		points, weights := l.Dense()
+		dendro = cluster.Hierarchical(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP))
+	}
+	var best *Compressed
+	for k := 1; k <= maxK; k++ {
+		var c *Compressed
+		var err error
+		if dendro != nil {
+			c, err = fromAssignment(l, dendro.Cut(k))
+		} else {
+			c, err = compressK(l, opts, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		best = c
+		if c.Err <= opts.TargetError {
+			break
+		}
+	}
+	return best, nil
+}
+
+func fromAssignment(l *Log, asg cluster.Assignment) (*Compressed, error) {
+	mix, parts := BuildNaiveMixture(l, asg)
+	e, err := mix.Error(parts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Mixture: mix, Assignment: asg, Parts: parts, Err: e}, nil
+}
+
+func compressK(l *Log, opts CompressOptions, k int) (*Compressed, error) {
+	points, weights := l.Dense()
+	var asg cluster.Assignment
+	switch opts.Method {
+	case KMeansMethod:
+		asg = cluster.KMeans(points, weights, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3})
+	case SpectralMethod:
+		var err error
+		asg, err = cluster.Spectral(points, weights, cluster.SpectralOptions{
+			K:    k,
+			Dist: cluster.MetricFunc(opts.Metric, opts.MinkowskiP),
+			Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: spectral clustering: %w", err)
+		}
+	case HierarchicalMethod:
+		d := cluster.Hierarchical(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP))
+		asg = d.Cut(k)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	mix, parts := BuildNaiveMixture(l, asg)
+	e, err := mix.Error(parts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Mixture: mix, Assignment: asg, Parts: parts, Err: e}, nil
+}

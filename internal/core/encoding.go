@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+
+	"logr/internal/bitvec"
+	"logr/internal/maxent"
+)
+
+// Naive is a naive encoding (Section 3.2): the family of single-feature
+// patterns with their marginals. It is the building block of LogR's
+// pattern mixture encodings.
+type Naive struct {
+	// Marginals[i] = p(X_i = 1 | L) for every feature in the universe.
+	Marginals []float64
+	// Count is |L|, the number of queries the encoding summarizes.
+	Count int
+}
+
+// NaiveEncode computes the naive encoding of a log.
+func NaiveEncode(l *Log) Naive {
+	return Naive{Marginals: l.FeatureMarginals(), Count: l.Total()}
+}
+
+// Verbosity returns |E| for the naive encoding: the number of features with
+// non-zero marginal (one single-feature pattern each).
+func (e Naive) Verbosity() int {
+	v := 0
+	for _, p := range e.Marginals {
+		if p > 0 {
+			v++
+		}
+	}
+	return v
+}
+
+// Dist returns the maximum-entropy distribution ρ_E induced by the naive
+// encoding — the closed-form independent product of Eq. (1).
+func (e Naive) Dist() *maxent.Dist { return maxent.Naive(e.Marginals) }
+
+// ModelEntropy returns H(ρ_E) = Σ_i H_Bernoulli(p_i) in nats.
+func (e Naive) ModelEntropy() float64 {
+	h := 0.0
+	for _, p := range e.Marginals {
+		h += maxent.BernoulliEntropy(p)
+	}
+	return h
+}
+
+// EstimateMarginal returns ρ_E(Q ⊇ b) = Π_{f ∈ b} p_f, the closed-form
+// marginal estimate under feature independence (Section 6.2).
+func (e Naive) EstimateMarginal(b bitvec.Vector) float64 {
+	p := 1.0
+	b.ForEach(func(i int) { p *= e.Marginals[i] })
+	return p
+}
+
+// EstimateCount returns est[Γ_b(L) | E] = |L| · Π_{f ∈ b} E[f].
+func (e Naive) EstimateCount(b bitvec.Vector) float64 {
+	return float64(e.Count) * e.EstimateMarginal(b)
+}
+
+// ReproductionError returns e(E) = H(ρ_E) − H(ρ*) for this encoding of log
+// l (Section 4.1). The paper's measures are in nats.
+func (e Naive) ReproductionError(l *Log) float64 {
+	return e.ModelEntropy() - l.EmpiricalEntropy()
+}
+
+// PatternEncoding is a general pattern-based encoding (Section 2.3.1): a
+// partial mapping from patterns to their marginals in the log.
+type PatternEncoding struct {
+	Universe int
+	Patterns []bitvec.Vector
+	// Marginals[j] = p(Q ⊇ Patterns[j] | L).
+	Marginals []float64
+	// Count is |L|.
+	Count int
+}
+
+// NewPatternEncoding builds an encoding of l from the given patterns,
+// reading each pattern's true marginal off the log.
+func NewPatternEncoding(l *Log, patterns []bitvec.Vector) PatternEncoding {
+	e := PatternEncoding{Universe: l.Universe(), Count: l.Total()}
+	for _, b := range patterns {
+		e.Patterns = append(e.Patterns, b.Clone())
+		e.Marginals = append(e.Marginals, l.Marginal(b))
+	}
+	return e
+}
+
+// Verbosity returns |E|, the number of mapped patterns.
+func (e PatternEncoding) Verbosity() int { return len(e.Patterns) }
+
+// Constraints renders the encoding as maxent constraints.
+func (e PatternEncoding) Constraints() []maxent.Constraint {
+	cs := make([]maxent.Constraint, len(e.Patterns))
+	for j, b := range e.Patterns {
+		cs[j] = maxent.Constraint{Pattern: b, Target: e.Marginals[j]}
+	}
+	return cs
+}
+
+// Dist fits the maximum-entropy distribution consistent with the encoding.
+func (e PatternEncoding) Dist(opts maxent.Options) (*maxent.Dist, error) {
+	return maxent.Fit(e.Universe, nil, e.Constraints(), opts)
+}
+
+// ReproductionError returns e(E) = H(ρ_E) − H(ρ*) where ρ_E is the fitted
+// maximum-entropy distribution.
+func (e PatternEncoding) ReproductionError(l *Log, opts maxent.Options) (float64, error) {
+	d, err := e.Dist(opts)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return d.Entropy() - l.EmpiricalEntropy(), nil
+}
+
+// Contains reports whether every pattern of other (with matching marginal)
+// appears in e — the subset relation that induces the containment partial
+// order E' ≤Ω E of Section 4.2 (more patterns → smaller induced space).
+func (e PatternEncoding) Contains(other PatternEncoding) bool {
+	if e.Universe != other.Universe {
+		return false
+	}
+	for j, b := range other.Patterns {
+		found := false
+		for i, a := range e.Patterns {
+			if a.Equal(b) && e.Marginals[i] == other.Marginals[j] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Difference returns the encoding holding the patterns of e that are not in
+// other (set difference E \ E'), used by the Section 7.1 "additive
+// separability" experiment.
+func (e PatternEncoding) Difference(other PatternEncoding) PatternEncoding {
+	out := PatternEncoding{Universe: e.Universe, Count: e.Count}
+	for i, a := range e.Patterns {
+		dup := false
+		for _, b := range other.Patterns {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Patterns = append(out.Patterns, a)
+			out.Marginals = append(out.Marginals, e.Marginals[i])
+		}
+	}
+	return out
+}

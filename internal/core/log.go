@@ -1,0 +1,266 @@
+// Package core implements LogR itself: the information-theoretic model of a
+// query log (Section 2.3), pattern and naive encodings with their fidelity
+// measures — Verbosity, Reproduction Error, Ambiguity and Deviation
+// (Sections 3–4), pattern mixture encodings (Section 5), the compression
+// driver (Section 6), workload-statistic estimation (Section 6.2), and the
+// corr_rank refinement machinery (Section 6.4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+)
+
+// Log is a bag of encoded queries: the empirical distribution p(Q | L) over
+// feature vectors, stored as distinct vectors with multiplicities. Order is
+// deliberately not represented — LogR targets aggregate (order-independent)
+// workload statistics.
+type Log struct {
+	universe int
+	vecs     []bitvec.Vector
+	mult     []int
+	index    map[string]int // vector key → position in vecs
+	total    int
+}
+
+// NewLog returns an empty log over a feature universe of size n.
+func NewLog(n int) *Log {
+	return &Log{universe: n, index: make(map[string]int)}
+}
+
+// Universe returns the feature-universe size n.
+func (l *Log) Universe() int { return l.universe }
+
+// Add inserts count occurrences of the query vector v.
+func (l *Log) Add(v bitvec.Vector, count int) {
+	if v.Len() != l.universe {
+		panic(fmt.Sprintf("core: vector universe %d != log universe %d", v.Len(), l.universe))
+	}
+	if count <= 0 {
+		return
+	}
+	k := v.Key()
+	if i, ok := l.index[k]; ok {
+		l.mult[i] += count
+	} else {
+		l.index[k] = len(l.vecs)
+		l.vecs = append(l.vecs, v.Clone())
+		l.mult = append(l.mult, count)
+	}
+	l.total += count
+}
+
+// Total returns |L|, the number of queries including duplicates.
+func (l *Log) Total() int { return l.total }
+
+// Distinct returns the number of distinct query vectors.
+func (l *Log) Distinct() int { return len(l.vecs) }
+
+// Vector returns the i-th distinct vector (not a copy; do not mutate).
+func (l *Log) Vector(i int) bitvec.Vector { return l.vecs[i] }
+
+// Multiplicity returns the multiplicity of the i-th distinct vector.
+func (l *Log) Multiplicity(i int) int { return l.mult[i] }
+
+// MaxMultiplicity returns the largest multiplicity of any distinct query.
+func (l *Log) MaxMultiplicity() int {
+	m := 0
+	for _, c := range l.mult {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Count returns Γ_b(L) = |{q ∈ L : b ⊆ q}|, the exact number of log entries
+// containing pattern b — the statistic client applications ask for.
+func (l *Log) Count(b bitvec.Vector) int {
+	c := 0
+	for i, v := range l.vecs {
+		if v.Contains(b) {
+			c += l.mult[i]
+		}
+	}
+	return c
+}
+
+// Marginal returns p(Q ⊇ b | L) = Γ_b(L) / |L|.
+func (l *Log) Marginal(b bitvec.Vector) float64 {
+	if l.total == 0 {
+		return 0
+	}
+	return float64(l.Count(b)) / float64(l.total)
+}
+
+// FeatureMarginals returns p(X_i = 1 | L) for every feature.
+func (l *Log) FeatureMarginals() []float64 {
+	out := make([]float64, l.universe)
+	for i, v := range l.vecs {
+		w := float64(l.mult[i])
+		v.ForEach(func(j int) { out[j] += w })
+	}
+	if l.total > 0 {
+		for j := range out {
+			out[j] /= float64(l.total)
+		}
+	}
+	return out
+}
+
+// UsedFeatures returns the number of features that appear in at least one
+// query.
+func (l *Log) UsedFeatures() int {
+	seen := bitvec.New(l.universe)
+	for _, v := range l.vecs {
+		seen.OrInPlace(v)
+	}
+	return seen.Count()
+}
+
+// AvgFeaturesPerQuery returns the mean feature count over all log entries.
+func (l *Log) AvgFeaturesPerQuery() float64 {
+	if l.total == 0 {
+		return 0
+	}
+	s := 0
+	for i, v := range l.vecs {
+		s += v.Count() * l.mult[i]
+	}
+	return float64(s) / float64(l.total)
+}
+
+// EmpiricalEntropy returns H(ρ*) in nats: the plug-in entropy of the
+// distinct-query histogram, i.e. the entropy of drawing a query uniformly
+// from the log (Section 2.3.1).
+func (l *Log) EmpiricalEntropy() float64 {
+	if l.total == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(l.total)
+	for _, c := range l.mult {
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// Prob returns ρ*(q): the empirical probability of drawing exactly q.
+func (l *Log) Prob(q bitvec.Vector) float64 {
+	if l.total == 0 {
+		return 0
+	}
+	if i, ok := l.index[q.Key()]; ok {
+		return float64(l.mult[i]) / float64(l.total)
+	}
+	return 0
+}
+
+// Dense returns the distinct vectors as dense rows plus their multiplicity
+// weights — the clustering input (distinct queries weighted by multiplicity
+// is exactly equivalent to clustering the full log).
+func (l *Log) Dense() (points [][]float64, weights []float64) {
+	points = make([][]float64, len(l.vecs))
+	weights = make([]float64, len(l.vecs))
+	for i, v := range l.vecs {
+		points[i] = v.Dense()
+		weights[i] = float64(l.mult[i])
+	}
+	return points, weights
+}
+
+// Partition splits the log into asg.K sub-logs over the same universe,
+// following a clustering of its distinct vectors.
+func (l *Log) Partition(asg cluster.Assignment) []*Log {
+	if len(asg.Labels) != len(l.vecs) {
+		panic("core: assignment length does not match distinct-vector count")
+	}
+	parts := make([]*Log, asg.K)
+	for i := range parts {
+		parts[i] = NewLog(l.universe)
+	}
+	for i, v := range l.vecs {
+		parts[asg.Labels[i]].Add(v, l.mult[i])
+	}
+	return parts
+}
+
+// Project returns a copy of the log restricted to the given features: each
+// query keeps only the selected coordinates (re-indexed 0..len(feats)-1).
+// Vectors that collide after projection merge their multiplicities. Used by
+// the Deviation experiments, which work over the sub-universe of features
+// with informative marginals.
+func (l *Log) Project(feats []int) *Log {
+	out := NewLog(len(feats))
+	for i, v := range l.vecs {
+		p := bitvec.New(len(feats))
+		for j, f := range feats {
+			if v.Get(f) {
+				p.Set(j)
+			}
+		}
+		out.Add(p, l.mult[i])
+	}
+	return out
+}
+
+// SelectFeatures returns the features whose marginal lies in [lo, hi],
+// sorted by descending Bernoulli entropy (most informative first) and capped
+// at max entries (0 = no cap). This is the feature-selection step of the
+// Section 7.1 validation experiments.
+func (l *Log) SelectFeatures(lo, hi float64, max int) []int {
+	marg := l.FeatureMarginals()
+	type fe struct {
+		idx int
+		h   float64
+	}
+	var fs []fe
+	for i, p := range marg {
+		if p >= lo && p <= hi {
+			h := 0.0
+			if p > 0 && p < 1 {
+				h = -p*math.Log(p) - (1-p)*math.Log(1-p)
+			}
+			fs = append(fs, fe{i, h})
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool {
+		if fs[a].h != fs[b].h {
+			return fs[a].h > fs[b].h
+		}
+		return fs[a].idx < fs[b].idx
+	})
+	if max > 0 && len(fs) > max {
+		fs = fs[:max]
+	}
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = f.idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of the log.
+func (l *Log) Clone() *Log {
+	out := NewLog(l.universe)
+	for i, v := range l.vecs {
+		out.Add(v, l.mult[i])
+	}
+	return out
+}
+
+// Merge adds every entry of other (same universe) into l.
+func (l *Log) Merge(other *Log) {
+	if other.universe != l.universe {
+		panic("core: merging logs over different universes")
+	}
+	for i, v := range other.vecs {
+		l.Add(v, other.mult[i])
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"logr/internal/bitvec"
+)
+
+// Proposition 1 (Appendix B): the full pattern→marginal mapping E_max
+// identifies the query distribution exactly. The proof's telescoping
+// recurrence p_{k-1}⟨b⟩ = p_k⟨b,0⟩ − p_k⟨b,1⟩ collapses into inclusion–
+// exclusion over the features *absent* from the query:
+//
+//	p(Q = q) = Σ_{b ⊆ zeros(q)} (−1)^{|b|} · p(Q ⊇ q ∪ b)
+//
+// This file implements that reconstruction against any marginal oracle —
+// the log itself, an encoding, or a fitted model — making the "lossless
+// extreme" of Section 3.1 executable and testable.
+
+// MarginalOracle answers pattern marginals p(Q ⊇ b); bitvec universes must
+// match the query being reconstructed.
+type MarginalOracle func(b bitvec.Vector) float64
+
+// ExactPointProbability reconstructs p(Q = q) from pattern marginals alone.
+// The sum has 2^z terms for z = |zeros(q)|; maxZeroBits (default 20) guards
+// against runaway exponents — full reconstruction is only tractable on
+// small universes, which is exactly the paper's point about E_max's cost.
+func ExactPointProbability(oracle MarginalOracle, q bitvec.Vector, maxZeroBits int) (float64, error) {
+	if maxZeroBits <= 0 {
+		maxZeroBits = 20
+	}
+	n := q.Len()
+	zeros := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !q.Get(i) {
+			zeros = append(zeros, i)
+		}
+	}
+	if len(zeros) > maxZeroBits {
+		return 0, fmt.Errorf("core: %d absent features exceed the 2^%d reconstruction budget", len(zeros), maxZeroBits)
+	}
+	total := 0.0
+	size := 1 << uint(len(zeros))
+	for s := 0; s < size; s++ {
+		b := q.Clone()
+		bits := 0
+		for j, f := range zeros {
+			if s&(1<<uint(j)) != 0 {
+				b.Set(f)
+				bits++
+			}
+		}
+		term := oracle(b)
+		if bits%2 == 1 {
+			total -= term
+		} else {
+			total += term
+		}
+	}
+	// numerical hygiene: tiny negative values from float cancellation
+	if total < 0 && total > -1e-9 {
+		total = 0
+	}
+	return total, nil
+}
+
+// LosslessCheck verifies Proposition 1 on a log: for every distinct query,
+// the probability reconstructed from the log's own marginals must equal the
+// empirical probability. Returns the maximum absolute discrepancy. Only
+// feasible for small universes; tests and documentation use it.
+func LosslessCheck(l *Log, maxZeroBits int) (float64, error) {
+	worst := 0.0
+	for i := 0; i < l.Distinct(); i++ {
+		q := l.Vector(i)
+		got, err := ExactPointProbability(l.Marginal, q, maxZeroBits)
+		if err != nil {
+			return 0, err
+		}
+		want := l.Prob(q)
+		if d := abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logr/internal/bitvec"
+)
+
+// TestProposition1 verifies Appendix B on random small logs: point
+// probabilities reconstructed from pattern marginals alone match the
+// empirical distribution exactly.
+func TestProposition1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		l := NewLog(n)
+		for i := 0; i < 3+r.Intn(15); i++ {
+			v := bitvec.New(n)
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					v.Set(j)
+				}
+			}
+			l.Add(v, 1+r.Intn(10))
+		}
+		worst, err := LosslessCheck(l, 12)
+		if err != nil {
+			return false
+		}
+		return worst < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposition1OnAbsentQuery: queries outside the log reconstruct to 0.
+func TestProposition1OnAbsentQuery(t *testing.T) {
+	l := section51Log()
+	absent := bitvec.FromIndices(4, 1, 2, 3) // the "phantom" of Example 4
+	got, err := ExactPointProbability(l.Marginal, absent, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 0, 1e-12) {
+		t.Errorf("reconstructed probability of phantom = %g, want 0", got)
+	}
+	present := bitvec.FromIndices(4, 0, 2, 3)
+	got, err = ExactPointProbability(l.Marginal, present, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 1.0/3, 1e-12) {
+		t.Errorf("reconstructed probability = %g, want 1/3", got)
+	}
+}
+
+// TestProposition1LossyOracleDiffers: reconstructing from a *naive*
+// encoding's marginals yields the max-ent product probabilities — Example 4
+// again, through the Proposition 1 machinery.
+func TestProposition1LossyOracle(t *testing.T) {
+	l := section51Log()
+	e := NaiveEncode(l)
+	q1 := bitvec.FromIndices(4, 0, 2, 3)
+	got, err := ExactPointProbability(e.EstimateMarginal, q1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 4.0/27, 1e-12) {
+		t.Errorf("naive-oracle reconstruction = %g, want 4/27", got)
+	}
+}
+
+func TestExactPointProbabilityBudget(t *testing.T) {
+	q := bitvec.New(64) // 64 absent features
+	if _, err := ExactPointProbability(func(bitvec.Vector) float64 { return 0 }, q, 10); err == nil {
+		t.Error("expected budget error for 2^64 reconstruction")
+	}
+}
+
+func TestSplitWorstReducesError(t *testing.T) {
+	// two disjoint workloads plus a uniform one: the mixed component is the
+	// worst; splitting it should drop the error substantially.
+	l := NewLog(8)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		a := bitvec.New(8)
+		for j := 0; j < 4; j++ {
+			if r.Intn(2) == 0 {
+				a.Set(j)
+			}
+		}
+		l.Add(a, 1)
+		b := bitvec.New(8)
+		for j := 4; j < 8; j++ {
+			if r.Intn(2) == 0 {
+				b.Set(j)
+			}
+		}
+		l.Add(b, 1)
+	}
+	c, err := Compress(l, CompressOptions{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := c.SplitWorst(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Err > c.Err+1e-9 {
+		t.Errorf("split increased error: %g -> %g", c.Err, split.Err)
+	}
+	if split.Mixture.K() != c.Mixture.K()+1 {
+		t.Errorf("K = %d, want %d", split.Mixture.K(), c.Mixture.K()+1)
+	}
+}
+
+func TestRefineToTarget(t *testing.T) {
+	l := section51Log()
+	c, err := Compress(l, CompressOptions{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := c.RefineToTarget(1e-9, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Err > 1e-9 {
+		t.Errorf("refinement stopped at error %g", refined.Err)
+	}
+	if refined.Mixture.K() > l.Distinct() {
+		t.Errorf("over-split: K = %d", refined.Mixture.K())
+	}
+}
+
+func TestSplitWorstSingleton(t *testing.T) {
+	l := NewLog(3)
+	l.Add(bitvec.FromIndices(3, 0), 10)
+	c, err := Compress(l, CompressOptions{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SplitWorst(1); err == nil {
+		t.Error("expected error splitting a single-query component")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+)
+
+// Component is one cluster of a pattern mixture encoding: a naive encoding
+// of a sub-log plus the sub-log's share of the whole log.
+type Component struct {
+	Encoding Naive
+	// Weight is w_i = |L_i| / |L|.
+	Weight float64
+}
+
+// Mixture is a naive mixture encoding (Section 5): the log modeled as a
+// weighted mixture of per-cluster naive encodings. It is the output format
+// of LogR compression.
+type Mixture struct {
+	Universe   int
+	Components []Component
+	// Total is |L|.
+	Total int
+}
+
+// BuildMixture encodes each partition of the log with a naive encoding.
+// The partition list usually comes from Log.Partition.
+func BuildMixture(parts []*Log) Mixture {
+	total := 0
+	for _, p := range parts {
+		total += p.Total()
+	}
+	m := Mixture{Total: total}
+	if len(parts) > 0 {
+		m.Universe = parts[0].Universe()
+	}
+	for _, p := range parts {
+		if p.Total() == 0 {
+			continue
+		}
+		m.Components = append(m.Components, Component{
+			Encoding: NaiveEncode(p),
+			Weight:   float64(p.Total()) / float64(total),
+		})
+	}
+	return m
+}
+
+// BuildNaiveMixture clusters the log's distinct vectors and returns the
+// resulting naive mixture encoding together with the partition (needed to
+// evaluate Reproduction Error against ground truth).
+func BuildNaiveMixture(l *Log, asg cluster.Assignment) (Mixture, []*Log) {
+	parts := l.Partition(asg)
+	return BuildMixture(parts), parts
+}
+
+// K returns the number of (non-empty) components.
+func (m Mixture) K() int { return len(m.Components) }
+
+// TotalVerbosity returns Σ_i |S_i| (Section 5.2): the total number of
+// single-feature patterns stored across all components.
+func (m Mixture) TotalVerbosity() int {
+	v := 0
+	for _, c := range m.Components {
+		v += c.Encoding.Verbosity()
+	}
+	return v
+}
+
+// Error returns the Generalized Reproduction Error Σ_i w_i · e(S_i)
+// (Section 5.2) against the true partition.
+func (m Mixture) Error(parts []*Log) (float64, error) {
+	if len(parts) == 0 && len(m.Components) == 0 {
+		return 0, nil
+	}
+	// Non-empty partitions must align 1:1 with components.
+	var live []*Log
+	for _, p := range parts {
+		if p.Total() > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) != len(m.Components) {
+		return 0, fmt.Errorf("core: %d non-empty partitions vs %d components", len(live), len(m.Components))
+	}
+	e := 0.0
+	for i, c := range m.Components {
+		e += c.Weight * c.Encoding.ReproductionError(live[i])
+	}
+	return e, nil
+}
+
+// EstimateMarginal returns the mixture estimate of p(Q ⊇ b | L):
+// Σ_i w_i · ρ_Si(Q ⊇ b).
+func (m Mixture) EstimateMarginal(b bitvec.Vector) float64 {
+	p := 0.0
+	for _, c := range m.Components {
+		p += c.Weight * c.Encoding.EstimateMarginal(b)
+	}
+	return p
+}
+
+// EstimateCount returns est[Γ_b(L)] = Σ_i est[Γ_b(L_i) | E_i]
+// (Section 6.2).
+func (m Mixture) EstimateCount(b bitvec.Vector) float64 {
+	s := 0.0
+	for _, c := range m.Components {
+		s += c.Encoding.EstimateCount(b)
+	}
+	return s
+}
+
+// SynthesizePattern draws a random pattern from component i's
+// maximum-entropy distribution: each feature is included independently with
+// its marginal probability (Section 6.3's synthesis procedure).
+func (m Mixture) SynthesizePattern(i int, rng *rand.Rand) bitvec.Vector {
+	e := m.Components[i].Encoding
+	v := bitvec.New(m.Universe)
+	for f, p := range e.Marginals {
+		if p > 0 && rng.Float64() < p {
+			v.Set(f)
+		}
+	}
+	return v
+}
+
+// SynthesisError measures 1 − M/N per component and returns the weighted
+// average (Section 6.3): N patterns are synthesized from each component and
+// M is the number with positive marginal in the corresponding partition.
+func (m Mixture) SynthesisError(parts []*Log, n int, rng *rand.Rand) float64 {
+	var live []*Log
+	for _, p := range parts {
+		if p.Total() > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) != len(m.Components) || n <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i, c := range m.Components {
+		hits := 0
+		for t := 0; t < n; t++ {
+			b := m.SynthesizePattern(i, rng)
+			if live[i].Count(b) > 0 {
+				hits++
+			}
+		}
+		total += c.Weight * (1 - float64(hits)/float64(n))
+	}
+	return total
+}
+
+// MarginalDeviation measures |ESTM − TM| / TM averaged over the distinct
+// queries of each partition (each treated as a probe pattern — the paper's
+// worst-case argument in Section 6.3), weighted by partition size.
+func (m Mixture) MarginalDeviation(parts []*Log) float64 {
+	var live []*Log
+	for _, p := range parts {
+		if p.Total() > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) != len(m.Components) {
+		return 0
+	}
+	total := 0.0
+	for i, c := range m.Components {
+		part := live[i]
+		if part.Distinct() == 0 {
+			continue
+		}
+		sum := 0.0
+		for d := 0; d < part.Distinct(); d++ {
+			q := part.Vector(d)
+			tm := part.Marginal(q)
+			est := c.Encoding.EstimateMarginal(q)
+			if tm > 0 {
+				sum += abs(est-tm) / tm
+			}
+		}
+		total += c.Weight * sum / float64(part.Distinct())
+	}
+	return total
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

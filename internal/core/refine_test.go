@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"logr/internal/bitvec"
+	"logr/internal/maxent"
+)
+
+func defaultMaxentOpts() maxent.Options { return maxent.Options{} }
+
+// correlatedLog plants a strong positive correlation between features 0,1
+// and leaves 2..5 independent.
+func correlatedLog() *Log {
+	l := NewLog(6)
+	l.Add(bitvec.FromIndices(6, 0, 1, 2), 40) // 0,1 together
+	l.Add(bitvec.FromIndices(6, 0, 1, 3), 40)
+	l.Add(bitvec.FromIndices(6, 2, 4), 10)
+	l.Add(bitvec.FromIndices(6, 3, 5), 10)
+	return l
+}
+
+func TestFeatureCorrelationSign(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	pos := bitvec.FromIndices(6, 0, 1) // always co-occur → positive correlation
+	if wc := FeatureCorrelation(l, e, pos); wc <= 0 {
+		t.Errorf("WC(correlated) = %g, want > 0", wc)
+	}
+	// features 0 and 4 never co-occur → WC is 0 by convention (true
+	// marginal 0, log undefined)
+	anti := bitvec.FromIndices(6, 0, 4)
+	if wc := FeatureCorrelation(l, e, anti); wc != 0 {
+		t.Errorf("WC(never co-occur) = %g, want 0", wc)
+	}
+}
+
+func TestCorrRankOrdersByErrorReduction(t *testing.T) {
+	// Figure 4e/4f's claim: higher corr_rank → larger Error reduction when
+	// the pattern joins the naive encoding.
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	base := e.ReproductionError(l)
+
+	strong := bitvec.FromIndices(6, 0, 1)
+	weak := bitvec.FromIndices(6, 2, 4)
+	if CorrRank(l, e, strong) <= CorrRank(l, e, weak) {
+		t.Fatalf("corr_rank(strong)=%g should beat corr_rank(weak)=%g",
+			CorrRank(l, e, strong), CorrRank(l, e, weak))
+	}
+	errStrong := refinedError(t, l, e, strong)
+	errWeak := refinedError(t, l, e, weak)
+	if base-errStrong < base-errWeak-1e-9 {
+		t.Errorf("strong pattern reduced error by %g, weak by %g; order disagrees with corr_rank",
+			base-errStrong, base-errWeak)
+	}
+}
+
+func refinedError(t *testing.T, l *Log, e Naive, b bitvec.Vector) float64 {
+	t.Helper()
+	r := WithPatterns(l, e, []bitvec.Vector{b})
+	got, err := r.ReproductionError(l, defaultMaxentOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRefinementNeverIncreasesError(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	base := e.ReproductionError(l)
+	cands := CandidatePatterns(l, e, 0.01, 10)
+	if len(cands) == 0 {
+		t.Fatal("no candidates found")
+	}
+	r := RefineNaive(l, e, cands, 3, false)
+	got, err := r.ReproductionError(l, defaultMaxentOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > base+1e-9 {
+		t.Errorf("refined error %g exceeds base %g", got, base)
+	}
+}
+
+func TestCandidatePatternsSorted(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	cands := CandidatePatterns(l, e, 0.01, 0)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score+1e-12 {
+			t.Fatalf("candidates not sorted by score at %d", i)
+		}
+	}
+	// the strongly correlated pair must rank first
+	if len(cands) == 0 || !cands[0].Pattern.Contains(bitvec.FromIndices(6, 0, 1)) {
+		t.Errorf("top candidate should involve the planted correlation, got %v", cands)
+	}
+}
+
+func TestRefineDiversify(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	cands := CandidatePatterns(l, e, 0.01, 0)
+	r := RefineNaive(l, e, cands, 3, true)
+	// diversified patterns must be pairwise feature-disjoint
+	for i := 0; i < len(r.Extra); i++ {
+		for j := i + 1; j < len(r.Extra); j++ {
+			if r.Extra[i].Pattern.Intersects(r.Extra[j].Pattern) {
+				t.Errorf("diversified patterns %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestWithPatternsSkipsTrivial(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	r := WithPatterns(l, e, []bitvec.Vector{
+		bitvec.New(6),               // empty
+		bitvec.FromIndices(6, 0),    // single-feature (already naive)
+		bitvec.FromIndices(6, 0, 1), // genuine
+	})
+	if len(r.Extra) != 1 {
+		t.Errorf("Extra = %d patterns, want 1", len(r.Extra))
+	}
+}
+
+func TestRefinedEncodingVerbosity(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	r := WithPatterns(l, e, []bitvec.Vector{bitvec.FromIndices(6, 0, 1)})
+	if r.Verbosity() != e.Verbosity()+1 {
+		t.Errorf("Verbosity = %d, want %d", r.Verbosity(), e.Verbosity()+1)
+	}
+}
+
+func TestCorrRankFiniteEverywhere(t *testing.T) {
+	l := correlatedLog()
+	e := NaiveEncode(l)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			cr := CorrRank(l, e, bitvec.FromIndices(6, i, j))
+			if math.IsNaN(cr) || math.IsInf(cr, 0) {
+				t.Errorf("corr_rank(%d,%d) = %v", i, j, cr)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"logr/internal/feature"
+)
+
+// Persistence for compressed summaries. A LogR artifact on disk is the
+// mixture encoding (per-cluster marginals) plus the codebook that maps
+// feature indices back to SQL fragments — everything needed to answer
+// workload statistics and render visualizations without the original log.
+
+// summaryFile is the on-disk JSON layout (versioned for forward evolution).
+type summaryFile struct {
+	Version  int             `json:"version"`
+	Universe int             `json:"universe"`
+	Total    int             `json:"total_queries"`
+	Scheme   int             `json:"scheme"`
+	Features []featureEntry  `json:"features"`
+	Clusters []clusterRecord `json:"clusters"`
+}
+
+type featureEntry struct {
+	Kind int    `json:"kind"`
+	Text string `json:"text"`
+}
+
+type clusterRecord struct {
+	Count int `json:"count"`
+	// Sparse marginals: parallel arrays of feature index and probability.
+	Index    []int     `json:"index"`
+	Marginal []float64 `json:"marginal"`
+}
+
+// WriteSummary serializes a mixture encoding with its codebook.
+func WriteSummary(w io.Writer, m Mixture, book *feature.Codebook) error {
+	f := summaryFile{
+		Version:  1,
+		Universe: m.Universe,
+		Total:    m.Total,
+		Scheme:   int(book.Scheme()),
+	}
+	for _, ft := range book.Features() {
+		f.Features = append(f.Features, featureEntry{Kind: int(ft.Kind), Text: ft.Text})
+	}
+	for _, c := range m.Components {
+		rec := clusterRecord{Count: c.Encoding.Count}
+		for i, p := range c.Encoding.Marginals {
+			if p > 0 {
+				rec.Index = append(rec.Index, i)
+				rec.Marginal = append(rec.Marginal, p)
+			}
+		}
+		f.Clusters = append(f.Clusters, rec)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ReadSummary deserializes a mixture encoding and rebuilds its codebook.
+func ReadSummary(r io.Reader) (Mixture, *feature.Codebook, error) {
+	var f summaryFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return Mixture{}, nil, fmt.Errorf("core: reading summary: %w", err)
+	}
+	if f.Version != 1 {
+		return Mixture{}, nil, fmt.Errorf("core: unsupported summary version %d", f.Version)
+	}
+	if len(f.Features) != f.Universe {
+		return Mixture{}, nil, fmt.Errorf("core: summary lists %d features for universe %d", len(f.Features), f.Universe)
+	}
+	book := feature.NewCodebook(feature.Scheme(f.Scheme))
+	for _, fe := range f.Features {
+		book.Register(feature.Feature{Kind: feature.Kind(fe.Kind), Text: fe.Text})
+	}
+	m := Mixture{Universe: f.Universe, Total: f.Total}
+	for ci, rec := range f.Clusters {
+		if len(rec.Index) != len(rec.Marginal) {
+			return Mixture{}, nil, fmt.Errorf("core: cluster %d has mismatched sparse arrays", ci)
+		}
+		marg := make([]float64, f.Universe)
+		for i, idx := range rec.Index {
+			if idx < 0 || idx >= f.Universe {
+				return Mixture{}, nil, fmt.Errorf("core: cluster %d references feature %d outside universe", ci, idx)
+			}
+			p := rec.Marginal[i]
+			if p < 0 || p > 1 {
+				return Mixture{}, nil, fmt.Errorf("core: cluster %d has marginal %v outside [0,1]", ci, p)
+			}
+			marg[idx] = p
+		}
+		w := 0.0
+		if f.Total > 0 {
+			w = float64(rec.Count) / float64(f.Total)
+		}
+		m.Components = append(m.Components, Component{
+			Encoding: Naive{Marginals: marg, Count: rec.Count},
+			Weight:   w,
+		})
+	}
+	return m, book, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+	"logr/internal/feature"
+)
+
+func buildBookAndLog(t *testing.T) (*Log, *feature.Codebook) {
+	t.Helper()
+	book := feature.NewCodebook(feature.AligonScheme)
+	i1 := book.Register(feature.Feature{Kind: feature.SelectKind, Text: "_id"})
+	i2 := book.Register(feature.Feature{Kind: feature.FromKind, Text: "messages"})
+	i3 := book.Register(feature.Feature{Kind: feature.WhereKind, Text: "status = ?"})
+	i4 := book.Register(feature.Feature{Kind: feature.FromKind, Text: "contacts"})
+	l := NewLog(book.Size())
+	l.Add(bitvec.FromIndices(4, i1, i2, i3), 30)
+	l.Add(bitvec.FromIndices(4, i1, i2), 10)
+	l.Add(bitvec.FromIndices(4, i4), 10)
+	return l, book
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0, 1}, K: 2})
+
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	m2, book2, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Universe != mix.Universe || m2.Total != mix.Total || m2.K() != mix.K() {
+		t.Fatalf("shape mismatch: %+v vs %+v", m2, mix)
+	}
+	// marginal estimates must be identical
+	for f := 0; f < l.Universe(); f++ {
+		b := bitvec.FromIndices(l.Universe(), f)
+		if got, want := m2.EstimateMarginal(b), mix.EstimateMarginal(b); got != want {
+			t.Errorf("feature %d marginal %g != %g", f, got, want)
+		}
+	}
+	// codebook survives
+	if book2.Size() != book.Size() {
+		t.Fatalf("codebook size %d != %d", book2.Size(), book.Size())
+	}
+	for i := 0; i < book.Size(); i++ {
+		if book2.Feature(i) != book.Feature(i) {
+			t.Errorf("feature %d = %v, want %v", i, book2.Feature(i), book.Feature(i))
+		}
+	}
+	// visualization still renders
+	viz := Visualize(m2, book2, VisualizeOptions{})
+	if !strings.Contains(viz, "messages") {
+		t.Errorf("restored visualization missing table: %s", viz)
+	}
+}
+
+func TestReadSummaryRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version":99}`,
+		`{"version":1,"universe":2,"features":[{"kind":0,"text":"t"}]}`, // universe mismatch
+		`{"version":1,"universe":1,"total_queries":1,"features":[{"kind":0,"text":"t"}],
+		  "clusters":[{"count":1,"index":[0,1],"marginal":[0.5]}]}`, // ragged arrays
+		`{"version":1,"universe":1,"total_queries":1,"features":[{"kind":0,"text":"t"}],
+		  "clusters":[{"count":1,"index":[5],"marginal":[0.5]}]}`, // index out of range
+		`{"version":1,"universe":1,"total_queries":1,"features":[{"kind":0,"text":"t"}],
+		  "clusters":[{"count":1,"index":[0],"marginal":[1.5]}]}`, // marginal out of range
+	}
+	for i, src := range cases {
+		if _, _, err := ReadSummary(bytes.NewBufferString(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

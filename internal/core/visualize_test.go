@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+	"logr/internal/feature"
+)
+
+func vizFixture(t *testing.T) (Mixture, *feature.Codebook) {
+	t.Helper()
+	book := feature.NewCodebook(feature.AligonScheme)
+	iSel := book.Register(feature.Feature{Kind: feature.SelectKind, Text: "_id"})
+	iFrom := book.Register(feature.Feature{Kind: feature.FromKind, Text: "messages"})
+	iWhere := book.Register(feature.Feature{Kind: feature.WhereKind, Text: "status = ?"})
+	iRare := book.Register(feature.Feature{Kind: feature.WhereKind, Text: "sms_type = ?"})
+	l := NewLog(book.Size())
+	l.Add(bitvec.FromIndices(4, iSel, iFrom, iWhere), 95)
+	l.Add(bitvec.FromIndices(4, iSel, iFrom, iRare), 5)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0}, K: 1})
+	return mix, book
+}
+
+func TestVisualizeTextLayout(t *testing.T) {
+	mix, book := vizFixture(t)
+	out := Visualize(mix, book, VisualizeOptions{})
+	for _, want := range []string{
+		"cluster 1", "weight 100.0%", "100 queries",
+		"SELECT", "FROM", "WHERE",
+		"█ 1.00  _id", "█ 1.00  messages", "0.95  status = ?",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// the 5% predicate survives the default 0.05 floor
+	if !strings.Contains(out, "sms_type = ?") {
+		t.Errorf("rare feature dropped at default threshold:\n%s", out)
+	}
+	// raising the floor hides it
+	out2 := Visualize(mix, book, VisualizeOptions{MinMarginal: 0.5})
+	if strings.Contains(out2, "sms_type = ?") {
+		t.Errorf("rare feature should be hidden at 0.5 floor:\n%s", out2)
+	}
+}
+
+func TestVisualizeShadeBuckets(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want string
+	}{
+		{1.0, "█"}, {0.96, "█"}, {0.7, "▓"}, {0.4, "▒"}, {0.1, "░"},
+	}
+	for _, c := range cases {
+		if got := shade(c.p); got != c.want {
+			t.Errorf("shade(%g) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestVisualizeMaxFeaturesPerClause(t *testing.T) {
+	book := feature.NewCodebook(feature.AligonScheme)
+	var idx []int
+	for _, txt := range []string{"a", "b", "c", "d", "e"} {
+		idx = append(idx, book.Register(feature.Feature{Kind: feature.SelectKind, Text: txt}))
+	}
+	l := NewLog(book.Size())
+	l.Add(bitvec.FromIndices(5, idx...), 10)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0}, K: 1})
+	out := Visualize(mix, book, VisualizeOptions{MaxFeaturesPerClause: 2})
+	count := strings.Count(out, "1.00")
+	if count != 2 {
+		t.Errorf("rendered %d features, want 2:\n%s", count, out)
+	}
+}
+
+func TestVisualizeHTMLEscapesAndShades(t *testing.T) {
+	book := feature.NewCodebook(feature.AligonScheme)
+	i := book.Register(feature.Feature{Kind: feature.WhereKind, Text: "x < ? AND y > ?"})
+	l := NewLog(book.Size())
+	v := bitvec.New(1)
+	v.Set(i)
+	l.Add(v, 10)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0}, K: 1})
+	out := VisualizeHTML(mix, book, VisualizeOptions{})
+	if !strings.Contains(out, "x &lt; ?") {
+		t.Errorf("predicate not HTML-escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "<!DOCTYPE html>") || !strings.Contains(out, "</html>") {
+		t.Error("not a complete document")
+	}
+	if !strings.Contains(out, "background:#4a90d9") {
+		t.Errorf("full-marginal shade missing:\n%s", out)
+	}
+}
+
+func TestShadeColorRange(t *testing.T) {
+	if shadeColor(0) != "#ffffff" {
+		t.Errorf("shadeColor(0) = %s", shadeColor(0))
+	}
+	if shadeColor(1) != "#4a90d9" {
+		t.Errorf("shadeColor(1) = %s", shadeColor(1))
+	}
+	// out-of-range values clamp
+	if shadeColor(-1) != "#ffffff" || shadeColor(2) != "#4a90d9" {
+		t.Error("shadeColor does not clamp")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV writers for every figure's series, so the paper's plots can be
+// regenerated with any plotting tool (`logr-bench -exp fig2 -csv out/`).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// WriteFigure2CSV emits dataset,method,k,error,verbosity,seconds rows.
+func WriteFigure2CSV(w io.Writer, points []Fig2Point) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{p.Dataset, p.Method, itoa(p.K), ftoa(p.Error), itoa(p.Verbosity), ftoa(p.Seconds)}
+	}
+	return writeCSV(w, []string{"dataset", "method", "k", "error", "verbosity", "seconds"}, rows)
+}
+
+// WriteFigure3CSV emits dataset,k,repro_error,synthesis_error,marginal_deviation.
+func WriteFigure3CSV(w io.Writer, points []Fig3Point) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{p.Dataset, itoa(p.K), ftoa(p.ReproductionError), ftoa(p.SynthesisError), ftoa(p.MarginalDeviation)}
+	}
+	return writeCSV(w, []string{"dataset", "k", "repro_error", "synthesis_error", "marginal_deviation"}, rows)
+}
+
+// WriteFigure4CSV emits one file-per-panel concatenation with a panel tag.
+func WriteFigure4CSV(w io.Writer, r *Fig4Result) error {
+	var rows [][]string
+	for _, p := range r.Containment {
+		rows = append(rows, []string{"containment", p.Dataset, "", ftoa(p.DDiffOnly), ftoa(p.DGap)})
+	}
+	for _, p := range r.ErrDev {
+		rows = append(rows, []string{"errdev", p.Dataset, itoa(p.NumPatterns), ftoa(p.Error), ftoa(p.Deviation)})
+	}
+	for _, p := range r.CorrRank {
+		rows = append(rows, []string{"corrrank", p.Dataset, itoa(p.NumFeatures), ftoa(p.CorrRank), ftoa(p.Error)})
+	}
+	return writeCSV(w, []string{"panel", "dataset", "size", "x", "y"}, rows)
+}
+
+// WriteFigure5CSV emits the refinement sweep.
+func WriteFigure5CSV(w io.Writer, points []Fig5Point) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			itoa(p.K), ftoa(p.NaiveError), ftoa(p.LaserlightPlus), ftoa(p.MTVPlus),
+			ftoa(p.LaserlightAlone), ftoa(p.MTVAlone),
+			ftoa(p.NaiveSecs), ftoa(p.LaserlightSecs), ftoa(p.MTVSecs),
+		}
+	}
+	return writeCSV(w, []string{
+		"k", "naive_error", "naive_plus_laserlight", "naive_plus_mtv",
+		"laserlight_alone", "mtv_alone", "naive_seconds", "laserlight_seconds", "mtv_seconds",
+	}, rows)
+}
+
+// WriteFigure67CSV emits both classical-baseline traces with reference rows.
+func WriteFigure67CSV(w io.Writer, r *Fig67Result) error {
+	var rows [][]string
+	for _, p := range r.Laserlight {
+		rows = append(rows, []string{"laserlight-income", itoa(p.Patterns), ftoa(p.Error), ftoa(p.Seconds)})
+	}
+	rows = append(rows, []string{"laserlight-income-naive-ref", itoa(r.LaserlightNaiveVerb), ftoa(r.LaserlightNaiveRef), ""})
+	for _, p := range r.MTV {
+		rows = append(rows, []string{"mtv-mushroom", itoa(p.Patterns), ftoa(p.Error), ftoa(p.Seconds)})
+	}
+	rows = append(rows, []string{"mtv-mushroom-naive-ref", itoa(r.MTVNaiveVerb), ftoa(r.MTVNaiveRef), ""})
+	return writeCSV(w, []string{"series", "patterns", "error", "seconds"}, rows)
+}
+
+// WriteFigure8CSV emits the mixture sweep plus the classical reference.
+func WriteFigure8CSV(w io.Writer, r *Fig8Result) error {
+	rows := [][]string{{"classical", "", ftoa(r.ClassicalError), ftoa(r.ClassicalSecs)}}
+	for _, p := range r.Mixture {
+		rows = append(rows, []string{"mixture-fixed", itoa(p.K), ftoa(p.Error), ftoa(p.Seconds)})
+	}
+	return writeCSV(w, []string{"series", "k", "error", "seconds"}, rows)
+}
+
+// WriteFigure9CSV emits both panels plus reference rows.
+func WriteFigure9CSV(w io.Writer, r *Fig9Result) error {
+	rows := [][]string{
+		{"ref", "", ftoa(r.NaiveLLRef), ftoa(r.ClassicalLLRef), ftoa(r.NaiveMTVRef), ftoa(r.ClassicalMTVRef)},
+	}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			"sweep", itoa(p.K),
+			ftoa(p.NaiveMixtureLL), ftoa(p.LaserlightScaled),
+			ftoa(p.NaiveMixtureMTV), ftoa(p.MTVScaled),
+		})
+	}
+	return writeCSV(w, []string{"series", "k", "naive_ll", "ll_scaled", "naive_mtv", "mtv_scaled"}, rows)
+}

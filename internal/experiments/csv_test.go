@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	return rows
+}
+
+func TestWriteFigure2CSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []Fig2Point{
+		{Dataset: "PocketData", Method: "kmeans-euclidean", K: 1, Error: 25.7, Verbosity: 87, Seconds: 0.001},
+		{Dataset: "US bank", Method: "spectral-hamming", K: 6, Error: 15.3, Verbosity: 517, Seconds: 0.02},
+	}
+	if err := WriteFigure2CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "dataset" || rows[1][1] != "kmeans-euclidean" || rows[2][2] != "6" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestWriteFigure4CSVPanels(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Fig4Result{
+		Containment: []Fig4Containment{{Dataset: "d", DDiffOnly: 1, DGap: 0.1}},
+		ErrDev:      []Fig4ErrDev{{Dataset: "d", NumPatterns: 2, Error: 3, Deviation: 4}},
+		CorrRank:    []Fig4CorrRank{{Dataset: "d", NumFeatures: 3, CorrRank: 0.5, Error: 7}},
+	}
+	if err := WriteFigure4CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, panel := range []string{"containment", "errdev", "corrrank"} {
+		if !strings.Contains(out, panel) {
+			t.Errorf("missing panel %q in %s", panel, out)
+		}
+	}
+}
+
+func TestWriteFigure67CSVIncludesRefs(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Fig67Result{
+		Laserlight:          []Fig6Point{{Patterns: 1, Error: 10, Seconds: 0.1}},
+		LaserlightNaiveRef:  12,
+		LaserlightNaiveVerb: 783,
+		MTV:                 []Fig6Point{{Patterns: 1, Error: 100, Seconds: 0.2}},
+		MTVNaiveRef:         90,
+		MTVNaiveVerb:        95,
+	}
+	if err := WriteFigure67CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "laserlight-income-naive-ref,783,12") {
+		t.Errorf("naive ref row missing: %s", out)
+	}
+}
+
+func TestWriteRemainingCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure3CSV(&buf, []Fig3Point{{Dataset: "d", K: 2, ReproductionError: 1, SynthesisError: 0.5, MarginalDeviation: 0.4}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &buf)) != 2 {
+		t.Error("fig3 rows wrong")
+	}
+	buf.Reset()
+	if err := WriteFigure5CSV(&buf, []Fig5Point{{K: 1, NaiveError: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &buf)) != 2 {
+		t.Error("fig5 rows wrong")
+	}
+	buf.Reset()
+	if err := WriteFigure8CSV(&buf, &Fig8Result{Budget: 10, ClassicalError: 5, Mixture: []Fig8Point{{K: 2, Error: 4, Seconds: 0.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &buf)) != 3 {
+		t.Error("fig8 rows wrong")
+	}
+	buf.Reset()
+	if err := WriteFigure9CSV(&buf, &Fig9Result{Points: []Fig9Point{{K: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &buf)) != 3 {
+		t.Error("fig9 rows wrong")
+	}
+}

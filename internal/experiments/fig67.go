@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"logr/internal/mining"
+)
+
+// Fig6Point is one x position of Figure 6/7: the classical miner's Error
+// and cumulative runtime after k patterns.
+type Fig6Point struct {
+	Patterns int
+	Error    float64
+	Seconds  float64
+}
+
+// Fig67Result holds the classical-baseline curves plus the naive-encoding
+// reference lines of Figure 6.
+type Fig67Result struct {
+	// Laserlight on Income (6a/7a)
+	Laserlight          []Fig6Point
+	LaserlightNaiveRef  float64 // horizontal reference line of Fig 6a
+	LaserlightNaiveVerb int     // vertical reference (naive verbosity, 783)
+
+	// MTV on Mushroom (6b/7b)
+	MTV          []Fig6Point
+	MTVNaiveRef  float64
+	MTVNaiveVerb int
+}
+
+// Figure67 runs the classical algorithms on their own datasets
+// (Section 8.1.2): Laserlight explains the income label over the Income
+// data; MTV summarizes the Mushroom data. Each greedy run's per-step trace
+// yields the whole Error-vs-patterns (Fig 6) and runtime-vs-patterns
+// (Fig 7) curves.
+func Figure67(s Scale) (*Fig67Result, error) {
+	d := load(s)
+	res := &Fig67Result{}
+
+	// Laserlight on Income
+	income := d.income.Data
+	model := mining.Laserlight(income, mining.LaserlightOptions{
+		Patterns: s.LaserlightPatterns, Seed: s.Seed,
+	})
+	for i := range model.Patterns {
+		res.Laserlight = append(res.Laserlight, Fig6Point{
+			Patterns: i + 1,
+			Error:    model.ErrorTrace[i],
+			Seconds:  model.TimeTrace[i].Seconds(),
+		})
+	}
+	res.LaserlightNaiveRef = mining.LaserlightNaiveError(income)
+	res.LaserlightNaiveVerb = income.UsedFeatures()
+
+	// MTV on Mushroom
+	mush := d.mushroom.Data.UnlabeledLog()
+	mtv, err := mining.MTV(mush, mining.MTVOptions{Patterns: s.MTVPatterns})
+	if err != nil {
+		return nil, err
+	}
+	for i := range mtv.Patterns {
+		res.MTV = append(res.MTV, Fig6Point{
+			Patterns: i + 1,
+			Error:    mtv.ErrorTrace[i],
+			Seconds:  mtv.TimeTrace[i].Seconds(),
+		})
+	}
+	res.MTVNaiveRef = mining.MTVNaiveError(mush)
+	res.MTVNaiveVerb = mush.UsedFeatures()
+	return res, nil
+}
+
+// FormatFigure67 prints both curves with their reference lines.
+func FormatFigure67(r *Fig67Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6a/7a (Income): Laserlight Error & runtime vs patterns; naive ref error %.1f at verbosity %d\n",
+		r.LaserlightNaiveRef, r.LaserlightNaiveVerb)
+	fmt.Fprintf(&sb, "%10s %14s %10s\n", "patterns", "LL error", "seconds")
+	for _, p := range r.Laserlight {
+		fmt.Fprintf(&sb, "%10d %14.1f %10.3f\n", p.Patterns, p.Error, p.Seconds)
+	}
+	fmt.Fprintf(&sb, "\nFigure 6b/7b (Mushroom): MTV Error & runtime vs patterns; naive ref error %.1f at verbosity %d\n",
+		r.MTVNaiveRef, r.MTVNaiveVerb)
+	fmt.Fprintf(&sb, "%10s %14s %10s\n", "patterns", "MTV error", "seconds")
+	for _, p := range r.MTV {
+		fmt.Fprintf(&sb, "%10d %14.1f %10.3f\n", p.Patterns, p.Error, p.Seconds)
+	}
+	return sb.String()
+}

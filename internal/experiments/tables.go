@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"logr/internal/stats"
+)
+
+// Table1 regenerates the paper's Table 1: summary statistics of the two
+// query-log datasets after the parse→regularize→encode pipeline.
+func Table1(s Scale) string {
+	d := load(s)
+	return stats.FormatTable1([]stats.Table1Row{
+		{Name: "PocketData", Stats: d.pocket.Stats},
+		{Name: "US bank", Stats: d.bank.Stats},
+	})
+}
+
+// Table2 regenerates the paper's Table 2: the alternative-application
+// datasets (Income for Laserlight, Mushroom for MTV).
+func Table2(s Scale) string {
+	d := load(s)
+	return stats.FormatTable2([]stats.Table2Row{
+		stats.DescribeCategorical("Income", "> 100,000?", d.income),
+		stats.DescribeCategorical("Mushroom", "Edibility", d.mushroom),
+	})
+}

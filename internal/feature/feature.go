@@ -1,0 +1,315 @@
+// Package feature implements the Aligon et al. feature-extraction scheme
+// the paper adopts (Section 2.2), together with the codebook that provides
+// the bi-directional mapping between SQL queries and bit-vector encodings.
+//
+// Each feature is one of three query elements:
+//
+//	(1) a table or sub-query in the FROM clause,
+//	(2) a column in the SELECT clause,
+//	(3) a conjunctive atom of the WHERE clause.
+//
+// Under this scheme the feature set of a conjunctive query is isomorphic to
+// the query itself (modulo commutativity and column order), which is the
+// assumption LogR's interpretability results rest on. The optional extended
+// scheme also captures GROUP BY, ORDER BY and aggregation features in the
+// style of Makiyama et al., which the paper cites as a richer alternative.
+package feature
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logr/internal/bitvec"
+	"logr/internal/sqlparser"
+)
+
+// Kind classifies features by the clause they come from.
+type Kind int
+
+// Feature kinds. The first three form the Aligon scheme; the remainder are
+// the extended (Makiyama-style) kinds.
+const (
+	FromKind Kind = iota
+	SelectKind
+	WhereKind
+	GroupByKind
+	OrderByKind
+	AggKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FromKind:
+		return "FROM"
+	case SelectKind:
+		return "SELECT"
+	case WhereKind:
+		return "WHERE"
+	case GroupByKind:
+		return "GROUPBY"
+	case OrderByKind:
+		return "ORDERBY"
+	case AggKind:
+		return "AGG"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Feature is a single structural element 〈Text, Kind〉, e.g.
+// 〈status = ?, WHERE〉 or 〈messages, FROM〉.
+type Feature struct {
+	Kind Kind
+	Text string
+}
+
+func (f Feature) String() string { return "⟨" + f.Text + ", " + f.Kind.String() + "⟩" }
+
+// Scheme selects which feature kinds are extracted.
+type Scheme int
+
+// Available schemes.
+const (
+	// AligonScheme extracts FROM tables, SELECT columns and WHERE atoms.
+	AligonScheme Scheme = iota
+	// ExtendedScheme additionally extracts GROUP BY, ORDER BY and
+	// aggregate-function features.
+	ExtendedScheme
+)
+
+// Codebook assigns stable indices to features as they are first observed.
+// It is the dictionary component of a LogR-compressed log: with it, any
+// pattern (bit vector) can be translated back into query syntax.
+type Codebook struct {
+	scheme Scheme
+	feats  []Feature
+	index  map[Feature]int
+}
+
+// NewCodebook returns an empty codebook using the given scheme.
+func NewCodebook(scheme Scheme) *Codebook {
+	return &Codebook{scheme: scheme, index: make(map[Feature]int)}
+}
+
+// Scheme returns the extraction scheme.
+func (c *Codebook) Scheme() Scheme { return c.scheme }
+
+// Size returns the number of distinct features registered so far — the
+// dimensionality n of the encoding universe.
+func (c *Codebook) Size() int { return len(c.feats) }
+
+// Feature returns the feature with index i.
+func (c *Codebook) Feature(i int) Feature { return c.feats[i] }
+
+// Features returns a copy of all registered features in index order.
+func (c *Codebook) Features() []Feature {
+	out := make([]Feature, len(c.feats))
+	copy(out, c.feats)
+	return out
+}
+
+// Lookup returns the index of f if it has been registered.
+func (c *Codebook) Lookup(f Feature) (int, bool) {
+	i, ok := c.index[f]
+	return i, ok
+}
+
+// Register adds a feature to the codebook (if absent) and returns its
+// index. Used when rebuilding a codebook from a serialized summary; during
+// encoding, Extract interns features automatically.
+func (c *Codebook) Register(f Feature) int { return c.intern(f) }
+
+// intern registers f if new and returns its index.
+func (c *Codebook) intern(f Feature) int {
+	if i, ok := c.index[f]; ok {
+		return i
+	}
+	i := len(c.feats)
+	c.feats = append(c.feats, f)
+	c.index[f] = i
+	return i
+}
+
+// Extract returns the feature set of a conjunctive SELECT block as sorted,
+// deduplicated codebook indices, registering unseen features.
+//
+// Non-conjunctive WHERE clauses are not rejected — OR/NOT subtrees become a
+// single opaque WHERE atom — but callers that need the isomorphism property
+// should regularize first (see internal/regularize).
+func (c *Codebook) Extract(sel *sqlparser.Select) []int {
+	set := map[int]struct{}{}
+	add := func(f Feature) { set[c.intern(f)] = struct{}{} }
+
+	// FROM clause: tables, subqueries (rendered), and join trees flattened.
+	var fromWalk func(t sqlparser.TableExpr)
+	fromWalk = func(t sqlparser.TableExpr) {
+		switch x := t.(type) {
+		case *sqlparser.TableName:
+			name := x.Name
+			if x.Schema != "" {
+				name = x.Schema + "." + x.Name
+			}
+			add(Feature{FromKind, name})
+		case *sqlparser.Subquery:
+			add(Feature{FromKind, "(" + x.Stmt.SQL() + ")"})
+		case *sqlparser.Join:
+			fromWalk(x.Left)
+			fromWalk(x.Right)
+			if x.On != nil {
+				for _, atom := range conjuncts(x.On) {
+					add(Feature{WhereKind, atom.SQL()})
+				}
+			}
+		}
+	}
+	for _, t := range sel.From {
+		fromWalk(t)
+	}
+
+	// SELECT clause: one feature per output column.
+	for _, it := range sel.Items {
+		if it.Star {
+			txt := "*"
+			if col, ok := it.Expr.(*sqlparser.Column); ok && col.Table != "" {
+				txt = col.Table + ".*"
+			}
+			add(Feature{SelectKind, txt})
+			continue
+		}
+		add(Feature{SelectKind, it.Expr.SQL()})
+		if c.scheme == ExtendedScheme {
+			if fc, ok := it.Expr.(*sqlparser.FuncCall); ok && isAggregate(fc.Name) {
+				add(Feature{AggKind, fc.SQL()})
+			}
+		}
+	}
+
+	// WHERE clause: one feature per conjunctive atom.
+	if sel.Where != nil {
+		for _, atom := range conjuncts(sel.Where) {
+			add(Feature{WhereKind, atom.SQL()})
+		}
+	}
+
+	if c.scheme == ExtendedScheme {
+		for _, g := range sel.GroupBy {
+			add(Feature{GroupByKind, g.SQL()})
+		}
+		if sel.Having != nil {
+			for _, atom := range conjuncts(sel.Having) {
+				add(Feature{WhereKind, "HAVING " + atom.SQL()})
+			}
+		}
+		for _, o := range sel.OrderBy {
+			dir := "ASC"
+			if o.Desc {
+				dir = "DESC"
+			}
+			add(Feature{OrderByKind, o.Expr.SQL() + " " + dir})
+		}
+	}
+
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func conjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	var out []sqlparser.Expr
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == "AND" {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		out = append(out, e)
+	}
+	walk(e)
+	return out
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// Vector materializes a set of feature indices as a bit vector over the
+// codebook's *current* universe.
+func (c *Codebook) Vector(indices []int) bitvec.Vector {
+	v := bitvec.New(c.Size())
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// Decode translates a feature vector (a pattern or an encoded query) back
+// into a SELECT statement — the inverse direction of the isomorphism in
+// Section 2.1. Features of kinds with no clause of their own (AGG) are
+// folded into the SELECT list; an empty SELECT list is rendered as '*'.
+func (c *Codebook) Decode(v bitvec.Vector) (*sqlparser.Select, error) {
+	if v.Len() > c.Size() {
+		return nil, fmt.Errorf("feature: vector universe %d exceeds codebook size %d", v.Len(), c.Size())
+	}
+	var selects, froms, wheres, groups, orders []string
+	v.ForEach(func(i int) {
+		f := c.feats[i]
+		switch f.Kind {
+		case SelectKind:
+			selects = append(selects, f.Text)
+		case FromKind:
+			froms = append(froms, f.Text)
+		case WhereKind:
+			wheres = append(wheres, f.Text)
+		case GroupByKind:
+			groups = append(groups, f.Text)
+		case OrderByKind:
+			orders = append(orders, f.Text)
+		case AggKind:
+			// aggregate features duplicate a SELECT item; skip.
+		}
+	})
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if len(selects) == 0 {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(strings.Join(selects, ", "))
+	}
+	if len(froms) > 0 {
+		sb.WriteString(" FROM " + strings.Join(froms, ", "))
+	}
+	if len(wheres) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(wheres, " AND "))
+	}
+	if len(groups) > 0 {
+		sb.WriteString(" GROUP BY " + strings.Join(groups, ", "))
+	}
+	if len(orders) > 0 {
+		sb.WriteString(" ORDER BY " + strings.Join(orders, ", "))
+	}
+	stmt, err := sqlparser.Parse(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("feature: decoded SQL failed to reparse: %w", err)
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("feature: decoded SQL is not a single SELECT")
+	}
+	return sel, nil
+}
+
+// Describe renders a feature vector as a human-readable feature list, used
+// by error messages and the visualizer.
+func (c *Codebook) Describe(v bitvec.Vector) string {
+	parts := make([]string, 0, v.Count())
+	v.ForEach(func(i int) { parts = append(parts, c.feats[i].String()) })
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,463 @@
+// Package linalg supplies the small amount of dense linear algebra LogR's
+// substrates need: a symmetric eigensolver for spectral clustering and a
+// Euclidean projection onto affine slices of the probability simplex for the
+// constrained-distribution sampler of Appendix C.
+//
+// Everything is written against column-free flat row-major storage and the
+// standard library only.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SymEigen computes the full eigendecomposition of a symmetric matrix using
+// Householder tridiagonalization followed by the implicit-shift QL
+// algorithm. Eigenvalues are returned in ascending order with matching
+// eigenvectors as the *columns* of the returned matrix.
+//
+// The input must be square and symmetric; asymmetry beyond a small tolerance
+// is an error. Complexity is O(n³), appropriate for the ≤ a-few-thousand
+// point affinity matrices spectral clustering builds.
+func SymEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: SymEigen needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	const symTol = 1e-8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("linalg: matrix is not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Work on a copy; z accumulates the orthogonal transform.
+	z := a.Clone()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	if err := tql2(z, d, e); err != nil {
+		return nil, nil, err
+	}
+	return d, z, nil
+}
+
+// tred2 reduces a symmetric matrix (stored in z) to tridiagonal form,
+// accumulating the transformation in z. Standard Householder reduction
+// (EISPACK tred2 lineage).
+func tred2(z *Matrix, d, e []float64) {
+	n := z.Rows
+	for i := 0; i < n; i++ {
+		d[i] = z.At(n-1, i)
+	}
+	for i := n - 1; i > 0; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(d[k])
+			}
+			if scale == 0 {
+				e[i] = d[l]
+				for j := 0; j <= l; j++ {
+					d[j] = z.At(l, j)
+					z.Set(i, j, 0)
+					z.Set(j, i, 0)
+				}
+			} else {
+				for k := 0; k <= l; k++ {
+					d[k] /= scale
+					h += d[k] * d[k]
+				}
+				f := d[l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				d[l] = f - g
+				for j := 0; j <= l; j++ {
+					e[j] = 0
+				}
+				for j := 0; j <= l; j++ {
+					f = d[j]
+					z.Set(j, i, f)
+					g = e[j] + z.At(j, j)*f
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * d[k]
+						e[k] += z.At(k, j) * f
+					}
+					e[j] = g
+				}
+				f = 0
+				for j := 0; j <= l; j++ {
+					e[j] /= h
+					f += e[j] * d[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					e[j] -= hh * d[j]
+				}
+				for j := 0; j <= l; j++ {
+					f = d[j]
+					g = e[j]
+					for k := j; k <= l; k++ {
+						z.Set(k, j, z.At(k, j)-(f*e[k]+g*d[k]))
+					}
+					d[j] = z.At(l, j)
+					z.Set(i, j, 0)
+				}
+			}
+		} else {
+			e[i] = d[l]
+			d[l] = z.At(l, l)
+			z.Set(i, l, 0)
+			z.Set(l, i, 0)
+		}
+		d[i] = h
+	}
+	for i := 1; i < n; i++ {
+		z.Set(n-1, i-1, z.At(i-1, i-1))
+		z.Set(i-1, i-1, 1)
+		h := d[i]
+		if h != 0 {
+			for k := 0; k < i; k++ {
+				d[k] = z.At(k, i) / h
+			}
+			for j := 0; j < i; j++ {
+				g := 0.0
+				for k := 0; k < i; k++ {
+					g += z.At(k, i) * z.At(k, j)
+				}
+				for k := 0; k < i; k++ {
+					z.Set(k, j, z.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k < i; k++ {
+			z.Set(k, i, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = z.At(n-1, j)
+		z.Set(n-1, j, 0)
+	}
+	z.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 finds eigenvalues/vectors of a symmetric tridiagonal matrix by the
+// implicit-shift QL method (EISPACK tql2 lineage). d holds the diagonal,
+// e the sub-diagonal; z the accumulated Householder transform.
+func tql2(z *Matrix, d, e []float64) error {
+	n := z.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	const eps = 2.220446049250313e-16
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= 50 {
+					return fmt.Errorf("linalg: QL iteration failed to converge")
+				}
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					for k := 0; k < n; k++ {
+						h = z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*h)
+						z.Set(k, i, c*z.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+
+	// Sort eigenvalues ascending, permuting eigenvectors to match.
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			for j := 0; j < n; j++ {
+				z.Data[j*n+i], z.Data[j*n+k] = z.Data[j*n+k], z.Data[j*n+i]
+			}
+		}
+	}
+	return nil
+}
+
+// ProjectAffine computes the Euclidean projection of x0 onto the affine
+// subspace {x : A x = b}: x = x0 − Aᵀ(AAᵀ)⁻¹(A x0 − b). Rows of A must be
+// linearly independent up to the solver's tolerance; redundant rows are
+// dropped automatically via pivoted Gaussian elimination on AAᵀ.
+//
+// This is the projection step of Appendix C: random points from the
+// unconstrained simplex are projected onto the hyperplanes induced by the
+// encoding's marginal constraints.
+func ProjectAffine(a *Matrix, b, x0 []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m || len(x0) != n {
+		return nil, fmt.Errorf("linalg: ProjectAffine shape mismatch")
+	}
+	// residual r = A x0 − b
+	r := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := -b[i]
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x0[j]
+		}
+		r[i] = s
+	}
+	// G = A Aᵀ (m×m)
+	g := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * a.At(j, k)
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+	y, err := SolveSPD(g, r)
+	if err != nil {
+		return nil, err
+	}
+	// x = x0 − Aᵀ y
+	x := make([]float64, n)
+	copy(x, x0)
+	for i := 0; i < m; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			x[j] -= a.At(i, j) * yi
+		}
+	}
+	return x, nil
+}
+
+// SolveSPD solves G y = r for a symmetric positive semi-definite G using
+// Gaussian elimination with partial pivoting; near-zero pivots (redundant
+// constraints) zero the corresponding component of y instead of failing.
+func SolveSPD(g *Matrix, r []float64) ([]float64, error) {
+	m := g.Rows
+	if g.Cols != m || len(r) != m {
+		return nil, fmt.Errorf("linalg: SolveSPD shape mismatch")
+	}
+	// augmented copy
+	aug := NewMatrix(m, m+1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			aug.Set(i, j, g.At(i, j))
+		}
+		aug.Set(i, m, r[i])
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	const pivTol = 1e-12
+	for col := 0; col < m; col++ {
+		// partial pivot
+		best, bestAbs := col, math.Abs(aug.At(col, col))
+		for i := col + 1; i < m; i++ {
+			if v := math.Abs(aug.At(i, col)); v > bestAbs {
+				best, bestAbs = i, v
+			}
+		}
+		if best != col {
+			for j := 0; j <= m; j++ {
+				vi, vj := aug.At(col, j), aug.At(best, j)
+				aug.Set(col, j, vj)
+				aug.Set(best, j, vi)
+			}
+		}
+		p := aug.At(col, col)
+		if math.Abs(p) < pivTol {
+			// redundant row: zero it out
+			for j := 0; j <= m; j++ {
+				aug.Set(col, j, 0)
+			}
+			continue
+		}
+		for i := col + 1; i < m; i++ {
+			f := aug.At(i, col) / p
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= m; j++ {
+				aug.Set(i, j, aug.At(i, j)-f*aug.At(col, j))
+			}
+		}
+	}
+	y := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		p := aug.At(i, i)
+		if math.Abs(p) < pivTol {
+			y[i] = 0
+			continue
+		}
+		s := aug.At(i, m)
+		for j := i + 1; j < m; j++ {
+			s -= aug.At(i, j) * y[j]
+		}
+		y[i] = s / p
+	}
+	return y, nil
+}
+
+// ProjectSimplex computes the Euclidean projection of v onto the standard
+// probability simplex {x : x ≥ 0, Σx = s} using the sort-based algorithm of
+// Held, Wolfe & Crowder. Used to repair small negativities after affine
+// projection.
+func ProjectSimplex(v []float64, s float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	// sort descending copy
+	u := make([]float64, n)
+	copy(u, v)
+	insertionSortDesc(u)
+	css := 0.0
+	rho := -1
+	var theta float64
+	for i := 0; i < n; i++ {
+		css += u[i]
+		t := (css - s) / float64(i+1)
+		if u[i]-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// degenerate: spread evenly
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = s / float64(n)
+		}
+		return out
+	}
+	out := make([]float64, n)
+	for i := range v {
+		if x := v[i] - theta; x > 0 {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func insertionSortDesc(a []float64) {
+	// n is small in our use (equivalence classes ≤ 2^m, m ≤ ~8); a simple
+	// sort avoids pulling in sort.Float64s + reversal allocations.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] < v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// MatVec computes y = A x.
+func MatVec(a *Matrix, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,265 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-10) {
+			t.Errorf("vals[%d] = %g, want %g", i, vals[i], want[i])
+		}
+	}
+	// eigenvectors must be unit axis vectors (up to sign)
+	for c := 0; c < 3; c++ {
+		norm := 0.0
+		for r := 0; r < 3; r++ {
+			norm += vecs.At(r, c) * vecs.At(r, c)
+		}
+		if !almostEq(norm, 1, 1e-10) {
+			t.Errorf("eigenvector %d not unit: %g", c, norm)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, _, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 1, 1e-10) || !almostEq(vals[1], 3, 1e-10) {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	if _, _, err := SymEigen(a); err == nil {
+		t.Error("expected error for asymmetric matrix")
+	}
+}
+
+// Property: for random symmetric matrices, A v = λ v for every eigenpair,
+// eigenvalues ascend, and the eigenvector matrix is orthonormal.
+func TestSymEigenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a.Clone())
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1]-1e-9 {
+				return false
+			}
+		}
+		// residual check
+		for c := 0; c < n; c++ {
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * vecs.At(j, c)
+				}
+				if !almostEq(av, vals[c]*vecs.At(i, c), 1e-6*(1+math.Abs(vals[c]))) {
+					return false
+				}
+			}
+		}
+		// orthonormality
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += vecs.At(i, c1) * vecs.At(i, c2)
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if !almostEq(dot, want, 1e-7) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectAffineSatisfiesConstraints(t *testing.T) {
+	// project (0.7, 0.1, 0.2) onto {x : sum x = 1, x0 + x1 = 0.5}
+	a := NewMatrix(2, 3)
+	for j := 0; j < 3; j++ {
+		a.Set(0, j, 1)
+	}
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	b := []float64{1, 0.5}
+	x, err := ProjectAffine(a, b, []float64{0.7, 0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0]+x[1]+x[2], 1, 1e-9) {
+		t.Errorf("sum constraint violated: %v", x)
+	}
+	if !almostEq(x[0]+x[1], 0.5, 1e-9) {
+		t.Errorf("marginal constraint violated: %v", x)
+	}
+}
+
+// Property: the affine projection is idempotent and satisfies A x = b.
+func TestProjectAffineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		m := 1 + r.Intn(n-1)
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					a.Set(i, j, 1)
+				}
+			}
+		}
+		// make b feasible: b = A z for a random point z
+		z := make([]float64, n)
+		for j := range z {
+			z[j] = r.Float64()
+		}
+		b := MatVec(a, z)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = r.Float64()
+		}
+		x, err := ProjectAffine(a, b, x0)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a, x)
+		for i := range ax {
+			if !almostEq(ax[i], b[i], 1e-7) {
+				return false
+			}
+		}
+		// idempotence
+		x2, err := ProjectAffine(a, b, x)
+		if err != nil {
+			return false
+		}
+		for j := range x {
+			if !almostEq(x[j], x2[j], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectAffineRedundantRows(t *testing.T) {
+	// duplicate constraint rows should not break the solver
+	a := NewMatrix(2, 3)
+	for j := 0; j < 3; j++ {
+		a.Set(0, j, 1)
+		a.Set(1, j, 1)
+	}
+	x, err := ProjectAffine(a, []float64{1, 1}, []float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := x[0] + x[1] + x[2]
+	if !almostEq(sum, 1, 1e-9) {
+		t.Errorf("sum = %g, want 1", sum)
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	x := ProjectSimplex([]float64{0.8, 0.6, -0.4}, 1)
+	sum := 0.0
+	for _, v := range x {
+		if v < 0 {
+			t.Errorf("negative component %g", v)
+		}
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Errorf("sum = %g, want 1", sum)
+	}
+}
+
+// Property: simplex projection returns a feasible point that is no farther
+// from the input than any random feasible point.
+func TestProjectSimplexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		x := ProjectSimplex(v, 1)
+		sum := 0.0
+		for _, xi := range x {
+			if xi < -1e-12 {
+				return false
+			}
+			sum += xi
+		}
+		if !almostEq(sum, 1, 1e-9) {
+			return false
+		}
+		// optimality spot check vs a random feasible point
+		y := make([]float64, n)
+		t := 0.0
+		for i := range y {
+			y[i] = r.Float64()
+			t += y[i]
+		}
+		for i := range y {
+			y[i] /= t
+		}
+		dx, dy := 0.0, 0.0
+		for i := range v {
+			dx += (x[i] - v[i]) * (x[i] - v[i])
+			dy += (y[i] - v[i]) * (y[i] - v[i])
+		}
+		return dx <= dy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

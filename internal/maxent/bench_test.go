@@ -1,0 +1,62 @@
+package maxent
+
+import (
+	"math/rand"
+	"testing"
+
+	"logr/internal/bitvec"
+)
+
+func BenchmarkNaiveEntropy(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p := make([]float64, 5290)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	d := Naive(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Entropy()
+	}
+}
+
+func BenchmarkFitWithPatterns(b *testing.B) {
+	n := 100
+	r := rand.New(rand.NewSource(2))
+	fm := make([]float64, n)
+	for i := range fm {
+		fm[i] = 0.1 + 0.8*r.Float64()
+	}
+	var cs []Constraint
+	for j := 0; j < 10; j++ {
+		f1, f2 := r.Intn(n), r.Intn(n)
+		if f1 == f2 {
+			continue
+		}
+		t := fm[f1] * fm[f2] * (0.5 + r.Float64())
+		if t > 1 {
+			t = 0.9
+		}
+		cs = append(cs, Constraint{Pattern: bitvec.FromIndices(n, f1, f2), Target: t})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(n, fm, cs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatternMarginal(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	p := make([]float64, 863)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	d := Naive(p)
+	pat := bitvec.FromIndices(863, 5, 100, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.PatternMarginal(pat)
+	}
+}

@@ -1,0 +1,92 @@
+package mining
+
+import (
+	"time"
+
+	"logr/internal/bitvec"
+)
+
+// Flashlight is the exhaustive-candidate sibling of Laserlight from the
+// same El Gebaly et al. paper: instead of sampling 16 rows per round, it
+// considers the lowest common generalizations of *all* row pairs. The
+// paper's authors (and Appendix D.1 of the LogR paper) set it aside for
+// its inferior scalability — the candidate pool is O(|D|²) — so this
+// implementation bounds the pool explicitly and exists mainly to quantify
+// the quality/runtime trade-off against Laserlight in tests and benchmarks.
+
+// FlashlightOptions configure the exhaustive miner.
+type FlashlightOptions struct {
+	// Patterns is the number of patterns to mine.
+	Patterns int
+	// MaxCandidates bounds the candidate pool built from pairwise
+	// generalizations (default 5000).
+	MaxCandidates int
+	// ScaleIters bounds iterative-scaling sweeps per refit. Default 30.
+	ScaleIters int
+}
+
+func (o FlashlightOptions) withDefaults() FlashlightOptions {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 5000
+	}
+	if o.ScaleIters <= 0 {
+		o.ScaleIters = 30
+	}
+	return o
+}
+
+// Flashlight mines an explanation table by greedy gain over the full
+// pairwise-generalization candidate pool.
+func Flashlight(d *Labeled, opts FlashlightOptions) *LaserlightModel {
+	opts = opts.withDefaults()
+	start := time.Now()
+	m := &LaserlightModel{data: d, score: make([]float64, d.Distinct())}
+	m.refit(opts.ScaleIters)
+
+	// candidate pool: every distinct row and every pairwise intersection,
+	// deduplicated, bounded
+	seen := map[string]bool{}
+	var cands []bitvec.Vector
+	add := func(b bitvec.Vector) {
+		if b.IsZero() || seen[b.Key()] || len(cands) >= opts.MaxCandidates {
+			return
+		}
+		seen[b.Key()] = true
+		cands = append(cands, b)
+	}
+outer:
+	for i := 0; i < d.Distinct(); i++ {
+		add(d.Vector(i))
+		for j := i + 1; j < d.Distinct(); j++ {
+			if len(cands) >= opts.MaxCandidates {
+				break outer
+			}
+			add(d.Vector(i).And(d.Vector(j)))
+		}
+	}
+
+	used := map[string]bool{}
+	for len(m.Patterns) < opts.Patterns {
+		best := -1
+		bestGain := 0.0
+		for ci, b := range cands {
+			if used[b.Key()] {
+				continue
+			}
+			if g := m.gain(b); g > bestGain {
+				bestGain = g
+				best = ci
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[cands[best].Key()] = true
+		m.addPattern(cands[best])
+		m.refit(opts.ScaleIters)
+		m.ErrorTrace = append(m.ErrorTrace, m.Error())
+		m.TimeTrace = append(m.TimeTrace, time.Since(start))
+	}
+	m.Elapsed = time.Since(start)
+	return m
+}

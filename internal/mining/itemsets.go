@@ -1,0 +1,129 @@
+package mining
+
+import (
+	"sort"
+
+	"logr/internal/bitvec"
+	"logr/internal/core"
+)
+
+// FrequentItemset pairs an itemset (pattern) with its support.
+type FrequentItemset struct {
+	Items   bitvec.Vector
+	Support float64 // fraction of rows containing the itemset
+}
+
+// FrequentItemsets mines all itemsets with support ≥ minSupport and size ≤
+// maxLen from the log using level-wise Apriori. maxCandidates bounds the
+// result per level (highest-support first) to keep dense datasets tractable;
+// 0 means unlimited.
+func FrequentItemsets(l *core.Log, minSupport float64, maxLen, maxCandidates int) []FrequentItemset {
+	if l.Total() == 0 || minSupport <= 0 {
+		return nil
+	}
+	n := l.Universe()
+	total := float64(l.Total())
+
+	// level 1
+	counts := make([]int, n)
+	for i := 0; i < l.Distinct(); i++ {
+		w := l.Multiplicity(i)
+		l.Vector(i).ForEach(func(f int) { counts[f] += w })
+	}
+	type entry struct {
+		items []int
+		supp  float64
+	}
+	var level []entry
+	for f, c := range counts {
+		if s := float64(c) / total; s >= minSupport {
+			level = append(level, entry{items: []int{f}, supp: s})
+		}
+	}
+	trim := func(es []entry) []entry {
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].supp != es[b].supp {
+				return es[a].supp > es[b].supp
+			}
+			return lessIntSlice(es[a].items, es[b].items)
+		})
+		if maxCandidates > 0 && len(es) > maxCandidates {
+			es = es[:maxCandidates]
+		}
+		return es
+	}
+	level = trim(level)
+
+	var out []FrequentItemset
+	emit := func(es []entry) {
+		for _, e := range es {
+			out = append(out, FrequentItemset{Items: bitvec.FromIndices(n, e.items...), Support: e.supp})
+		}
+	}
+	emit(level)
+
+	if maxLen <= 1 {
+		return out
+	}
+
+	// level-wise joins: combine itemsets sharing a (k-1)-prefix
+	for k := 2; k <= maxLen && len(level) > 1; k++ {
+		seen := map[string]bool{}
+		var next []entry
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i].items, level[j].items
+				if !samePrefix(a, b) {
+					continue
+				}
+				items := joinItems(a, b)
+				v := bitvec.FromIndices(n, items...)
+				key := v.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if s := l.Marginal(v); s >= minSupport {
+					next = append(next, entry{items: items, supp: s})
+				}
+			}
+		}
+		next = trim(next)
+		emit(next)
+		level = next
+	}
+	return out
+}
+
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func joinItems(a, b []int) []int {
+	out := make([]int, len(a)+1)
+	copy(out, a)
+	last := b[len(b)-1]
+	if last < out[len(a)-1] {
+		out[len(a)], out[len(a)-1] = out[len(a)-1], last
+	} else {
+		out[len(a)] = last
+	}
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,308 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"logr/internal/bitvec"
+)
+
+// LaserlightOptions configure the explanation-table miner.
+type LaserlightOptions struct {
+	// Patterns is the number of patterns to mine.
+	Patterns int
+	// SampleSize is the per-round candidate sample (paper Appendix D.1
+	// uses 16, the value suggested by El Gebaly et al.).
+	SampleSize int
+	// Seed drives candidate sampling.
+	Seed int64
+	// ScaleIters bounds iterative-scaling sweeps per refit. Default 30;
+	// the sweep stops early once every constraint matches to 1e-6.
+	ScaleIters int
+}
+
+func (o LaserlightOptions) withDefaults() LaserlightOptions {
+	if o.SampleSize <= 0 {
+		o.SampleSize = 16
+	}
+	if o.ScaleIters <= 0 {
+		o.ScaleIters = 30
+	}
+	return o
+}
+
+// LaserlightModel is a fitted explanation table: a pattern list with
+// multipliers defining the conditional maximum-entropy estimate
+// u(t) = σ(λ₀ + Σ_{b ⊆ t} λ_b) of the binary outcome.
+type LaserlightModel struct {
+	data     *Labeled
+	Patterns []bitvec.Vector
+	lambda   []float64 // multiplier per pattern
+	bias     float64   // λ₀, matching the global positive rate
+
+	// incremental state: score[i] = bias + Σ matching λ; matches[p] lists
+	// the distinct rows containing pattern p, with their cached empirical
+	// positive rate. Updating one multiplier touches only its match list.
+	score   []float64
+	matches [][]int32
+	target  []float64 // empirical positive rate per pattern
+	rows    []float64 // row count per pattern
+
+	// Elapsed records mining wall time (the runtime experiments plot it).
+	Elapsed time.Duration
+	// ErrorTrace[k] is the model Error after k+1 patterns; TimeTrace[k] the
+	// cumulative wall time. One greedy run yields the whole
+	// Error-vs-patterns curve of Figures 6a/7a.
+	ErrorTrace []float64
+	TimeTrace  []time.Duration
+}
+
+// Laserlight mines an explanation table of opts.Patterns patterns.
+//
+// Each round draws SampleSize random rows; candidate patterns are the
+// pairwise intersections of the sampled vectors (their lowest common
+// generalizations) plus the sampled vectors themselves. The candidate with
+// the largest information-gain bound n_b · KL(p_b ‖ u_b) joins the table,
+// and the conditional max-ent model is refitted by iterative scaling.
+func Laserlight(d *Labeled, opts LaserlightOptions) *LaserlightModel {
+	opts = opts.withDefaults()
+	start := time.Now()
+	m := &LaserlightModel{data: d, score: make([]float64, d.Distinct())}
+	m.refit(opts.ScaleIters)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	seen := map[string]bool{}
+	for len(m.Patterns) < opts.Patterns {
+		cands := m.sampleCandidates(rng, opts.SampleSize, seen)
+		best := -1
+		bestGain := 0.0
+		for ci, b := range cands {
+			g := m.gain(b)
+			if g > bestGain {
+				bestGain = g
+				best = ci
+			}
+		}
+		if best < 0 {
+			break // no candidate improves the model
+		}
+		m.addPattern(cands[best])
+		seen[cands[best].Key()] = true
+		m.refit(opts.ScaleIters)
+		m.ErrorTrace = append(m.ErrorTrace, m.Error())
+		m.TimeTrace = append(m.TimeTrace, time.Since(start))
+	}
+	m.Elapsed = time.Since(start)
+	return m
+}
+
+func (m *LaserlightModel) addPattern(b bitvec.Vector) {
+	d := m.data
+	var match []int32
+	var rows, pos int
+	for i := 0; i < d.Distinct(); i++ {
+		if d.Vector(i).Contains(b) {
+			match = append(match, int32(i))
+			rows += d.Count(i)
+			pos += d.Pos(i)
+		}
+	}
+	m.Patterns = append(m.Patterns, b)
+	m.lambda = append(m.lambda, 0)
+	m.matches = append(m.matches, match)
+	m.rows = append(m.rows, float64(rows))
+	if rows > 0 {
+		m.target = append(m.target, clamp01(float64(pos)/float64(rows)))
+	} else {
+		m.target = append(m.target, 0.5)
+	}
+}
+
+// sampleCandidates draws rows (by multiplicity) and generalizes them.
+func (m *LaserlightModel) sampleCandidates(rng *rand.Rand, sample int, seen map[string]bool) []bitvec.Vector {
+	d := m.data
+	if d.Distinct() == 0 {
+		return nil
+	}
+	rows := make([]bitvec.Vector, 0, sample)
+	for len(rows) < sample {
+		target := rng.Intn(d.Total())
+		acc := 0
+		for i := 0; i < d.Distinct(); i++ {
+			acc += d.Count(i)
+			if target < acc {
+				rows = append(rows, d.Vector(i))
+				break
+			}
+		}
+	}
+	var out []bitvec.Vector
+	add := func(b bitvec.Vector) {
+		if b.IsZero() || seen[b.Key()] {
+			return
+		}
+		out = append(out, b)
+	}
+	for i := 0; i < len(rows); i++ {
+		add(rows[i])
+		for j := i + 1; j < len(rows); j++ {
+			add(rows[i].And(rows[j]))
+		}
+	}
+	return out
+}
+
+// gain returns the information-gain bound of adding pattern b:
+// n_b · KL_Bernoulli(p_b ‖ u_b), where p_b is the empirical positive rate
+// over rows containing b and u_b the model's current average estimate there.
+func (m *LaserlightModel) gain(b bitvec.Vector) float64 {
+	d := m.data
+	var rows, posRows int
+	var estSum float64
+	for i := 0; i < d.Distinct(); i++ {
+		if d.Vector(i).Contains(b) {
+			rows += d.Count(i)
+			posRows += d.Pos(i)
+			estSum += float64(d.Count(i)) * sigmoid(m.score[i])
+		}
+	}
+	if rows == 0 {
+		return 0
+	}
+	p := float64(posRows) / float64(rows)
+	u := estSum / float64(rows)
+	return float64(rows) * bernKL(p, u)
+}
+
+// refit runs iterative scaling until every pattern's (and the bias's)
+// modeled positive rate matches its empirical rate. Each multiplier update
+// touches only the rows its pattern matches, so a sweep costs
+// O(Σ_p |match(p)| + D).
+func (m *LaserlightModel) refit(iters int) {
+	d := m.data
+	n := d.Distinct()
+	const tol = 1e-6
+	globalTarget := clamp01(d.PositiveRate())
+	for it := 0; it < iters; it++ {
+		worst := 0.0
+		// bias constraint: overall positive rate
+		{
+			cur := 0.0
+			for i := 0; i < n; i++ {
+				cur += float64(d.Count(i)) * sigmoid(m.score[i])
+			}
+			cur = clamp01(cur / float64(d.Total()))
+			if e := math.Abs(cur - globalTarget); e > worst {
+				worst = e
+			}
+			delta := math.Log(globalTarget*(1-cur)) - math.Log(cur*(1-globalTarget))
+			m.bias += delta
+			for i := 0; i < n; i++ {
+				m.score[i] += delta
+			}
+		}
+		for pi := range m.Patterns {
+			if m.rows[pi] == 0 {
+				continue
+			}
+			estSum := 0.0
+			for _, i := range m.matches[pi] {
+				estSum += float64(d.Count(int(i))) * sigmoid(m.score[i])
+			}
+			cur := clamp01(estSum / m.rows[pi])
+			target := m.target[pi]
+			if e := math.Abs(cur - target); e > worst {
+				worst = e
+			}
+			delta := math.Log(target*(1-cur)) - math.Log(cur*(1-target))
+			m.lambda[pi] += delta
+			for _, i := range m.matches[pi] {
+				m.score[i] += delta
+			}
+		}
+		if worst < tol {
+			break
+		}
+	}
+}
+
+// Estimate returns the model's u(t) for an arbitrary vector.
+func (m *LaserlightModel) Estimate(t bitvec.Vector) float64 {
+	s := m.bias
+	for pi, b := range m.Patterns {
+		if t.Contains(b) {
+			s += m.lambda[pi]
+		}
+	}
+	return sigmoid(s)
+}
+
+// Error returns the Laserlight Error measure of Section 8.1.1:
+// Σ_t v(t)·log(v(t)/u(t)) + (1−v(t))·log((1−v(t))/(1−u(t))) summed over all
+// rows — the total cross-entropy of the binary outcome under the model
+// (v ∈ {0,1} makes the v·log v terms vanish). Nats.
+func (m *LaserlightModel) Error() float64 {
+	return laserlightErrorWith(m.data, func(i int) float64 { return sigmoid(m.score[i]) })
+}
+
+// LaserlightNaiveError evaluates the naive encoding under the Laserlight
+// Error: the naive estimate ignores t entirely and always answers the
+// global positive rate, giving −|D|(u·log u + (1−u)·log(1−u)).
+func LaserlightNaiveError(d *Labeled) float64 {
+	u := d.PositiveRate()
+	return laserlightErrorWith(d, func(int) float64 { return u })
+}
+
+func laserlightErrorWith(d *Labeled, est func(i int) float64) float64 {
+	e := 0.0
+	for i := 0; i < d.Distinct(); i++ {
+		u := clamp01(est(i))
+		pos := float64(d.Pos(i))
+		neg := float64(d.Count(i) - d.Pos(i))
+		if pos > 0 {
+			e += pos * -math.Log(u)
+		}
+		if neg > 0 {
+			e += neg * -math.Log(1-u)
+		}
+	}
+	return e
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func bernKL(p, q float64) float64 {
+	p = clamp01(p)
+	q = clamp01(q)
+	kl := 0.0
+	if p > 0 {
+		kl += p * math.Log(p/q)
+	}
+	if p < 1 {
+		kl += (1 - p) * math.Log((1-p)/(1-q))
+	}
+	if kl < 0 {
+		return 0
+	}
+	return kl
+}
+
+const probFloor = 1e-9
+
+func clamp01(p float64) float64 {
+	if p < probFloor {
+		return probFloor
+	}
+	if p > 1-probFloor {
+		return 1 - probFloor
+	}
+	return p
+}

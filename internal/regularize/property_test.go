@@ -1,0 +1,178 @@
+package regularize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logr/internal/sqlparser"
+)
+
+// genSQL emits a random SELECT with nested boolean structure, constants,
+// and assorted clauses — fuel for the idempotence and stability properties.
+func genSQL(r *rand.Rand) string {
+	cols := []string{"a", "b", "c", "status", "ts", "amount"}
+	tables := []string{"t", "u", "messages", "retail.accounts"}
+	var boolExpr func(depth int) string
+	boolExpr = func(depth int) string {
+		if depth <= 0 || r.Intn(3) == 0 {
+			col := cols[r.Intn(len(cols))]
+			switch r.Intn(6) {
+			case 0:
+				return fmt.Sprintf("%s = %d", col, r.Intn(100))
+			case 1:
+				return fmt.Sprintf("%s > ?", col)
+			case 2:
+				return fmt.Sprintf("%s LIKE 'x%%'", col)
+			case 3:
+				return fmt.Sprintf("%s IS NULL", col)
+			case 4:
+				return fmt.Sprintf("%s IN (1, 2, 3)", col)
+			default:
+				return fmt.Sprintf("%s BETWEEN ? AND ?", col)
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			return "(" + boolExpr(depth-1) + " AND " + boolExpr(depth-1) + ")"
+		case 1:
+			return "(" + boolExpr(depth-1) + " OR " + boolExpr(depth-1) + ")"
+		default:
+			return "NOT (" + boolExpr(depth-1) + ")"
+		}
+	}
+	nSel := 1 + r.Intn(3)
+	sel := ""
+	for i := 0; i < nSel; i++ {
+		if i > 0 {
+			sel += ", "
+		}
+		sel += cols[r.Intn(len(cols))]
+	}
+	q := "SELECT " + sel + " FROM " + tables[r.Intn(len(tables))]
+	if r.Intn(4) > 0 {
+		q += " WHERE " + boolExpr(2)
+	}
+	if r.Intn(4) == 0 {
+		q += " ORDER BY " + cols[r.Intn(len(cols))] + " DESC"
+	}
+	if r.Intn(5) == 0 {
+		q += " LIMIT 10"
+	}
+	return q
+}
+
+// TestRegularizeIdempotent: re-regularizing any produced block is a no-op.
+func TestRegularizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genSQL(r)
+		stmt, err := sqlparser.Parse(src)
+		if err != nil {
+			t.Logf("generator produced unparseable SQL %q: %v", src, err)
+			return false
+		}
+		res := Regularize(stmt, DefaultOptions)
+		for _, blk := range res.Blocks {
+			again := Regularize(blk, DefaultOptions)
+			if len(again.Blocks) != 1 {
+				t.Logf("block re-split: %s", blk.SQL())
+				return false
+			}
+			if again.Blocks[0].SQL() != blk.SQL() {
+				t.Logf("not idempotent:\n 1st: %s\n 2nd: %s", blk.SQL(), again.Blocks[0].SQL())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegularizedBlocksAreConjunctive: every rewritable result is a set of
+// conjunctive blocks.
+func TestRegularizedBlocksAreConjunctive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stmt, err := sqlparser.Parse(genSQL(r))
+		if err != nil {
+			return false
+		}
+		res := Regularize(stmt, DefaultOptions)
+		if !res.Rewritable {
+			return true // over-budget DNF is allowed to stay non-conjunctive
+		}
+		for _, blk := range res.Blocks {
+			if !IsConjunctive(blk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubLeavesNoLiterals: after constant scrubbing, the rendered SQL of
+// rewritable queries contains no numeric or string literals.
+func TestScrubLeavesNoLiterals(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stmt, err := sqlparser.Parse(genSQL(r))
+		if err != nil {
+			return false
+		}
+		res := Regularize(stmt, DefaultOptions)
+		for _, blk := range res.Blocks {
+			re, err := sqlparser.Parse(blk.SQL())
+			if err != nil {
+				t.Logf("block does not reparse: %s", blk.SQL())
+				return false
+			}
+			if hasLiteral(re.(*sqlparser.Select).Where) {
+				// LIMIT constants are allowed; WHERE literals are not
+				t.Logf("literal survived scrub: %s", blk.SQL())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasLiteral(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *sqlparser.Literal:
+		return x.Kind != sqlparser.NullLit
+	case *sqlparser.BinaryExpr:
+		return hasLiteral(x.Left) || hasLiteral(x.Right)
+	case *sqlparser.UnaryExpr:
+		return hasLiteral(x.Expr)
+	case *sqlparser.InExpr:
+		for _, it := range x.List {
+			if hasLiteral(it) {
+				return true
+			}
+		}
+		return hasLiteral(x.Left)
+	case *sqlparser.BetweenExpr:
+		return hasLiteral(x.Expr) || hasLiteral(x.Lo) || hasLiteral(x.Hi)
+	case *sqlparser.IsNullExpr:
+		return hasLiteral(x.Expr)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			if hasLiteral(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package regularize
+
+import (
+	"strings"
+	"testing"
+
+	"logr/internal/sqlparser"
+)
+
+func parse(t *testing.T, src string) sqlparser.Statement {
+	t.Helper()
+	stmt, err := sqlparser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestConstantScrub(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE status = 5 AND name = 'bob'"), DefaultOptions)
+	if len(r.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(r.Blocks))
+	}
+	sql := r.Blocks[0].SQL()
+	if strings.Contains(sql, "5") || strings.Contains(sql, "bob") {
+		t.Errorf("constants survived scrubbing: %s", sql)
+	}
+	if !strings.Contains(sql, "status = ?") {
+		t.Errorf("expected status = ?, got %s", sql)
+	}
+}
+
+func TestConstantScrubCollapsesDistinct(t *testing.T) {
+	a := Regularize(parse(t, "SELECT a FROM t WHERE x = 1"), DefaultOptions)
+	b := Regularize(parse(t, "SELECT a FROM t WHERE x = 99"), DefaultOptions)
+	if a.Blocks[0].SQL() != b.Blocks[0].SQL() {
+		t.Errorf("queries differing only in constants did not collapse:\n%s\n%s",
+			a.Blocks[0].SQL(), b.Blocks[0].SQL())
+	}
+}
+
+func TestParamSpellingsCollapse(t *testing.T) {
+	variants := []string{
+		"SELECT a FROM t WHERE x = ?",
+		"SELECT a FROM t WHERE x = :v",
+		"SELECT a FROM t WHERE x = $1",
+		"SELECT a FROM t WHERE x = @p",
+	}
+	var first string
+	for _, src := range variants {
+		r := Regularize(parse(t, src), DefaultOptions)
+		got := r.Blocks[0].SQL()
+		if first == "" {
+			first = got
+		} else if got != first {
+			t.Errorf("param spelling not normalized: %q vs %q", got, first)
+		}
+	}
+}
+
+func TestCaseFoldingAndFlip(t *testing.T) {
+	r := Regularize(parse(t, "SELECT A, B FROM Messages WHERE 5 < Status"), DefaultOptions)
+	sql := r.Blocks[0].SQL()
+	if !strings.Contains(sql, "FROM messages") {
+		t.Errorf("table not folded: %s", sql)
+	}
+	if !strings.Contains(sql, "status > ?") {
+		t.Errorf("reversed comparison not flipped: %s", sql)
+	}
+}
+
+func TestConjunctOrderCanonical(t *testing.T) {
+	a := Regularize(parse(t, "SELECT x FROM t WHERE p = ? AND q = ?"), DefaultOptions)
+	b := Regularize(parse(t, "SELECT x FROM t WHERE q = ? AND p = ?"), DefaultOptions)
+	if a.Blocks[0].SQL() != b.Blocks[0].SQL() {
+		t.Errorf("commuted conjunctions not canonicalized:\n%s\n%s", a.Blocks[0].SQL(), b.Blocks[0].SQL())
+	}
+}
+
+func TestSelectOrderCanonical(t *testing.T) {
+	a := Regularize(parse(t, "SELECT p, q FROM t"), DefaultOptions)
+	b := Regularize(parse(t, "SELECT q, p FROM t"), DefaultOptions)
+	if a.Blocks[0].SQL() != b.Blocks[0].SQL() {
+		t.Errorf("column order not canonicalized:\n%s\n%s", a.Blocks[0].SQL(), b.Blocks[0].SQL())
+	}
+}
+
+func TestORBecomesUnion(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE x = ? OR y = ?"), DefaultOptions)
+	if !r.Rewritable {
+		t.Fatal("OR query should be rewritable")
+	}
+	if r.WasConjunctive {
+		t.Error("OR query should not count as conjunctive")
+	}
+	if len(r.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(r.Blocks))
+	}
+	for _, blk := range r.Blocks {
+		if !IsConjunctive(blk) {
+			t.Errorf("block not conjunctive: %s", blk.SQL())
+		}
+	}
+}
+
+func TestDistributiveDNF(t *testing.T) {
+	// (a=? OR b=?) AND c=?  →  (a=? AND c=?) ∪ (b=? AND c=?)
+	r := Regularize(parse(t, "SELECT x FROM t WHERE (a = ? OR b = ?) AND c = ?"), DefaultOptions)
+	if len(r.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(r.Blocks))
+	}
+	for _, blk := range r.Blocks {
+		if !strings.Contains(blk.SQL(), "c = ?") {
+			t.Errorf("distributed conjunct missing: %s", blk.SQL())
+		}
+	}
+}
+
+func TestNotPushdown(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT x FROM t WHERE NOT (a = ?)", "a != ?"},
+		{"SELECT x FROM t WHERE NOT (a < ?)", "a >= ?"},
+		{"SELECT x FROM t WHERE NOT (a IS NULL)", "a IS NOT NULL"},
+		{"SELECT x FROM t WHERE NOT (a IN (1))", "a NOT IN (?)"},
+		{"SELECT x FROM t WHERE NOT NOT (a = ?)", "a = ?"},
+	}
+	for _, c := range cases {
+		r := Regularize(parse(t, c.in), DefaultOptions)
+		if len(r.Blocks) != 1 {
+			t.Errorf("%s: blocks = %d, want 1", c.in, len(r.Blocks))
+			continue
+		}
+		got := r.Blocks[0].SQL()
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%s: want %q in %q", c.in, c.want, got)
+		}
+	}
+}
+
+func TestDeMorganUnion(t *testing.T) {
+	// NOT (a=? AND b=?) → a!=? OR b!=? → two blocks
+	r := Regularize(parse(t, "SELECT x FROM t WHERE NOT (a = ? AND b = ?)"), DefaultOptions)
+	if len(r.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(r.Blocks))
+	}
+}
+
+func TestBetweenSplits(t *testing.T) {
+	r := Regularize(parse(t, "SELECT x FROM t WHERE ts BETWEEN ? AND ?"), DefaultOptions)
+	sql := r.Blocks[0].SQL()
+	if !strings.Contains(sql, "ts >= ?") || !strings.Contains(sql, "ts <= ?") {
+		t.Errorf("BETWEEN not split into range atoms: %s", sql)
+	}
+}
+
+func TestNotBetween(t *testing.T) {
+	r := Regularize(parse(t, "SELECT x FROM t WHERE ts NOT BETWEEN ? AND ?"), DefaultOptions)
+	if len(r.Blocks) != 2 {
+		t.Fatalf("NOT BETWEEN should yield 2 disjuncts, got %d", len(r.Blocks))
+	}
+}
+
+func TestDisjunctBudget(t *testing.T) {
+	// 2^5 = 32 disjuncts exceeds a budget of 16
+	src := "SELECT x FROM t WHERE (a=? OR b=?) AND (c=? OR d=?) AND (e=? OR f=?) AND (g=? OR h=?) AND (i=? OR j=?)"
+	r := Regularize(parse(t, src), Options{ScrubConstants: true, MaxDisjuncts: 16})
+	if r.Rewritable {
+		t.Error("expected non-rewritable under 16-disjunct budget")
+	}
+	r2 := Regularize(parse(t, src), Options{ScrubConstants: true, MaxDisjuncts: 64})
+	if !r2.Rewritable || len(r2.Blocks) != 32 {
+		t.Errorf("expected 32 blocks under budget 64, got rewritable=%v blocks=%d", r2.Rewritable, len(r2.Blocks))
+	}
+}
+
+func TestUnionInputFlattens(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t WHERE y = 2 OR z = 3"), DefaultOptions)
+	if len(r.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(r.Blocks))
+	}
+}
+
+func TestAlreadyConjunctive(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE x = ? AND y = ? AND z LIKE 'f%'"), DefaultOptions)
+	if !r.WasConjunctive || !r.Rewritable || len(r.Blocks) != 1 {
+		t.Errorf("conjunctive query misclassified: %+v", r)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	stmt := parse(t, "SELECT A FROM T WHERE X = 5")
+	before := stmt.SQL()
+	Regularize(stmt, DefaultOptions)
+	if stmt.SQL() != before {
+		t.Errorf("Regularize mutated its input: %s -> %s", before, stmt.SQL())
+	}
+}
+
+func TestConjunctsHelper(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE x = ? AND y = ? AND z = ?"), DefaultOptions)
+	atoms := Conjuncts(r.Blocks[0].Where)
+	if len(atoms) != 3 {
+		t.Errorf("Conjuncts = %d atoms, want 3", len(atoms))
+	}
+}
+
+func TestDedupAtoms(t *testing.T) {
+	r := Regularize(parse(t, "SELECT a FROM t WHERE x = ? AND x = ?"), DefaultOptions)
+	atoms := Conjuncts(r.Blocks[0].Where)
+	if len(atoms) != 1 {
+		t.Errorf("duplicate atoms not removed: %d", len(atoms))
+	}
+}
+
+func TestCTEInlining(t *testing.T) {
+	src := "WITH recent AS (SELECT id, ts FROM events WHERE ts > 100) " +
+		"SELECT r.id FROM recent r WHERE r.ts < 200"
+	r := Regularize(parse(t, src), DefaultOptions)
+	if !r.Rewritable || len(r.Blocks) != 1 {
+		t.Fatalf("CTE query not rewritable: %+v", r)
+	}
+	sql := r.Blocks[0].SQL()
+	if !strings.Contains(sql, "FROM (SELECT") {
+		t.Errorf("CTE not inlined as subquery: %s", sql)
+	}
+	if strings.Contains(sql, "WITH") {
+		t.Errorf("WITH survived regularization: %s", sql)
+	}
+	if strings.Contains(sql, "100") || strings.Contains(sql, "200") {
+		t.Errorf("constants survived: %s", sql)
+	}
+}
+
+func TestCTEChained(t *testing.T) {
+	src := "WITH a AS (SELECT x FROM t), b AS (SELECT x FROM a WHERE x > ?) " +
+		"SELECT x FROM b"
+	r := Regularize(parse(t, src), DefaultOptions)
+	if len(r.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(r.Blocks))
+	}
+	sql := r.Blocks[0].SQL()
+	// the inner CTE must be fully resolved: no bare reference to a or b
+	if strings.Contains(sql, "FROM a") || strings.Contains(sql, "FROM b ") || strings.HasSuffix(sql, "FROM b") {
+		t.Errorf("chained CTE not resolved: %s", sql)
+	}
+	if !strings.Contains(sql, "FROM t") {
+		t.Errorf("base table lost: %s", sql)
+	}
+}
+
+func TestCTEUnusedDropped(t *testing.T) {
+	src := "WITH unused AS (SELECT 1) SELECT a FROM t WHERE a = ?"
+	r := Regularize(parse(t, src), DefaultOptions)
+	sql := r.Blocks[0].SQL()
+	if strings.Contains(sql, "unused") {
+		t.Errorf("unused CTE not dropped: %s", sql)
+	}
+}

@@ -1,0 +1,41 @@
+package sqlparser
+
+import "testing"
+
+var benchQueries = []string{
+	"SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?",
+	"SELECT a.balance, t.amount FROM retail.accounts a JOIN retail.transactions t ON a.id = t.account_id WHERE t.posted_ts > ? AND a.status = ? ORDER BY t.posted_ts DESC LIMIT 100",
+	"SELECT customer_id, COUNT(*) AS n FROM retail.transactions WHERE amount BETWEEN ? AND ? GROUP BY customer_id HAVING COUNT(*) > 5",
+	"SELECT x FROM t WHERE a = ? AND (b = ? OR c IN (1, 2, 3)) AND NOT (d IS NULL)",
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	stmts := make([]Statement, len(benchQueries))
+	for i, q := range benchQueries {
+		s, err := Parse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stmts[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stmts[i%len(stmts)].SQL()
+	}
+}

@@ -1,0 +1,57 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's robustness contract: arbitrary input never
+// panics, and accepted input round-trips through the printer to an
+// equal-printing statement.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT _id, sms_type FROM Messages WHERE status = ? AND transport_type = ?",
+		"SELECT a FROM t WHERE (b = 1 OR c = 'x') AND NOT d IS NULL",
+		"SELECT COUNT(*) FROM u GROUP BY g HAVING COUNT(*) > 2 ORDER BY g DESC LIMIT 5",
+		"SELECT * FROM (SELECT a FROM t) s JOIN u ON s.a = u.a",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT 'unterminated",
+		"SELECT )(",
+		"",
+		"\x00\xff",
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		printed := stmt.SQL()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but printed form %q does not reparse: %v", src, printed, err)
+		}
+		if re.SQL() != printed {
+			t.Fatalf("print not a fixpoint: %q -> %q", printed, re.SQL())
+		}
+	})
+}
+
+// FuzzLex asserts the lexer never panics and always terminates.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT a FROM t -- comment\n/* block */ WHERE x = 'lit'")
+	f.Add("$$$ ::: ??? \"unterminated")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream for %q does not end in EOF", src)
+		}
+	})
+}

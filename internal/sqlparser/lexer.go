@@ -1,0 +1,272 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL SELECT dialect that appears in database access logs.
+//
+// The paper's pipeline (Section 7) parses raw log entries with a standard
+// SQL parser before regularizing them into conjunctive form. This package is
+// that substrate: it covers SELECT lists (expressions, aliases, *),
+// FROM clauses (tables, aliased subqueries, comma and JOIN ... ON forms),
+// WHERE/HAVING boolean expressions (AND/OR/NOT, comparisons, IN, BETWEEN,
+// LIKE, IS NULL, EXISTS), GROUP BY, ORDER BY, LIMIT/OFFSET, and UNION [ALL].
+// Statements that fall outside the dialect (DDL, DML, stored-procedure
+// calls) are reported as *UnsupportedError so callers can count them the way
+// Table 1 of the paper counts unparseable entries.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam // '?' or ':name' or '$1' style bind parameters
+	TokOp    // operators and punctuation
+)
+
+// Token is a single lexical token with its position in the input.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased
+	Pos  int    // byte offset in the input
+}
+
+// SyntaxError reports a lexical or grammatical error with position context.
+type SyntaxError struct {
+	Pos     int
+	Msg     string
+	Context string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Context != "" {
+		return fmt.Sprintf("sql syntax error at byte %d: %s (near %q)", e.Pos, e.Msg, e.Context)
+	}
+	return fmt.Sprintf("sql syntax error at byte %d: %s", e.Pos, e.Msg)
+}
+
+// UnsupportedError reports a statement that is valid SQL but outside the
+// SELECT dialect this parser handles (e.g. INSERT, CALL, CREATE).
+type UnsupportedError struct {
+	Verb string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("unsupported statement kind %q (only SELECT is parsed)", e.Verb)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "IN": true, "IS": true, "NULL": true,
+	"LIKE": true, "BETWEEN": true, "EXISTS": true, "UNION": true,
+	"ALL": true, "DISTINCT": true, "GROUP": true, "BY": true, "ORDER": true,
+	"HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "TRUE": true, "FALSE": true,
+	"CAST": true, "INSERT": true, "UPDATE": true, "DELETE": true,
+	"CREATE": true, "DROP": true, "ALTER": true, "CALL": true, "EXEC": true,
+	"EXECUTE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"SET": true, "VALUES": true, "INTO": true, "WITH": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) *SyntaxError {
+	end := pos + 20
+	if end > len(lx.src) {
+		end = len(lx.src)
+	}
+	start := pos
+	if start > len(lx.src) {
+		start = len(lx.src)
+	}
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...), Context: lx.src[start:end]}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '#'
+}
+
+// next scans the next token.
+func (lx *lexer) next() (Token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// line comment
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			start := lx.pos
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				lx.pos++
+			}
+			if lx.pos+1 >= len(lx.src) {
+				return Token{}, lx.errf(start, "unterminated block comment")
+			}
+			lx.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: lx.pos}, nil
+
+scan:
+	start := lx.pos
+	c := rune(lx.src[lx.pos])
+
+	switch {
+	case isIdentStart(c):
+		return lx.scanIdent(start), nil
+	case c >= '0' && c <= '9':
+		return lx.scanNumber(start)
+	case c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+		return lx.scanNumber(start)
+	case c == '\'':
+		return lx.scanString(start)
+	case c == '"' || c == '`' || c == '[':
+		return lx.scanQuotedIdent(start)
+	case c == '?':
+		lx.pos++
+		return Token{Kind: TokParam, Text: "?", Pos: start}, nil
+	case c == ':' || c == '$' || c == '@':
+		// named or positional bind parameter (:name, $1, @var)
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		if lx.pos == start+1 {
+			return Token{}, lx.errf(start, "dangling %q", string(c))
+		}
+		return Token{Kind: TokParam, Text: lx.src[start:lx.pos], Pos: start}, nil
+	default:
+		return lx.scanOp(start)
+	}
+}
+
+func (lx *lexer) scanIdent(start int) Token {
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	upper := strings.ToUpper(text)
+	if _, ok := keywords[upper]; ok {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *lexer) scanNumber(start int) (Token, error) {
+	seenDot := false
+	seenExp := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *lexer) scanString(start int) (Token, error) {
+	lx.pos++ // opening quote
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				lx.pos += 2 // escaped quote
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokString, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+		lx.pos++
+	}
+	return Token{}, lx.errf(start, "unterminated string literal")
+}
+
+func (lx *lexer) scanQuotedIdent(start int) (Token, error) {
+	open := lx.src[lx.pos]
+	closeCh := open
+	if open == '[' {
+		closeCh = ']'
+	}
+	lx.pos++
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == closeCh {
+			text := lx.src[start+1 : lx.pos]
+			lx.pos++
+			return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+		}
+		lx.pos++
+	}
+	return Token{}, lx.errf(start, "unterminated quoted identifier")
+}
+
+var twoCharOps = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+func (lx *lexer) scanOp(start int) (Token, error) {
+	if lx.pos+1 < len(lx.src) {
+		two := lx.src[lx.pos : lx.pos+2]
+		if twoCharOps[two] {
+			lx.pos += 2
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', '.', ';':
+		lx.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, lx.errf(start, "unexpected character %q", string(rune(c)))
+}
+
+// Lex tokenizes src completely. Exposed for tests and tooling.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

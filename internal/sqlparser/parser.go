@@ -1,0 +1,969 @@
+package sqlparser
+
+import (
+	"strings"
+)
+
+// Parse parses a single SQL statement. Trailing semicolons are allowed.
+// Non-SELECT statements return *UnsupportedError; malformed input returns
+// *SyntaxError.
+func Parse(src string) (Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// optional trailing semicolon(s)
+	for p.cur.Kind == TokOp && p.cur.Text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur.Kind != TokEOF {
+		return nil, p.lex.errf(p.cur.Pos, "unexpected trailing input %q", p.cur.Text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses src and requires the result to be a single *Select
+// (no UNION). Used by tests and tooling.
+func ParseSelect(src string) (*Select, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, &UnsupportedError{Verb: "UNION"}
+	}
+	return sel, nil
+}
+
+type parser struct {
+	lex  *lexer
+	cur  Token
+	peek Token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: &lexer{src: src}}
+	var err error
+	if p.cur, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	if p.peek, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	p.cur = p.peek
+	var err error
+	p.peek, err = p.lex.next()
+	return err
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.cur.Kind == TokKeyword && p.cur.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.isKeyword(kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.lex.errf(p.cur.Pos, "expected %s, found %q", kw, p.cur.Text)
+	}
+	return p.advance()
+}
+
+func (p *parser) isOp(op string) bool {
+	return p.cur.Kind == TokOp && p.cur.Text == op
+}
+
+func (p *parser) acceptOp(op string) (bool, error) {
+	if p.isOp(op) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.isOp(op) {
+		return p.lex.errf(p.cur.Pos, "expected %q, found %q", op, p.cur.Text)
+	}
+	return p.advance()
+}
+
+// parseStatement parses [WITH ...] SELECT ... [UNION [ALL] SELECT ...]*.
+func (p *parser) parseStatement() (Statement, error) {
+	if p.isKeyword("WITH") {
+		return p.parseWith()
+	}
+	if p.cur.Kind == TokKeyword && !p.isKeyword("SELECT") {
+		return nil, &UnsupportedError{Verb: p.cur.Text}
+	}
+	if p.cur.Kind != TokKeyword {
+		return nil, p.lex.errf(p.cur.Pos, "expected SELECT, found %q", p.cur.Text)
+	}
+	first, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("UNION") {
+		return first, nil
+	}
+	u := &Union{Selects: []*Select{first}}
+	sawAll := false
+	for {
+		ok, err := p.acceptKeyword("UNION")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		all, err := p.acceptKeyword("ALL")
+		if err != nil {
+			return nil, err
+		}
+		if all {
+			sawAll = true
+		}
+		s, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		u.Selects = append(u.Selects, s)
+	}
+	u.All = sawAll
+	return u, nil
+}
+
+// parseWith parses WITH name AS (stmt) [, name AS (stmt)]* body.
+func (p *parser) parseWith() (Statement, error) {
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	w := &With{}
+	for {
+		if p.cur.Kind != TokIdent {
+			return nil, p.lex.errf(p.cur.Pos, "expected CTE name, found %q", p.cur.Text)
+		}
+		name := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		w.CTEs = append(w.CTEs, CTE{Name: name, Stmt: stmt})
+		if ok, err := p.acceptOp(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if inner, ok := body.(*With); ok {
+		// flatten nested WITH prefixes (rare but legal via parseStatement)
+		w.CTEs = append(w.CTEs, inner.CTEs...)
+		w.Body = inner.Body
+	} else {
+		w.Body = body
+	}
+	return w, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &Select{}
+	var err error
+	if s.Distinct, err = p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	}
+	if _, err = p.acceptKeyword("ALL"); err != nil { // SELECT ALL is a no-op
+		return nil, err
+	}
+	if s.Items, err = p.parseSelectList(); err != nil {
+		return nil, err
+	}
+	if ok, err := p.acceptKeyword("FROM"); err != nil {
+		return nil, err
+	} else if ok {
+		if s.From, err = p.parseFromList(); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if ok, err := p.acceptOp(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("HAVING"); err != nil {
+		return nil, err
+	} else if ok {
+		if s.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if ok, err := p.acceptKeyword("DESC"); err != nil {
+				return nil, err
+			} else if ok {
+				item.Desc = true
+			} else if _, err := p.acceptKeyword("ASC"); err != nil {
+				return nil, err
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if ok, err := p.acceptOp(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("LIMIT"); err != nil {
+		return nil, err
+	} else if ok {
+		if s.Limit, err = p.parsePrimary(); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.acceptKeyword("OFFSET"); err != nil {
+		return nil, err
+	} else if ok {
+		if s.Offset, err = p.parsePrimary(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if ok, err := p.acceptOp(","); err != nil {
+			return nil, err
+		} else if !ok {
+			return items, nil
+		}
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.isOp("*") {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Star: true}, nil
+	}
+	// tbl.* form: identifier '.' '*'
+	if p.cur.Kind == TokIdent && p.peek.Kind == TokOp && p.peek.Text == "." {
+		// Look ahead two tokens requires care; parseExpr handles tbl.col, so
+		// only special-case when the token after '.' is '*'. We detect it by
+		// saving the lexer state via text inspection: parsePrimary consumes
+		// tbl '.' and then sees '*'.
+		save := *p.lex
+		saveCur, savePeek := p.cur, p.peek
+		tbl := p.cur.Text
+		if err := p.advance(); err != nil { // past ident
+			return SelectItem{}, err
+		}
+		if err := p.advance(); err != nil { // past '.'
+			return SelectItem{}, err
+		}
+		if p.isOp("*") {
+			if err := p.advance(); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Star: true, Expr: &Column{Table: tbl}}, nil
+		}
+		*p.lex = save
+		p.cur, p.peek = saveCur, savePeek
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return SelectItem{}, err
+	} else if ok {
+		if p.cur.Kind != TokIdent {
+			return SelectItem{}, p.lex.errf(p.cur.Pos, "expected alias after AS, found %q", p.cur.Text)
+		}
+		item.Alias = p.cur.Text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else if p.cur.Kind == TokIdent {
+		// bare alias
+		item.Alias = p.cur.Text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromList() ([]TableExpr, error) {
+	var list []TableExpr
+	for {
+		t, err := p.parseJoinChain()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, t)
+		if ok, err := p.acceptOp(","); err != nil {
+			return nil, err
+		} else if !ok {
+			return list, nil
+		}
+	}
+}
+
+// parseJoinChain parses a table expression followed by any number of
+// explicit JOINs, left-associating them.
+func (p *parser) parseJoinChain() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind, ok, err := p.acceptJoinKeyword()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &Join{Kind: kind, Left: left, Right: right}
+		if kind != CrossJoin {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			if j.On, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		left = j
+	}
+}
+
+func (p *parser) acceptJoinKeyword() (JoinKind, bool, error) {
+	switch {
+	case p.isKeyword("JOIN"):
+		return InnerJoin, true, p.advance()
+	case p.isKeyword("INNER"):
+		if err := p.advance(); err != nil {
+			return 0, false, err
+		}
+		return InnerJoin, true, p.expectKeyword("JOIN")
+	case p.isKeyword("CROSS"):
+		if err := p.advance(); err != nil {
+			return 0, false, err
+		}
+		return CrossJoin, true, p.expectKeyword("JOIN")
+	case p.isKeyword("LEFT"), p.isKeyword("RIGHT"), p.isKeyword("FULL"):
+		kind := map[string]JoinKind{"LEFT": LeftJoin, "RIGHT": RightJoin, "FULL": FullJoin}[p.cur.Text]
+		if err := p.advance(); err != nil {
+			return 0, false, err
+		}
+		if _, err := p.acceptKeyword("OUTER"); err != nil {
+			return 0, false, err
+		}
+		return kind, true, p.expectKeyword("JOIN")
+	}
+	return 0, false, nil
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.isOp("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		sq := &Subquery{Stmt: stmt}
+		if alias, err := p.parseOptionalAlias(); err != nil {
+			return nil, err
+		} else if alias != "" {
+			sq.Alias = alias
+		}
+		return sq, nil
+	}
+	if p.cur.Kind != TokIdent {
+		return nil, p.lex.errf(p.cur.Pos, "expected table name, found %q", p.cur.Text)
+	}
+	t := &TableName{Name: p.cur.Text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.isOp(".") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.Kind != TokIdent {
+			return nil, p.lex.errf(p.cur.Pos, "expected table name after schema qualifier")
+		}
+		t.Schema, t.Name = t.Name, p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return nil, err
+	}
+	t.Alias = alias
+	return t, nil
+}
+
+func (p *parser) parseOptionalAlias() (string, error) {
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return "", err
+	} else if ok {
+		if p.cur.Kind != TokIdent {
+			return "", p.lex.errf(p.cur.Pos, "expected alias after AS, found %q", p.cur.Text)
+		}
+		a := p.cur.Text
+		return a, p.advance()
+	}
+	if p.cur.Kind == TokIdent {
+		a := p.cur.Text
+		return a, p.advance()
+	}
+	return "", nil
+}
+
+// --- expressions (precedence climbing) -----------------------------------
+
+// parseExpr parses a boolean expression (lowest precedence: OR).
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.isKeyword("EXISTS") {
+		return p.parseExists(false)
+	}
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// postfix predicates, possibly NOT-prefixed
+	not := false
+	if p.isKeyword("NOT") && (p.peek.Kind == TokKeyword &&
+		(p.peek.Text == "IN" || p.peek.Text == "BETWEEN" || p.peek.Text == "LIKE")) {
+		not = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.isKeyword("IN"):
+		return p.parseIn(left, not)
+	case p.isKeyword("BETWEEN"):
+		return p.parseBetween(left, not)
+	case p.isKeyword("LIKE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		if not {
+			e = &UnaryExpr{Op: "NOT", Expr: e}
+		}
+		return e, nil
+	case p.isKeyword("IS"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		isNot, err := p.acceptKeyword("NOT")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Not: isNot, Expr: left}, nil
+	}
+	for p.cur.Kind == TokOp {
+		switch p.cur.Text {
+		case "=", "<", ">", "<=", ">=", "<>", "!=":
+			op := p.cur.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseExists(not bool) (Expr, error) {
+	if err := p.expectKeyword("EXISTS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Not: not, Query: &Subquery{Stmt: stmt}}, nil
+}
+
+func (p *parser) parseIn(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	in := &InExpr{Not: not, Left: left}
+	if p.isKeyword("SELECT") {
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		in.Query = &Subquery{Stmt: stmt}
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if ok, err := p.acceptOp(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	return in, p.expectOp(")")
+}
+
+func (p *parser) parseBetween(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("BETWEEN"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{Not: not, Expr: left, Lo: lo, Hi: hi}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.Kind == TokOp && (p.cur.Text == "+" || p.cur.Text == "-" || p.cur.Text == "||") {
+		op := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.Kind == TokOp && (p.cur.Text == "*" || p.cur.Text == "/" || p.cur.Text == "%") {
+		op := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// fold -number into a literal so "-1" round-trips cleanly
+		if l, ok := inner.(*Literal); ok && l.Kind == NumberLit && !strings.HasPrefix(l.Text, "-") {
+			return &Literal{Kind: NumberLit, Text: "-" + l.Text}, nil
+		}
+		return &UnaryExpr{Op: "-", Expr: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur.Kind {
+	case TokNumber:
+		e := &Literal{Kind: NumberLit, Text: p.cur.Text}
+		return e, p.advance()
+	case TokString:
+		e := &Literal{Kind: StringLit, Text: p.cur.Text}
+		return e, p.advance()
+	case TokParam:
+		e := &Param{Text: p.cur.Text}
+		return e, p.advance()
+	case TokKeyword:
+		switch p.cur.Text {
+		case "NULL":
+			e := &Literal{Kind: NullLit, Text: "NULL"}
+			return e, p.advance()
+		case "TRUE", "FALSE":
+			e := &Literal{Kind: BoolLit, Text: p.cur.Text}
+			return e, p.advance()
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "EXISTS":
+			return p.parseExists(false)
+		case "LEFT", "RIGHT": // LEFT(x, n) string functions collide with join keywords
+			if p.peek.Kind == TokOp && p.peek.Text == "(" {
+				name := p.cur.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return p.parseFuncArgs(name)
+			}
+		}
+		return nil, p.lex.errf(p.cur.Pos, "unexpected keyword %q in expression", p.cur.Text)
+	case TokIdent:
+		name := p.cur.Text
+		if p.peek.Kind == TokOp && p.peek.Text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.parseFuncArgs(name)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.Kind != TokIdent {
+				return nil, p.lex.errf(p.cur.Pos, "expected column after %q.", name)
+			}
+			col := &Column{Table: name, Name: p.cur.Text}
+			return col, p.advance()
+		}
+		return &Column{Name: name}, nil
+	case TokOp:
+		if p.cur.Text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("SELECT") {
+				stmt, err := p.parseStatement()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Query: &Subquery{Stmt: stmt}}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectOp(")")
+		}
+		if p.cur.Text == "*" {
+			// bare * inside COUNT(*) is handled by parseFuncArgs; elsewhere invalid
+			return nil, p.lex.errf(p.cur.Pos, "unexpected '*' in expression")
+		}
+	}
+	return nil, p.lex.errf(p.cur.Pos, "unexpected token %q in expression", p.cur.Text)
+}
+
+func (p *parser) parseFuncArgs(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	f := &FuncCall{Name: strings.ToUpper(name)}
+	if p.isOp("*") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f.Star = true
+		return f, p.expectOp(")")
+	}
+	if p.isOp(")") {
+		return f, p.advance()
+	}
+	var err error
+	if f.Distinct, err = p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if ok, err := p.acceptOp(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	return f, p.expectOp(")")
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !p.isKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.isKeyword("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.lex.errf(p.cur.Pos, "CASE requires at least one WHEN arm")
+	}
+	if ok, err := p.acceptKeyword("ELSE"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	return c, p.expectKeyword("END")
+}
+
+// parseCast parses CAST(expr AS type) and represents it as a FuncCall with
+// the type name folded into a literal argument, which is sufficient for
+// feature extraction.
+func (p *parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if p.cur.Kind != TokIdent && p.cur.Kind != TokKeyword {
+		return nil, p.lex.errf(p.cur.Pos, "expected type name in CAST")
+	}
+	typ := p.cur.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// optional (n) or (n,m) precision
+	if p.isOp("(") {
+		depth := 0
+		for {
+			if p.isOp("(") {
+				depth++
+			} else if p.isOp(")") {
+				depth--
+				if depth == 0 {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					break
+				}
+			} else if p.cur.Kind == TokEOF {
+				return nil, p.lex.errf(p.cur.Pos, "unterminated CAST type")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &FuncCall{Name: "CAST", Args: []Expr{e, &Literal{Kind: StringLit, Text: "'" + strings.ToUpper(typ) + "'"}}}, nil
+}

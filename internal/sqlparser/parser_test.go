@@ -1,0 +1,311 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?")
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("expected *Select, got %T", stmt)
+	}
+	if len(sel.Items) != 3 {
+		t.Fatalf("want 3 select items, got %d", len(sel.Items))
+	}
+	if len(sel.From) != 1 {
+		t.Fatalf("want 1 from item, got %d", len(sel.From))
+	}
+	tn, ok := sel.From[0].(*TableName)
+	if !ok || tn.Name != "Messages" {
+		t.Fatalf("want table Messages, got %#v", sel.From[0])
+	}
+	and, ok := sel.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("want AND at top of WHERE, got %#v", sel.Where)
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	cases := []string{
+		"SELECT 1",
+		"SELECT * FROM t",
+		"SELECT t.* FROM t",
+		"SELECT DISTINCT a, b FROM t WHERE a = 1",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+		"SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10",
+		"SELECT a FROM t WHERE a IS NULL",
+		"SELECT a FROM t WHERE a IS NOT NULL",
+		"SELECT a FROM t WHERE a LIKE 'x%'",
+		"SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+		"SELECT COUNT(*) FROM t",
+		"SELECT COUNT(DISTINCT a) FROM t GROUP BY b HAVING COUNT(*) > 5",
+		"SELECT a, MAX(b) AS mb FROM t GROUP BY a ORDER BY mb DESC LIMIT 10 OFFSET 5",
+		"SELECT a FROM t1 JOIN t2 ON t1.id = t2.id",
+		"SELECT a FROM t1 LEFT JOIN t2 ON t1.id = t2.id WHERE t2.x IS NULL",
+		"SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.id = t2.id",
+		"SELECT a FROM t1 CROSS JOIN t2",
+		"SELECT a FROM (SELECT b AS a FROM u) AS sub WHERE a > 0",
+		"SELECT a FROM s.t WHERE t.a = 'x'",
+		"SELECT a FROM t WHERE a = :name AND b = $1 AND c = @v AND d = ?",
+		"SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t",
+		"SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+		"SELECT CAST(a AS INTEGER) FROM t",
+		"SELECT CAST(a AS DECIMAL(10, 2)) FROM t",
+		"SELECT a FROM t WHERE a = 1 UNION SELECT b FROM u WHERE b = 2",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT a + b * c - d FROM t",
+		"SELECT a || b FROM t",
+		"SELECT UPPER(name) FROM t ORDER BY UPPER(name)",
+		"SELECT a FROM t WHERE ts > 1355000000",
+		"SELECT a FROM t WHERE x = -1.5e3",
+		"SELECT a FROM t WHERE a = 1;",
+		"SELECT `quoted col` FROM `weird table`",
+		"SELECT \"col\" FROM \"tbl\"",
+		"SELECT a -- trailing comment\nFROM t",
+		"SELECT /* block */ a FROM t",
+		"SELECT LEFT(name, 3) FROM t",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing garbage ,",
+		"SELECT a FROM t WHERE a IN (",
+		"SELECT a FROM t WHERE 'unterminated",
+		"SELECT a FROM t JOIN u", // missing ON
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", src)
+		}
+	}
+}
+
+func TestParseUnsupported(t *testing.T) {
+	cases := []string{
+		"INSERT INTO t VALUES (1)",
+		"UPDATE t SET a = 1",
+		"DELETE FROM t",
+		"CREATE TABLE t (a INT)",
+		"CALL my_proc(1, 2)",
+		"EXEC sp_who",
+		"BEGIN",
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected UnsupportedError, got nil", src)
+			continue
+		}
+		if _, ok := err.(*UnsupportedError); !ok {
+			t.Errorf("Parse(%q): expected UnsupportedError, got %T: %v", src, err, err)
+		}
+	}
+}
+
+// TestRoundTrip checks the canonical-print/reparse fixpoint: parsing the
+// printed SQL yields an identical AST.
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT _id, sms_type FROM Messages WHERE status = ? AND transport_type = ?",
+		"SELECT DISTINCT a FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+		"SELECT a FROM t1 LEFT JOIN t2 ON t1.id = t2.id ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 2",
+		"SELECT a FROM (SELECT b AS a FROM u) AS sub",
+		"SELECT a FROM t WHERE a NOT IN (1, 2) AND b IS NOT NULL",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR NOT (c = 4)",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT CASE WHEN a = 1 THEN 2 ELSE 3 END FROM t",
+		"SELECT a FROM t WHERE x = -42",
+		"SELECT a + b * c FROM t",
+		"SELECT (a + b) * c FROM t",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+	}
+	for _, src := range cases {
+		first := mustParse(t, src)
+		printed := first.SQL()
+		second, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q) failed: %v", printed, src, err)
+			continue
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("round trip not stable:\n src: %s\n 1st: %s\n 2nd: %s", src, printed, second.SQL())
+		}
+	}
+}
+
+// genSelect produces a random valid SELECT statement for fuzz-style
+// round-trip checking.
+func genSelect(r *rand.Rand, depth int) *Select {
+	cols := []string{"a", "b", "c", "status", "sms_type", "ts"}
+	tables := []string{"t", "u", "messages", "conversations"}
+	s := &Select{}
+	nItems := 1 + r.Intn(3)
+	for i := 0; i < nItems; i++ {
+		s.Items = append(s.Items, SelectItem{Expr: &Column{Name: cols[r.Intn(len(cols))]}})
+	}
+	s.From = []TableExpr{&TableName{Name: tables[r.Intn(len(tables))]}}
+	if r.Intn(2) == 0 {
+		s.Where = genBool(r, cols, depth)
+	}
+	if r.Intn(4) == 0 {
+		s.OrderBy = []OrderItem{{Expr: &Column{Name: cols[r.Intn(len(cols))]}, Desc: r.Intn(2) == 0}}
+	}
+	if r.Intn(4) == 0 {
+		s.Limit = &Literal{Kind: NumberLit, Text: "10"}
+	}
+	return s
+}
+
+func genBool(r *rand.Rand, cols []string, depth int) Expr {
+	atom := func() Expr {
+		ops := []string{"=", "<", ">", "<=", ">=", "!="}
+		return &BinaryExpr{
+			Op:    ops[r.Intn(len(ops))],
+			Left:  &Column{Name: cols[r.Intn(len(cols))]},
+			Right: &Param{Text: "?"},
+		}
+	}
+	if depth <= 0 {
+		return atom()
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &BinaryExpr{Op: "AND", Left: genBool(r, cols, depth-1), Right: genBool(r, cols, depth-1)}
+	case 1:
+		return &BinaryExpr{Op: "OR", Left: genBool(r, cols, depth-1), Right: genBool(r, cols, depth-1)}
+	case 2:
+		return &UnaryExpr{Op: "NOT", Expr: genBool(r, cols, depth-1)}
+	default:
+		return atom()
+	}
+}
+
+// TestRoundTripProperty: for random ASTs, print → parse → print is a
+// fixpoint on the printed text.
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genSelect(r, 3)
+		printed := s.SQL()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", printed, err)
+			return false
+		}
+		return re.SQL() == printed
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'it''s' FROM t WHERE x >= 1.5 AND y != :p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, "|")
+	want := "SELECT|a|,|'it''s'|FROM|t|WHERE|x|>=|1.5|AND|y|!=|:p2|"
+	if joined != want {
+		t.Errorf("tokens = %q, want %q", joined, want)
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Errorf("expected trailing EOF token")
+	}
+}
+
+func TestSelectItemBareAlias(t *testing.T) {
+	sel, err := ParseSelect("SELECT a col1, b AS col2 FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Items[0].Alias != "col1" || sel.Items[1].Alias != "col2" {
+		t.Errorf("aliases = %q, %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	stmt := mustParse(t, "WITH recent AS (SELECT id FROM events WHERE ts > ?), "+
+		"top AS (SELECT id FROM recent LIMIT 10) SELECT * FROM top")
+	w, ok := stmt.(*With)
+	if !ok {
+		t.Fatalf("expected *With, got %T", stmt)
+	}
+	if len(w.CTEs) != 2 || w.CTEs[0].Name != "recent" || w.CTEs[1].Name != "top" {
+		t.Fatalf("CTEs = %+v", w.CTEs)
+	}
+	if _, ok := w.Body.(*Select); !ok {
+		t.Fatalf("body = %T", w.Body)
+	}
+}
+
+func TestParseWithRoundTrip(t *testing.T) {
+	cases := []string{
+		"WITH a AS (SELECT x FROM t) SELECT x FROM a",
+		"WITH a AS (SELECT x FROM t), b AS (SELECT x FROM a WHERE x > ?) SELECT x FROM b ORDER BY x DESC",
+		"WITH u AS (SELECT a FROM t UNION ALL SELECT b FROM s) SELECT a FROM u",
+	}
+	for _, src := range cases {
+		first := mustParse(t, src)
+		printed := first.SQL()
+		second, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v", printed, err)
+			continue
+		}
+		if second.SQL() != printed {
+			t.Errorf("round trip unstable:\n1st: %s\n2nd: %s", printed, second.SQL())
+		}
+	}
+}
+
+func TestParseWithErrors(t *testing.T) {
+	for _, src := range []string{
+		"WITH SELECT 1",
+		"WITH a AS SELECT 1",
+		"WITH a AS (SELECT 1",
+		"WITH a AS (SELECT 1) ",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}

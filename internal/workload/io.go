@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Log file formats:
+//
+//   - Plain: one SQL statement per line, duplicates repeated — the shape of
+//     a raw access log.
+//   - Compact: "count<TAB>sql" per line — the deduplicated shape used for
+//     the generated corpora (a 629k-query log stays a 605-line file).
+
+// WritePlain writes entries as a raw access log, repeating each query by
+// its multiplicity.
+func WritePlain(w io.Writer, entries []LogEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		line := strings.ReplaceAll(e.SQL, "\n", " ")
+		for i := 0; i < e.Count; i++ {
+			if _, err := bw.WriteString(line); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPlain reads a raw access log, deduplicating on exact text.
+func ReadPlain(r io.Reader) ([]LogEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	counts := map[string]int{}
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if counts[line] == 0 {
+			order = append(order, line)
+		}
+		counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]LogEntry, 0, len(order))
+	for _, q := range order {
+		out = append(out, LogEntry{SQL: q, Count: counts[q]})
+	}
+	return out, nil
+}
+
+// WriteCompact writes "count<TAB>sql" lines.
+func WriteCompact(w io.Writer, entries []LogEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		line := strings.ReplaceAll(e.SQL, "\n", " ")
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", e.Count, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCompact reads "count<TAB>sql" lines; lines without a leading count
+// are treated as count-1 plain entries, so the two formats interoperate.
+func ReadCompact(r io.Reader) ([]LogEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var out []LogEntry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			out = append(out, LogEntry{SQL: line, Count: 1})
+			continue
+		}
+		n, err := strconv.Atoi(line[:tab])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("workload: bad count on line %d: %q", lineNo, line[:tab])
+		}
+		out = append(out, LogEntry{SQL: line[tab+1:], Count: n})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// LogEntry is one distinct query of a synthetic log with its multiplicity.
+type LogEntry struct {
+	SQL   string
+	Count int
+}
+
+// PocketDataConfig sizes the PocketData-Google+-like log.
+type PocketDataConfig struct {
+	// TotalQueries is |L| including duplicates (paper: 629,582).
+	TotalQueries int
+	// DistinctTarget approximates the distinct-query count (paper: 605).
+	DistinctTarget int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultPocketData matches the paper's Table 1 row at full scale.
+var DefaultPocketData = PocketDataConfig{TotalQueries: 629582, DistinctTarget: 605, Seed: 1}
+
+func (c PocketDataConfig) withDefaults() PocketDataConfig {
+	if c.TotalQueries <= 0 {
+		c.TotalQueries = DefaultPocketData.TotalQueries
+	}
+	if c.DistinctTarget <= 0 {
+		c.DistinctTarget = DefaultPocketData.DistinctTarget
+	}
+	return c
+}
+
+// PocketData synthesizes a stable, exclusively machine-generated workload
+// in the image of the PocketData-Google+ log: eight task families modeled
+// on the paper's Figure 10 clusters (conversation lookups, SMS-message
+// scans, notification checks, contact suggestions, message-status filters,
+// participant checks, watermark scans, cleanup probes), each expanded into
+// template variants that differ in projected columns and predicate subsets.
+// All constants are already JDBC '?' parameters, as in the real trace.
+// Multiplicities follow a shifted Zipf law so the top query dominates the
+// log the way Table 1's max-multiplicity row describes.
+func PocketData(cfg PocketDataConfig) []LogEntry {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	templates := pocketDataTemplates(rng, cfg.DistinctTarget)
+	weights := ZipfWeights(len(templates), 1.05, 2.5)
+	counts := AllocateCounts(weights, cfg.TotalQueries)
+	entries := make([]LogEntry, len(templates))
+	for i, tq := range templates {
+		entries[i] = LogEntry{SQL: tq, Count: counts[i]}
+	}
+	return entries
+}
+
+type pdFamily struct {
+	selectCols []string
+	from       string
+	joins      string
+	atoms      []string // conjunctive atoms
+	orAtoms    []string // disjunctive tails making a variant non-conjunctive
+	orderBy    string
+	limit      string
+}
+
+func pocketDataTemplates(rng *rand.Rand, target int) []string {
+	families := []pdFamily{
+		{ // Fig 10a: active participants of a conversation
+			selectCols: []string{"conversation_id", "participants_type", "first_name", "chat_id", "blocked", "active", "profile_photo_url", "gaia_id"},
+			from:       "conversation_participants_view",
+			atoms:      []string{"chat_id != ?", "conversation_id = ?", "active = ?", "blocked = ?", "participants_type = ?"},
+			orAtoms:    []string{"participants_type = ? OR first_name LIKE ?", "active = ? OR blocked = ?"},
+		},
+		{ // Fig 10b: recent SMS sender info for a conversation
+			selectCols: []string{"status", "timestamp", "expiration_timestamp", "sms_raw_sender", "message_id", "text", "author_chat_id", "sms_message_size"},
+			from:       "messages_view",
+			joins:      " JOIN conversations ON conversations.conversation_id = messages_view.conversation_id",
+			atoms:      []string{"expiration_timestamp > ?", "status != ?", "messages_view.conversation_id = ?", "sms_raw_sender = ?"},
+			orAtoms:    []string{"status = ? OR status = ?", "sms_type = ? OR transport_type = ?"},
+			orderBy:    " ORDER BY timestamp DESC",
+			limit:      " LIMIT 500",
+		},
+		{ // Fig 10c: unseen notifications above the chat watermark
+			selectCols: []string{"status", "timestamp", "conversation_id", "chat_watermark", "message_id", "sms_type", "notification_level", "snippet_text"},
+			from:       "message_notifications_view",
+			atoms:      []string{"conversation_status != ?", "conversation_pending_leave != ?", "notification_level != ?", "timestamp > ?", "conversation_id = ?"},
+			orAtoms:    []string{"sms_type = ? OR sms_type = ?", "status = ? OR timestamp < ?"},
+		},
+		{ // Fig 10d: contact suggestions
+			selectCols: []string{"suggestion_type", "name", "chat_id", "packed_circle_ids", "profile_photo_url", "gaia_id", "affinity_score"},
+			from:       "suggested_contacts",
+			atoms:      []string{"chat_id != ?", "name != ?", "suggestion_type = ?", "affinity_score > ?"},
+			orAtoms:    []string{"name LIKE ? OR chat_id = ?"},
+			orderBy:    " ORDER BY name",
+			limit:      " LIMIT 10",
+		},
+		{ // Fig 10e: message scans by type/status
+			selectCols: []string{"sms_type", "timestamp", "_id", "status", "transport_type", "sms_message_status", "sender_id"},
+			from:       "messages",
+			atoms:      []string{"sms_type = ?", "status = ?", "transport_type = ?", "timestamp >= ?", "sms_message_status = ?"},
+			orAtoms:    []string{"status = ? OR sms_message_status = ?", "transport_type = ? OR sms_type = ?"},
+		},
+		{ // conversation list refresh
+			selectCols: []string{"conversation_id", "latest_message_timestamp", "unread_count", "is_muted", "conversation_name", "snippet_text", "inviter_chat_id"},
+			from:       "conversations",
+			atoms:      []string{"conversation_status = ?", "unread_count > ?", "is_muted = ?", "latest_message_timestamp > ?"},
+			orAtoms:    []string{"conversation_status = ? OR is_pending = ?"},
+			orderBy:    " ORDER BY latest_message_timestamp DESC",
+		},
+		{ // contact detail fetch
+			selectCols: []string{"contact_id", "chat_id", "full_name", "first_name", "last_seen_timestamp", "presence_state", "circle_id"},
+			from:       "contacts",
+			atoms:      []string{"chat_id = ?", "presence_state != ?", "circle_id = ?", "last_seen_timestamp > ?"},
+			orAtoms:    []string{"full_name LIKE ? OR first_name LIKE ?"},
+		},
+		{ // retention / cleanup probes
+			selectCols: []string{"_id", "conversation_id", "timestamp", "expiration_timestamp", "local_url", "remote_url"},
+			from:       "multipart_attachments",
+			atoms:      []string{"expiration_timestamp < ?", "local_url IS NOT NULL", "conversation_id = ?", "timestamp < ?"},
+			orAtoms:    []string{"local_url IS NULL OR remote_url IS NULL"},
+		},
+	}
+
+	seen := map[string]bool{}
+	var out []string
+	add := func(q string) {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	// round-robin families, inflating variants until the target is met
+	for variant := 0; len(out) < target && variant < 4*target; variant++ {
+		f := families[variant%len(families)]
+		q := f.render(rng, variant)
+		add(q)
+	}
+	return out
+}
+
+func (f pdFamily) render(rng *rand.Rand, variant int) string {
+	// choose 2..len select columns deterministically from the rng stream
+	nSel := 2 + rng.Intn(len(f.selectCols)-1)
+	cols := pickK(rng, f.selectCols, nSel)
+	nAtoms := 1 + rng.Intn(len(f.atoms))
+	atoms := pickK(rng, f.atoms, nAtoms)
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(strings.Join(cols, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(f.from)
+	sb.WriteString(f.joins)
+	sb.WriteString(" WHERE ")
+	sb.WriteString(strings.Join(atoms, " AND "))
+	// roughly 4 of 5 variants carry a disjunctive tail, matching the real
+	// log's 135/605 conjunctive share
+	if len(f.orAtoms) > 0 && variant%5 != 0 {
+		sb.WriteString(" AND (")
+		sb.WriteString(f.orAtoms[rng.Intn(len(f.orAtoms))])
+		sb.WriteString(")")
+	}
+	if f.orderBy != "" && variant%3 == 0 {
+		sb.WriteString(f.orderBy)
+	}
+	if f.limit != "" && variant%4 == 0 {
+		sb.WriteString(f.limit)
+	}
+	return sb.String()
+}
+
+// pickK picks k distinct elements, preserving the source order.
+func pickK(rng *rand.Rand, src []string, k int) []string {
+	if k >= len(src) {
+		out := make([]string, len(src))
+		copy(out, src)
+		return out
+	}
+	idx := rng.Perm(len(src))[:k]
+	sortInts(idx)
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = src[j]
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// InjectDrift appends count copies of queries drawn from an "anomalous"
+// template family — a workload-injection scenario for the online-monitoring
+// application (Section 2). The returned entries can be merged with a
+// baseline log to test drift detectors.
+func InjectDrift(seed int64, distinct, count int) []LogEntry {
+	rng := rand.New(rand.NewSource(seed))
+	exfil := pdFamily{
+		selectCols: []string{"text", "sms_raw_sender", "remote_url", "full_name", "gaia_id", "packed_circle_ids"},
+		from:       "messages_view",
+		joins:      " JOIN contacts ON contacts.chat_id = messages_view.author_chat_id",
+		atoms:      []string{"timestamp > ?", "text LIKE ?", "remote_url IS NOT NULL", "gaia_id != ?"},
+	}
+	weights := ZipfWeights(distinct, 1.0, 1)
+	counts := AllocateCounts(weights, count)
+	var out []LogEntry
+	seen := map[string]bool{}
+	for i := 0; len(out) < distinct && i < 10*distinct; i++ {
+		q := exfil.render(rng, i)
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		out = append(out, LogEntry{SQL: q, Count: counts[len(out)]})
+	}
+	return out
+}

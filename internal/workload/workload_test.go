@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(100, 1.1, 2)
+	sum := 0.0
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d = %g", i, v)
+		}
+		if i > 0 && v > w[i-1] {
+			t.Fatalf("weights not decreasing at %d", i)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestAllocateCounts(t *testing.T) {
+	w := ZipfWeights(50, 1.0, 1)
+	counts := AllocateCounts(w, 10000)
+	sum := 0
+	for _, c := range counts {
+		if c < 1 {
+			t.Fatalf("count below 1: %d", c)
+		}
+		sum += c
+	}
+	if sum != 10000 {
+		t.Errorf("counts sum to %d", sum)
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Errorf("head %d should exceed tail %d", counts[0], counts[len(counts)-1])
+	}
+}
+
+func TestPocketDataShape(t *testing.T) {
+	entries := PocketData(PocketDataConfig{TotalQueries: 20000, DistinctTarget: 300, Seed: 1})
+	if len(entries) != 300 {
+		t.Fatalf("distinct = %d, want 300", len(entries))
+	}
+	total := 0
+	maxC := 0
+	for _, e := range entries {
+		total += e.Count
+		if e.Count > maxC {
+			maxC = e.Count
+		}
+	}
+	if total != 20000 {
+		t.Errorf("total = %d", total)
+	}
+	// heavy head: top query well above uniform share
+	if maxC < 3*(20000/300) {
+		t.Errorf("max multiplicity %d lacks skew", maxC)
+	}
+}
+
+func TestPocketDataDeterministic(t *testing.T) {
+	a := PocketData(PocketDataConfig{TotalQueries: 5000, DistinctTarget: 100, Seed: 7})
+	b := PocketData(PocketDataConfig{TotalQueries: 5000, DistinctTarget: 100, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different logs")
+	}
+}
+
+func TestPocketDataPipeline(t *testing.T) {
+	entries := PocketData(PocketDataConfig{TotalQueries: 10000, DistinctTarget: 200, Seed: 1})
+	res := Encode(entries, EncodeOptions{})
+	s := res.Stats
+	if s.Unparseable != 0 || s.StoredProcedures != 0 {
+		t.Errorf("machine workload should fully parse: %+v", s)
+	}
+	if s.ParsedSelects != 10000 {
+		t.Errorf("parsed = %d", s.ParsedSelects)
+	}
+	if s.DistinctRewritable != s.DistinctNoConst {
+		t.Errorf("all PocketData queries should be rewritable: %d vs %d",
+			s.DistinctRewritable, s.DistinctNoConst)
+	}
+	// non-trivial share of conjunctive queries, but well below the total
+	if s.DistinctConjunctive == 0 || s.DistinctConjunctive >= s.DistinctNoConst {
+		t.Errorf("conjunctive = %d of %d", s.DistinctConjunctive, s.DistinctNoConst)
+	}
+	if res.Log.Total() != 10000 {
+		t.Errorf("log total = %d", res.Log.Total())
+	}
+	if res.Book.Size() < 50 {
+		t.Errorf("feature universe suspiciously small: %d", res.Book.Size())
+	}
+	if s.AvgFeaturesPerQuery < 5 || s.AvgFeaturesPerQuery > 30 {
+		t.Errorf("avg features/query = %g, expected Table-1-like range", s.AvgFeaturesPerQuery)
+	}
+}
+
+func TestUSBankPipeline(t *testing.T) {
+	entries := USBank(USBankConfig{TotalQueries: 20000, DistinctTarget: 250, ConstantVariants: 5, NoiseEntries: 30, Seed: 2})
+	res := Encode(entries, EncodeOptions{})
+	s := res.Stats
+	if s.StoredProcedures == 0 {
+		t.Error("expected stored-procedure noise to be counted")
+	}
+	if s.Unparseable == 0 {
+		t.Error("expected unparseable noise to be counted")
+	}
+	// constant removal must collapse the distinct count substantially
+	if s.DistinctNoConst >= s.DistinctQueries {
+		t.Errorf("constant removal did not collapse: %d -> %d", s.DistinctQueries, s.DistinctNoConst)
+	}
+	if float64(s.DistinctNoConst) > 0.6*float64(s.DistinctQueries) {
+		t.Errorf("collapse too weak: %d -> %d", s.DistinctQueries, s.DistinctNoConst)
+	}
+	// feature count with constants must exceed the scrubbed count
+	if s.DistinctFeatures <= s.DistinctFeaturesNoConst {
+		t.Errorf("features with const %d should exceed without %d", s.DistinctFeatures, s.DistinctFeaturesNoConst)
+	}
+	// most (but not all) distinct queries are conjunctive, echoing 1494/1712
+	ratio := float64(s.DistinctConjunctive) / float64(s.DistinctNoConst)
+	if ratio < 0.6 || ratio > 0.99 {
+		t.Errorf("conjunctive ratio = %g, want Table-1-like 0.87ish", ratio)
+	}
+}
+
+func TestInjectDrift(t *testing.T) {
+	drift := InjectDrift(9, 20, 500)
+	if len(drift) != 20 {
+		t.Fatalf("distinct drift = %d", len(drift))
+	}
+	res := Encode(drift, EncodeOptions{})
+	if res.Stats.Unparseable != 0 {
+		t.Error("drift queries must parse")
+	}
+}
+
+func TestIncomeShape(t *testing.T) {
+	ds := Income(IncomeConfig{Rows: 3000, Seed: 3})
+	d := ds.Data
+	if d.Universe() != 783 {
+		t.Fatalf("universe = %d, want 783", d.Universe())
+	}
+	if len(ds.Groups) != 9 {
+		t.Fatalf("groups = %d, want 9", len(ds.Groups))
+	}
+	if d.Total() != 3000 {
+		t.Errorf("rows = %d", d.Total())
+	}
+	// every row sets exactly one feature per group → 9 features per tuple
+	for i := 0; i < d.Distinct(); i++ {
+		if d.Vector(i).Count() != 9 {
+			t.Fatalf("row %d has %d features, want 9", i, d.Vector(i).Count())
+		}
+	}
+	// label must be informative but not degenerate
+	rate := d.PositiveRate()
+	if rate < 0.02 || rate > 0.6 {
+		t.Errorf("positive rate = %g", rate)
+	}
+}
+
+func TestMushroomShape(t *testing.T) {
+	ds := Mushroom(MushroomConfig{Rows: 2000, Seed: 4})
+	d := ds.Data
+	if d.Universe() != 95 {
+		t.Fatalf("universe = %d, want 95", d.Universe())
+	}
+	if len(ds.Groups) != 21 {
+		t.Fatalf("groups = %d, want 21", len(ds.Groups))
+	}
+	for i := 0; i < d.Distinct() && i < 50; i++ {
+		if d.Vector(i).Count() != 21 {
+			t.Fatalf("row has %d features, want 21", d.Vector(i).Count())
+		}
+	}
+	rate := d.PositiveRate()
+	if rate < 0.2 || rate > 0.8 {
+		t.Errorf("edible rate = %g", rate)
+	}
+}
+
+func TestGroupsAreMutuallyExclusive(t *testing.T) {
+	ds := Mushroom(MushroomConfig{Rows: 500, Seed: 5})
+	for i := 0; i < ds.Data.Distinct(); i++ {
+		v := ds.Data.Vector(i)
+		for _, g := range ds.Groups {
+			set := 0
+			for _, f := range g {
+				if v.Get(f) {
+					set++
+				}
+			}
+			if set != 1 {
+				t.Fatalf("row %d sets %d features in one group", i, set)
+			}
+		}
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	entries := []LogEntry{
+		{SQL: "SELECT a FROM t WHERE x = ?", Count: 3},
+		{SQL: "SELECT b FROM u", Count: 1},
+	}
+	var buf bytes.Buffer
+	if err := WritePlain(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Errorf("plain round trip: %v", back)
+	}
+
+	buf.Reset()
+	if err := WriteCompact(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Errorf("compact round trip: %v", back)
+	}
+}
+
+func TestReadCompactBadCount(t *testing.T) {
+	if _, err := ReadCompact(bytes.NewBufferString("zero\tSELECT 1\n")); err == nil {
+		t.Error("expected error for non-numeric count")
+	}
+	if _, err := ReadCompact(bytes.NewBufferString("-3\tSELECT 1\n")); err == nil {
+		t.Error("expected error for negative count")
+	}
+}

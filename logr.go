@@ -1,0 +1,531 @@
+// Package logr is a workload-analytics log compressor: an implementation of
+// "Query Log Compression for Workload Analytics" (Xie, Chandola, Kennedy —
+// VLDB 2018).
+//
+// LogR losslessly parses a SQL access log, regularizes each query into
+// conjunctive form, encodes it as a feature vector (Aligon et al.'s scheme:
+// SELECT columns, FROM tables, conjunctive WHERE atoms), and then *lossily*
+// compresses the bag of feature vectors into a naive mixture encoding: the
+// log is clustered and each cluster is summarized by its per-feature
+// marginals. The summary supports closed-form estimation of aggregate
+// workload statistics — "how many queries carry this predicate / touch
+// these tables together" — which is what index advisors, view selectors and
+// workload monitors consume.
+//
+// # Quick start
+//
+//	w := logr.FromEntries([]logr.Entry{
+//		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 900},
+//		{SQL: "SELECT name FROM contacts WHERE chat_id = ?", Count: 100},
+//	})
+//	s, _ := w.Compress(logr.CompressOptions{Clusters: 2})
+//	freq, _ := s.EstimateFrequency("SELECT _id FROM messages WHERE status = ?")
+//
+// The fidelity/size trade-off is governed by the number of clusters: more
+// clusters mean lower Reproduction Error (paper Section 4) and higher Total
+// Verbosity (summary size). Compress with Clusters == 0 to auto-sweep until
+// a target error is reached.
+package logr
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"logr/internal/apps"
+	"logr/internal/bitvec"
+	"logr/internal/cluster"
+	"logr/internal/core"
+	"logr/internal/feature"
+	"logr/internal/regularize"
+	"logr/internal/sqlparser"
+	"logr/internal/workload"
+)
+
+// Entry is one distinct query of a workload with its multiplicity.
+type Entry struct {
+	SQL   string
+	Count int
+}
+
+// Stats summarizes the encode pipeline over a workload (the columns of the
+// paper's Table 1).
+type Stats struct {
+	Queries             int     // parsed SELECT entries, duplicates included
+	DistinctQueries     int     // distinct raw SQL strings
+	DistinctNoConst     int     // distinct after constant removal
+	DistinctConjunctive int     // distinct already-conjunctive queries
+	DistinctRewritable  int     // distinct queries rewritable to conjunctive form
+	MaxMultiplicity     int     // heaviest distinct query
+	Features            int     // distinct features before constant removal
+	FeaturesNoConst     int     // distinct features after constant removal
+	AvgFeaturesPerQuery float64 // mean features per encoded query
+	StoredProcedures    int     // skipped unsupported statements
+	Unparseable         int     // skipped malformed entries
+}
+
+// Workload is an encoded query log: an incremental encode pipeline plus
+// the latest snapshot of its feature-vector form and codebook.
+type Workload struct {
+	enc *workload.Encoder
+	res workload.EncodeResult
+}
+
+// Options tune workload encoding.
+type Options struct {
+	// ExtendedScheme additionally extracts GROUP BY, ORDER BY and
+	// aggregate features (Makiyama-style; the paper's Section 2.2 cites it
+	// as a richer alternative to the default Aligon scheme).
+	ExtendedScheme bool
+	// KeepConstants disables constant scrubbing.
+	KeepConstants bool
+}
+
+func (o Options) internal() workload.EncodeOptions {
+	scheme := feature.AligonScheme
+	if o.ExtendedScheme {
+		scheme = feature.ExtendedScheme
+	}
+	return workload.EncodeOptions{Scheme: scheme, KeepConstants: o.KeepConstants}
+}
+
+// FromEntries encodes a deduplicated workload with default options.
+// Unparseable entries are counted in Stats and skipped, as in the paper's
+// data preparation.
+func FromEntries(entries []Entry) *Workload {
+	return FromEntriesWithOptions(entries, Options{})
+}
+
+// FromEntriesWithOptions encodes a deduplicated workload.
+func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
+	w := &Workload{enc: workload.NewEncoder(opts.internal())}
+	w.Append(entries)
+	return w
+}
+
+// Append feeds more entries through the pipeline (a growing log file, a
+// monitoring stream). The codebook extends in place; summaries built from
+// earlier snapshots remain valid for their own universe.
+func (w *Workload) Append(entries []Entry) {
+	for _, e := range entries {
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		w.enc.Add(workload.LogEntry{SQL: e.SQL, Count: c})
+	}
+	w.res = w.enc.Result()
+}
+
+// Load reads a raw access log (one SQL statement per line, duplicates
+// repeated) and encodes it.
+func Load(r io.Reader) (*Workload, error) {
+	entries, err := workload.ReadPlain(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(entries), nil
+}
+
+// LoadCompact reads a deduplicated "count<TAB>sql" log and encodes it.
+func LoadCompact(r io.Reader) (*Workload, error) {
+	entries, err := workload.ReadCompact(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(entries), nil
+}
+
+func fromInternal(entries []workload.LogEntry) *Workload {
+	w := &Workload{enc: workload.NewEncoder(workload.EncodeOptions{})}
+	for _, e := range entries {
+		w.enc.Add(e)
+	}
+	w.res = w.enc.Result()
+	return w
+}
+
+// Stats reports the pipeline statistics.
+func (w *Workload) Stats() Stats {
+	s := w.res.Stats
+	return Stats{
+		Queries:             s.ParsedSelects,
+		DistinctQueries:     s.DistinctQueries,
+		DistinctNoConst:     s.DistinctNoConst,
+		DistinctConjunctive: s.DistinctConjunctive,
+		DistinctRewritable:  s.DistinctRewritable,
+		MaxMultiplicity:     s.MaxMultiplicity,
+		Features:            s.DistinctFeatures,
+		FeaturesNoConst:     s.DistinctFeaturesNoConst,
+		AvgFeaturesPerQuery: s.AvgFeaturesPerQuery,
+		StoredProcedures:    s.StoredProcedures,
+		Unparseable:         s.Unparseable,
+	}
+}
+
+// Queries returns the number of encoded queries (duplicates included).
+func (w *Workload) Queries() int { return w.res.Log.Total() }
+
+// Count returns the exact Γ_b(L): how many queries contain every feature of
+// the given pattern query. This reads the *uncompressed* log; after
+// compression use Summary.EstimateCount.
+func (w *Workload) Count(patternSQL string) (int, error) {
+	b, err := w.pattern(patternSQL)
+	if err != nil {
+		return 0, err
+	}
+	return w.res.Log.Count(b), nil
+}
+
+// pattern parses a SQL fragment-query and maps it onto the codebook. A
+// feature never seen in the workload yields an error.
+func (w *Workload) pattern(patternSQL string) (bitvec.Vector, error) {
+	idx, unknown, err := patternIndices(w.res.Book, patternSQL, false)
+	if err != nil {
+		return bitvec.Vector{}, err
+	}
+	if len(unknown) > 0 {
+		return bitvec.Vector{}, fmt.Errorf("logr: pattern uses features absent from the workload: %s", strings.Join(unknown, ", "))
+	}
+	v := bitvec.New(w.res.Log.Universe())
+	for _, i := range idx {
+		if i < v.Len() {
+			v.Set(i)
+		}
+	}
+	return v, nil
+}
+
+func patternIndices(book *feature.Codebook, patternSQL string, register bool) (idx []int, unknown []string, err error) {
+	stmt, err := sqlparser.Parse(patternSQL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("logr: pattern does not parse: %w", err)
+	}
+	r := regularize.Regularize(stmt, regularize.DefaultOptions)
+	if len(r.Blocks) != 1 {
+		return nil, nil, fmt.Errorf("logr: pattern must regularize to a single conjunctive block")
+	}
+	if register {
+		return book.Extract(r.Blocks[0]), nil, nil
+	}
+	return probeIndices(book, r.Blocks[0:1])
+}
+
+// windowIndices encodes an arbitrary query the way the pipeline does —
+// merging the features of every conjunctive block — without registering new
+// features. Used by drift detection, where OR-carrying queries are normal
+// traffic, not probes.
+func windowIndices(book *feature.Codebook, sql string) (idx []int, unknown []string, err error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := regularize.Regularize(stmt, regularize.DefaultOptions)
+	return probeIndices(book, r.Blocks)
+}
+
+func probeIndices(book *feature.Codebook, blocks []*sqlparser.Select) (idx []int, unknown []string, err error) {
+	scratch := feature.NewCodebook(book.Scheme())
+	set := map[int]bool{}
+	for _, blk := range blocks {
+		for _, fi := range scratch.Extract(blk) {
+			f := scratch.Feature(fi)
+			if f.Kind == feature.SelectKind && f.Text == "*" {
+				// a bare star in a probe means "any projection", not the
+				// literal ⟨*, SELECT⟩ feature
+				continue
+			}
+			if i, ok := book.Lookup(f); ok {
+				set[i] = true
+			} else {
+				unknown = append(unknown, f.String())
+			}
+		}
+	}
+	for i := range set {
+		idx = append(idx, i)
+	}
+	return idx, unknown, nil
+}
+
+// CompressOptions configure the LogR compressor.
+type CompressOptions struct {
+	// Clusters is K, the number of mixture components. 0 auto-sweeps.
+	Clusters int
+	// Method is "kmeans" (default), "spectral" or "hierarchical".
+	Method string
+	// Metric (spectral/hierarchical) is "euclidean", "manhattan",
+	// "minkowski", "hamming", "chebyshev" or "canberra"; default hamming,
+	// the paper's best Error/runtime trade-off.
+	Metric string
+	// TargetError stops the auto sweep (nats).
+	TargetError float64
+	// MaxClusters bounds the auto sweep (default 32).
+	MaxClusters int
+	// Seed makes clustering reproducible.
+	Seed int64
+}
+
+// Summary is a LogR-compressed workload: a naive mixture encoding plus the
+// codebook that translates patterns back to SQL.
+type Summary struct {
+	c    *core.Compressed
+	book *feature.Codebook
+}
+
+// Compress builds the naive mixture encoding.
+func (w *Workload) Compress(opts CompressOptions) (*Summary, error) {
+	method, err := parseMethod(opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	metric, err := parseMetric(opts.Metric)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Compress(w.res.Log, core.CompressOptions{
+		K:           opts.Clusters,
+		Method:      method,
+		Metric:      metric,
+		Seed:        opts.Seed,
+		TargetError: opts.TargetError,
+		MaxK:        opts.MaxClusters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{c: c, book: w.res.Book}, nil
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(s) {
+	case "", "kmeans":
+		return core.KMeansMethod, nil
+	case "spectral":
+		return core.SpectralMethod, nil
+	case "hierarchical":
+		return core.HierarchicalMethod, nil
+	}
+	return 0, fmt.Errorf("logr: unknown method %q", s)
+}
+
+func parseMetric(s string) (cluster.Metric, error) {
+	switch strings.ToLower(s) {
+	case "", "hamming":
+		return cluster.Hamming, nil
+	case "euclidean":
+		return cluster.Euclidean, nil
+	case "manhattan":
+		return cluster.Manhattan, nil
+	case "minkowski":
+		return cluster.Minkowski, nil
+	case "chebyshev":
+		return cluster.Chebyshev, nil
+	case "canberra":
+		return cluster.Canberra, nil
+	}
+	return 0, fmt.Errorf("logr: unknown metric %q", s)
+}
+
+// Error returns the Generalized Reproduction Error of the summary (nats);
+// lower is higher fidelity (Sections 4–5).
+func (s *Summary) Error() float64 { return s.c.Err }
+
+// Clusters returns the number of mixture components.
+func (s *Summary) Clusters() int { return s.c.Mixture.K() }
+
+// TotalVerbosity returns the summary size: the total number of
+// (single-feature pattern → marginal) entries stored (Section 5.2).
+func (s *Summary) TotalVerbosity() int { return s.c.Mixture.TotalVerbosity() }
+
+// EstimateFrequency estimates p(Q ⊇ pattern | L): the fraction of the
+// workload containing every feature of the pattern query (Section 6.2).
+// Features the workload never saw contribute probability 0.
+func (s *Summary) EstimateFrequency(patternSQL string) (float64, error) {
+	idx, unknown, err := patternIndices(s.book, patternSQL, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(unknown) > 0 {
+		return 0, nil
+	}
+	v := bitvec.New(s.c.Mixture.Universe)
+	for _, i := range idx {
+		v.Set(i)
+	}
+	return s.c.Mixture.EstimateMarginal(v), nil
+}
+
+// EstimateCount estimates Γ_pattern(L), the absolute number of matching
+// queries.
+func (s *Summary) EstimateCount(patternSQL string) (float64, error) {
+	f, err := s.EstimateFrequency(patternSQL)
+	if err != nil {
+		return 0, err
+	}
+	return f * float64(s.c.Mixture.Total), nil
+}
+
+// Visualize renders the summary as per-cluster shaded pseudo-queries
+// (paper Figure 1a / Figure 10 / Appendix E).
+func (s *Summary) Visualize() string {
+	return core.Visualize(s.c.Mixture, s.book, core.VisualizeOptions{})
+}
+
+// VisualizeHTML renders the summary as a self-contained HTML document with
+// marginal-shaded features — the screen version of the paper's Figure 1a.
+func (s *Summary) VisualizeHTML() string {
+	return core.VisualizeHTML(s.c.Mixture, s.book, core.VisualizeOptions{})
+}
+
+// IndexPlan is the outcome of what-if index selection over the summary.
+type IndexPlan struct {
+	// Predicates are the chosen index keys in greedy selection order.
+	Predicates []string
+	// CostBefore/CostAfter are estimated workload costs in scan units.
+	CostBefore, CostAfter float64
+	// Steps records the estimated cost after each successive index.
+	Steps []float64
+}
+
+// PlanIndexes runs the Section 2 what-if simulation loop: greedily pick up
+// to budget indexes, re-estimating workload cost from the summary after
+// each choice. Zero-valued CostModel fields take defaults (scan 1.0,
+// indexed 0.1, maintenance 0.002/query).
+func (s *Summary) PlanIndexes(budget int, cm CostModel) IndexPlan {
+	plan := apps.SelectIndexesWhatIf(s.c.Mixture, s.book, budget, apps.CostModel{
+		ScanCost: cm.ScanCost, IndexCost: cm.IndexCost, MaintenanceCost: cm.MaintenanceCost,
+	})
+	return IndexPlan{
+		Predicates: plan.Predicates,
+		CostBefore: plan.CostBefore,
+		CostAfter:  plan.CostAfter,
+		Steps:      plan.Steps,
+	}
+}
+
+// CostModel parameterizes PlanIndexes (see apps package for semantics).
+type CostModel struct {
+	ScanCost        float64
+	IndexCost       float64
+	MaintenanceCost float64
+}
+
+// Save serializes the summary (mixture encoding + codebook) as JSON. The
+// artifact is self-contained: ReadSummary restores estimation,
+// visualization and the analytics applications without the original log.
+func (s *Summary) Save(w io.Writer) error {
+	return core.WriteSummary(w, s.c.Mixture, s.book)
+}
+
+// ReadSummary restores a summary saved with Save.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	m, book, err := core.ReadSummary(r)
+	if err != nil {
+		return nil, err
+	}
+	// Error against ground truth is unknown without the log; mark NaN.
+	return &Summary{c: &core.Compressed{Mixture: m, Err: math.NaN()}, book: book}, nil
+}
+
+// IndexSuggestion recommends indexing a column because predicates on it
+// dominate the workload.
+type IndexSuggestion struct {
+	Table      string
+	Predicate  string
+	Frequency  float64
+	EstQueries float64
+}
+
+// SuggestIndexes runs the Section 2 index-selection analysis over the
+// summary.
+func (s *Summary) SuggestIndexes(minFrequency float64) []IndexSuggestion {
+	raw := apps.SuggestIndexes(s.c.Mixture, s.book, minFrequency)
+	out := make([]IndexSuggestion, len(raw))
+	for i, r := range raw {
+		out[i] = IndexSuggestion{Table: r.Table, Predicate: r.Predicate, Frequency: r.Frequency, EstQueries: r.EstQueries}
+	}
+	return out
+}
+
+// ViewCandidate is a table pair frequently queried together.
+type ViewCandidate struct {
+	Tables    []string
+	Frequency float64
+}
+
+// SuggestViews runs the Section 2 materialized-view analysis over the
+// summary.
+func (s *Summary) SuggestViews(minFrequency float64) []ViewCandidate {
+	raw := apps.SuggestViews(s.c.Mixture, s.book, minFrequency)
+	out := make([]ViewCandidate, len(raw))
+	for i, r := range raw {
+		out[i] = ViewCandidate{Tables: r.Tables, Frequency: r.Frequency}
+	}
+	return out
+}
+
+// Correlation is a feature co-occurrence pattern the naive encoding
+// misrepresents, ranked by corr_rank (Section 6.4); Query is its decoded
+// SQL rendering.
+type Correlation struct {
+	Query string
+	Score float64
+}
+
+// TopCorrelations mines the k patterns whose true frequency deviates most
+// from the summary's independence assumption — the candidates LogR's
+// hypothetical refinement stage would add.
+func (s *Summary) TopCorrelations(w *Workload, k int) []Correlation {
+	e := core.NaiveEncode(w.res.Log)
+	cands := core.CandidatePatterns(w.res.Log, e, 0.01, k)
+	out := make([]Correlation, 0, len(cands))
+	for _, c := range cands {
+		sql := "(undecodable pattern)"
+		if sel, err := s.book.Decode(c.Pattern); err == nil {
+			sql = sel.SQL()
+		}
+		out = append(out, Correlation{Query: sql, Score: c.Score})
+	}
+	return out
+}
+
+// DriftReport quantifies how far a query window strays from the summarized
+// baseline workload.
+type DriftReport struct {
+	Score       float64 // average surprisal gap, nats/query
+	NoveltyRate float64 // fraction of queries with never-seen features
+	Alert       bool
+}
+
+// CheckDrift scores a window of queries against the baseline summary
+// (Section 2's online-monitoring application). The report's Score is the
+// window's excess surprisal under the baseline (≈ 0 for baseline-like
+// traffic); NoveltyRate is the fraction of queries the baseline cannot
+// explain at all.
+func (s *Summary) CheckDrift(window []Entry) DriftReport {
+	det := apps.NewDriftDetector(s.c.Mixture)
+	// encode the window against the baseline codebook WITHOUT registering
+	// new features; queries with unknown features count as novel.
+	l := core.NewLog(s.c.Mixture.Universe)
+	unknownCount := 0
+	for _, e := range window {
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		idx, unknown, err := windowIndices(s.book, e.SQL)
+		if err != nil || len(unknown) > 0 {
+			unknownCount += c
+			continue
+		}
+		v := bitvec.New(s.c.Mixture.Universe)
+		for _, i := range idx {
+			v.Set(i)
+		}
+		l.Add(v, c)
+	}
+	rep := det.Check(l, unknownCount)
+	return DriftReport{Score: rep.Score, NoveltyRate: rep.NoveltyRate, Alert: rep.Alert}
+}
