@@ -23,7 +23,9 @@ import (
 	"sync"
 	"testing"
 
+	"logr"
 	"logr/internal/experiments"
+	"logr/internal/workload"
 )
 
 func benchScale() experiments.Scale {
@@ -43,6 +45,89 @@ func printOnce(key, body string) {
 		fmt.Printf("\n%s\n", body)
 	}
 }
+
+// --- Parallel pipeline benchmarks -----------------------------------------
+//
+// BenchmarkCompress* measure the sharded encode→cluster→sweep pipeline at
+// fixed parallelism levels. Compare P1 vs P4 on a 4+ core machine to see the
+// pool's speedup; the compressed output is bit-identical across levels for a
+// fixed seed (asserted by TestCompressDeterministicAcrossParallelism).
+//
+//	go test -run '^$' -bench 'BenchmarkCompress' .
+
+var compressBenchOnce struct {
+	sync.Once
+	w *logr.Workload
+}
+
+func compressBenchWorkload() *logr.Workload {
+	compressBenchOnce.Do(func() {
+		raw := workload.PocketData(workload.PocketDataConfig{TotalQueries: 50000, DistinctTarget: 605, Seed: 1})
+		entries := make([]logr.Entry, len(raw))
+		for i, e := range raw {
+			entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+		}
+		compressBenchOnce.w = logr.FromEntries(entries)
+		compressBenchOnce.w.Queries() // materialize the snapshot up front
+	})
+	return compressBenchOnce.w
+}
+
+func benchCompress(b *testing.B, opts logr.CompressOptions) {
+	w := compressBenchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Compress(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressKMeansP1(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Clusters: 8, Seed: 1, Parallelism: 1})
+}
+
+func BenchmarkCompressKMeansP4(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Clusters: 8, Seed: 1, Parallelism: 4})
+}
+
+func BenchmarkCompressKMeansPAll(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Clusters: 8, Seed: 1})
+}
+
+func BenchmarkCompressSweepP1(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Seed: 1, TargetError: 0.05, MaxClusters: 12, Parallelism: 1})
+}
+
+func BenchmarkCompressSweepP4(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Seed: 1, TargetError: 0.05, MaxClusters: 12, Parallelism: 4})
+}
+
+func BenchmarkCompressHierarchicalP1(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Clusters: 8, Method: "hierarchical", Seed: 1, Parallelism: 1})
+}
+
+func BenchmarkCompressHierarchicalP4(b *testing.B) {
+	benchCompress(b, logr.CompressOptions{Clusters: 8, Method: "hierarchical", Seed: 1, Parallelism: 4})
+}
+
+func benchEncode(b *testing.B, par int) {
+	raw := workload.PocketData(workload.PocketDataConfig{TotalQueries: 20000, DistinctTarget: 605, Seed: 1})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := logr.FromEntriesWithOptions(entries, logr.Options{Parallelism: par})
+		w.Queries()
+	}
+}
+
+func BenchmarkEncodeP1(b *testing.B) { benchEncode(b, 1) }
+func BenchmarkEncodeP4(b *testing.B) { benchEncode(b, 4) }
+
+// --------------------------------------------------------------------------
 
 func BenchmarkTable1(b *testing.B) {
 	s := benchScale()

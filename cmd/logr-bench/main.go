@@ -13,18 +13,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"logr/internal/experiments"
 )
+
+// perfRecord is one experiment's wall-time entry in the -perf snapshot.
+type perfRecord struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// perfSnapshot is the JSON document `make bench` archives as BENCH_*.json.
+type perfSnapshot struct {
+	Timestamp  string       `json:"timestamp"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Records    []perfRecord `json:"records"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, all)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	csvDir := flag.String("csv", "", "directory for CSV series (created if missing)")
+	perfOut := flag.String("perf", "", "write a JSON perf snapshot (per-experiment wall time) to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -144,10 +163,37 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9"}
 	}
+	snap := perfSnapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	for _, id := range ids {
+		start := time.Now()
 		if err := run(id); err != nil {
 			fmt.Fprintln(os.Stderr, "logr-bench:", err)
 			os.Exit(1)
 		}
+		snap.Records = append(snap.Records, perfRecord{
+			Experiment: id, Scale: *scaleName, Seconds: time.Since(start).Seconds(),
+		})
+	}
+	if *perfOut != "" {
+		f, err := os.Create(*perfOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logr-bench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "logr-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "logr-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(perf snapshot written to %s)\n", *perfOut)
 	}
 }

@@ -73,13 +73,14 @@ commands:
 run "logr <command> -h" for command flags`)
 }
 
-func loadWorkload(path string) (*logr.Workload, error) {
+func loadWorkload(path string, parallelism int) (*logr.Workload, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return logr.LoadCompact(f) // compact reader accepts plain lines too
+	// compact reader accepts plain lines too
+	return logr.LoadCompactWithOptions(f, logr.Options{Parallelism: parallelism})
 }
 
 func runGen(args []string) error {
@@ -128,13 +129,14 @@ func runGen(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "input log file")
+	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("stats: -in is required")
 	}
-	w, err := loadWorkload(*in)
+	w, err := loadWorkload(*in, *par)
 	if err != nil {
 		return err
 	}
@@ -153,32 +155,33 @@ func runStats(args []string) error {
 	return nil
 }
 
-func compressFlags(fs *flag.FlagSet) (in *string, k *int, method, metric *string, target *float64, seed *int64) {
+func compressFlags(fs *flag.FlagSet) (in *string, k *int, method, metric *string, target *float64, seed *int64, par *int) {
 	in = fs.String("in", "", "input log file")
 	k = fs.Int("k", 0, "clusters (0 = auto sweep)")
 	method = fs.String("method", "kmeans", "kmeans | spectral | hierarchical")
 	metric = fs.String("metric", "hamming", "distance for spectral/hierarchical")
 	target = fs.Float64("target", 1.0, "target error for the auto sweep (nats)")
 	seed = fs.Int64("seed", 1, "clustering seed")
+	par = fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
 	return
 }
 
 func compressFrom(args []string, name string) (*logr.Workload, *logr.Summary, error) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	in, k, method, metric, target, seed := compressFlags(fs)
+	in, k, method, metric, target, seed, par := compressFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
 	if *in == "" {
 		return nil, nil, fmt.Errorf("%s: -in is required", name)
 	}
-	w, err := loadWorkload(*in)
+	w, err := loadWorkload(*in, *par)
 	if err != nil {
 		return nil, nil, err
 	}
 	s, err := w.Compress(logr.CompressOptions{
 		Clusters: *k, Method: *method, Metric: *metric,
-		TargetError: *target, Seed: *seed,
+		TargetError: *target, Seed: *seed, Parallelism: *par,
 	})
 	return w, s, err
 }
@@ -196,7 +199,7 @@ func runCompress(args []string) error {
 
 func runInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	in, k, method, metric, target, seed := compressFlags(fs)
+	in, k, method, metric, target, seed, par := compressFlags(fs)
 	asHTML := fs.Bool("html", false, "emit an HTML document instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -204,12 +207,12 @@ func runInspect(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("inspect: -in is required")
 	}
-	w, err := loadWorkload(*in)
+	w, err := loadWorkload(*in, *par)
 	if err != nil {
 		return err
 	}
 	s, err := w.Compress(logr.CompressOptions{
-		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed,
+		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed, Parallelism: *par,
 	})
 	if err != nil {
 		return err
@@ -224,7 +227,7 @@ func runInspect(args []string) error {
 
 func runEstimate(args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
-	in, k, method, metric, target, seed := compressFlags(fs)
+	in, k, method, metric, target, seed, par := compressFlags(fs)
 	q := fs.String("q", "", "pattern query, e.g. \"SELECT * FROM t WHERE x = ?\"")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -232,12 +235,12 @@ func runEstimate(args []string) error {
 	if *in == "" || *q == "" {
 		return fmt.Errorf("estimate: -in and -q are required")
 	}
-	w, err := loadWorkload(*in)
+	w, err := loadWorkload(*in, *par)
 	if err != nil {
 		return err
 	}
 	s, err := w.Compress(logr.CompressOptions{
-		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed,
+		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed, Parallelism: *par,
 	})
 	if err != nil {
 		return err
@@ -263,17 +266,18 @@ func runDrift(args []string) error {
 	window := fs.String("window", "", "window log file to score")
 	k := fs.Int("k", 8, "baseline clusters")
 	seed := fs.Int64("seed", 1, "clustering seed")
+	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *baseline == "" || *window == "" {
 		return fmt.Errorf("drift: -baseline and -window are required")
 	}
-	w, err := loadWorkload(*baseline)
+	w, err := loadWorkload(*baseline, *par)
 	if err != nil {
 		return err
 	}
-	s, err := w.Compress(logr.CompressOptions{Clusters: *k, Seed: *seed})
+	s, err := w.Compress(logr.CompressOptions{Clusters: *k, Seed: *seed, Parallelism: *par})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module logr
+
+go 1.22

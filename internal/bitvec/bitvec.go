@@ -183,6 +183,20 @@ func (v Vector) OrInPlace(u Vector) {
 	}
 }
 
+// AndCount returns |v ∧ u|, the popcount of the intersection, without
+// allocating. Together with Count it gives a branch-light containment test
+// (b ⊆ v iff |b ∧ v| = |b|) that batch counting loops exploit.
+func (v Vector) AndCount(u Vector) int {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	c := 0
+	for i := range v.words {
+		c += bits.OnesCount64(v.words[i] & u.words[i])
+	}
+	return c
+}
+
 // Hamming returns the Hamming distance |{i : v_i ≠ u_i}|.
 func (v Vector) Hamming(u Vector) int {
 	if v.n != u.n {

@@ -32,9 +32,16 @@ func (d *Dendrogram) MergeDistances() []float64 {
 }
 
 // Hierarchical builds an average-linkage (UPGMA) dendrogram over weighted
-// points. Average linkage is monotone: merge distances never decrease, so
-// every Cut(K) nests inside Cut(K-1).
+// points with all cores. Average linkage is monotone: merge distances never
+// decrease, so every Cut(K) nests inside Cut(K-1).
 func Hierarchical(points [][]float64, weights []float64, dist DistanceFunc) *Dendrogram {
+	return HierarchicalP(points, weights, dist, 0)
+}
+
+// HierarchicalP is Hierarchical with an explicit worker bound (p ≤ 0 = all
+// cores). The O(n²·d) distance-matrix build fans out; the agglomeration loop
+// itself is serial, so the dendrogram is identical at any parallelism.
+func HierarchicalP(points [][]float64, weights []float64, dist DistanceFunc, p int) *Dendrogram {
 	n := len(points)
 	d := &Dendrogram{n: n}
 	if n <= 1 {
@@ -62,7 +69,7 @@ func Hierarchical(points [][]float64, weights []float64, dist DistanceFunc) *Den
 	for i := range active {
 		active[i] = clust{id: i, mass: w[i]}
 	}
-	dm := distanceMatrix(points, dist)
+	dm := distanceMatrix(points, dist, p)
 
 	nextID := n
 	for len(active) > 1 {

@@ -3,6 +3,9 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"logr/internal/parallel"
 )
 
 // KMeansOptions configure Lloyd's algorithm.
@@ -11,11 +14,22 @@ type KMeansOptions struct {
 	MaxIter  int   // default 100
 	Restarts int   // independent runs, best inertia wins; default 1
 	Seed     int64 // RNG seed for reproducible experiments
+	// Parallelism bounds the worker count; ≤ 0 means all cores, 1 forces a
+	// serial run. Results are bit-identical at any parallelism for a fixed
+	// Seed: restarts draw pre-assigned seeds from the master RNG and the
+	// per-point reductions merge fixed-boundary chunks in order.
+	Parallelism int
 }
 
 // KMeans clusters weighted points with Lloyd's algorithm and k-means++
 // seeding (Euclidean geometry, matching the paper's "KMeans Euclidean"
 // configuration). weights may be nil for unweighted clustering.
+//
+// Restarts run concurrently, each on its own RNG seeded from the master
+// stream; ties between restarts break toward the lowest restart index, so
+// the winner does not depend on completion order. Within a run, the O(n·K·d)
+// assignment step — the hot loop the paper's experiments are bottlenecked
+// on — fans out over the worker pool.
 //
 // If K ≥ the number of distinct points, each distinct point becomes its own
 // cluster. Empty clusters are re-seeded from the point farthest from its
@@ -43,28 +57,63 @@ func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignmen
 		}
 	}
 
+	// Pre-draw one seed per restart so restart r's RNG stream is fixed
+	// regardless of which worker runs it or when.
 	rng := rand.New(rand.NewSource(opts.Seed))
+	seeds := make([]int64, opts.Restarts)
+	for r := range seeds {
+		seeds[r] = rng.Int63()
+	}
+	// Split the worker budget between concurrent restarts and the per-point
+	// loops inside each run, so the total worker count stays bounded by
+	// Parallelism rather than multiplying across nesting levels.
+	par := parallel.Degree(opts.Parallelism)
+	concurrent := par
+	if concurrent > opts.Restarts {
+		concurrent = opts.Restarts
+	}
+	inner := par / concurrent
+	if inner < 1 {
+		inner = 1
+	}
+	type runResult struct {
+		labels  []int
+		inertia float64
+	}
+	results := make([]runResult, opts.Restarts)
+	tasks := make([]func(), opts.Restarts)
+	for r := range tasks {
+		r := r
+		tasks[r] = func() {
+			labels, inertia := kmeansRun(points, w, k, opts.MaxIter, rand.New(rand.NewSource(seeds[r])), inner)
+			results[r] = runResult{labels, inertia}
+		}
+	}
+	parallel.Do(concurrent, tasks...)
+
 	best := Assignment{}
 	bestInertia := math.Inf(1)
-	for r := 0; r < opts.Restarts; r++ {
-		labels, inertia := kmeansRun(points, w, k, opts.MaxIter, rng)
-		if inertia < bestInertia {
-			bestInertia = inertia
-			best = Assignment{Labels: labels, K: k}
+	for _, res := range results {
+		if res.inertia < bestInertia {
+			bestInertia = res.inertia
+			best = Assignment{Labels: res.labels, K: k}
 		}
 	}
 	relabelCompact(&best)
 	return best
 }
 
-func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand) ([]int, float64) {
+func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand, par int) ([]int, float64) {
 	n, dim := len(points), len(points[0])
-	cents := seedPlusPlus(points, w, k, rng)
+	cents := seedPlusPlus(points, w, k, rng, par)
 	labels := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		// assignment step
-		for i, p := range points {
+		// assignment step: each point independently finds its nearest
+		// centroid, so the loop fans out; `changed` is an OR over points and
+		// insensitive to update order.
+		var changed atomic.Bool
+		parallel.For(n, par, func(i int) {
+			p := points[i]
 			bi, bd := 0, math.Inf(1)
 			for c := range cents {
 				d := sqDist(p, cents[c])
@@ -74,10 +123,11 @@ func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand) 
 			}
 			if labels[i] != bi {
 				labels[i] = bi
-				changed = true
+				changed.Store(true)
 			}
-		}
-		// update step
+		})
+		// update step: O(n·d), an order of magnitude cheaper than
+		// assignment; kept serial so centroid sums have a fixed float order.
 		sums := make([][]float64, k)
 		mass := make([]float64, k)
 		for c := range sums {
@@ -101,26 +151,39 @@ func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand) 
 					}
 				}
 				copy(cents[c], points[far])
-				changed = true
+				changed.Store(true)
 				continue
 			}
 			for j := 0; j < dim; j++ {
 				cents[c][j] = sums[c][j] / mass[c]
 			}
 		}
-		if !changed {
+		if !changed.Load() {
 			break
 		}
 	}
+	// inertia: chunk partials merged in chunk order keep the float sum
+	// identical at any parallelism.
+	nc := parallel.Chunks(n)
+	partial := make([]float64, nc)
+	parallel.ForChunks(n, par, func(c, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += w[i] * sqDist(points[i], cents[labels[i]])
+		}
+		partial[c] = s
+	})
 	inertia := 0.0
-	for i, p := range points {
-		inertia += w[i] * sqDist(p, cents[labels[i]])
+	for _, s := range partial {
+		inertia += s
 	}
 	return labels, inertia
 }
 
-// seedPlusPlus performs weighted k-means++ initialization.
-func seedPlusPlus(points [][]float64, w []float64, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus performs weighted k-means++ initialization. The O(n·d)
+// distance-to-nearest-center refresh after each pick fans out; the RNG draws
+// stay serial, so the chosen centers are parallelism-independent.
+func seedPlusPlus(points [][]float64, w []float64, k int, rng *rand.Rand, par int) [][]float64 {
 	n, dim := len(points), len(points[0])
 	cents := make([][]float64, 0, k)
 	first := weightedPick(w, rng)
@@ -128,9 +191,9 @@ func seedPlusPlus(points [][]float64, w []float64, k int, rng *rand.Rand) [][]fl
 	copy(c0, points[first])
 	cents = append(cents, c0)
 	d2 := make([]float64, n)
-	for i, p := range points {
-		d2[i] = sqDist(p, cents[0])
-	}
+	parallel.For(n, par, func(i int) {
+		d2[i] = sqDist(points[i], cents[0])
+	})
 	for len(cents) < k {
 		probs := make([]float64, n)
 		total := 0.0
@@ -147,11 +210,11 @@ func seedPlusPlus(points [][]float64, w []float64, k int, rng *rand.Rand) [][]fl
 		c := make([]float64, dim)
 		copy(c, points[pick])
 		cents = append(cents, c)
-		for i, p := range points {
-			if d := sqDist(p, c); d < d2[i] {
+		parallel.For(n, par, func(i int) {
+			if d := sqDist(points[i], c); d < d2[i] {
 				d2[i] = d
 			}
-		}
+		})
 	}
 	return cents
 }

@@ -14,6 +14,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"logr/internal/parallel"
 )
 
 // Metric enumerates the built-in distance measures.
@@ -151,19 +153,23 @@ func (a Assignment) Partition() [][]int {
 	return out
 }
 
-// distanceMatrix computes the full symmetric pairwise distance matrix.
-func distanceMatrix(points [][]float64, dist DistanceFunc) [][]float64 {
+// distanceMatrix computes the full symmetric pairwise distance matrix — the
+// O(n²·d) cost that dominates spectral and hierarchical clustering — over up
+// to p workers (p ≤ 0 = all cores). The upper triangle is split by row; the
+// worker for row i also mirrors into d[j][i] (j > i), so every matrix
+// element has exactly one writer and the result is parallelism-independent.
+func distanceMatrix(points [][]float64, dist DistanceFunc, p int) [][]float64 {
 	n := len(points)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	parallel.For(n, p, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := dist(points[i], points[j])
 			d[i][j] = v
 			d[j][i] = v
 		}
-	}
+	})
 	return d
 }

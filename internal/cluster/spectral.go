@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"logr/internal/linalg"
+	"logr/internal/parallel"
 )
 
 // SpectralOptions configure normalized spectral clustering.
@@ -21,6 +22,10 @@ type SpectralOptions struct {
 	Sigma float64
 	// Seed feeds the k-means stage on the spectral embedding.
 	Seed int64
+	// Parallelism bounds the worker count (≤ 0 = all cores). The distance
+	// matrix, affinity/Laplacian build and the k-means stage fan out; the
+	// eigensolve stays serial, so results are identical at any parallelism.
+	Parallelism int
 }
 
 // Spectral performs normalized spectral clustering (Ng–Jordan–Weiss):
@@ -44,11 +49,11 @@ func Spectral(points [][]float64, weights []float64, opts SpectralOptions) (Assi
 		}
 		return Assignment{Labels: labels, K: n}, nil
 	}
-	m, err := NewSpectralModel(points, opts.Dist, opts.Sigma)
+	m, err := NewSpectralModelP(points, opts.Dist, opts.Sigma, opts.Parallelism)
 	if err != nil {
 		return Assignment{}, err
 	}
-	return m.Cluster(opts.K, weights, opts.Seed), nil
+	return m.ClusterP(opts.K, weights, opts.Seed, opts.Parallelism), nil
 }
 
 // SpectralModel caches the Laplacian eigendecomposition of a point set so
@@ -62,8 +67,17 @@ type SpectralModel struct {
 	BuildTime time.Duration
 }
 
-// NewSpectralModel computes the normalized-Laplacian eigenbasis.
+// NewSpectralModel computes the normalized-Laplacian eigenbasis with all
+// cores.
 func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*SpectralModel, error) {
+	return NewSpectralModelP(points, dist, sigma, 0)
+}
+
+// NewSpectralModelP is NewSpectralModel with an explicit worker bound
+// (p ≤ 0 = all cores). The O(n²) distance, affinity and Laplacian passes
+// fan out by row — each row has one writer, and deg[i] accumulates serially
+// within its row — so the model is identical at any parallelism.
+func NewSpectralModelP(points [][]float64, dist DistanceFunc, sigma float64, p int) (*SpectralModel, error) {
 	start := time.Now()
 	n := len(points)
 	if n == 0 {
@@ -72,7 +86,7 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 	if dist == nil {
 		dist = MetricFunc(Euclidean, 0)
 	}
-	dm := distanceMatrix(points, dist)
+	dm := distanceMatrix(points, dist, p)
 	if sigma <= 0 {
 		sigma = medianPositive(dm)
 		if sigma == 0 {
@@ -82,7 +96,7 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 	// affinity and degree
 	w := linalg.NewMatrix(n, n)
 	deg := make([]float64, n)
-	for i := 0; i < n; i++ {
+	parallel.For(n, p, func(i int) {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
@@ -91,13 +105,13 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 			w.Set(i, j, a)
 			deg[i] += a
 		}
-	}
+	})
 	// L_sym = I - D^{-1/2} W D^{-1/2}
 	l := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	parallel.For(n, p, func(i int) {
 		l.Set(i, i, 1)
 		if deg[i] == 0 {
-			continue
+			return
 		}
 		for j := 0; j < n; j++ {
 			if i == j || deg[j] == 0 {
@@ -105,7 +119,7 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 			}
 			l.Set(i, j, -w.At(i, j)/math.Sqrt(deg[i]*deg[j]))
 		}
-	}
+	})
 	_, vecs, err := linalg.SymEigen(l)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: spectral eigensolve: %w", err)
@@ -114,8 +128,13 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 }
 
 // Cluster embeds the points into the K smallest eigenvectors (rows
-// normalized) and k-means them.
+// normalized) and k-means them with all cores.
 func (m *SpectralModel) Cluster(k int, weights []float64, seed int64) Assignment {
+	return m.ClusterP(k, weights, seed, 0)
+}
+
+// ClusterP is Cluster with an explicit worker bound (p ≤ 0 = all cores).
+func (m *SpectralModel) ClusterP(k int, weights []float64, seed int64, p int) Assignment {
 	n := m.n
 	if n == 0 || k <= 0 {
 		return Assignment{Labels: make([]int, n), K: maxInt(k, 1)}
@@ -128,7 +147,7 @@ func (m *SpectralModel) Cluster(k int, weights []float64, seed int64) Assignment
 		return Assignment{Labels: labels, K: n}
 	}
 	embed := make([][]float64, n)
-	for i := 0; i < n; i++ {
+	parallel.For(n, p, func(i int) {
 		row := make([]float64, k)
 		norm := 0.0
 		for c := 0; c < k; c++ {
@@ -142,8 +161,8 @@ func (m *SpectralModel) Cluster(k int, weights []float64, seed int64) Assignment
 			}
 		}
 		embed[i] = row
-	}
-	return KMeans(embed, weights, KMeansOptions{K: k, Seed: seed, Restarts: 3})
+	})
+	return KMeans(embed, weights, KMeansOptions{K: k, Seed: seed, Restarts: 3, Parallelism: p})
 }
 
 func medianPositive(dm [][]float64) float64 {

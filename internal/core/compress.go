@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"logr/internal/cluster"
+	"logr/internal/parallel"
 )
 
 // Method selects the partitioning algorithm LogR uses to construct naive
@@ -53,6 +54,11 @@ type CompressOptions struct {
 	TargetError float64
 	// MaxK bounds the auto sweep (default 32).
 	MaxK int
+	// Parallelism bounds the worker count for every stage — clustering, the
+	// auto sweep's candidate evaluations, mixture construction and Error
+	// scoring. ≤ 0 means all cores; 1 forces serial execution. Output is
+	// bit-identical at any parallelism for a fixed Seed.
+	Parallelism int
 }
 
 // Compressed is the result of LogR compression: the naive mixture encoding
@@ -83,37 +89,67 @@ func Compress(l *Log, opts CompressOptions) (*Compressed, error) {
 	if maxK <= 0 {
 		maxK = 32
 	}
-	// Auto sweeps over the hierarchical method reuse one dendrogram: its
-	// cuts nest (Section 6.1's motivation for hierarchical clustering), so
-	// the K sweep costs a single O(n²·n) build plus cheap cuts.
+	// Every candidate K clusters the same immutable dense matrix, so build
+	// it once. Auto sweeps over the hierarchical method additionally reuse
+	// one dendrogram: its cuts nest (Section 6.1's motivation for
+	// hierarchical clustering), so the K sweep costs a single O(n²·n) build
+	// plus cheap cuts.
+	points, weights := l.DenseP(opts.Parallelism)
 	var dendro *cluster.Dendrogram
 	if opts.Method == HierarchicalMethod {
-		points, weights := l.Dense()
-		dendro = cluster.Hierarchical(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP))
+		dendro = cluster.HierarchicalP(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
+	}
+	// The sweep evaluates candidate Ks in ascending waves of Parallelism
+	// candidates each. Within a wave the evaluations run concurrently (each
+	// is seeded independently, so a candidate's result never depends on its
+	// neighbors); the wave is then scanned in ascending K, which returns
+	// exactly the candidate a serial sweep would have stopped at. The
+	// worker budget is split between the wave and the candidates inside it,
+	// so the total stays bounded by Parallelism rather than multiplying.
+	par := parallel.Degree(opts.Parallelism)
+	evalK := func(k, inner int) (*Compressed, error) {
+		if dendro != nil {
+			return fromAssignment(l, dendro.Cut(k), inner)
+		}
+		innerOpts := opts
+		innerOpts.Parallelism = inner
+		return compressDense(l, points, weights, innerOpts, k)
 	}
 	var best *Compressed
-	for k := 1; k <= maxK; k++ {
-		var c *Compressed
-		var err error
-		if dendro != nil {
-			c, err = fromAssignment(l, dendro.Cut(k))
-		} else {
-			c, err = compressK(l, opts, k)
+	for lo := 1; lo <= maxK; lo += par {
+		hi := lo + par - 1
+		if hi > maxK {
+			hi = maxK
 		}
-		if err != nil {
-			return nil, err
+		width := hi - lo + 1
+		inner := par / width
+		if inner < 1 {
+			inner = 1
 		}
-		best = c
-		if c.Err <= opts.TargetError {
-			break
+		cands := make([]*Compressed, width)
+		errs := make([]error, width)
+		tasks := make([]func(), width)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { cands[i], errs[i] = evalK(lo+i, inner) }
+		}
+		parallel.Do(par, tasks...)
+		for i := range cands {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			best = cands[i]
+			if best.Err <= opts.TargetError {
+				return best, nil
+			}
 		}
 	}
 	return best, nil
 }
 
-func fromAssignment(l *Log, asg cluster.Assignment) (*Compressed, error) {
-	mix, parts := BuildNaiveMixture(l, asg)
-	e, err := mix.Error(parts)
+func fromAssignment(l *Log, asg cluster.Assignment, par int) (*Compressed, error) {
+	mix, parts := BuildNaiveMixtureP(l, asg, par)
+	e, err := mix.ErrorP(parts, par)
 	if err != nil {
 		return nil, err
 	}
@@ -121,31 +157,33 @@ func fromAssignment(l *Log, asg cluster.Assignment) (*Compressed, error) {
 }
 
 func compressK(l *Log, opts CompressOptions, k int) (*Compressed, error) {
-	points, weights := l.Dense()
+	points, weights := l.DenseP(opts.Parallelism)
+	return compressDense(l, points, weights, opts, k)
+}
+
+// compressDense is compressK over a pre-built dense matrix, letting the
+// auto sweep share one matrix across all candidate Ks.
+func compressDense(l *Log, points [][]float64, weights []float64, opts CompressOptions, k int) (*Compressed, error) {
 	var asg cluster.Assignment
 	switch opts.Method {
 	case KMeansMethod:
-		asg = cluster.KMeans(points, weights, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3})
+		asg = cluster.KMeans(points, weights, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism})
 	case SpectralMethod:
 		var err error
 		asg, err = cluster.Spectral(points, weights, cluster.SpectralOptions{
-			K:    k,
-			Dist: cluster.MetricFunc(opts.Metric, opts.MinkowskiP),
-			Seed: opts.Seed,
+			K:           k,
+			Dist:        cluster.MetricFunc(opts.Metric, opts.MinkowskiP),
+			Seed:        opts.Seed,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: spectral clustering: %w", err)
 		}
 	case HierarchicalMethod:
-		d := cluster.Hierarchical(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP))
+		d := cluster.HierarchicalP(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
 		asg = d.Cut(k)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
 	}
-	mix, parts := BuildNaiveMixture(l, asg)
-	e, err := mix.Error(parts)
-	if err != nil {
-		return nil, err
-	}
-	return &Compressed{Mixture: mix, Assignment: asg, Parts: parts, Err: e}, nil
+	return fromAssignment(l, asg, opts.Parallelism)
 }

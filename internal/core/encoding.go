@@ -78,12 +78,25 @@ type PatternEncoding struct {
 }
 
 // NewPatternEncoding builds an encoding of l from the given patterns,
-// reading each pattern's true marginal off the log.
+// reading every pattern's true marginal off the log in one batched
+// containment pass on all cores. Use NewPatternEncodingP to bound the
+// workers.
 func NewPatternEncoding(l *Log, patterns []bitvec.Vector) PatternEncoding {
+	return NewPatternEncodingP(l, patterns, 0)
+}
+
+// NewPatternEncodingP is NewPatternEncoding with an explicit worker bound
+// (p ≤ 0 = all cores).
+func NewPatternEncodingP(l *Log, patterns []bitvec.Vector, par int) PatternEncoding {
 	e := PatternEncoding{Universe: l.Universe(), Count: l.Total()}
-	for _, b := range patterns {
+	counts := l.CountBatch(patterns, par)
+	for i, b := range patterns {
 		e.Patterns = append(e.Patterns, b.Clone())
-		e.Marginals = append(e.Marginals, l.Marginal(b))
+		m := 0.0
+		if l.Total() > 0 {
+			m = float64(counts[i]) / float64(l.Total())
+		}
+		e.Marginals = append(e.Marginals, m)
 	}
 	return e
 }

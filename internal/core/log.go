@@ -13,6 +13,7 @@ import (
 
 	"logr/internal/bitvec"
 	"logr/internal/cluster"
+	"logr/internal/parallel"
 )
 
 // Log is a bag of encoded queries: the empirical distribution p(Q | L) over
@@ -78,15 +79,69 @@ func (l *Log) MaxMultiplicity() int {
 }
 
 // Count returns Γ_b(L) = |{q ∈ L : b ⊆ q}|, the exact number of log entries
-// containing pattern b — the statistic client applications ask for.
+// containing pattern b — the statistic client applications ask for. The
+// scan uses all cores; integer partials make the result exact at any
+// parallelism. Use CountP to bound the workers.
 func (l *Log) Count(b bitvec.Vector) int {
-	c := 0
-	for i, v := range l.vecs {
-		if v.Contains(b) {
-			c += l.mult[i]
+	return l.CountP(b, 0)
+}
+
+// CountP is Count with an explicit worker bound (p ≤ 0 = all cores).
+func (l *Log) CountP(b bitvec.Vector, p int) int {
+	nc := parallel.Chunks(len(l.vecs))
+	partial := make([]int, nc)
+	parallel.ForChunks(len(l.vecs), p, func(c, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			if l.vecs[i].Contains(b) {
+				s += l.mult[i]
+			}
 		}
+		partial[c] = s
+	})
+	c := 0
+	for _, s := range partial {
+		c += s
 	}
 	return c
+}
+
+// CountBatch returns Γ_b(L) for every pattern in bs, sharing a single pass
+// over the log's distinct vectors (far better cache behavior than len(bs)
+// separate Count calls). The containment test is word-packed and
+// popcount-based: b ⊆ v iff |b ∧ v| = |b|. The scan is chunked over up to p
+// workers (p ≤ 0 = all cores); counts are integers, so results are exact
+// and identical at any parallelism.
+func (l *Log) CountBatch(bs []bitvec.Vector, p int) []int {
+	out := make([]int, len(bs))
+	if len(bs) == 0 || len(l.vecs) == 0 {
+		return out
+	}
+	need := make([]int, len(bs))
+	for j, b := range bs {
+		need[j] = b.Count()
+	}
+	nc := parallel.Chunks(len(l.vecs))
+	partial := make([][]int, nc)
+	parallel.ForChunks(len(l.vecs), p, func(c, lo, hi int) {
+		cnt := make([]int, len(bs))
+		for i := lo; i < hi; i++ {
+			v := l.vecs[i]
+			m := l.mult[i]
+			for j, b := range bs {
+				if v.AndCount(b) == need[j] {
+					cnt[j] += m
+				}
+			}
+		}
+		partial[c] = cnt
+	})
+	for _, cnt := range partial {
+		for j, c := range cnt {
+			out[j] += c
+		}
+	}
+	return out
 }
 
 // Marginal returns p(Q ⊇ b | L) = Γ_b(L) / |L|.
@@ -165,12 +220,17 @@ func (l *Log) Prob(q bitvec.Vector) float64 {
 // weights — the clustering input (distinct queries weighted by multiplicity
 // is exactly equivalent to clustering the full log).
 func (l *Log) Dense() (points [][]float64, weights []float64) {
+	return l.DenseP(0)
+}
+
+// DenseP is Dense with an explicit worker bound (p ≤ 0 = all cores).
+func (l *Log) DenseP(p int) (points [][]float64, weights []float64) {
 	points = make([][]float64, len(l.vecs))
 	weights = make([]float64, len(l.vecs))
-	for i, v := range l.vecs {
-		points[i] = v.Dense()
+	parallel.For(len(l.vecs), p, func(i int) {
+		points[i] = l.vecs[i].Dense()
 		weights[i] = float64(l.mult[i])
-	}
+	})
 	return points, weights
 }
 

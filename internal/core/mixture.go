@@ -6,6 +6,7 @@ import (
 
 	"logr/internal/bitvec"
 	"logr/internal/cluster"
+	"logr/internal/parallel"
 )
 
 // Component is one cluster of a pattern mixture encoding: a naive encoding
@@ -26,9 +27,17 @@ type Mixture struct {
 	Total int
 }
 
-// BuildMixture encodes each partition of the log with a naive encoding.
-// The partition list usually comes from Log.Partition.
+// BuildMixture encodes each partition of the log with a naive encoding,
+// using all cores. The partition list usually comes from Log.Partition.
 func BuildMixture(parts []*Log) Mixture {
+	return BuildMixtureP(parts, 0)
+}
+
+// BuildMixtureP is BuildMixture with an explicit worker bound (p ≤ 0 = all
+// cores). Each partition's naive encoding is self-contained, so encoding
+// partitions concurrently and assembling components in partition order is
+// deterministic at any parallelism.
+func BuildMixtureP(parts []*Log, par int) Mixture {
 	total := 0
 	for _, p := range parts {
 		total += p.Total()
@@ -37,12 +46,18 @@ func BuildMixture(parts []*Log) Mixture {
 	if len(parts) > 0 {
 		m.Universe = parts[0].Universe()
 	}
-	for _, p := range parts {
+	encs := make([]Naive, len(parts))
+	parallel.For(len(parts), par, func(i int) {
+		if parts[i].Total() > 0 {
+			encs[i] = NaiveEncode(parts[i])
+		}
+	})
+	for i, p := range parts {
 		if p.Total() == 0 {
 			continue
 		}
 		m.Components = append(m.Components, Component{
-			Encoding: NaiveEncode(p),
+			Encoding: encs[i],
 			Weight:   float64(p.Total()) / float64(total),
 		})
 	}
@@ -53,8 +68,13 @@ func BuildMixture(parts []*Log) Mixture {
 // resulting naive mixture encoding together with the partition (needed to
 // evaluate Reproduction Error against ground truth).
 func BuildNaiveMixture(l *Log, asg cluster.Assignment) (Mixture, []*Log) {
+	return BuildNaiveMixtureP(l, asg, 0)
+}
+
+// BuildNaiveMixtureP is BuildNaiveMixture with an explicit worker bound.
+func BuildNaiveMixtureP(l *Log, asg cluster.Assignment, par int) (Mixture, []*Log) {
 	parts := l.Partition(asg)
-	return BuildMixture(parts), parts
+	return BuildMixtureP(parts, par), parts
 }
 
 // K returns the number of (non-empty) components.
@@ -71,8 +91,15 @@ func (m Mixture) TotalVerbosity() int {
 }
 
 // Error returns the Generalized Reproduction Error Σ_i w_i · e(S_i)
-// (Section 5.2) against the true partition.
+// (Section 5.2) against the true partition, using all cores.
 func (m Mixture) Error(parts []*Log) (float64, error) {
+	return m.ErrorP(parts, 0)
+}
+
+// ErrorP is Error with an explicit worker bound (p ≤ 0 = all cores).
+// Per-component errors are computed concurrently and summed in component
+// order, so the float result is identical at any parallelism.
+func (m Mixture) ErrorP(parts []*Log, par int) (float64, error) {
 	if len(parts) == 0 && len(m.Components) == 0 {
 		return 0, nil
 	}
@@ -86,9 +113,13 @@ func (m Mixture) Error(parts []*Log) (float64, error) {
 	if len(live) != len(m.Components) {
 		return 0, fmt.Errorf("core: %d non-empty partitions vs %d components", len(live), len(m.Components))
 	}
+	errs := make([]float64, len(m.Components))
+	parallel.For(len(m.Components), par, func(i int) {
+		errs[i] = m.Components[i].Encoding.ReproductionError(live[i])
+	})
 	e := 0.0
 	for i, c := range m.Components {
-		e += c.Weight * c.Encoding.ReproductionError(live[i])
+		e += c.Weight * errs[i]
 	}
 	return e, nil
 }
@@ -130,7 +161,14 @@ func (m Mixture) SynthesizePattern(i int, rng *rand.Rand) bitvec.Vector {
 // SynthesisError measures 1 − M/N per component and returns the weighted
 // average (Section 6.3): N patterns are synthesized from each component and
 // M is the number with positive marginal in the corresponding partition.
+// Containment counting uses all cores; use SynthesisErrorP to bound it.
 func (m Mixture) SynthesisError(parts []*Log, n int, rng *rand.Rand) float64 {
+	return m.SynthesisErrorP(parts, n, rng, 0)
+}
+
+// SynthesisErrorP is SynthesisError with an explicit worker bound (p ≤ 0 =
+// all cores).
+func (m Mixture) SynthesisErrorP(parts []*Log, n int, rng *rand.Rand, par int) float64 {
 	var live []*Log
 	for _, p := range parts {
 		if p.Total() > 0 {
@@ -142,10 +180,17 @@ func (m Mixture) SynthesisError(parts []*Log, n int, rng *rand.Rand) float64 {
 	}
 	total := 0.0
 	for i, c := range m.Components {
-		hits := 0
+		// Draw the n patterns serially (the RNG stream fixes them), then
+		// count containment for the whole batch in one pass over the
+		// partition.
+		bs := make([]bitvec.Vector, n)
 		for t := 0; t < n; t++ {
-			b := m.SynthesizePattern(i, rng)
-			if live[i].Count(b) > 0 {
+			bs[t] = m.SynthesizePattern(i, rng)
+		}
+		counts := live[i].CountBatch(bs, par)
+		hits := 0
+		for _, c := range counts {
+			if c > 0 {
 				hits++
 			}
 		}
@@ -157,7 +202,14 @@ func (m Mixture) SynthesisError(parts []*Log, n int, rng *rand.Rand) float64 {
 // MarginalDeviation measures |ESTM − TM| / TM averaged over the distinct
 // queries of each partition (each treated as a probe pattern — the paper's
 // worst-case argument in Section 6.3), weighted by partition size.
+// Containment counting uses all cores; use MarginalDeviationP to bound it.
 func (m Mixture) MarginalDeviation(parts []*Log) float64 {
+	return m.MarginalDeviationP(parts, 0)
+}
+
+// MarginalDeviationP is MarginalDeviation with an explicit worker bound
+// (p ≤ 0 = all cores).
+func (m Mixture) MarginalDeviationP(parts []*Log, par int) float64 {
 	var live []*Log
 	for _, p := range parts {
 		if p.Total() > 0 {
@@ -173,11 +225,18 @@ func (m Mixture) MarginalDeviation(parts []*Log) float64 {
 		if part.Distinct() == 0 {
 			continue
 		}
+		// Every distinct query doubles as a probe pattern; one batched
+		// containment pass replaces Distinct() separate O(Distinct()) scans.
+		probes := make([]bitvec.Vector, part.Distinct())
+		for d := range probes {
+			probes[d] = part.Vector(d)
+		}
+		counts := part.CountBatch(probes, par)
+		partTotal := float64(part.Total())
 		sum := 0.0
 		for d := 0; d < part.Distinct(); d++ {
-			q := part.Vector(d)
-			tm := part.Marginal(q)
-			est := c.Encoding.EstimateMarginal(q)
+			tm := float64(counts[d]) / partTotal
+			est := c.Encoding.EstimateMarginal(probes[d])
 			if tm > 0 {
 				sum += abs(est-tm) / tm
 			}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"logr/internal/bitvec"
 	"logr/internal/sqlparser"
@@ -80,7 +81,13 @@ const (
 // Codebook assigns stable indices to features as they are first observed.
 // It is the dictionary component of a LogR-compressed log: with it, any
 // pattern (bit vector) can be translated back into query syntax.
+//
+// A Codebook is safe for concurrent use: the encode pipeline extends it in
+// place while summaries and pattern probes built from earlier snapshots
+// keep reading it. Indices are append-only, so a reader's view is always a
+// consistent prefix.
 type Codebook struct {
+	mu     sync.RWMutex
 	scheme Scheme
 	feats  []Feature
 	index  map[Feature]int
@@ -96,13 +103,32 @@ func (c *Codebook) Scheme() Scheme { return c.scheme }
 
 // Size returns the number of distinct features registered so far — the
 // dimensionality n of the encoding universe.
-func (c *Codebook) Size() int { return len(c.feats) }
+func (c *Codebook) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.feats)
+}
 
 // Feature returns the feature with index i.
-func (c *Codebook) Feature(i int) Feature { return c.feats[i] }
+func (c *Codebook) Feature(i int) Feature {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.feats[i]
+}
+
+// featsSnapshot returns a consistent read-only view of the feature list.
+// The codebook is append-only and indices [0, len) are never rewritten, so
+// the slice header taken under the lock stays valid without a copy.
+func (c *Codebook) featsSnapshot() []Feature {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.feats[:len(c.feats):len(c.feats)]
+}
 
 // Features returns a copy of all registered features in index order.
 func (c *Codebook) Features() []Feature {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]Feature, len(c.feats))
 	copy(out, c.feats)
 	return out
@@ -110,6 +136,8 @@ func (c *Codebook) Features() []Feature {
 
 // Lookup returns the index of f if it has been registered.
 func (c *Codebook) Lookup(f Feature) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	i, ok := c.index[f]
 	return i, ok
 }
@@ -121,6 +149,8 @@ func (c *Codebook) Register(f Feature) int { return c.intern(f) }
 
 // intern registers f if new and returns its index.
 func (c *Codebook) intern(f Feature) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i, ok := c.index[f]; ok {
 		return i
 	}
@@ -258,9 +288,10 @@ func (c *Codebook) Decode(v bitvec.Vector) (*sqlparser.Select, error) {
 	if v.Len() > c.Size() {
 		return nil, fmt.Errorf("feature: vector universe %d exceeds codebook size %d", v.Len(), c.Size())
 	}
+	feats := c.featsSnapshot()
 	var selects, froms, wheres, groups, orders []string
 	v.ForEach(func(i int) {
-		f := c.feats[i]
+		f := feats[i]
 		switch f.Kind {
 		case SelectKind:
 			selects = append(selects, f.Text)
@@ -309,7 +340,8 @@ func (c *Codebook) Decode(v bitvec.Vector) (*sqlparser.Select, error) {
 // Describe renders a feature vector as a human-readable feature list, used
 // by error messages and the visualizer.
 func (c *Codebook) Describe(v bitvec.Vector) string {
+	feats := c.featsSnapshot()
 	parts := make([]string, 0, v.Count())
-	v.ForEach(func(i int) { parts = append(parts, c.feats[i].String()) })
+	v.ForEach(func(i int) { parts = append(parts, feats[i].String()) })
 	return strings.Join(parts, " ")
 }

@@ -1,0 +1,156 @@
+// Package parallel provides the bounded worker pool and deterministic
+// fan-in primitives behind LogR's data-parallel pipeline.
+//
+// Every stage of the compression pipeline — encode, cluster, sweep — funnels
+// its parallelism through this package so that one contract holds
+// everywhere: for a fixed input and seed, the output is bit-identical at any
+// parallelism level. Two rules enforce it:
+//
+//  1. For and Do hand each index to exactly one worker; they are safe when
+//     iteration i writes only state owned by i (a distinct slice element, a
+//     distinct result slot).
+//  2. ForChunks splits the input into chunks whose boundaries depend only on
+//     the input size, never on the worker count. Reductions that combine
+//     per-chunk partials in chunk order therefore produce the same
+//     floating-point sums whether one worker or sixteen processed the
+//     chunks.
+//
+// Throughout the module a parallelism of 0 (or any value ≤ 0) means "all
+// cores" (GOMAXPROCS); 1 forces serial execution.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunkSize is the fixed work-chunk granularity. Chunk boundaries must not
+// depend on the worker count, or chunk-ordered reductions would stop being
+// reproducible across parallelism levels.
+const chunkSize = 256
+
+// Degree normalizes a parallelism request: values ≤ 0 mean all cores.
+func Degree(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Chunks returns the number of fixed-size chunks [0, n) splits into.
+func Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + chunkSize - 1) / chunkSize
+}
+
+// ChunkBounds returns the half-open index range [lo, hi) of chunk c over
+// [0, n).
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * chunkSize
+	hi = lo + chunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForChunks runs body(c, lo, hi) for every chunk of [0, n) on up to p
+// workers. Chunks are handed out dynamically (good load balance for
+// triangular workloads) but their boundaries are fixed by n alone, so a
+// reduction that stores a partial per chunk and merges in chunk order is
+// deterministic at any p.
+func ForChunks(n, p int, body func(c, lo, hi int)) {
+	nc := Chunks(n)
+	if nc == 0 {
+		return
+	}
+	p = Degree(p)
+	if p > nc {
+		p = nc
+	}
+	if p <= 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := ChunkBounds(c, n)
+			body(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	run(p, func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nc {
+				return
+			}
+			lo, hi := ChunkBounds(c, n)
+			body(c, lo, hi)
+		}
+	})
+}
+
+// For runs fn(i) for every i in [0, n) on up to p workers. fn must write
+// only state owned by index i.
+func For(n, p int, fn func(i int)) {
+	ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Do runs every task on up to p workers and waits for all of them. Tasks
+// fan results in by writing their own result slot; the caller then reads
+// the slots in task order for a deterministic merge.
+func Do(p int, tasks ...func()) {
+	n := len(tasks)
+	if n == 0 {
+		return
+	}
+	p = Degree(p)
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var next atomic.Int64
+	run(p, func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			tasks[i]()
+		}
+	})
+}
+
+// run executes worker on p goroutines and waits. A panic on any worker is
+// re-raised on the caller's goroutine once all workers have stopped, so
+// callers see the same panic a serial loop would raise.
+func run(p int, worker func()) {
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[any]
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			worker()
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}

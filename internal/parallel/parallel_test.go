@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 257, 1000} {
+		for _, p := range []int{0, 1, 2, 8} {
+			seen := make([]int32, n)
+			For(n, p, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksBoundsIndependentOfParallelism(t *testing.T) {
+	n := 1000
+	nc := Chunks(n)
+	total := 0
+	for c := 0; c < nc; c++ {
+		lo, hi := ChunkBounds(c, n)
+		if lo >= hi {
+			t.Fatalf("chunk %d empty: [%d,%d)", c, lo, hi)
+		}
+		total += hi - lo
+	}
+	if total != n {
+		t.Fatalf("chunks cover %d of %d indices", total, n)
+	}
+	// chunk-ordered float reduction must not depend on worker count
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+3)
+	}
+	sum := func(p int) float64 {
+		partial := make([]float64, nc)
+		ForChunks(n, p, func(c, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			partial[c] = s
+		})
+		s := 0.0
+		for _, v := range partial {
+			s += v
+		}
+		return s
+	}
+	want := sum(1)
+	for _, p := range []int{2, 3, 8} {
+		if got := sum(p); got != want {
+			t.Fatalf("p=%d: sum %v != serial sum %v", p, got, want)
+		}
+	}
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, p := range []int{0, 1, 3} {
+		n := 17
+		out := make([]int, n)
+		tasks := make([]func(), n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { out[i] = i * i }
+		}
+		Do(p, tasks...)
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: task %d result %d", p, i, v)
+			}
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	if Degree(3) != 3 {
+		t.Fatal("Degree(3)")
+	}
+	if Degree(0) < 1 || Degree(-1) < 1 {
+		t.Fatal("Degree of non-positive must be at least 1")
+	}
+}
+
+func TestRunRepanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in worker was swallowed")
+		}
+	}()
+	For(10, 4, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"logr/internal/core"
 	"logr/internal/feature"
+	"logr/internal/parallel"
 	"logr/internal/regularize"
 	"logr/internal/sqlparser"
 )
@@ -50,6 +51,10 @@ type EncodeOptions struct {
 	KeepConstants bool
 	// MaxDisjuncts bounds conjunctive rewriting (default 16).
 	MaxDisjuncts int
+	// Parallelism bounds the workers AddBatch uses to parse, regularize and
+	// feature-extract new SQL (≤ 0 = all cores). The codebook and all
+	// statistics are identical at any parallelism.
+	Parallelism int
 }
 
 // EncodeResult bundles the encoded log with its codebook and statistics.
@@ -63,6 +68,12 @@ type EncodeResult struct {
 // incrementally: entries can be added in batches (a live monitoring stream,
 // a growing log file) and a snapshot taken at any point. Each distinct SQL
 // string is parsed at most once regardless of multiplicity.
+//
+// The pipeline is sharded: AddBatch parses and regularizes distinct new SQL
+// on parallel workers (stateless work), then merges in input order on one
+// goroutine, so codebook feature indices are assigned exactly as a serial
+// Add loop would assign them. An Encoder is not itself safe for concurrent
+// use; the public logr.Workload wrapper adds the locking.
 type Encoder struct {
 	opts          EncodeOptions
 	book          *feature.Codebook
@@ -76,10 +87,35 @@ type Encoder struct {
 	order       []string
 	featSum     int
 	encodedN    int
+	snapshot    *EncodeResult // cached Result; nil after any mutation
 }
 
 type rawInfo struct {
-	canonKey string // "" if the entry did not parse
+	canonKey string   // "" if the entry did not parse
+	fail     failKind // why, when canonKey == ""
+}
+
+// failKind caches a distinct SQL string's parse outcome so repeats never
+// reparse.
+type failKind uint8
+
+const (
+	failNone failKind = iota
+	failStoredProc
+	failUnparseable
+)
+
+// prepared is the outcome of the stateless (parallelizable) half of the
+// pipeline for one distinct SQL string: parse + both regularizations.
+// Feature extraction against the shared codebook happens later, in input
+// order.
+type prepared struct {
+	fail        failKind
+	withConst   []*sqlparser.Select // blocks with constants kept
+	blocks      []*sqlparser.Select // scrubbed conjunctive blocks
+	conjunctive bool
+	rewritable  bool
+	canonKey    string
 }
 
 type canonical struct {
@@ -111,56 +147,135 @@ func (e *Encoder) Add(entry LogEntry) {
 	if count <= 0 {
 		count = 1
 	}
+	e.snapshot = nil
 	e.stats.TotalQueries += count
-
 	if info, seen := e.distinctRaw[entry.SQL]; seen {
-		// replay the cached classification for repeated raw text
-		if info.canonKey == "" {
-			// previously unparseable/unsupported; recount by reparsing the
-			// cheap way: classification is cached in stats ratios already,
-			// so just re-classify via one parse attempt.
-			if _, err := sqlparser.Parse(entry.SQL); err != nil {
-				if _, ok := err.(*sqlparser.UnsupportedError); ok {
-					e.stats.StoredProcedures += count
-				} else {
-					e.stats.Unparseable += count
-				}
-				return
-			}
-			return
-		}
-		c := e.canon[info.canonKey]
-		c.count += count
-		e.stats.ParsedSelects += count
-		e.featSum += len(c.indices) * count
-		e.encodedN += count
+		e.replay(info, count)
 		return
 	}
+	e.admit(entry.SQL, e.prepare(entry.SQL), count)
+}
 
-	info := &rawInfo{}
-	e.distinctRaw[entry.SQL] = info
-	e.stats.DistinctQueries++
+// addBatchWindow is the window size AddBatch shards a batch into: large
+// enough to keep the parse workers fed, small enough that the prepared
+// ASTs held alive before each merge stay bounded regardless of batch size.
+const addBatchWindow = 8192
 
-	stmt, err := sqlparser.Parse(entry.SQL)
+// AddBatch feeds a batch of entries through the pipeline. The stateless
+// half — parse + regularize of each distinct new SQL string — runs on up to
+// EncodeOptions.Parallelism workers; the merge (codebook extraction, stats,
+// multiplicities) then runs in input order, so the resulting codebook, log
+// and statistics are byte-identical to a serial Add loop over the same
+// entries, at any parallelism. Batches are processed in fixed windows so
+// peak memory is O(window), not O(batch).
+func (e *Encoder) AddBatch(entries []LogEntry) {
+	for len(entries) > addBatchWindow {
+		e.addBatch(entries[:addBatchWindow])
+		entries = entries[addBatchWindow:]
+	}
+	e.addBatch(entries)
+}
+
+func (e *Encoder) addBatch(entries []LogEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	e.snapshot = nil
+	// distinct new SQL strings, in first-appearance order
+	var jobs []string
+	jobIdx := map[string]int{}
+	for _, en := range entries {
+		if _, seen := e.distinctRaw[en.SQL]; seen {
+			continue
+		}
+		if _, dup := jobIdx[en.SQL]; dup {
+			continue
+		}
+		jobIdx[en.SQL] = len(jobs)
+		jobs = append(jobs, en.SQL)
+	}
+	results := make([]prepared, len(jobs))
+	parallel.For(len(jobs), e.opts.Parallelism, func(i int) {
+		results[i] = e.prepare(jobs[i])
+	})
+	for _, en := range entries {
+		count := en.Count
+		if count <= 0 {
+			count = 1
+		}
+		e.stats.TotalQueries += count
+		if info, seen := e.distinctRaw[en.SQL]; seen {
+			e.replay(info, count)
+			continue
+		}
+		e.admit(en.SQL, results[jobIdx[en.SQL]], count)
+	}
+}
+
+// prepare runs the stateless half of the pipeline for one SQL string. It
+// touches no Encoder state besides the immutable options, so it is safe to
+// call from parallel workers.
+func (e *Encoder) prepare(sql string) prepared {
+	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		if _, ok := err.(*sqlparser.UnsupportedError); ok {
-			e.stats.StoredProcedures += count
-		} else {
-			e.stats.Unparseable += count
+			return prepared{fail: failStoredProc}
 		}
+		return prepared{fail: failUnparseable}
+	}
+	withConst := regularize.Regularize(stmt, e.keepOpts)
+	r := regularize.Regularize(stmt, e.scrubOpts)
+	return prepared{
+		withConst:   withConst.Blocks,
+		blocks:      r.Blocks,
+		conjunctive: r.WasConjunctive && len(r.Blocks) == 1,
+		rewritable:  r.Rewritable,
+		canonKey:    canonicalKey(r.Blocks),
+	}
+}
+
+// replay recounts a previously-seen distinct SQL string from its cached
+// classification.
+func (e *Encoder) replay(info *rawInfo, count int) {
+	switch info.fail {
+	case failStoredProc:
+		e.stats.StoredProcedures += count
+		return
+	case failUnparseable:
+		e.stats.Unparseable += count
+		return
+	}
+	c := e.canon[info.canonKey]
+	c.count += count
+	e.stats.ParsedSelects += count
+	e.featSum += len(c.indices) * count
+	e.encodedN += count
+}
+
+// admit merges one newly-seen distinct SQL string into the shared state.
+// This is the only place features enter the codebooks, and callers invoke
+// it in input order, which pins every feature's index.
+func (e *Encoder) admit(sql string, p prepared, count int) {
+	info := &rawInfo{fail: p.fail, canonKey: p.canonKey}
+	e.distinctRaw[sql] = info
+	e.stats.DistinctQueries++
+	switch p.fail {
+	case failStoredProc:
+		e.stats.StoredProcedures += count
+		return
+	case failUnparseable:
+		e.stats.Unparseable += count
 		return
 	}
 	e.stats.ParsedSelects += count
 
 	// feature count before constant removal (Table 1 row 7)
-	withConst := regularize.Regularize(stmt, e.keepOpts)
-	for _, blk := range withConst.Blocks {
+	for _, blk := range p.withConst {
 		e.withConstBook.Extract(blk)
 	}
 
-	r := regularize.Regularize(stmt, e.scrubOpts)
 	set := map[int]bool{}
-	for _, blk := range r.Blocks {
+	for _, blk := range p.blocks {
 		for _, f := range e.book.Extract(blk) {
 			set[f] = true
 		}
@@ -171,13 +286,11 @@ func (e *Encoder) Add(entry LogEntry) {
 	}
 	sortInts(indices)
 
-	key := canonicalKey(r.Blocks)
-	info.canonKey = key
-	c, ok := e.canon[key]
+	c, ok := e.canon[p.canonKey]
 	if !ok {
-		c = &canonical{indices: indices, conjunctive: r.WasConjunctive && len(r.Blocks) == 1, rewritable: r.Rewritable}
-		e.canon[key] = c
-		e.order = append(e.order, key)
+		c = &canonical{indices: indices, conjunctive: p.conjunctive, rewritable: p.rewritable}
+		e.canon[p.canonKey] = c
+		e.order = append(e.order, p.canonKey)
 	}
 	c.count += count
 	e.featSum += len(indices) * count
@@ -186,8 +299,13 @@ func (e *Encoder) Add(entry LogEntry) {
 
 // Result snapshots the encoded log, codebook and statistics. The encoder
 // remains usable; later Adds extend the same codebook (vectors in earlier
-// snapshots keep their universe).
+// snapshots keep their universe). The snapshot is cached until the next
+// mutation, so repeated Result calls between Adds are free; callers must
+// treat the returned Log as read-only.
 func (e *Encoder) Result() EncodeResult {
+	if e.snapshot != nil {
+		return *e.snapshot
+	}
 	stats := e.stats
 	stats.DistinctNoConst = len(e.canon)
 	stats.DistinctFeatures = e.withConstBook.Size()
@@ -210,16 +328,16 @@ func (e *Encoder) Result() EncodeResult {
 	if e.encodedN > 0 {
 		stats.AvgFeaturesPerQuery = float64(e.featSum) / float64(e.encodedN)
 	}
-	return EncodeResult{Log: l, Book: e.book, Stats: stats}
+	r := EncodeResult{Log: l, Book: e.book, Stats: stats}
+	e.snapshot = &r
+	return r
 }
 
-// Encode runs every entry through the pipeline and snapshots the result —
-// the batch convenience over Encoder.
+// Encode runs every entry through the pipeline on all cores and snapshots
+// the result — the batch convenience over Encoder.
 func Encode(entries []LogEntry, opts EncodeOptions) EncodeResult {
 	enc := NewEncoder(opts)
-	for _, e := range entries {
-		enc.Add(e)
-	}
+	enc.AddBatch(entries)
 	return enc.Result()
 }
 

@@ -25,6 +25,22 @@
 // clusters mean lower Reproduction Error (paper Section 4) and higher Total
 // Verbosity (summary size). Compress with Clusters == 0 to auto-sweep until
 // a target error is reached.
+//
+// # Parallelism
+//
+// The whole pipeline is data-parallel behind a bounded worker pool
+// (internal/parallel): Append and Load parse, regularize and
+// feature-extract entries on parallel workers with an ordered merge that
+// keeps codebook assignment deterministic; Compress fans out the k-means
+// assignment step and restarts, the O(n²) distance matrices of the spectral
+// and hierarchical methods, the auto sweep's candidate K evaluations, and
+// the word-packed containment counting behind marginal estimation. Both
+// Options.Parallelism and CompressOptions.Parallelism default to all cores
+// (0); setting 1 forces serial execution. For a fixed Seed the output is
+// bit-identical at any parallelism level.
+//
+// A *Workload is safe for concurrent use: a monitoring goroutine can Append
+// while others Compress or query earlier snapshots.
 package logr
 
 import (
@@ -32,6 +48,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"logr/internal/apps"
 	"logr/internal/bitvec"
@@ -65,11 +82,13 @@ type Stats struct {
 	Unparseable         int     // skipped malformed entries
 }
 
-// Workload is an encoded query log: an incremental encode pipeline plus
-// the latest snapshot of its feature-vector form and codebook.
+// Workload is an encoded query log: an incremental encode pipeline plus a
+// lazily materialized snapshot of its feature-vector form and codebook.
+// All methods are safe for concurrent use.
 type Workload struct {
+	mu  sync.Mutex
 	enc *workload.Encoder
-	res workload.EncodeResult
+	par int // encode-side parallelism, reused by Count
 }
 
 // Options tune workload encoding.
@@ -80,6 +99,9 @@ type Options struct {
 	ExtendedScheme bool
 	// KeepConstants disables constant scrubbing.
 	KeepConstants bool
+	// Parallelism bounds the encode workers (0 = all cores, 1 = serial).
+	// The encoded workload is identical at any setting.
+	Parallelism int
 }
 
 func (o Options) internal() workload.EncodeOptions {
@@ -87,7 +109,7 @@ func (o Options) internal() workload.EncodeOptions {
 	if o.ExtendedScheme {
 		scheme = feature.ExtendedScheme
 	}
-	return workload.EncodeOptions{Scheme: scheme, KeepConstants: o.KeepConstants}
+	return workload.EncodeOptions{Scheme: scheme, KeepConstants: o.KeepConstants, Parallelism: o.Parallelism}
 }
 
 // FromEntries encodes a deduplicated workload with default options.
@@ -99,56 +121,82 @@ func FromEntries(entries []Entry) *Workload {
 
 // FromEntriesWithOptions encodes a deduplicated workload.
 func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
-	w := &Workload{enc: workload.NewEncoder(opts.internal())}
+	w := &Workload{enc: workload.NewEncoder(opts.internal()), par: opts.Parallelism}
 	w.Append(entries)
 	return w
 }
 
 // Append feeds more entries through the pipeline (a growing log file, a
-// monitoring stream). The codebook extends in place; summaries built from
-// earlier snapshots remain valid for their own universe.
+// monitoring stream). Entries are parsed and regularized on parallel
+// workers and merged deterministically; the snapshot the query methods read
+// is rebuilt lazily on next use, not on every Append. The codebook extends
+// in place; summaries built from earlier snapshots remain valid for their
+// own universe.
 func (w *Workload) Append(entries []Entry) {
-	for _, e := range entries {
+	batch := make([]workload.LogEntry, len(entries))
+	for i, e := range entries {
 		c := e.Count
 		if c <= 0 {
 			c = 1
 		}
-		w.enc.Add(workload.LogEntry{SQL: e.SQL, Count: c})
+		batch[i] = workload.LogEntry{SQL: e.SQL, Count: c}
 	}
-	w.res = w.enc.Result()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.enc.AddBatch(batch)
+}
+
+// snapshot returns the current encode snapshot. The encoder caches it and
+// rebuilds only after a mutation, so calls between Appends are free; the
+// returned result is immutable (later Appends build a new Log rather than
+// mutating it).
+func (w *Workload) snapshot() workload.EncodeResult {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Result()
 }
 
 // Load reads a raw access log (one SQL statement per line, duplicates
-// repeated) and encodes it.
+// repeated) and encodes it with default options.
 func Load(r io.Reader) (*Workload, error) {
+	return LoadWithOptions(r, Options{})
+}
+
+// LoadWithOptions reads a raw access log and encodes it with the given
+// options.
+func LoadWithOptions(r io.Reader, opts Options) (*Workload, error) {
 	entries, err := workload.ReadPlain(r)
 	if err != nil {
 		return nil, err
 	}
-	return fromInternal(entries), nil
+	return fromInternal(entries, opts), nil
 }
 
-// LoadCompact reads a deduplicated "count<TAB>sql" log and encodes it.
+// LoadCompact reads a deduplicated "count<TAB>sql" log and encodes it with
+// default options.
 func LoadCompact(r io.Reader) (*Workload, error) {
+	return LoadCompactWithOptions(r, Options{})
+}
+
+// LoadCompactWithOptions reads a deduplicated "count<TAB>sql" log and
+// encodes it with the given options.
+func LoadCompactWithOptions(r io.Reader, opts Options) (*Workload, error) {
 	entries, err := workload.ReadCompact(r)
 	if err != nil {
 		return nil, err
 	}
-	return fromInternal(entries), nil
+	return fromInternal(entries, opts), nil
 }
 
-func fromInternal(entries []workload.LogEntry) *Workload {
-	w := &Workload{enc: workload.NewEncoder(workload.EncodeOptions{})}
-	for _, e := range entries {
-		w.enc.Add(e)
-	}
-	w.res = w.enc.Result()
+func fromInternal(entries []workload.LogEntry, opts Options) *Workload {
+	w := &Workload{enc: workload.NewEncoder(opts.internal()), par: opts.Parallelism}
+	w.enc.AddBatch(entries)
 	return w
 }
 
 // Stats reports the pipeline statistics.
 func (w *Workload) Stats() Stats {
-	s := w.res.Stats
+	s := w.snapshot().Stats
 	return Stats{
 		Queries:             s.ParsedSelects,
 		DistinctQueries:     s.DistinctQueries,
@@ -165,30 +213,31 @@ func (w *Workload) Stats() Stats {
 }
 
 // Queries returns the number of encoded queries (duplicates included).
-func (w *Workload) Queries() int { return w.res.Log.Total() }
+func (w *Workload) Queries() int { return w.snapshot().Log.Total() }
 
 // Count returns the exact Γ_b(L): how many queries contain every feature of
 // the given pattern query. This reads the *uncompressed* log; after
 // compression use Summary.EstimateCount.
 func (w *Workload) Count(patternSQL string) (int, error) {
-	b, err := w.pattern(patternSQL)
+	res := w.snapshot()
+	b, err := pattern(res, patternSQL)
 	if err != nil {
 		return 0, err
 	}
-	return w.res.Log.Count(b), nil
+	return res.Log.CountP(b, w.par), nil
 }
 
-// pattern parses a SQL fragment-query and maps it onto the codebook. A
-// feature never seen in the workload yields an error.
-func (w *Workload) pattern(patternSQL string) (bitvec.Vector, error) {
-	idx, unknown, err := patternIndices(w.res.Book, patternSQL, false)
+// pattern parses a SQL fragment-query and maps it onto the snapshot's
+// codebook. A feature never seen in the workload yields an error.
+func pattern(res workload.EncodeResult, patternSQL string) (bitvec.Vector, error) {
+	idx, unknown, err := patternIndices(res.Book, patternSQL, false)
 	if err != nil {
 		return bitvec.Vector{}, err
 	}
 	if len(unknown) > 0 {
 		return bitvec.Vector{}, fmt.Errorf("logr: pattern uses features absent from the workload: %s", strings.Join(unknown, ", "))
 	}
-	v := bitvec.New(w.res.Log.Universe())
+	v := bitvec.New(res.Log.Universe())
 	for _, i := range idx {
 		if i < v.Len() {
 			v.Set(i)
@@ -265,6 +314,10 @@ type CompressOptions struct {
 	MaxClusters int
 	// Seed makes clustering reproducible.
 	Seed int64
+	// Parallelism bounds the compression workers (0 = all cores, 1 =
+	// serial). For a fixed Seed the summary is bit-identical at any
+	// setting; only throughput changes.
+	Parallelism int
 }
 
 // Summary is a LogR-compressed workload: a naive mixture encoding plus the
@@ -274,7 +327,9 @@ type Summary struct {
 	book *feature.Codebook
 }
 
-// Compress builds the naive mixture encoding.
+// Compress builds the naive mixture encoding from the current snapshot.
+// Safe to call while another goroutine Appends; the summary covers the
+// entries appended before the call.
 func (w *Workload) Compress(opts CompressOptions) (*Summary, error) {
 	method, err := parseMethod(opts.Method)
 	if err != nil {
@@ -284,18 +339,20 @@ func (w *Workload) Compress(opts CompressOptions) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.Compress(w.res.Log, core.CompressOptions{
+	res := w.snapshot()
+	c, err := core.Compress(res.Log, core.CompressOptions{
 		K:           opts.Clusters,
 		Method:      method,
 		Metric:      metric,
 		Seed:        opts.Seed,
 		TargetError: opts.TargetError,
 		MaxK:        opts.MaxClusters,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Summary{c: c, book: w.res.Book}, nil
+	return &Summary{c: c, book: res.Book}, nil
 }
 
 func parseMethod(s string) (core.Method, error) {
@@ -478,8 +535,9 @@ type Correlation struct {
 // from the summary's independence assumption — the candidates LogR's
 // hypothetical refinement stage would add.
 func (s *Summary) TopCorrelations(w *Workload, k int) []Correlation {
-	e := core.NaiveEncode(w.res.Log)
-	cands := core.CandidatePatterns(w.res.Log, e, 0.01, k)
+	res := w.snapshot()
+	e := core.NaiveEncode(res.Log)
+	cands := core.CandidatePatterns(res.Log, e, 0.01, k)
 	out := make([]Correlation, 0, len(cands))
 	for _, c := range cands {
 		sql := "(undecodable pattern)"
