@@ -111,6 +111,74 @@ func BenchmarkCompressHierarchicalP4(b *testing.B) {
 	benchCompress(b, logr.CompressOptions{Clusters: 8, Method: "hierarchical", Seed: 1, Parallelism: 4})
 }
 
+// --- Incremental recompression benchmarks ---------------------------------
+//
+// BenchmarkRecompressDelta vs BenchmarkRecompressFull measure a monitoring
+// refresh after a 10% append: the delta-only merge path of Recompress
+// against a from-scratch Compress of the grown log, at equal Seed. The
+// workload (base + appended delta) and the baseline summary are identical
+// for both, so the ratio is the refresh speedup.
+
+var recompressBenchOnce struct {
+	sync.Once
+	w    *logr.Workload
+	prev *logr.Summary
+	err  error
+}
+
+func recompressBenchState(b *testing.B) (*logr.Workload, *logr.Summary) {
+	recompressBenchOnce.Do(func() {
+		entries := pocketBenchEntries(55000)
+		cut := len(entries) * 10 / 11 // base 50k, delta 5k: a 10% append
+		w := logr.FromEntries(entries[:cut])
+		prev, err := w.Compress(logr.CompressOptions{Clusters: 8, Seed: 1})
+		if err != nil {
+			recompressBenchOnce.err = err
+			return
+		}
+		w.Append(entries[cut:])
+		w.Queries() // materialize the grown snapshot up front
+		recompressBenchOnce.w, recompressBenchOnce.prev = w, prev
+	})
+	if recompressBenchOnce.err != nil {
+		b.Fatal(recompressBenchOnce.err)
+	}
+	return recompressBenchOnce.w, recompressBenchOnce.prev
+}
+
+func pocketBenchEntries(total int) []logr.Entry {
+	raw := workload.PocketData(workload.PocketDataConfig{TotalQueries: total, DistinctTarget: 605, Seed: 1})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	return entries
+}
+
+func BenchmarkRecompressDelta(b *testing.B) {
+	w, prev := recompressBenchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := w.Recompress(prev, logr.RecompressOptions{CompressOptions: logr.CompressOptions{Clusters: 8, Seed: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Incremental() {
+			b.Fatal("10% same-distribution delta fell back to a full re-cluster")
+		}
+	}
+}
+
+func BenchmarkRecompressFull(b *testing.B) {
+	w, _ := recompressBenchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Compress(logr.CompressOptions{Clusters: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchEncode(b *testing.B, par int) {
 	raw := workload.PocketData(workload.PocketDataConfig{TotalQueries: 20000, DistinctTarget: 605, Seed: 1})
 	entries := make([]logr.Entry, len(raw))

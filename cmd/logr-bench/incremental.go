@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"logr"
+	"logr/internal/experiments"
+	"logr/internal/workload"
+)
+
+// incrementalExperiment measures the monitoring-loop refresh cost: a
+// baseline log is compressed once, then progressively larger deltas are
+// appended and the refresh is timed both ways — full re-cluster vs
+// Workload.Recompress's delta-only path — reporting the speedup and the
+// fidelity gap between the merged and fully re-clustered summaries.
+func incrementalExperiment(scale experiments.Scale) (string, error) {
+	const k = 8
+	raw := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries:   scale.PocketTotal,
+		DistinctTarget: scale.PocketDistinct,
+		Seed:           scale.Seed,
+	})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	opts := logr.CompressOptions{Clusters: k, Seed: scale.Seed}
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("incremental recompression (pocketdata %d queries, K=%d)\n", scale.PocketTotal, k))
+	sb.WriteString("delta%   full(ms)   incr(ms)   speedup   fullErr   incrErr   path\n")
+	for _, deltaPct := range []int{5, 10, 20} {
+		cut := len(entries) * 100 / (100 + deltaPct)
+		base, delta := entries[:cut], entries[cut:]
+
+		wFull := logr.FromEntries(base)
+		if _, err := wFull.Compress(opts); err != nil {
+			return "", err
+		}
+		wFull.Append(delta)
+		t0 := time.Now()
+		sFull, err := wFull.Compress(opts)
+		if err != nil {
+			return "", err
+		}
+		fullMS := time.Since(t0).Seconds() * 1000
+
+		wIncr := logr.FromEntries(base)
+		prev, err := wIncr.Compress(opts)
+		if err != nil {
+			return "", err
+		}
+		wIncr.Append(delta)
+		t0 = time.Now()
+		sIncr, err := wIncr.Recompress(prev, logr.RecompressOptions{CompressOptions: opts})
+		if err != nil {
+			return "", err
+		}
+		incrMS := time.Since(t0).Seconds() * 1000
+
+		path := "full fallback"
+		if sIncr.Incremental() {
+			path = "incremental"
+		}
+		sb.WriteString(fmt.Sprintf("%5d   %8.1f   %8.1f   %6.1fx   %7.4f   %7.4f   %s\n",
+			deltaPct, fullMS, incrMS, fullMS/incrMS, sFull.Error(), sIncr.Error(), path))
+	}
+	return sb.String(), nil
+}

@@ -7,7 +7,9 @@
 //	logr-bench -exp fig2 -csv out/              also write out/fig2.csv
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, table2, fig6, fig7 (alias of
-// fig6 — same traces), fig8, fig9, all. Scales: small, medium, paper.
+// fig6 — same traces), fig8, fig9, incremental (full vs delta-only
+// recompression of a growing log; not part of "all"), all. Scales: small,
+// medium, paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
 package main
@@ -40,7 +42,7 @@ type perfSnapshot struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, incremental, all)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	csvDir := flag.String("csv", "", "directory for CSV series (created if missing)")
 	perfOut := flag.String("perf", "", "write a JSON perf snapshot (per-experiment wall time) to this file")
@@ -152,6 +154,12 @@ func main() {
 			if err := csvOut("fig9", func(f *os.File) error { return experiments.WriteFigure9CSV(f, r) }); err != nil {
 				return err
 			}
+		case "incremental":
+			out, err := incrementalExperiment(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

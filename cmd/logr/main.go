@@ -6,6 +6,7 @@
 //	logr gen -dataset pocketdata -total 50000 -out log.sql     generate a synthetic log
 //	logr stats -in log.sql                                     Table-1-style statistics
 //	logr compress -in log.sql -k 8                             compress and report fidelity
+//	logr compress -in log.sql -delta more.sql -incremental     append + incremental recompression
 //	logr inspect -in log.sql -k 8                              visualize the summary
 //	logr estimate -in log.sql -k 8 -q "SELECT * FROM t WHERE x = ?"
 //	logr advise -in log.sql -k 8                               index / view suggestions
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"logr"
 	"logr/internal/workload"
@@ -64,7 +66,8 @@ func usage() {
 commands:
   gen       generate a synthetic workload (pocketdata | usbank)
   stats     print Table-1-style statistics for a log
-  compress  compress a log and report Error/Verbosity
+  compress  compress a log and report Error/Verbosity; with -delta [-incremental],
+            append a second log and recompress (incrementally or from scratch)
   inspect   visualize the compressed summary
   estimate  estimate a pattern's frequency from the summary
   advise    suggest indexes and materialized views
@@ -155,64 +158,132 @@ func runStats(args []string) error {
 	return nil
 }
 
-func compressFlags(fs *flag.FlagSet) (in *string, k *int, method, metric *string, target *float64, seed *int64, par *int) {
-	in = fs.String("in", "", "input log file")
-	k = fs.Int("k", 0, "clusters (0 = auto sweep)")
-	method = fs.String("method", "kmeans", "kmeans | spectral | hierarchical")
-	metric = fs.String("metric", "hamming", "distance for spectral/hierarchical")
-	target = fs.Float64("target", 1.0, "target error for the auto sweep (nats)")
-	seed = fs.Int64("seed", 1, "clustering seed")
-	par = fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
-	return
-}
-
-func compressFrom(args []string, name string) (*logr.Workload, *logr.Summary, error) {
+// parseCompress parses the flags shared by every compressing subcommand —
+// plus any extras the caller registers — and loads the workload. The
+// returned options are what the caller should pass to Compress/Recompress.
+// extra may return a validation func, run after parsing but before the
+// (potentially expensive) workload load.
+func parseCompress(name string, args []string, extra func(fs *flag.FlagSet) func() error) (*logr.Workload, logr.CompressOptions, error) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	in, k, method, metric, target, seed, par := compressFlags(fs)
+	in := fs.String("in", "", "input log file")
+	k := fs.Int("k", 0, "clusters (0 = auto sweep)")
+	method := fs.String("method", "kmeans", "kmeans | spectral | hierarchical")
+	metric := fs.String("metric", "hamming", "distance for spectral/hierarchical")
+	target := fs.Float64("target", 1.0, "target error for the auto sweep (nats)")
+	seed := fs.Int64("seed", 1, "clustering seed")
+	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
+	var validate func() error
+	if extra != nil {
+		validate = extra(fs)
+	}
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return nil, logr.CompressOptions{}, err
 	}
 	if *in == "" {
-		return nil, nil, fmt.Errorf("%s: -in is required", name)
+		return nil, logr.CompressOptions{}, fmt.Errorf("%s: -in is required", name)
+	}
+	if validate != nil {
+		if err := validate(); err != nil {
+			return nil, logr.CompressOptions{}, err
+		}
 	}
 	w, err := loadWorkload(*in, *par)
 	if err != nil {
-		return nil, nil, err
+		return nil, logr.CompressOptions{}, err
 	}
-	s, err := w.Compress(logr.CompressOptions{
+	return w, logr.CompressOptions{
 		Clusters: *k, Method: *method, Metric: *metric,
 		TargetError: *target, Seed: *seed, Parallelism: *par,
-	})
+	}, nil
+}
+
+func compressFrom(args []string, name string, extra func(fs *flag.FlagSet) func() error) (*logr.Workload, *logr.Summary, error) {
+	w, opts, err := parseCompress(name, args, extra)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := w.Compress(opts)
 	return w, s, err
 }
 
 func runCompress(args []string) error {
-	_, s, err := compressFrom(args, "compress")
+	var delta *string
+	var incremental *bool
+	var maxGrowth *float64
+	w, opts, err := parseCompress("compress", args, func(fs *flag.FlagSet) func() error {
+		delta = fs.String("delta", "", "append this log after compressing and recompress")
+		incremental = fs.Bool("incremental", false, "recompress the -delta append incrementally (delta-only clustering merged into the prior mixture)")
+		maxGrowth = fs.Float64("maxgrowth", 0, "allowed relative Error growth before incremental recompression falls back to a full re-cluster (0 = default 0.10)")
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("clusters:          %d\n", s.Clusters())
-	fmt.Printf("total verbosity:   %d\n", s.TotalVerbosity())
-	fmt.Printf("reproduction err:  %.4f nats\n", s.Error())
+	start := time.Now()
+	s, err := w.Compress(opts)
+	if err != nil {
+		return err
+	}
+	report := func(label string, s *logr.Summary, d time.Duration) {
+		fmt.Printf("%s\n", label)
+		fmt.Printf("  epoch:             universe %d, %d queries\n", s.Epoch().Universe, s.Epoch().TotalQueries)
+		fmt.Printf("  clusters:          %d\n", s.Clusters())
+		fmt.Printf("  total verbosity:   %d\n", s.TotalVerbosity())
+		fmt.Printf("  reproduction err:  %.4f nats\n", s.Error())
+		fmt.Printf("  wall time:         %s\n", d.Round(time.Millisecond))
+	}
+	report("baseline summary", s, time.Since(start))
+	if *delta == "" {
+		return nil
+	}
+	entries, err := loadEntries(*delta)
+	if err != nil {
+		return err
+	}
+	w.Append(entries)
+	start = time.Now()
+	var next *logr.Summary
+	if *incremental {
+		next, err = w.Recompress(s, logr.RecompressOptions{CompressOptions: opts, MaxErrorGrowth: *maxGrowth})
+	} else {
+		next, err = w.Compress(opts)
+	}
+	if err != nil {
+		return err
+	}
+	mode := "full re-cluster"
+	if next.Incremental() {
+		mode = "incremental merge"
+	} else if *incremental {
+		mode = "full re-cluster (error-drift fallback)"
+	}
+	report("after -delta append ("+mode+")", next, time.Since(start))
 	return nil
 }
 
-func runInspect(args []string) error {
-	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	in, k, method, metric, target, seed, par := compressFlags(fs)
-	asHTML := fs.Bool("html", false, "emit an HTML document instead of text")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *in == "" {
-		return fmt.Errorf("inspect: -in is required")
-	}
-	w, err := loadWorkload(*in, *par)
+// loadEntries reads a raw or compact log file as appendable entries.
+func loadEntries(path string) ([]logr.Entry, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s, err := w.Compress(logr.CompressOptions{
-		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed, Parallelism: *par,
+	defer f.Close()
+	raw, err := workload.ReadCompact(f)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	return entries, nil
+}
+
+func runInspect(args []string) error {
+	var asHTML *bool
+	_, s, err := compressFrom(args, "inspect", func(fs *flag.FlagSet) func() error {
+		asHTML = fs.Bool("html", false, "emit an HTML document instead of text")
+		return nil
 	})
 	if err != nil {
 		return err
@@ -226,21 +297,15 @@ func runInspect(args []string) error {
 }
 
 func runEstimate(args []string) error {
-	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
-	in, k, method, metric, target, seed, par := compressFlags(fs)
-	q := fs.String("q", "", "pattern query, e.g. \"SELECT * FROM t WHERE x = ?\"")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *in == "" || *q == "" {
-		return fmt.Errorf("estimate: -in and -q are required")
-	}
-	w, err := loadWorkload(*in, *par)
-	if err != nil {
-		return err
-	}
-	s, err := w.Compress(logr.CompressOptions{
-		Clusters: *k, Method: *method, Metric: *metric, TargetError: *target, Seed: *seed, Parallelism: *par,
+	var q *string
+	w, s, err := compressFrom(args, "estimate", func(fs *flag.FlagSet) func() error {
+		q = fs.String("q", "", "pattern query, e.g. \"SELECT * FROM t WHERE x = ?\"")
+		return func() error {
+			if *q == "" {
+				return fmt.Errorf("estimate: -q is required")
+			}
+			return nil
+		}
 	})
 	if err != nil {
 		return err
@@ -281,18 +346,9 @@ func runDrift(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*window)
+	win, err := loadEntries(*window)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	entries, err := workload.ReadCompact(f)
-	if err != nil {
-		return err
-	}
-	win := make([]logr.Entry, len(entries))
-	for i, e := range entries {
-		win[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
 	}
 	rep := s.CheckDrift(win)
 	fmt.Printf("excess surprisal: %.2f nats/query\n", rep.Score)
@@ -302,7 +358,7 @@ func runDrift(args []string) error {
 }
 
 func runAdvise(args []string) error {
-	_, s, err := compressFrom(args, "advise")
+	_, s, err := compressFrom(args, "advise", nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,317 @@
+package logr_test
+
+// Regression tests for the append-after-compress lifecycle: a Summary is
+// universe-versioned, so probes carrying features registered after its
+// epoch must resolve to "unseen" (probability 0 / novel) instead of
+// panicking in bitvec, and Recompress must maintain the summary from the
+// delta alone. Run with -race to exercise the concurrent paths.
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"logr"
+	"logr/internal/workload"
+)
+
+// lifecycleWorkload is a two-cluster baseline whose codebook will be grown
+// by appends after compression.
+func lifecycleWorkload(t *testing.T) (*logr.Workload, *logr.Summary) {
+	t.Helper()
+	w := logr.FromEntries([]logr.Entry{
+		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 900},
+		{SQL: "SELECT _id, sender FROM messages WHERE status = ? AND thread_id = ?", Count: 300},
+		{SQL: "SELECT name FROM contacts WHERE chat_id = ?", Count: 100},
+	})
+	s, err := w.Compress(logr.CompressOptions{Clusters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s
+}
+
+// grow appends queries whose features are all new to the codebook.
+func grow(w *logr.Workload) {
+	w.Append([]logr.Entry{{SQL: "SELECT balance FROM accounts WHERE owner_id = ?", Count: 50}})
+}
+
+// TestEstimateAfterAppendGrownCodebook is the core regression: before
+// universe-versioned summaries, estimating a pattern with a feature
+// registered after compression panicked in bitvec.check.
+func TestEstimateAfterAppendGrownCodebook(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	grow(w)
+
+	// all-new features: the summary's snapshot never saw them
+	f, err := s.EstimateFrequency("SELECT balance FROM accounts")
+	if err != nil || f != 0 {
+		t.Fatalf("frequency of post-epoch pattern = %v, %v; want 0, nil", f, err)
+	}
+	c, err := s.EstimateCount("SELECT balance FROM accounts WHERE owner_id = ?")
+	if err != nil || c != 0 {
+		t.Fatalf("count of post-epoch pattern = %v, %v; want 0, nil", c, err)
+	}
+	// mixed old + new features: still provably unseen as a whole
+	f, err = s.EstimateFrequency("SELECT _id FROM messages WHERE owner_id = ?")
+	if err != nil || f != 0 {
+		t.Fatalf("frequency of mixed post-epoch pattern = %v, %v; want 0, nil", f, err)
+	}
+	// in-epoch patterns keep estimating normally
+	f, err = s.EstimateFrequency("SELECT _id FROM messages")
+	if err != nil || f <= 0 {
+		t.Fatalf("in-epoch pattern frequency = %v, %v; want > 0", f, err)
+	}
+}
+
+// TestCheckDriftAfterAppendGrownCodebook: a drift window carrying
+// post-epoch features must score them as novel, not panic.
+func TestCheckDriftAfterAppendGrownCodebook(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	grow(w)
+
+	rep := s.CheckDrift([]logr.Entry{
+		{SQL: "SELECT balance FROM accounts WHERE owner_id = ?", Count: 10},
+	})
+	if rep.NoveltyRate != 1 {
+		t.Fatalf("novelty of an all-post-epoch window = %v; want 1", rep.NoveltyRate)
+	}
+	// baseline-like traffic stays unremarkable alongside it
+	rep = s.CheckDrift([]logr.Entry{
+		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 90},
+		{SQL: "SELECT balance FROM accounts WHERE owner_id = ?", Count: 10},
+	})
+	if rep.NoveltyRate != 0.1 {
+		t.Fatalf("novelty = %v; want 0.1", rep.NoveltyRate)
+	}
+}
+
+// TestLifecycleAfterAppend exercises the remaining query paths against a
+// summary older than the codebook.
+func TestLifecycleAfterAppend(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	grow(w)
+
+	// exact counting re-snapshots, so post-epoch features are countable
+	n, err := w.Count("SELECT balance FROM accounts")
+	if err != nil || n != 50 {
+		t.Fatalf("Count of appended pattern = %d, %v; want 50, nil", n, err)
+	}
+	// correlation mining over the grown log through the old summary
+	for _, c := range s.TopCorrelations(w, 3) {
+		if c.Query == "" {
+			t.Fatalf("TopCorrelations returned an empty rendering")
+		}
+	}
+}
+
+// TestSummaryEpoch pins the epoch contract: monotone across appends, and
+// the summary keeps the epoch of the snapshot it compressed.
+func TestSummaryEpoch(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	e0 := s.Epoch()
+	if e0.TotalQueries != 1300 || e0.Universe == 0 {
+		t.Fatalf("baseline epoch = %+v", e0)
+	}
+	grow(w)
+	s2, err := w.Compress(logr.CompressOptions{Clusters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := s2.Epoch()
+	if e1.Universe <= e0.Universe || e1.TotalQueries != 1350 {
+		t.Fatalf("epoch not monotone: %+v -> %+v", e0, e1)
+	}
+	if got := s.Epoch(); got != e0 {
+		t.Fatalf("old summary's epoch moved: %+v -> %+v", e0, got)
+	}
+}
+
+// TestRecompressIncrementalCloseToFull is the fidelity acceptance check: a
+// 10% same-distribution delta must take the incremental path and land
+// within 10% of the full re-cluster's Reproduction Error (else Recompress
+// must have fallen back to the full re-cluster itself).
+func TestRecompressIncrementalCloseToFull(t *testing.T) {
+	entries := pocketEntries(11000, 300, 5)
+	cut := len(entries) * 10 / 11
+	opts := logr.CompressOptions{Clusters: 6, Seed: 1}
+
+	wFull := logr.FromEntries(entries[:cut])
+	if _, err := wFull.Compress(opts); err != nil {
+		t.Fatal(err)
+	}
+	wFull.Append(entries[cut:])
+	sFull, err := wFull.Compress(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wIncr := logr.FromEntries(entries[:cut])
+	prev, err := wIncr.Compress(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wIncr.Append(entries[cut:])
+	sIncr, err := wIncr.Recompress(prev, logr.RecompressOptions{CompressOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sIncr.Incremental() {
+		if sIncr.Error() > sFull.Error()*1.10+1e-9 {
+			t.Fatalf("merged error %v > full re-cluster error %v + 10%%", sIncr.Error(), sFull.Error())
+		}
+	} else if sIncr.Error() != sFull.Error() {
+		t.Fatalf("fallback error %v != full error %v at equal seed", sIncr.Error(), sFull.Error())
+	}
+	if sIncr.Epoch() != sFull.Epoch() {
+		t.Fatalf("epochs diverge: %+v vs %+v", sIncr.Epoch(), sFull.Epoch())
+	}
+	// the merged summary covers the new universe: delta-only features are
+	// estimable, not zero by staleness
+	if es, err := sIncr.EstimateFrequency("SELECT _id FROM messages"); err != nil || es <= 0 {
+		t.Fatalf("recompressed summary estimate = %v, %v", es, err)
+	}
+}
+
+// TestRecompressFallbackOnDrift: a delta from a foreign workload under a
+// tight error budget must trigger the full re-cluster fallback.
+func TestRecompressFallbackOnDrift(t *testing.T) {
+	w := logr.FromEntries(pocketEntries(4000, 150, 5))
+	opts := logr.CompressOptions{Clusters: 4, Seed: 1}
+	prev, err := w.Compress(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := workload.USBank(workload.USBankConfig{TotalQueries: 4000, DistinctTarget: 200, Seed: 7})
+	foreign := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		foreign[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	w.Append(foreign)
+	s, err := w.Recompress(prev, logr.RecompressOptions{CompressOptions: opts, MaxErrorGrowth: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Incremental() {
+		t.Fatalf("a foreign-workload delta under MaxErrorGrowth=0.001 kept the merge (err %v vs prev %v)", s.Error(), prev.Error())
+	}
+	full, err := w.Compress(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Error() != full.Error() {
+		t.Fatalf("fallback error %v != full compress error %v", s.Error(), full.Error())
+	}
+}
+
+// TestRecompressNoDelta: recompressing an unchanged workload is a no-op on
+// the incremental path.
+func TestRecompressNoDelta(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	s2, err := w.Recompress(s, logr.RecompressOptions{CompressOptions: logr.CompressOptions{Clusters: 2, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Incremental() || s2.Error() != s.Error() || s2.Epoch() != s.Epoch() {
+		t.Fatalf("no-delta recompress changed the summary: incr=%v err %v vs %v", s2.Incremental(), s2.Error(), s.Error())
+	}
+}
+
+// TestRecompressNilAndRestored: nil prev is a plain Compress; a summary
+// restored from disk has no delta basis and falls back to a full
+// compression instead of failing.
+func TestRecompressNilAndRestored(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	opts := logr.RecompressOptions{CompressOptions: logr.CompressOptions{Clusters: 2, Seed: 1}}
+
+	fromNil, err := w.Recompress(nil, opts)
+	if err != nil || fromNil.Incremental() {
+		t.Fatalf("Recompress(nil) = incr=%v, %v; want full compression", fromNil.Incremental(), err)
+	}
+
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := logr.ReadSummary(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(restored.Error()) {
+		t.Fatalf("restored summary should have unknown error, got %v", restored.Error())
+	}
+	grow(w)
+	s2, err := w.Recompress(restored, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Incremental() {
+		t.Fatal("restored summary unexpectedly supported the incremental path")
+	}
+	if math.IsNaN(s2.Error()) {
+		t.Fatal("recompressed summary should have a known error")
+	}
+}
+
+// TestRecompressForeignWorkload: a summary of one workload cannot maintain
+// another.
+func TestRecompressForeignWorkload(t *testing.T) {
+	_, s := lifecycleWorkload(t)
+	other := logr.FromEntries([]logr.Entry{{SQL: "SELECT a FROM b", Count: 1}})
+	if _, err := other.Recompress(s, logr.RecompressOptions{}); err == nil {
+		t.Fatal("expected an error for a foreign summary")
+	}
+}
+
+// TestRecompressRacingAppend drives the whole monitoring loop under -race:
+// one goroutine streams entries with never-seen features while another
+// repeatedly recompresses the latest summary and queries older ones.
+func TestRecompressRacingAppend(t *testing.T) {
+	w, s := lifecycleWorkload(t)
+	opts := logr.RecompressOptions{CompressOptions: logr.CompressOptions{Clusters: 2, Seed: 1}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sqls := []string{
+			"SELECT balance FROM accounts WHERE owner_id = ?",
+			"SELECT total FROM orders WHERE customer_id = ? AND status = ?",
+			"SELECT sku, qty FROM inventory WHERE warehouse = ?",
+			"SELECT _id FROM messages WHERE status = ?",
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w.Append([]logr.Entry{{SQL: sqls[i%len(sqls)], Count: 1 + i%3}})
+		}
+	}()
+
+	prev := s
+	for round := 0; round < 8; round++ {
+		next, err := w.Recompress(prev, opts)
+		if err != nil {
+			t.Errorf("round %d: %v", round, err)
+			break
+		}
+		// query both the stale baseline and the fresh summary mid-stream
+		for _, sum := range []*logr.Summary{s, next} {
+			if _, err := sum.EstimateFrequency("SELECT total FROM orders WHERE customer_id = ?"); err != nil {
+				t.Errorf("round %d: estimate: %v", round, err)
+			}
+			sum.CheckDrift([]logr.Entry{{SQL: "SELECT sku, qty FROM inventory WHERE warehouse = ?"}})
+		}
+		if _, err := w.Count("SELECT _id FROM messages WHERE status = ?"); err != nil {
+			t.Errorf("round %d: count: %v", round, err)
+		}
+		prev = next
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -19,6 +20,18 @@ type KMeansOptions struct {
 	// Seed: restarts draw pre-assigned seeds from the master RNG and the
 	// per-point reductions merge fixed-boundary chunks in order.
 	Parallelism int
+	// InitCentroids warm-starts Lloyd's algorithm from these centroids
+	// instead of k-means++ seeding: K is taken from len(InitCentroids)
+	// (ignoring the K field), a single run is performed (Lloyd's is
+	// deterministic given its initialization, so restarts would be
+	// identical), and — unlike the cold path — label i always corresponds
+	// to InitCentroids[i]: clusters that attract no points stay empty
+	// rather than being re-seeded, and the labeling is not compacted.
+	// This is the incremental-recompression hook: seeding from a previous
+	// summary's component centroids assigns a delta's points to the
+	// existing components without re-clustering the whole log, with no RNG
+	// involved at all.
+	InitCentroids [][]float64
 }
 
 // KMeans clusters weighted points with Lloyd's algorithm and k-means++
@@ -35,6 +48,9 @@ type KMeansOptions struct {
 // cluster. Empty clusters are re-seeded from the point farthest from its
 // centroid.
 func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignment {
+	if len(opts.InitCentroids) > 0 {
+		return kmeansWarm(points, weights, opts)
+	}
 	n := len(points)
 	if n == 0 || opts.K <= 0 {
 		return Assignment{Labels: make([]int, n), K: maxInt(opts.K, 1)}
@@ -103,9 +119,49 @@ func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignmen
 	return best
 }
 
+// kmeansWarm is the warm-start path: Lloyd's algorithm from caller-supplied
+// centroids, preserving the label ↔ centroid correspondence (no empty-cluster
+// re-seeding, no label compaction). Deterministic — no RNG is consulted.
+func kmeansWarm(points [][]float64, weights []float64, opts KMeansOptions) Assignment {
+	n := len(points)
+	k := len(opts.InitCentroids)
+	if n == 0 {
+		return Assignment{Labels: []int{}, K: k}
+	}
+	if dim := len(points[0]); len(opts.InitCentroids[0]) != dim {
+		panic(fmt.Sprintf("cluster: warm-start centroid dimension %d != point dimension %d", len(opts.InitCentroids[0]), dim))
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	// lloyd mutates its centroids in the update step; keep the caller's.
+	cents := make([][]float64, k)
+	for i, c := range opts.InitCentroids {
+		cents[i] = make([]float64, len(c))
+		copy(cents[i], c)
+	}
+	labels, _ := lloyd(points, w, cents, opts.MaxIter, parallel.Degree(opts.Parallelism), false)
+	return Assignment{Labels: labels, K: k}
+}
+
 func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand, par int) ([]int, float64) {
-	n, dim := len(points), len(points[0])
 	cents := seedPlusPlus(points, w, k, rng, par)
+	return lloyd(points, w, cents, maxIter, par, true)
+}
+
+// lloyd is the shared Lloyd's-algorithm loop. reseedEmpty re-seeds clusters
+// that lose all their points from the farthest point (the cold-start
+// behavior); warm starts disable it so every label keeps denoting the
+// cluster its initial centroid described.
+func lloyd(points [][]float64, w []float64, cents [][]float64, maxIter, par int, reseedEmpty bool) ([]int, float64) {
+	n, dim, k := len(points), len(points[0]), len(cents)
 	labels := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
 		// assignment step: each point independently finds its nearest
@@ -142,6 +198,10 @@ func kmeansRun(points [][]float64, w []float64, k, maxIter int, rng *rand.Rand, 
 		}
 		for c := 0; c < k; c++ {
 			if mass[c] == 0 {
+				if !reseedEmpty {
+					// warm start: an unpopulated cluster keeps its centroid
+					continue
+				}
 				// re-seed from the point with the largest current distance
 				far, fd := 0, -1.0
 				for i, p := range points {

@@ -1,0 +1,73 @@
+package cluster
+
+import "testing"
+
+// Warm-start k-means tests: label ↔ centroid correspondence is the
+// contract incremental recompression builds on.
+
+func TestKMeansWarmStartAssignsNearest(t *testing.T) {
+	cents := [][]float64{{0, 0}, {10, 10}, {100, 100}}
+	points := [][]float64{{1, 1}, {9, 9}, {0.5, 0}, {11, 10}}
+	asg := KMeans(points, nil, KMeansOptions{InitCentroids: cents, MaxIter: 1})
+	if asg.K != 3 {
+		t.Fatalf("K = %d; want 3 (no compaction, empty cluster kept)", asg.K)
+	}
+	want := []int{0, 1, 0, 1}
+	for i, l := range asg.Labels {
+		if l != want[i] {
+			t.Fatalf("point %d labeled %d; want %d (labels %v)", i, l, want[i], asg.Labels)
+		}
+	}
+}
+
+func TestKMeansWarmStartIgnoresSeedAndParallelism(t *testing.T) {
+	cents := [][]float64{{0, 0, 0}, {5, 5, 5}}
+	points := [][]float64{{0, 1, 0}, {4, 5, 4}, {1, 0, 1}, {6, 5, 6}, {2, 2, 2}}
+	weights := []float64{1, 2, 3, 4, 5}
+	base := KMeans(points, weights, KMeansOptions{InitCentroids: cents, MaxIter: 1, Seed: 1, Parallelism: 1})
+	for _, opts := range []KMeansOptions{
+		{InitCentroids: cents, MaxIter: 1, Seed: 99, Parallelism: 1},
+		{InitCentroids: cents, MaxIter: 1, Seed: 1, Parallelism: 4},
+		{InitCentroids: cents, MaxIter: 1, Seed: 7, Restarts: 5},
+	} {
+		got := KMeans(points, weights, opts)
+		if got.K != base.K {
+			t.Fatalf("K diverged: %d vs %d", got.K, base.K)
+		}
+		for i := range base.Labels {
+			if got.Labels[i] != base.Labels[i] {
+				t.Fatalf("labels diverged at %d: %v vs %v", i, got.Labels, base.Labels)
+			}
+		}
+	}
+}
+
+func TestKMeansWarmStartKExceedsN(t *testing.T) {
+	// more centroids than points: unlike the cold path, K must NOT be
+	// clamped — unpopulated clusters stay, keeping label identity
+	cents := [][]float64{{0}, {10}, {20}, {30}}
+	points := [][]float64{{1}, {19}}
+	asg := KMeans(points, nil, KMeansOptions{InitCentroids: cents})
+	if asg.K != 4 {
+		t.Fatalf("K = %d; want 4", asg.K)
+	}
+	if asg.Labels[0] != 0 || asg.Labels[1] != 2 {
+		t.Fatalf("labels = %v; want [0 2]", asg.Labels)
+	}
+}
+
+func TestKMeansWarmStartEmptyPoints(t *testing.T) {
+	asg := KMeans(nil, nil, KMeansOptions{InitCentroids: [][]float64{{0}, {1}}})
+	if asg.K != 2 || len(asg.Labels) != 0 {
+		t.Fatalf("empty input: K %d labels %v", asg.K, asg.Labels)
+	}
+}
+
+func TestKMeansWarmStartDoesNotMutateCentroids(t *testing.T) {
+	cents := [][]float64{{0, 0}, {10, 10}}
+	points := [][]float64{{3, 3}, {8, 8}}
+	KMeans(points, nil, KMeansOptions{InitCentroids: cents, MaxIter: 10})
+	if cents[0][0] != 0 || cents[1][0] != 10 {
+		t.Fatalf("warm start mutated caller centroids: %v", cents)
+	}
+}

@@ -22,6 +22,19 @@ func NaiveEncode(l *Log) Naive {
 	return Naive{Marginals: l.FeatureMarginals(), Count: l.Total()}
 }
 
+// Grow returns a copy of the encoding over a universe of size n ≥ the
+// current one. Features beyond the old universe carry marginal 0: the
+// summarized sub-log predates them, so they contribute probability 0 to
+// every estimate and nothing to the model entropy (H_Bernoulli(0) = 0).
+func (e Naive) Grow(n int) Naive {
+	if n < len(e.Marginals) {
+		panic("core: Grow would shrink encoding universe")
+	}
+	m := make([]float64, n)
+	copy(m, e.Marginals)
+	return Naive{Marginals: m, Count: e.Count}
+}
+
 // Verbosity returns |E| for the naive encoding: the number of features with
 // non-zero marginal (one single-feature pattern each).
 func (e Naive) Verbosity() int {

@@ -306,6 +306,21 @@ func (l *Log) SelectFeatures(lo, hi float64, max int) []int {
 	return out
 }
 
+// Grow returns a deep copy of the log over a universe of size n ≥ the
+// current one; existing vectors keep their feature indices (bitvec.Grow).
+// Growing is how a sub-log compressed under an earlier codebook snapshot is
+// lifted onto the universe of a later snapshot before merging.
+func (l *Log) Grow(n int) *Log {
+	if n < l.universe {
+		panic("core: Grow would shrink log universe")
+	}
+	out := NewLog(n)
+	for i, v := range l.vecs {
+		out.Add(v.Grow(n), l.mult[i])
+	}
+	return out
+}
+
 // Clone returns a deep copy of the log.
 func (l *Log) Clone() *Log {
 	out := NewLog(l.universe)

@@ -80,6 +80,48 @@ func BuildNaiveMixtureP(l *Log, asg cluster.Assignment, par int) (Mixture, []*Lo
 // K returns the number of (non-empty) components.
 func (m Mixture) K() int { return len(m.Components) }
 
+// Grow returns a copy of the mixture over a universe of size n ≥ the
+// current one. Every component is grown (zero marginals on the new
+// features), so in-universe estimates are unchanged and patterns touching a
+// new feature estimate to 0 — the "registered after the snapshot ⇒ unseen"
+// semantics universe-versioned summaries rely on.
+func (m Mixture) Grow(n int) Mixture {
+	if n < m.Universe {
+		panic("core: Grow would shrink mixture universe")
+	}
+	out := Mixture{Universe: n, Total: m.Total, Components: make([]Component, len(m.Components))}
+	for i, c := range m.Components {
+		out.Components[i] = Component{Encoding: c.Encoding.Grow(n), Weight: c.Weight}
+	}
+	return out
+}
+
+// Merge combines two mixtures that summarize disjoint sub-logs — an earlier
+// compression plus a newly compressed delta, or per-shard summaries of a
+// distributed log — into one mixture over the union universe. Both sides
+// are grown to the larger universe and every component keeps its encoding;
+// only the weights change, rescaled by each side's sub-log total so that
+// w_i' = w_i · |L_side| / (|L_a| + |L_b|) and Σ w_i' = 1.
+func (m Mixture) Merge(other Mixture) Mixture {
+	n := m.Universe
+	if other.Universe > n {
+		n = other.Universe
+	}
+	a, b := m.Grow(n), other.Grow(n)
+	total := a.Total + b.Total
+	out := Mixture{Universe: n, Total: total}
+	if total == 0 {
+		return out
+	}
+	for _, c := range a.Components {
+		out.Components = append(out.Components, Component{Encoding: c.Encoding, Weight: c.Weight * float64(a.Total) / float64(total)})
+	}
+	for _, c := range b.Components {
+		out.Components = append(out.Components, Component{Encoding: c.Encoding, Weight: c.Weight * float64(b.Total) / float64(total)})
+	}
+	return out
+}
+
 // TotalVerbosity returns Σ_i |S_i| (Section 5.2): the total number of
 // single-feature patterns stored across all components.
 func (m Mixture) TotalVerbosity() int {

@@ -3,6 +3,7 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Node is implemented by every AST node.
@@ -330,7 +331,7 @@ func (w *With) SQL() string {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
-		sb.WriteString(c.Name + " AS (" + c.Stmt.SQL() + ")")
+		sb.WriteString(quoteIdent(c.Name) + " AS (" + c.Stmt.SQL() + ")")
 	}
 	sb.WriteString(" " + w.Body.SQL())
 	return sb.String()
@@ -350,28 +351,59 @@ func (u *Union) SQL() string {
 }
 
 // SQL renders the select item.
+// quoteIdent renders an identifier, double-quoting it when the bare text
+// would not re-lex as the same single identifier token — keywords, an empty
+// name, or characters outside the identifier alphabet. Embedded double
+// quotes are doubled, mirroring the lexer's escape rule, so every name the
+// lexer can produce round-trips through the printer.
+func quoteIdent(name string) string {
+	if isPlainIdent(name) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func isPlainIdent(name string) bool {
+	if name == "" || keywords[strings.ToUpper(name)] {
+		return false
+	}
+	for i, r := range name {
+		if r == utf8.RuneError {
+			return false
+		}
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
 func (it SelectItem) SQL() string {
 	if it.Star {
 		if c, ok := it.Expr.(*Column); ok && c.Table != "" {
-			return c.Table + ".*"
+			return quoteIdent(c.Table) + ".*"
 		}
 		return "*"
 	}
 	s := it.Expr.SQL()
 	if it.Alias != "" {
-		s += " AS " + it.Alias
+		s += " AS " + quoteIdent(it.Alias)
 	}
 	return s
 }
 
 // SQL renders the table name.
 func (t *TableName) SQL() string {
-	s := t.Name
+	s := quoteIdent(t.Name)
 	if t.Schema != "" {
-		s = t.Schema + "." + t.Name
+		s = quoteIdent(t.Schema) + "." + quoteIdent(t.Name)
 	}
 	if t.Alias != "" {
-		s += " AS " + t.Alias
+		s += " AS " + quoteIdent(t.Alias)
 	}
 	return s
 }
@@ -380,7 +412,7 @@ func (t *TableName) SQL() string {
 func (q *Subquery) SQL() string {
 	s := "(" + q.Stmt.SQL() + ")"
 	if q.Alias != "" {
-		s += " AS " + q.Alias
+		s += " AS " + quoteIdent(q.Alias)
 	}
 	return s
 }
@@ -397,9 +429,9 @@ func (j *Join) SQL() string {
 // SQL renders the column reference.
 func (c *Column) SQL() string {
 	if c.Table != "" {
-		return c.Table + "." + c.Name
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Name)
 	}
-	return c.Name
+	return quoteIdent(c.Name)
 }
 
 // SQL renders the literal.
@@ -507,7 +539,7 @@ func (e *ExistsExpr) SQL() string {
 // SQL renders the function call.
 func (f *FuncCall) SQL() string {
 	if f.Star {
-		return f.Name + "(*)"
+		return quoteIdent(f.Name) + "(*)"
 	}
 	args := make([]string, len(f.Args))
 	for i, a := range f.Args {
@@ -517,7 +549,7 @@ func (f *FuncCall) SQL() string {
 	if f.Distinct {
 		d = "DISTINCT "
 	}
-	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+	return quoteIdent(f.Name) + "(" + d + strings.Join(args, ", ") + ")"
 }
 
 // SQL renders the CASE expression.

@@ -21,6 +21,9 @@ func FuzzParse(f *testing.F) {
 		"",
 		"\x00\xff",
 		strings.Repeat("(", 100),
+		`SELECT "a b", "select", t."x""y" FROM "weird table" AS "as"`,
+		"SELECT [bracketed], `backticked` FROM t",
+		"SELECT héllo FROM tàble WHERE é = ?",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenKind classifies lexical tokens.
@@ -133,11 +134,17 @@ func (lx *lexer) next() (Token, error) {
 
 scan:
 	start := lx.pos
-	c := rune(lx.src[lx.pos])
+	// Decode a full rune: treating bytes as runes would accept invalid
+	// UTF-8 as identifier letters (rune(0xda) is 'Ú') and split multi-byte
+	// letters in half, producing names the printer cannot round-trip.
+	c, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if c == utf8.RuneError && size <= 1 {
+		return Token{}, lx.errf(start, "invalid UTF-8 byte 0x%02x", lx.src[lx.pos])
+	}
 
 	switch {
 	case isIdentStart(c):
-		return lx.scanIdent(start), nil
+		return lx.scanIdent(start)
 	case c >= '0' && c <= '9':
 		return lx.scanNumber(start)
 	case c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
@@ -152,8 +159,8 @@ scan:
 	case c == ':' || c == '$' || c == '@':
 		// named or positional bind parameter (:name, $1, @var)
 		lx.pos++
-		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
-			lx.pos++
+		if err := lx.scanIdentPart(); err != nil {
+			return Token{}, err
 		}
 		if lx.pos == start+1 {
 			return Token{}, lx.errf(start, "dangling %q", string(c))
@@ -164,16 +171,32 @@ scan:
 	}
 }
 
-func (lx *lexer) scanIdent(start int) Token {
-	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
-		lx.pos++
+// scanIdentPart consumes identifier-part runes, stopping at the first rune
+// outside the identifier alphabet and rejecting invalid UTF-8.
+func (lx *lexer) scanIdentPart() error {
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if r == utf8.RuneError && size <= 1 {
+			return lx.errf(lx.pos, "invalid UTF-8 byte 0x%02x", lx.src[lx.pos])
+		}
+		if !isIdentPart(r) {
+			return nil
+		}
+		lx.pos += size
+	}
+	return nil
+}
+
+func (lx *lexer) scanIdent(start int) (Token, error) {
+	if err := lx.scanIdentPart(); err != nil {
+		return Token{}, err
 	}
 	text := lx.src[start:lx.pos]
 	upper := strings.ToUpper(text)
 	if _, ok := keywords[upper]; ok {
-		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
 	}
-	return Token{Kind: TokIdent, Text: text, Pos: start}
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
 }
 
 func (lx *lexer) scanNumber(start int) (Token, error) {
@@ -223,12 +246,20 @@ func (lx *lexer) scanQuotedIdent(start int) (Token, error) {
 		closeCh = ']'
 	}
 	lx.pos++
+	var text strings.Builder
 	for lx.pos < len(lx.src) {
 		if lx.src[lx.pos] == closeCh {
-			text := lx.src[start+1 : lx.pos]
+			// a doubled closing character escapes it (SQL's "" rule),
+			// which is what lets the printer round-trip any name
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == closeCh {
+				text.WriteByte(closeCh)
+				lx.pos += 2
+				continue
+			}
 			lx.pos++
-			return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+			return Token{Kind: TokIdent, Text: text.String(), Pos: start}, nil
 		}
+		text.WriteByte(lx.src[lx.pos])
 		lx.pos++
 	}
 	return Token{}, lx.errf(start, "unterminated quoted identifier")

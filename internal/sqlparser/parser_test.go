@@ -309,3 +309,46 @@ func TestParseWithErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestIdentifierLexingAndQuoting pins the UTF-8 and quoting fixes the
+// fuzzer motivated: invalid UTF-8 is rejected outright (bytes used to be
+// mis-lexed as identifier letters), multi-byte letters lex as whole runes,
+// and the printer quotes any identifier that would not re-lex as itself.
+func TestIdentifierLexingAndQuoting(t *testing.T) {
+	for _, src := range []string{
+		"SELECT \xda()",
+		"SELECT a\xdab FROM t",
+		"SELECT :p\xc3 FROM t",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected invalid-UTF-8 rejection", src)
+		}
+	}
+	for _, src := range []string{
+		`SELECT "a b" FROM t`,
+		`SELECT "select" FROM "order"`,
+		`SELECT t."x""y" FROM t AS "weird alias"`,
+		"SELECT héllo FROM tàble WHERE é = ?",
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := stmt.SQL()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, src, err)
+		}
+		if re.SQL() != printed {
+			t.Errorf("print not a fixpoint: %q -> %q", printed, re.SQL())
+		}
+	}
+	// bracket and backtick quoting normalize to double quotes
+	stmt, err := Parse("SELECT [a b], `c d` FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.SQL(); got != `SELECT "a b", "c d" FROM t` {
+		t.Errorf("normalized form = %q", got)
+	}
+}

@@ -57,11 +57,34 @@ type EncodeOptions struct {
 	Parallelism int
 }
 
-// EncodeResult bundles the encoded log with its codebook and statistics.
+// Epoch is the version of an encode snapshot. The pipeline is append-only
+// — the codebook only grows and multiplicities only increase — so every
+// field is monotone non-decreasing across snapshots of one Encoder, and an
+// Epoch totally orders the snapshots it came from. Summaries carry the
+// epoch of the snapshot they compressed, which is what lets a probe against
+// an older summary distinguish "feature registered after my snapshot"
+// (index ≥ Universe: unseen, probability 0) from "feature never seen".
+type Epoch struct {
+	// Universe is the codebook size at the snapshot: vectors of the
+	// snapshot's log are over exactly this many features.
+	Universe int
+	// Total is the number of encoded queries at the snapshot, duplicates
+	// included.
+	Total int
+	// Distinct is the number of distinct query vectors at the snapshot.
+	// Snapshots keep distinct vectors in first-appearance order, so a later
+	// snapshot's first Distinct vectors are this snapshot's vectors (over a
+	// possibly larger universe) — the alignment delta extraction relies on.
+	Distinct int
+}
+
+// EncodeResult bundles the encoded log with its codebook, statistics and
+// the snapshot's epoch.
 type EncodeResult struct {
 	Log   *core.Log
 	Book  *feature.Codebook
 	Stats PipelineStats
+	Epoch Epoch
 }
 
 // Encoder runs the parse → regularize → feature-extraction pipeline
@@ -328,7 +351,10 @@ func (e *Encoder) Result() EncodeResult {
 	if e.encodedN > 0 {
 		stats.AvgFeaturesPerQuery = float64(e.featSum) / float64(e.encodedN)
 	}
-	r := EncodeResult{Log: l, Book: e.book, Stats: stats}
+	r := EncodeResult{
+		Log: l, Book: e.book, Stats: stats,
+		Epoch: Epoch{Universe: l.Universe(), Total: l.Total(), Distinct: l.Distinct()},
+	}
 	e.snapshot = &r
 	return r
 }

@@ -203,6 +203,43 @@ func TestGroupsAreMutuallyExclusive(t *testing.T) {
 	}
 }
 
+// TestSnapshotEpochAndAlignment pins the two contracts incremental
+// recompression relies on: snapshot epochs are monotone, and a later
+// snapshot's first Distinct vectors are the earlier snapshot's vectors in
+// the same order (over a possibly larger universe) with multiplicities
+// that only grow.
+func TestSnapshotEpochAndAlignment(t *testing.T) {
+	enc := NewEncoder(EncodeOptions{})
+	enc.AddBatch([]LogEntry{
+		{SQL: "SELECT a FROM t WHERE x = ?", Count: 5},
+		{SQL: "SELECT b FROM u WHERE y = ?", Count: 3},
+	})
+	r1 := enc.Result()
+	if r1.Epoch.Universe != r1.Log.Universe() || r1.Epoch.Total != 8 || r1.Epoch.Distinct != 2 {
+		t.Fatalf("epoch %+v does not describe the snapshot", r1.Epoch)
+	}
+	enc.AddBatch([]LogEntry{
+		{SQL: "SELECT a FROM t WHERE x = ?", Count: 2},           // increment
+		{SQL: "SELECT c FROM v WHERE z = ? AND w = ?", Count: 4}, // new vector + new features
+	})
+	r2 := enc.Result()
+	if r2.Epoch.Universe <= r1.Epoch.Universe || r2.Epoch.Total != 14 || r2.Epoch.Distinct != 3 {
+		t.Fatalf("epoch not monotone: %+v -> %+v", r1.Epoch, r2.Epoch)
+	}
+	for i := 0; i < r1.Epoch.Distinct; i++ {
+		grown := r1.Log.Vector(i).Grow(r2.Epoch.Universe)
+		if !grown.Equal(r2.Log.Vector(i)) {
+			t.Fatalf("vector %d moved between snapshots", i)
+		}
+		if r2.Log.Multiplicity(i) < r1.Log.Multiplicity(i) {
+			t.Fatalf("multiplicity %d shrank", i)
+		}
+	}
+	if r2.Log.Multiplicity(0) != 7 {
+		t.Fatalf("increment lost: multiplicity %d", r2.Log.Multiplicity(0))
+	}
+}
+
 func TestIORoundTrip(t *testing.T) {
 	entries := []LogEntry{
 		{SQL: "SELECT a FROM t WHERE x = ?", Count: 3},

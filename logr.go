@@ -41,12 +41,36 @@
 //
 // A *Workload is safe for concurrent use: a monitoring goroutine can Append
 // while others Compress or query earlier snapshots.
+//
+// # Summary epochs and incremental recompression
+//
+// Because the codebook only grows, a Summary is universe-versioned: it
+// carries the Epoch — (universe size, total queries) — of the snapshot it
+// compressed, and every probe path resolves pattern features against that
+// universe. A feature registered by an Append *after* the summary was built
+// is out-of-universe for it: the summarized log never contained the
+// feature, so EstimateFrequency and EstimateCount report 0, CheckDrift
+// counts the query as novel, and exact counting (Workload.Count) retries on
+// a fresh snapshot or reports an *OutOfSnapshotError — never a weaker
+// silent answer.
+//
+// Epochs also make the summary incrementally maintainable. A monitoring
+// loop that compresses every refresh re-clusters the full log each time;
+// Workload.Recompress(prev, opts) instead clusters only the delta appended
+// since prev's epoch — warm-starting from prev's component centroids —
+// merges it into the prior mixture in one linear pass, and re-evaluates
+// the Reproduction Error. If the merged error drifts more than RecompressOptions.
+// MaxErrorGrowth above prev's (the delta carries structure the old
+// partition cannot absorb), Recompress automatically falls back to a full
+// re-cluster; Summary.Incremental reports which path produced a summary.
 package logr
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 
@@ -218,64 +242,122 @@ func (w *Workload) Queries() int { return w.snapshot().Log.Total() }
 // Count returns the exact Γ_b(L): how many queries contain every feature of
 // the given pattern query. This reads the *uncompressed* log; after
 // compression use Summary.EstimateCount.
+//
+// Count never answers from a snapshot older than the pattern: if a
+// concurrent Append registers one of the pattern's features between the
+// snapshot and the probe, Count retries on a fresh snapshot (which includes
+// the feature) instead of silently counting a weaker pattern, and reports
+// an *OutOfSnapshotError if the race persists.
 func (w *Workload) Count(patternSQL string) (int, error) {
-	res := w.snapshot()
-	b, err := pattern(res, patternSQL)
-	if err != nil {
-		return 0, err
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		res := w.snapshot()
+		b, err := pattern(res, patternSQL)
+		if err != nil {
+			var oos *OutOfSnapshotError
+			if errors.As(err, &oos) {
+				// a concurrent Append registered the feature after this
+				// snapshot was taken; a fresh snapshot covers it
+				lastErr = err
+				continue
+			}
+			return 0, err
+		}
+		return res.Log.CountP(b, w.par), nil
 	}
-	return res.Log.CountP(b, w.par), nil
+	return 0, lastErr
+}
+
+// OutOfSnapshotError reports a probe whose features the codebook knows but
+// the queried snapshot or summary predates: they were registered by an
+// Append after the snapshot's epoch, so the snapshot cannot say anything
+// about them. Callers holding the live Workload can retry on a fresh
+// snapshot; callers holding only a Summary should treat the pattern as
+// unseen by it.
+type OutOfSnapshotError struct {
+	// Features are the out-of-snapshot features, rendered ⟨text, kind⟩.
+	Features []string
+}
+
+func (e *OutOfSnapshotError) Error() string {
+	return "logr: pattern uses features registered after this snapshot: " + strings.Join(e.Features, ", ")
 }
 
 // pattern parses a SQL fragment-query and maps it onto the snapshot's
-// codebook. A feature never seen in the workload yields an error.
+// universe. A feature never seen in the workload yields an error; a feature
+// registered after the snapshot yields an *OutOfSnapshotError rather than a
+// silently weakened pattern.
 func pattern(res workload.EncodeResult, patternSQL string) (bitvec.Vector, error) {
-	idx, unknown, err := patternIndices(res.Book, patternSQL, false)
+	p, err := patternProbe(res.Book, res.Log.Universe(), patternSQL)
 	if err != nil {
 		return bitvec.Vector{}, err
 	}
-	if len(unknown) > 0 {
-		return bitvec.Vector{}, fmt.Errorf("logr: pattern uses features absent from the workload: %s", strings.Join(unknown, ", "))
+	if len(p.unknown) > 0 {
+		return bitvec.Vector{}, fmt.Errorf("logr: pattern uses features absent from the workload: %s", strings.Join(p.unknown, ", "))
 	}
-	v := bitvec.New(res.Log.Universe())
-	for _, i := range idx {
-		if i < v.Len() {
-			v.Set(i)
-		}
+	if len(p.stale) > 0 {
+		return bitvec.Vector{}, &OutOfSnapshotError{Features: p.stale}
 	}
-	return v, nil
+	return p.vector(res.Log.Universe()), nil
 }
 
-func patternIndices(book *feature.Codebook, patternSQL string, register bool) (idx []int, unknown []string, err error) {
+// probe is a parsed pattern or window query resolved against one universe
+// snapshot: idx are the usable in-universe feature indices, unknown the
+// features the codebook has never seen, and stale the features it knows but
+// that were registered after the snapshot (index ≥ universe).
+type probe struct {
+	idx     []int
+	unknown []string
+	stale   []string
+}
+
+// vector materializes the in-universe indices over the snapshot's universe.
+// The resolver guarantees every index fits, so this cannot panic.
+func (p probe) vector(universe int) bitvec.Vector {
+	v := bitvec.New(universe)
+	for _, i := range p.idx {
+		v.Set(i)
+	}
+	return v
+}
+
+// patternProbe resolves a single-block pattern query (probes must be
+// conjunctive, Section 6.2) against a universe snapshot of the codebook.
+func patternProbe(book *feature.Codebook, universe int, patternSQL string) (probe, error) {
 	stmt, err := sqlparser.Parse(patternSQL)
 	if err != nil {
-		return nil, nil, fmt.Errorf("logr: pattern does not parse: %w", err)
+		return probe{}, fmt.Errorf("logr: pattern does not parse: %w", err)
 	}
 	r := regularize.Regularize(stmt, regularize.DefaultOptions)
 	if len(r.Blocks) != 1 {
-		return nil, nil, fmt.Errorf("logr: pattern must regularize to a single conjunctive block")
+		return probe{}, fmt.Errorf("logr: pattern must regularize to a single conjunctive block")
 	}
-	if register {
-		return book.Extract(r.Blocks[0]), nil, nil
-	}
-	return probeIndices(book, r.Blocks[0:1])
+	return resolveProbe(book, universe, r.Blocks[0:1]), nil
 }
 
-// windowIndices encodes an arbitrary query the way the pipeline does —
-// merging the features of every conjunctive block — without registering new
-// features. Used by drift detection, where OR-carrying queries are normal
+// windowProbe resolves an arbitrary query the way the pipeline encodes it —
+// merging the features of every conjunctive block — against a universe
+// snapshot. Used by drift detection, where OR-carrying queries are normal
 // traffic, not probes.
-func windowIndices(book *feature.Codebook, sql string) (idx []int, unknown []string, err error) {
+func windowProbe(book *feature.Codebook, universe int, sql string) (probe, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, nil, err
+		return probe{}, err
 	}
 	r := regularize.Regularize(stmt, regularize.DefaultOptions)
-	return probeIndices(book, r.Blocks)
+	return resolveProbe(book, universe, r.Blocks), nil
 }
 
-func probeIndices(book *feature.Codebook, blocks []*sqlparser.Select) (idx []int, unknown []string, err error) {
+// resolveProbe is the single universe-aware resolver behind every probe
+// path (pattern counting, summary estimation, drift windows). It maps the
+// blocks' features onto the codebook and classifies each against the given
+// universe snapshot: in-universe (usable), registered after the snapshot
+// (stale — the snapshot provably never saw the feature), or never
+// registered (unknown). Features enter the codebook append-only, so index
+// < universe is exactly "existed at the snapshot".
+func resolveProbe(book *feature.Codebook, universe int, blocks []*sqlparser.Select) probe {
 	scratch := feature.NewCodebook(book.Scheme())
+	var p probe
 	set := map[int]bool{}
 	for _, blk := range blocks {
 		for _, fi := range scratch.Extract(blk) {
@@ -285,17 +367,22 @@ func probeIndices(book *feature.Codebook, blocks []*sqlparser.Select) (idx []int
 				// literal ⟨*, SELECT⟩ feature
 				continue
 			}
-			if i, ok := book.Lookup(f); ok {
+			i, ok := book.Lookup(f)
+			switch {
+			case !ok:
+				p.unknown = append(p.unknown, f.String())
+			case i >= universe:
+				p.stale = append(p.stale, f.String())
+			default:
 				set[i] = true
-			} else {
-				unknown = append(unknown, f.String())
 			}
 		}
 	}
 	for i := range set {
-		idx = append(idx, i)
+		p.idx = append(p.idx, i)
 	}
-	return idx, unknown, nil
+	sort.Ints(p.idx)
+	return p
 }
 
 // CompressOptions configure the LogR compressor.
@@ -321,26 +408,84 @@ type CompressOptions struct {
 }
 
 // Summary is a LogR-compressed workload: a naive mixture encoding plus the
-// codebook that translates patterns back to SQL.
+// codebook that translates patterns back to SQL. A Summary is
+// universe-versioned: it remembers the Epoch of the snapshot it compressed
+// and resolves every probe against that universe, so it stays safe to query
+// — and incrementally maintainable via Workload.Recompress — while the
+// workload keeps growing.
 type Summary struct {
 	c    *core.Compressed
 	book *feature.Codebook
+	// epoch is the snapshot version the summary was built from; counts are
+	// the snapshot's per-distinct-vector multiplicities, kept so Recompress
+	// can extract the delta appended since. counts is nil for summaries
+	// restored with ReadSummary (no delta basis — Recompress falls back to
+	// a full compression).
+	epoch       workload.Epoch
+	counts      []int
+	incremental bool
+}
+
+// Epoch identifies the workload snapshot a summary was built from. Both
+// fields are monotone non-decreasing as the workload grows, so epochs
+// totally order the summaries of one workload.
+type Epoch struct {
+	// Universe is the feature-universe size at the snapshot; features with
+	// a codebook index ≥ Universe were registered later and are unseen by
+	// the summary.
+	Universe int
+	// TotalQueries is the number of encoded queries at the snapshot,
+	// duplicates included.
+	TotalQueries int
+}
+
+// Epoch returns the snapshot version the summary covers.
+func (s *Summary) Epoch() Epoch {
+	return Epoch{Universe: s.epoch.Universe, TotalQueries: s.epoch.Total}
+}
+
+// Incremental reports whether the summary was produced by Recompress's
+// delta-merge path. It is false for full compressions, including the
+// error-drift fallback inside Recompress.
+func (s *Summary) Incremental() bool { return s.incremental }
+
+// newSummary wraps a compression result with the snapshot version it
+// covers, capturing the per-distinct multiplicities future Recompress calls
+// diff against.
+func newSummary(c *core.Compressed, res workload.EncodeResult, incremental bool) *Summary {
+	counts := make([]int, res.Log.Distinct())
+	for i := range counts {
+		counts[i] = res.Log.Multiplicity(i)
+	}
+	return &Summary{c: c, book: res.Book, epoch: res.Epoch, counts: counts, incremental: incremental}
 }
 
 // Compress builds the naive mixture encoding from the current snapshot.
 // Safe to call while another goroutine Appends; the summary covers the
 // entries appended before the call.
 func (w *Workload) Compress(opts CompressOptions) (*Summary, error) {
-	method, err := parseMethod(opts.Method)
-	if err != nil {
-		return nil, err
-	}
-	metric, err := parseMetric(opts.Metric)
+	coreOpts, err := opts.internal()
 	if err != nil {
 		return nil, err
 	}
 	res := w.snapshot()
-	c, err := core.Compress(res.Log, core.CompressOptions{
+	c, err := core.Compress(res.Log, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return newSummary(c, res, false), nil
+}
+
+func (opts CompressOptions) internal() (core.CompressOptions, error) {
+	method, err := parseMethod(opts.Method)
+	if err != nil {
+		return core.CompressOptions{}, err
+	}
+	metric, err := parseMetric(opts.Metric)
+	if err != nil {
+		return core.CompressOptions{}, err
+	}
+	return core.CompressOptions{
 		K:           opts.Clusters,
 		Method:      method,
 		Metric:      metric,
@@ -348,11 +493,68 @@ func (w *Workload) Compress(opts CompressOptions) (*Summary, error) {
 		TargetError: opts.TargetError,
 		MaxK:        opts.MaxClusters,
 		Parallelism: opts.Parallelism,
-	})
+	}, nil
+}
+
+// RecompressOptions configure Workload.Recompress. The embedded
+// CompressOptions govern the full re-cluster fallback (and the delta
+// assignment's parallelism); the incremental path itself consumes no
+// randomness and is deterministic regardless of Seed.
+type RecompressOptions struct {
+	CompressOptions
+	// MaxErrorGrowth is the allowed relative growth of the merged summary's
+	// Reproduction Error over prev.Error() before Recompress abandons the
+	// merge and falls back to a full re-cluster. 0 means the default
+	// (0.10); a negative value disables the fallback.
+	MaxErrorGrowth float64
+}
+
+// Recompress updates prev for the entries appended since prev's epoch
+// without re-clustering the whole log: the delta is clustered alone —
+// multiplicity increments rejoin the component already holding their query
+// shape, brand-new shapes are assigned to the nearest component centroid —
+// and merged into the prior mixture. A monitoring loop's refresh therefore
+// pays the expensive clustering only for the delta, plus one cheap linear
+// merge-and-rescore pass over the partition. The merged summary's Reproduction
+// Error is re-evaluated against the true merged partition; if it drifted
+// more than opts.MaxErrorGrowth above prev's, or prev cannot support a
+// merge (e.g. it was restored with ReadSummary), Recompress transparently
+// falls back to a full Compress with opts.CompressOptions. Check
+// Summary.Incremental to see which path ran.
+//
+// prev must come from this workload; passing a summary of a different
+// workload is reported as an error. A nil prev is equivalent to Compress.
+// Safe to call while other goroutines Append: the new summary covers
+// exactly the entries appended before the call.
+func (w *Workload) Recompress(prev *Summary, opts RecompressOptions) (*Summary, error) {
+	coreOpts, err := opts.CompressOptions.internal()
 	if err != nil {
 		return nil, err
 	}
-	return &Summary{c: c, book: res.Book}, nil
+	res := w.snapshot()
+	if prev == nil {
+		c, err := core.Compress(res.Log, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		return newSummary(c, res, false), nil
+	}
+	if prev.counts == nil {
+		// restored with ReadSummary: no delta basis, compress from scratch
+		c, err := core.Compress(res.Log, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		return newSummary(c, res, false), nil
+	}
+	if prev.book != res.Book {
+		return nil, fmt.Errorf("logr: Recompress: summary was built from a different workload")
+	}
+	c, incremental, err := core.Recompress(prev.c, res.Log, prev.counts, coreOpts, core.RecompressOptions{MaxErrorGrowth: opts.MaxErrorGrowth})
+	if err != nil {
+		return nil, err
+	}
+	return newSummary(c, res, incremental), nil
 }
 
 func parseMethod(s string) (core.Method, error) {
@@ -398,20 +600,18 @@ func (s *Summary) TotalVerbosity() int { return s.c.Mixture.TotalVerbosity() }
 
 // EstimateFrequency estimates p(Q ⊇ pattern | L): the fraction of the
 // workload containing every feature of the pattern query (Section 6.2).
-// Features the workload never saw contribute probability 0.
+// Features the summarized snapshot never saw — whether never registered at
+// all or registered by an Append after the summary's epoch — contribute
+// probability 0.
 func (s *Summary) EstimateFrequency(patternSQL string) (float64, error) {
-	idx, unknown, err := patternIndices(s.book, patternSQL, false)
+	p, err := patternProbe(s.book, s.c.Mixture.Universe, patternSQL)
 	if err != nil {
 		return 0, err
 	}
-	if len(unknown) > 0 {
+	if len(p.unknown) > 0 || len(p.stale) > 0 {
 		return 0, nil
 	}
-	v := bitvec.New(s.c.Mixture.Universe)
-	for _, i := range idx {
-		v.Set(i)
-	}
-	return s.c.Mixture.EstimateMarginal(v), nil
+	return s.c.Mixture.EstimateMarginal(p.vector(s.c.Mixture.Universe)), nil
 }
 
 // EstimateCount estimates Γ_pattern(L), the absolute number of matching
@@ -476,14 +676,20 @@ func (s *Summary) Save(w io.Writer) error {
 	return core.WriteSummary(w, s.c.Mixture, s.book)
 }
 
-// ReadSummary restores a summary saved with Save.
+// ReadSummary restores a summary saved with Save. The restored summary
+// estimates, visualizes and runs the analytics applications; it has no
+// delta basis, so Recompress against it falls back to a full compression.
 func ReadSummary(r io.Reader) (*Summary, error) {
 	m, book, err := core.ReadSummary(r)
 	if err != nil {
 		return nil, err
 	}
 	// Error against ground truth is unknown without the log; mark NaN.
-	return &Summary{c: &core.Compressed{Mixture: m, Err: math.NaN()}, book: book}, nil
+	return &Summary{
+		c:     &core.Compressed{Mixture: m, Err: math.NaN()},
+		book:  book,
+		epoch: workload.Epoch{Universe: m.Universe, Total: m.Total},
+	}, nil
 }
 
 // IndexSuggestion recommends indexing a column because predicates on it
@@ -564,8 +770,10 @@ type DriftReport struct {
 // explain at all.
 func (s *Summary) CheckDrift(window []Entry) DriftReport {
 	det := apps.NewDriftDetector(s.c.Mixture)
-	// encode the window against the baseline codebook WITHOUT registering
-	// new features; queries with unknown features count as novel.
+	// encode the window against the baseline's universe WITHOUT registering
+	// new features; queries carrying features the baseline never saw —
+	// unknown, or registered only after the summary's epoch — count as
+	// novel.
 	l := core.NewLog(s.c.Mixture.Universe)
 	unknownCount := 0
 	for _, e := range window {
@@ -573,16 +781,12 @@ func (s *Summary) CheckDrift(window []Entry) DriftReport {
 		if c <= 0 {
 			c = 1
 		}
-		idx, unknown, err := windowIndices(s.book, e.SQL)
-		if err != nil || len(unknown) > 0 {
+		p, err := windowProbe(s.book, s.c.Mixture.Universe, e.SQL)
+		if err != nil || len(p.unknown) > 0 || len(p.stale) > 0 {
 			unknownCount += c
 			continue
 		}
-		v := bitvec.New(s.c.Mixture.Universe)
-		for _, i := range idx {
-			v.Set(i)
-		}
-		l.Add(v, c)
+		l.Add(p.vector(s.c.Mixture.Universe), c)
 	}
 	rep := det.Check(l, unknownCount)
 	return DriftReport{Score: rep.Score, NoveltyRate: rep.NoveltyRate, Alert: rep.Alert}

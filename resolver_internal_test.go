@@ -1,0 +1,73 @@
+package logr
+
+// Internal tests for the universe-aware probe resolver: they pin the
+// out-of-snapshot classification deterministically by probing a snapshot
+// captured *before* an Append grew the shared codebook — the exact
+// interleaving a concurrent monitoring loop produces.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPatternRejectsOutOfSnapshotFeatures(t *testing.T) {
+	w := FromEntries([]Entry{
+		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 10},
+	})
+	stale := w.snapshot() // captured before the codebook grows
+	w.Append([]Entry{{SQL: "SELECT balance FROM accounts WHERE owner_id = ?", Count: 5}})
+
+	// probing the stale snapshot with a post-snapshot feature must not
+	// silently weaken the pattern — it is an explicit error
+	_, err := pattern(stale, "SELECT _id FROM messages WHERE owner_id = ?")
+	var oos *OutOfSnapshotError
+	if !errors.As(err, &oos) {
+		t.Fatalf("err = %v; want *OutOfSnapshotError", err)
+	}
+	if len(oos.Features) != 1 {
+		t.Fatalf("out-of-snapshot features = %v; want exactly the post-append one", oos.Features)
+	}
+	// never-seen features keep their distinct error
+	if _, err := pattern(stale, "SELECT nope FROM nowhere"); err == nil || errors.As(err, &oos) {
+		t.Fatalf("unknown-feature err = %v; want a non-snapshot error", err)
+	}
+	// in-snapshot patterns resolve normally
+	if b, err := pattern(stale, "SELECT _id FROM messages"); err != nil || b.Count() != 2 {
+		t.Fatalf("in-snapshot pattern = %v bits, %v", b.Count(), err)
+	}
+	// the live workload resolves the same probe on a fresh snapshot
+	if n, err := w.Count("SELECT _id FROM messages WHERE owner_id = ?"); err == nil || n != 0 {
+		// the pattern mixes features of two disjoint queries: no query
+		// contains both, so the count is 0 — but it must resolve
+		if err != nil {
+			t.Fatalf("Count after append: %v", err)
+		}
+	}
+}
+
+func TestResolveProbeClassification(t *testing.T) {
+	w := FromEntries([]Entry{
+		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 10},
+	})
+	res := w.snapshot()
+	w.Append([]Entry{{SQL: "SELECT balance FROM accounts", Count: 1}})
+
+	p, err := patternProbe(res.Book, res.Log.Universe(), "SELECT _id, balance FROM messages, accounts, missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.idx) != 2 { // _id, messages
+		t.Fatalf("in-universe idx = %v", p.idx)
+	}
+	if len(p.stale) != 2 { // balance, accounts
+		t.Fatalf("stale = %v", p.stale)
+	}
+	if len(p.unknown) != 1 { // missing
+		t.Fatalf("unknown = %v", p.unknown)
+	}
+	for _, i := range p.idx {
+		if i >= res.Log.Universe() {
+			t.Fatalf("resolver leaked out-of-universe index %d", i)
+		}
+	}
+}
