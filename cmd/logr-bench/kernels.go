@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"logr"
+	"logr/internal/experiments"
+	"logr/internal/workload"
+)
+
+// kernelsExperiment measures the popcount-native clustering path against the
+// legacy dense float64 path on the same workload, seed and configuration —
+// the before/after of the binary-kernel refactor. Both paths produce the
+// identical summary (the equivalence tests assert it; the error column here
+// doubles as a visible check), so the ratio is pure kernel speedup. Part of
+// `-exp all`, so every BENCH_*.json snapshot tracks it.
+func kernelsExperiment(scale experiments.Scale) (string, error) {
+	raw := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries:   scale.PocketTotal,
+		DistinctTarget: scale.PocketDistinct,
+		Seed:           scale.Seed,
+	})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	w := logr.FromEntries(entries)
+	w.Queries() // materialize the snapshot so timings cover compression only
+
+	configs := []struct {
+		name string
+		opts logr.CompressOptions
+	}{
+		{"kmeans K=8", logr.CompressOptions{Clusters: 8, Seed: scale.Seed}},
+		{"hierarchical K=8", logr.CompressOptions{Clusters: 8, Method: "hierarchical", Seed: scale.Seed}},
+		{"sweep maxK=12", logr.CompressOptions{TargetError: 0.05, MaxClusters: 12, Seed: scale.Seed}},
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("binary vs dense clustering kernels (pocketdata %d queries)\n", scale.PocketTotal))
+	sb.WriteString("config              dense(ms)   binary(ms)   speedup   denseErr   binErr\n")
+	for _, cfg := range configs {
+		timed := func(dense bool) (float64, float64, error) {
+			opts := cfg.opts
+			opts.DensePath = dense
+			t0 := time.Now()
+			s, err := w.Compress(opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			return time.Since(t0).Seconds() * 1000, s.Error(), nil
+		}
+		denseMS, denseErr, err := timed(true)
+		if err != nil {
+			return "", err
+		}
+		binMS, binErr, err := timed(false)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(fmt.Sprintf("%-18s   %8.1f   %9.1f   %6.1fx   %8.4f   %6.4f\n",
+			cfg.name, denseMS, binMS, denseMS/binMS, denseErr, binErr))
+	}
+	return sb.String(), nil
+}

@@ -8,8 +8,9 @@
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, table2, fig6, fig7 (alias of
 // fig6 — same traces), fig8, fig9, incremental (full vs delta-only
-// recompression of a growing log; not part of "all"), all. Scales: small,
-// medium, paper.
+// recompression of a growing log; not part of "all"), kernels (binary vs
+// dense clustering kernels; part of "all"), all. Scales: small, medium,
+// paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
 package main
@@ -160,6 +161,12 @@ func main() {
 				return err
 			}
 			fmt.Print(out)
+		case "kernels":
+			out, err := kernelsExperiment(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -169,7 +176,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9"}
+		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9", "kernels"}
 	}
 	snap := perfSnapshot{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

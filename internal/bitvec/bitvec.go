@@ -8,7 +8,11 @@
 //
 // The representation is a word-packed bitmap, which makes containment tests,
 // intersections and Hamming distances cheap even for the multi-thousand
-// feature universes produced by diverse logs.
+// feature universes produced by diverse logs. Beyond the set algebra, the
+// package provides the batch kernels the binary clustering path runs on:
+// XorCount (Hamming popcount), AndCountInto (batched intersection counts),
+// AccumulateInto (weighted bit-column accumulation for centroids and
+// marginals) and Dot (sparse dot product for the Lloyd scoring identity).
 package bitvec
 
 import (
@@ -197,8 +201,11 @@ func (v Vector) AndCount(u Vector) int {
 	return c
 }
 
-// Hamming returns the Hamming distance |{i : v_i ≠ u_i}|.
-func (v Vector) Hamming(u Vector) int {
+// XorCount returns |v ⊕ u|, the popcount of the symmetric difference — the
+// Hamming distance as a raw word-packed kernel. It is the primitive the
+// binary clustering path builds its metrics on: for binary vectors,
+// manhattan(v,u) = canberra(v,u) = XorCount and euclid²(v,u) = XorCount.
+func (v Vector) XorCount(u Vector) int {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
 	}
@@ -207,6 +214,58 @@ func (v Vector) Hamming(u Vector) int {
 		d += bits.OnesCount64(v.words[i] ^ u.words[i])
 	}
 	return d
+}
+
+// Hamming returns the Hamming distance |{i : v_i ≠ u_i}|.
+func (v Vector) Hamming(u Vector) int {
+	return v.XorCount(u)
+}
+
+// AndCountInto writes |v ∧ us[j]| into out[j] for every vector in us — the
+// batch form of AndCount, sharing v's words across the whole batch without
+// allocating. len(out) must be ≥ len(us).
+func (v Vector) AndCountInto(us []Vector, out []int) {
+	for j, u := range us {
+		if v.n != u.n {
+			panic("bitvec: universe size mismatch")
+		}
+		c := 0
+		for i := range v.words {
+			c += bits.OnesCount64(v.words[i] & u.words[i])
+		}
+		out[j] = c
+	}
+}
+
+// AccumulateInto adds w to counts[i] for every set bit i, in ascending index
+// order. It is the bit-column accumulator behind weighted centroid updates
+// and feature marginals: summing packed vectors column-wise without
+// materializing a dense row or allocating an index slice. counts must span
+// the vector's universe.
+func (v Vector) AccumulateInto(counts []float64, w float64) {
+	for wi, word := range v.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			counts[wi*wordBits+b] += w
+			word &= word - 1
+		}
+	}
+}
+
+// Dot returns Σ_{i : v_i = 1} vals[i], accumulated in ascending index order —
+// the sparse dot product of a binary vector with a dense coefficient row.
+// The binary Lloyd scorer uses it to evaluate ‖q−c‖² = ‖c‖² + Σ_{i∈q}(1−2c_i)
+// while touching only q's set bits. vals must span the vector's universe.
+func (v Vector) Dot(vals []float64) float64 {
+	s := 0.0
+	for wi, word := range v.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			s += vals[wi*wordBits+b]
+			word &= word - 1
+		}
+	}
+	return s
 }
 
 // Indices returns the sorted indices of set bits.
@@ -270,6 +329,31 @@ func (v Vector) Dense() []float64 {
 	out := make([]float64, v.n)
 	v.ForEach(func(i int) { out[i] = 1 })
 	return out
+}
+
+// SqDist returns ‖v−c‖² against a dense float row, accumulated coordinate by
+// coordinate in ascending index order — bit-identical to computing the same
+// two-slice sum over v.Dense(), without materializing it. The binary
+// clustering kernels use it wherever exact agreement with the dense float
+// path matters more than speed: near-tie resolution, empty-cluster
+// re-seeding and final inertia. c must span the vector's universe.
+func (v Vector) SqDist(c []float64) float64 {
+	s := 0.0
+	for wi, word := range v.words {
+		base := wi * wordBits
+		end := base + wordBits
+		if end > len(c) {
+			end = len(c)
+		}
+		for j := base; j < end; j++ {
+			d := -c[j]
+			if word&(1<<uint(j-base)) != 0 {
+				d = 1 - c[j]
+			}
+			s += d * d
+		}
+	}
+	return s
 }
 
 // Grow returns a copy of v over a larger universe of size n (n ≥ v.Len());

@@ -3,6 +3,8 @@ package cluster
 import (
 	"math/rand"
 	"testing"
+
+	"logr/internal/bitvec"
 )
 
 func benchPoints(n, dim int) ([][]float64, []float64) {
@@ -28,6 +30,36 @@ func BenchmarkKMeans(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		KMeans(pts, w, KMeansOptions{K: 10, Seed: int64(i)})
 	}
+}
+
+// BenchmarkKMeansBinaryVsDense measures the popcount k-means against the
+// dense float path on identical PocketData-shaped inputs (same seeds, same
+// assignments — see TestKMeansBinaryMatchesDense). Run with -benchmem to see
+// the allocation gap.
+func BenchmarkKMeansBinaryVsDense(b *testing.B) {
+	dense, w := benchPoints(605, 863)
+	packed := BinaryPoints{Vecs: make([]bitvec.Vector, len(dense)), Weights: w}
+	for i, row := range dense {
+		v := bitvec.New(len(row))
+		for j, x := range row {
+			if x != 0 {
+				v.Set(j)
+			}
+		}
+		packed.Vecs[i] = v
+	}
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			KMeans(dense, w, KMeansOptions{K: 10, Seed: int64(i)})
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			KMeansBinary(packed, KMeansOptions{K: 10, Seed: int64(i)})
+		}
+	})
 }
 
 func BenchmarkSpectralModelBuild(b *testing.B) {

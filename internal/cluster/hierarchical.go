@@ -43,13 +43,21 @@ func Hierarchical(points [][]float64, weights []float64, dist DistanceFunc) *Den
 // itself is serial, so the dendrogram is identical at any parallelism.
 func HierarchicalP(points [][]float64, weights []float64, dist DistanceFunc, p int) *Dendrogram {
 	n := len(points)
-	d := &Dendrogram{n: n}
 	if n <= 1 {
-		return d
+		return &Dendrogram{n: n}
 	}
 	if dist == nil {
 		dist = MetricFunc(Euclidean, 0)
 	}
+	return agglomerate(distanceMatrix(points, dist, p), weights, n)
+}
+
+// agglomerate runs the serial average-linkage loop over a pre-built distance
+// matrix (which it consumes as scratch) — the stage shared by the dense and
+// binary paths. The dendrogram depends only on the matrix, never on the
+// point representation that produced it.
+func agglomerate(dm [][]float64, weights []float64, n int) *Dendrogram {
+	d := &Dendrogram{n: n}
 	w := make([]float64, n)
 	for i := range w {
 		if weights != nil {
@@ -69,7 +77,6 @@ func HierarchicalP(points [][]float64, weights []float64, dist DistanceFunc, p i
 	for i := range active {
 		active[i] = clust{id: i, mass: w[i]}
 	}
-	dm := distanceMatrix(points, dist, p)
 
 	nextID := n
 	for len(active) > 1 {
@@ -118,7 +125,7 @@ func HierarchicalP(points [][]float64, weights []float64, dist DistanceFunc, p i
 func (d *Dendrogram) Cut(k int) Assignment {
 	n := d.n
 	if n == 0 {
-		return Assignment{K: maxInt(k, 1)}
+		return Assignment{K: max(k, 1)}
 	}
 	if k < 1 {
 		k = 1

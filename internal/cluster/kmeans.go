@@ -53,7 +53,7 @@ func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignmen
 	}
 	n := len(points)
 	if n == 0 || opts.K <= 0 {
-		return Assignment{Labels: make([]int, n), K: maxInt(opts.K, 1)}
+		return Assignment{Labels: make([]int, n), K: max(opts.K, 1)}
 	}
 	k := opts.K
 	if k > n {
@@ -72,26 +72,42 @@ func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignmen
 			w[i] = 1
 		}
 	}
+	return kmeansRestarts(k, opts, func(seed int64, inner int) ([]int, float64) {
+		return kmeansRun(points, w, k, opts.MaxIter, rand.New(rand.NewSource(seed)), inner)
+	})
+}
 
-	// Pre-draw one seed per restart so restart r's RNG stream is fixed
-	// regardless of which worker runs it or when.
+// restartBudget splits the worker budget between concurrent restarts and the
+// per-point loops inside each run, so the total worker count stays bounded
+// by the requested parallelism rather than multiplying across nesting
+// levels.
+func restartBudget(restarts, parallelism int) (concurrent, inner int) {
+	par := parallel.Degree(parallelism)
+	concurrent = par
+	if concurrent > restarts {
+		concurrent = restarts
+	}
+	inner = par / concurrent
+	if inner < 1 {
+		inner = 1
+	}
+	return concurrent, inner
+}
+
+// kmeansRestarts is the restart harness shared by the dense and binary
+// k-means paths: one seed per restart pre-drawn from the master RNG (so a
+// restart's stream is fixed regardless of which worker runs it or when),
+// concurrent runs under the restartBudget split, best-inertia selection
+// with ties breaking toward the lowest restart index, and label compaction.
+// The two paths' equal-output guarantee leans on this RNG draw order and
+// tie-breaking — keeping a single copy keeps them in provable lockstep.
+func kmeansRestarts(k int, opts KMeansOptions, run func(seed int64, inner int) ([]int, float64)) Assignment {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	seeds := make([]int64, opts.Restarts)
 	for r := range seeds {
 		seeds[r] = rng.Int63()
 	}
-	// Split the worker budget between concurrent restarts and the per-point
-	// loops inside each run, so the total worker count stays bounded by
-	// Parallelism rather than multiplying across nesting levels.
-	par := parallel.Degree(opts.Parallelism)
-	concurrent := par
-	if concurrent > opts.Restarts {
-		concurrent = opts.Restarts
-	}
-	inner := par / concurrent
-	if inner < 1 {
-		inner = 1
-	}
+	concurrent, inner := restartBudget(opts.Restarts, opts.Parallelism)
 	type runResult struct {
 		labels  []int
 		inertia float64
@@ -101,7 +117,7 @@ func KMeans(points [][]float64, weights []float64, opts KMeansOptions) Assignmen
 	for r := range tasks {
 		r := r
 		tasks[r] = func() {
-			labels, inertia := kmeansRun(points, w, k, opts.MaxIter, rand.New(rand.NewSource(seeds[r])), inner)
+			labels, inertia := run(seeds[r], inner)
 			results[r] = runResult{labels, inertia}
 		}
 	}
@@ -319,11 +335,4 @@ func relabelCompact(a *Assignment) {
 		a.Labels[i] = remap[l]
 	}
 	a.K = len(remap)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,10 +5,15 @@
 // and average-linkage hierarchical clustering (the monotone alternative the
 // paper suggests for dynamic Error/Verbosity control).
 //
-// Points are dense feature vectors (0/1 valued for query logs, but nothing
-// here assumes binarity) and each point carries a weight — the multiplicity
-// of a distinct query in the log — so clustering distinct vectors is exactly
-// equivalent to clustering the full log.
+// Points come in two representations. The default pipeline path feeds
+// word-packed binary vectors (BinaryPoints) straight into popcount-native
+// kernels — KMeansBinary, SpectralBinary, HierarchicalBinaryP — which never
+// materialize dense rows (see binary.go for the kernel design and its
+// equivalence guarantees). Dense [][]float64 entry points remain for
+// non-binary inputs (spectral embeddings, research data) and as the oracle
+// the binary kernels are tested against. Either way each point carries a
+// weight — the multiplicity of a distinct query in the log — so clustering
+// distinct vectors is exactly equivalent to clustering the full log.
 package cluster
 
 import (
@@ -53,76 +58,96 @@ func (m Metric) String() string {
 type DistanceFunc func(a, b []float64) float64
 
 // MetricFunc returns the DistanceFunc for m; p is the Minkowski exponent
-// and is ignored by the other metrics.
+// and is ignored by the other metrics. The returned funcs are package-level
+// (the parameterless metrics share one static func each, and Minkowski binds
+// only its exponent), so a MetricFunc call never allocates a fresh closure —
+// distance-matrix builds that resolve the metric per row or per candidate K
+// stay allocation-free in their inner loops.
 func MetricFunc(m Metric, p float64) DistanceFunc {
 	switch m {
 	case Euclidean:
-		return func(a, b []float64) float64 {
-			s := 0.0
-			for i := range a {
-				d := a[i] - b[i]
-				s += d * d
-			}
-			return math.Sqrt(s)
-		}
+		return euclideanDist
 	case Manhattan:
-		return func(a, b []float64) float64 {
-			s := 0.0
-			for i := range a {
-				s += math.Abs(a[i] - b[i])
-			}
-			return s
-		}
+		return manhattanDist
 	case Minkowski:
 		if p <= 0 {
 			p = 4
 		}
-		return func(a, b []float64) float64 {
-			s := 0.0
-			for i := range a {
-				s += math.Pow(math.Abs(a[i]-b[i]), p)
-			}
-			return math.Pow(s, 1/p)
-		}
+		return minkowskiExp(p).dist
 	case Hamming:
-		// Count(x≠y) / (Count(x≠y) + Count(x=y)) — the normalized form in
-		// Section 6.1, which equals mismatches/length for equal-length
-		// vectors.
-		return func(a, b []float64) float64 {
-			if len(a) == 0 {
-				return 0
-			}
-			ne := 0
-			for i := range a {
-				if a[i] != b[i] {
-					ne++
-				}
-			}
-			return float64(ne) / float64(len(a))
-		}
+		return hammingDist
 	case Chebyshev:
-		return func(a, b []float64) float64 {
-			s := 0.0
-			for i := range a {
-				if d := math.Abs(a[i] - b[i]); d > s {
-					s = d
-				}
-			}
-			return s
-		}
+		return chebyshevDist
 	case Canberra:
-		return func(a, b []float64) float64 {
-			s := 0.0
-			for i := range a {
-				den := math.Abs(a[i]) + math.Abs(b[i])
-				if den > 0 {
-					s += math.Abs(a[i]-b[i]) / den
-				}
-			}
-			return s
-		}
+		return canberraDist
 	}
 	panic("cluster: unknown metric")
+}
+
+func euclideanDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func manhattanDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// minkowskiExp carries the Minkowski exponent; its method value is the only
+// metric that binds a parameter.
+type minkowskiExp float64
+
+func (p minkowskiExp) dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), float64(p))
+	}
+	return math.Pow(s, 1/float64(p))
+}
+
+// hammingDist is Count(x≠y) / (Count(x≠y) + Count(x=y)) — the normalized
+// form in Section 6.1, which equals mismatches/length for equal-length
+// vectors.
+func hammingDist(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	ne := 0
+	for i := range a {
+		if a[i] != b[i] {
+			ne++
+		}
+	}
+	return float64(ne) / float64(len(a))
+}
+
+func chebyshevDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+func canberraDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		den := math.Abs(a[i]) + math.Abs(b[i])
+		if den > 0 {
+			s += math.Abs(a[i]-b[i]) / den
+		}
+	}
+	return s
 }
 
 // Assignment maps each input point to a cluster in [0, K).
@@ -155,10 +180,16 @@ func (a Assignment) Partition() [][]int {
 
 // distanceMatrix computes the full symmetric pairwise distance matrix — the
 // O(n²·d) cost that dominates spectral and hierarchical clustering — over up
-// to p workers (p ≤ 0 = all cores). The upper triangle is split by row; the
+// to p workers (p ≤ 0 = all cores).
+func distanceMatrix(points [][]float64, dist DistanceFunc, p int) [][]float64 {
+	return symmetricDistanceMatrix(points, dist, p)
+}
+
+// symmetricDistanceMatrix is the fan-out scheme shared by the dense and
+// packed-binary matrix builds. The upper triangle is split by row; the
 // worker for row i also mirrors into d[j][i] (j > i), so every matrix
 // element has exactly one writer and the result is parallelism-independent.
-func distanceMatrix(points [][]float64, dist DistanceFunc, p int) [][]float64 {
+func symmetricDistanceMatrix[T any](points []T, dist func(a, b T) float64, p int) [][]float64 {
 	n := len(points)
 	d := make([][]float64, n)
 	for i := range d {

@@ -40,7 +40,7 @@ type SpectralOptions struct {
 func Spectral(points [][]float64, weights []float64, opts SpectralOptions) (Assignment, error) {
 	n := len(points)
 	if n == 0 || opts.K <= 0 {
-		return Assignment{Labels: make([]int, n), K: maxInt(opts.K, 1)}, nil
+		return Assignment{Labels: make([]int, n), K: max(opts.K, 1)}, nil
 	}
 	if opts.K >= n {
 		labels := make([]int, n)
@@ -78,7 +78,6 @@ func NewSpectralModel(points [][]float64, dist DistanceFunc, sigma float64) (*Sp
 // fan out by row — each row has one writer, and deg[i] accumulates serially
 // within its row — so the model is identical at any parallelism.
 func NewSpectralModelP(points [][]float64, dist DistanceFunc, sigma float64, p int) (*SpectralModel, error) {
-	start := time.Now()
 	n := len(points)
 	if n == 0 {
 		return &SpectralModel{}, nil
@@ -86,7 +85,17 @@ func NewSpectralModelP(points [][]float64, dist DistanceFunc, sigma float64, p i
 	if dist == nil {
 		dist = MetricFunc(Euclidean, 0)
 	}
-	dm := distanceMatrix(points, dist, p)
+	start := time.Now()
+	return newSpectralModelFromDistances(distanceMatrix(points, dist, p), sigma, p, start)
+}
+
+// newSpectralModelFromDistances runs the affinity → Laplacian → eigensolve
+// stages over a pre-built distance matrix — the stage shared by the dense
+// and binary paths (the matrix build is the only part that depends on the
+// point representation). start is when the caller began the distance-matrix
+// build, so BuildTime keeps covering the full distance/affinity/eigen phase.
+func newSpectralModelFromDistances(dm [][]float64, sigma float64, p int, start time.Time) (*SpectralModel, error) {
+	n := len(dm)
 	if sigma <= 0 {
 		sigma = medianPositive(dm)
 		if sigma == 0 {
@@ -137,7 +146,7 @@ func (m *SpectralModel) Cluster(k int, weights []float64, seed int64) Assignment
 func (m *SpectralModel) ClusterP(k int, weights []float64, seed int64, p int) Assignment {
 	n := m.n
 	if n == 0 || k <= 0 {
-		return Assignment{Labels: make([]int, n), K: maxInt(k, 1)}
+		return Assignment{Labels: make([]int, n), K: max(k, 1)}
 	}
 	if k >= n {
 		labels := make([]int, n)

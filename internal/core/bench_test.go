@@ -32,6 +32,40 @@ func BenchmarkNaiveEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkFeatureMarginals tracks the bit-column accumulator rewrite:
+// AccumulateInto's direct word scan replaces the per-vector ForEach closure
+// indirection, and the whole computation allocates exactly once (the output
+// slice) — the allocs/op figure pins that floor against regressions.
+func BenchmarkFeatureMarginals(b *testing.B) {
+	l := benchLog(863, 605)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.FeatureMarginals()
+	}
+}
+
+// BenchmarkCompressBinaryVsDense compares the default popcount compression
+// against the ForceDense oracle on the same log, seed and K — the
+// before/after of the binary-kernel refactor at the core layer.
+func BenchmarkCompressBinaryVsDense(b *testing.B) {
+	l := benchLog(863, 605)
+	for _, cfg := range []struct {
+		name  string
+		dense bool
+	}{{"binary", false}, {"dense", true}} {
+		dense := cfg.dense
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(l, CompressOptions{K: 8, Seed: 1, ForceDense: dense}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCompressKMeans(b *testing.B) {
 	l := benchLog(400, 300)
 	b.ResetTimer()

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"logr/internal/bitvec"
+)
+
+// The dense float path (CompressOptions.ForceDense) is kept as the oracle
+// for the popcount-native default: for a fixed Seed the two must produce the
+// identical partition and the identical Reproduction Error, across every
+// method, fixed-K and auto-sweep configurations, and Recompress.
+
+func oracleLog(seed int64, universe, distinct int) *Log {
+	r := rand.New(rand.NewSource(seed))
+	l := NewLog(universe)
+	for i := 0; i < distinct; i++ {
+		v := bitvec.New(universe)
+		base := (i % 6) * (universe / 6)
+		for j := 0; j < universe/6; j++ {
+			if r.Intn(3) == 0 {
+				v.Set(base + j)
+			}
+		}
+		if v.IsZero() {
+			v.Set(r.Intn(universe))
+		}
+		l.Add(v, 1+r.Intn(500))
+	}
+	return l
+}
+
+func assertSameCompressed(t *testing.T, got, want *Compressed, ctx string) {
+	t.Helper()
+	if got.Err != want.Err {
+		t.Fatalf("%s: binary Err = %v, dense Err = %v", ctx, got.Err, want.Err)
+	}
+	if got.Mixture.K() != want.Mixture.K() {
+		t.Fatalf("%s: binary K = %d, dense K = %d", ctx, got.Mixture.K(), want.Mixture.K())
+	}
+	if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+		t.Fatalf("%s: binary assignment differs from dense", ctx)
+	}
+	for i := range want.Mixture.Components {
+		g, w := got.Mixture.Components[i], want.Mixture.Components[i]
+		if g.Weight != w.Weight || !reflect.DeepEqual(g.Encoding.Marginals, w.Encoding.Marginals) {
+			t.Fatalf("%s: component %d differs between binary and dense", ctx, i)
+		}
+	}
+}
+
+func TestCompressBinaryMatchesDenseOracle(t *testing.T) {
+	for _, method := range []Method{KMeansMethod, SpectralMethod, HierarchicalMethod} {
+		l := oracleLog(21, 120, 90)
+		for _, seed := range []int64{1, 7, 99} {
+			opts := CompressOptions{K: 6, Method: method, Seed: seed}
+			binary, err := Compress(l, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.ForceDense = true
+			dense, err := Compress(l, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameCompressed(t, binary, dense, method.String())
+		}
+	}
+}
+
+func TestCompressBinarySweepMatchesDenseOracle(t *testing.T) {
+	for _, method := range []Method{KMeansMethod, HierarchicalMethod} {
+		l := oracleLog(22, 90, 70)
+		opts := CompressOptions{Method: method, Seed: 3, TargetError: 0.2, MaxK: 8}
+		binary, err := Compress(l, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.ForceDense = true
+		dense, err := Compress(l, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCompressed(t, binary, dense, "sweep/"+method.String())
+	}
+}
+
+func TestCompressBinaryDeterministicAcrossParallelism(t *testing.T) {
+	l := oracleLog(23, 100, 80)
+	base, err := Compress(l, CompressOptions{K: 5, Seed: 11, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 0} {
+		got, err := Compress(l, CompressOptions{K: 5, Seed: 11, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCompressed(t, got, base, "parallelism")
+	}
+}
+
+func TestRecompressBinaryMatchesDenseOracle(t *testing.T) {
+	l := oracleLog(24, 100, 60)
+	prevCounts := make([]int, l.Distinct())
+	for i := range prevCounts {
+		prevCounts[i] = l.Multiplicity(i)
+	}
+	prevB, err := Compress(l, CompressOptions{K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevD, err := Compress(l, CompressOptions{K: 4, Seed: 5, ForceDense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCompressed(t, prevB, prevD, "baseline")
+
+	// grow: increments on known shapes plus brand-new distinct vectors
+	full := l.Clone()
+	r := rand.New(rand.NewSource(25))
+	for i := 0; i < 10; i++ {
+		full.Add(full.Vector(r.Intn(l.Distinct())), 1+r.Intn(50))
+	}
+	for i := 0; i < 12; i++ {
+		v := bitvec.New(100)
+		for j := 0; j < 100; j++ {
+			if r.Intn(4) == 0 {
+				v.Set(j)
+			}
+		}
+		full.Add(v, 1+r.Intn(20))
+	}
+
+	gotB, incB, err := Recompress(prevB, full, prevCounts, CompressOptions{K: 4, Seed: 5}, RecompressOptions{MaxErrorGrowth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, incD, err := Recompress(prevD, full, prevCounts, CompressOptions{K: 4, Seed: 5, ForceDense: true}, RecompressOptions{MaxErrorGrowth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incB || !incD {
+		t.Fatalf("expected both paths incremental: binary=%v dense=%v", incB, incD)
+	}
+	if gotB.Err != gotD.Err {
+		t.Fatalf("incremental: binary Err = %v, dense Err = %v", gotB.Err, gotD.Err)
+	}
+	if len(gotB.Parts) != len(gotD.Parts) {
+		t.Fatalf("incremental: binary parts = %d, dense parts = %d", len(gotB.Parts), len(gotD.Parts))
+	}
+	for i := range gotB.Parts {
+		if gotB.Parts[i].Total() != gotD.Parts[i].Total() || gotB.Parts[i].Distinct() != gotD.Parts[i].Distinct() {
+			t.Fatalf("incremental: part %d differs between binary and dense", i)
+		}
+	}
+}

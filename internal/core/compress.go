@@ -59,6 +59,15 @@ type CompressOptions struct {
 	// scoring. ≤ 0 means all cores; 1 forces serial execution. Output is
 	// bit-identical at any parallelism for a fixed Seed.
 	Parallelism int
+	// ForceDense routes clustering through the legacy dense float64 path:
+	// every distinct vector is expanded to a []float64 row before k-means /
+	// spectral / hierarchical run dense arithmetic over it. The default
+	// (false) uses the popcount-native binary kernels, which produce the
+	// same assignment and Reproduction Error for a fixed Seed without ever
+	// materializing dense points. The dense path remains as the oracle the
+	// equivalence tests compare against and for research callers clustering
+	// non-binary data through this package.
+	ForceDense bool
 }
 
 // Compressed is the result of LogR compression: the naive mixture encoding
@@ -89,15 +98,26 @@ func Compress(l *Log, opts CompressOptions) (*Compressed, error) {
 	if maxK <= 0 {
 		maxK = 32
 	}
-	// Every candidate K clusters the same immutable dense matrix, so build
-	// it once. Auto sweeps over the hierarchical method additionally reuse
-	// one dendrogram: its cuts nest (Section 6.1's motivation for
-	// hierarchical clustering), so the K sweep costs a single O(n²·n) build
-	// plus cheap cuts.
-	points, weights := l.DenseP(opts.Parallelism)
+	// Every candidate K clusters the same immutable point set, so prepare
+	// it once: the packed vectors as-is on the default binary path, a dense
+	// float64 expansion only under ForceDense. Auto sweeps over the
+	// hierarchical method additionally reuse one dendrogram: its cuts nest
+	// (Section 6.1's motivation for hierarchical clustering), so the K
+	// sweep costs a single O(n²·n) build plus cheap cuts.
+	var points [][]float64
+	var weights []float64
+	var pts cluster.BinaryPoints
 	var dendro *cluster.Dendrogram
-	if opts.Method == HierarchicalMethod {
-		dendro = cluster.HierarchicalP(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
+	if opts.ForceDense {
+		points, weights = l.DenseP(opts.Parallelism)
+		if opts.Method == HierarchicalMethod {
+			dendro = cluster.HierarchicalP(points, weights, cluster.MetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
+		}
+	} else {
+		pts = l.Binary()
+		if opts.Method == HierarchicalMethod {
+			dendro = cluster.HierarchicalBinaryP(pts, cluster.BinaryMetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
+		}
 	}
 	// The sweep evaluates candidate Ks in ascending waves of Parallelism
 	// candidates each. Within a wave the evaluations run concurrently (each
@@ -113,7 +133,10 @@ func Compress(l *Log, opts CompressOptions) (*Compressed, error) {
 		}
 		innerOpts := opts
 		innerOpts.Parallelism = inner
-		return compressDense(l, points, weights, innerOpts, k)
+		if opts.ForceDense {
+			return compressDense(l, points, weights, innerOpts, k)
+		}
+		return compressBinary(l, pts, innerOpts, k)
 	}
 	var best *Compressed
 	for lo := 1; lo <= maxK; lo += par {
@@ -157,12 +180,42 @@ func fromAssignment(l *Log, asg cluster.Assignment, par int) (*Compressed, error
 }
 
 func compressK(l *Log, opts CompressOptions, k int) (*Compressed, error) {
-	points, weights := l.DenseP(opts.Parallelism)
-	return compressDense(l, points, weights, opts, k)
+	if opts.ForceDense {
+		points, weights := l.DenseP(opts.Parallelism)
+		return compressDense(l, points, weights, opts, k)
+	}
+	return compressBinary(l, l.Binary(), opts, k)
 }
 
-// compressDense is compressK over a pre-built dense matrix, letting the
-// auto sweep share one matrix across all candidate Ks.
+// compressBinary clusters the log's packed vectors with the popcount
+// kernels — the default path. No dense point matrix is ever built; only the
+// K centroid rows of the k-means stage are float-dense.
+func compressBinary(l *Log, pts cluster.BinaryPoints, opts CompressOptions, k int) (*Compressed, error) {
+	var asg cluster.Assignment
+	switch opts.Method {
+	case KMeansMethod:
+		asg = cluster.KMeansBinary(pts, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism})
+	case SpectralMethod:
+		var err error
+		asg, err = cluster.SpectralBinary(pts, cluster.BinaryMetricFunc(opts.Metric, opts.MinkowskiP), cluster.SpectralOptions{
+			K:           k,
+			Seed:        opts.Seed,
+			Parallelism: opts.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: spectral clustering: %w", err)
+		}
+	case HierarchicalMethod:
+		d := cluster.HierarchicalBinaryP(pts, cluster.BinaryMetricFunc(opts.Metric, opts.MinkowskiP), opts.Parallelism)
+		asg = d.Cut(k)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	return fromAssignment(l, asg, opts.Parallelism)
+}
+
+// compressDense is compressK over a pre-built dense matrix — the legacy
+// ForceDense path, kept as the equivalence oracle.
 func compressDense(l *Log, points [][]float64, weights []float64, opts CompressOptions, k int) (*Compressed, error) {
 	var asg cluster.Assignment
 	switch opts.Method {

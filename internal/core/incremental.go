@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"logr/internal/bitvec"
 	"logr/internal/cluster"
 )
 
@@ -11,9 +12,10 @@ import (
 // since the previous summary is new information. Recompress clusters just
 // that delta — warm-started from the previous summary's component centroids
 // (for 0/1 query vectors, a partition's Euclidean centroid IS its marginal
-// vector, so the previous Naive encodings double as centroids) — merges it
+// vector, so the previous Naive encodings double as centroids; the
+// assignment itself runs on the popcount kernels, like Compress) — merges it
 // into the prior partition, and rebuilds the mixture. The expensive step
-// of a refresh — clustering, with its many passes over dense vectors — is
+// of a refresh — clustering, with its many passes over the vectors — is
 // thereby delta-only; what remains proportional to the full log is a
 // single cheap linear pass (copying the partition onto the new universe
 // and re-scoring the mixture). If the merged
@@ -136,17 +138,29 @@ func Recompress(prev *Compressed, full *Log, prevCounts []int, opts CompressOpti
 		for j, pi := range liveIdx {
 			cents[j] = merged[pi].FeatureMarginals()
 		}
-		points := make([][]float64, len(newIdx))
-		weights := make([]float64, len(newIdx))
-		for t, fi := range newIdx {
-			points[t] = full.Vector(fi).Dense()
-			weights[t] = float64(newCount[t])
+		pts := cluster.BinaryPoints{
+			Vecs:    make([]bitvec.Vector, len(newIdx)),
+			Weights: make([]float64, len(newIdx)),
 		}
-		asg := cluster.KMeans(points, weights, cluster.KMeansOptions{
+		for t, fi := range newIdx {
+			pts.Vecs[t] = full.Vector(fi)
+			pts.Weights[t] = float64(newCount[t])
+		}
+		warmOpts := cluster.KMeansOptions{
 			InitCentroids: cents,
 			MaxIter:       1,
 			Parallelism:   opts.Parallelism,
-		})
+		}
+		var asg cluster.Assignment
+		if opts.ForceDense {
+			points := make([][]float64, len(newIdx))
+			for t, fi := range newIdx {
+				points[t] = full.Vector(fi).Dense()
+			}
+			asg = cluster.KMeans(points, pts.Weights, warmOpts)
+		} else {
+			asg = cluster.KMeansBinary(pts, warmOpts)
+		}
 		for t, lbl := range asg.Labels {
 			merged[liveIdx[lbl]].Add(full.Vector(newIdx[t]), newCount[t])
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"logr/internal/bitvec"
 	"logr/internal/cluster"
@@ -24,13 +25,33 @@ type Log struct {
 	universe int
 	vecs     []bitvec.Vector
 	mult     []int
-	index    map[string]int // vector key → position in vecs
-	total    int
+	// index maps vector key → position in vecs. It exists only to serve
+	// keyed lookups (Add dedup, Prob) and is built lazily: bulk construction
+	// paths that produce provably-distinct vectors (Partition, Grow, Clone)
+	// skip the per-vector Key/map cost entirely, and read-only consumers
+	// (mixture building, Error scoring) never pay it at all. indexOnce makes
+	// the lazy build safe for concurrent readers (Prob keeps the pre-lazy
+	// contract that read-only methods may race each other); Add remains, as
+	// before, unsafe to race with anything.
+	index     map[string]int
+	indexOnce sync.Once
+	total     int
 }
 
 // NewLog returns an empty log over a feature universe of size n.
 func NewLog(n int) *Log {
-	return &Log{universe: n, index: make(map[string]int)}
+	return &Log{universe: n}
+}
+
+// ensureIndex materializes the key index from the current vectors, at most
+// once even under concurrent readers.
+func (l *Log) ensureIndex() {
+	l.indexOnce.Do(func() {
+		l.index = make(map[string]int, len(l.vecs))
+		for i, v := range l.vecs {
+			l.index[v.Key()] = i
+		}
+	})
 }
 
 // Universe returns the feature-universe size n.
@@ -44,6 +65,7 @@ func (l *Log) Add(v bitvec.Vector, count int) {
 	if count <= 0 {
 		return
 	}
+	l.ensureIndex()
 	k := v.Key()
 	if i, ok := l.index[k]; ok {
 		l.mult[i] += count
@@ -125,11 +147,12 @@ func (l *Log) CountBatch(bs []bitvec.Vector, p int) []int {
 	partial := make([][]int, nc)
 	parallel.ForChunks(len(l.vecs), p, func(c, lo, hi int) {
 		cnt := make([]int, len(bs))
+		and := make([]int, len(bs))
 		for i := lo; i < hi; i++ {
-			v := l.vecs[i]
+			l.vecs[i].AndCountInto(bs, and)
 			m := l.mult[i]
-			for j, b := range bs {
-				if v.AndCount(b) == need[j] {
+			for j, a := range and {
+				if a == need[j] {
 					cnt[j] += m
 				}
 			}
@@ -152,12 +175,13 @@ func (l *Log) Marginal(b bitvec.Vector) float64 {
 	return float64(l.Count(b)) / float64(l.total)
 }
 
-// FeatureMarginals returns p(X_i = 1 | L) for every feature.
+// FeatureMarginals returns p(X_i = 1 | L) for every feature. The sum runs on
+// the bit-column accumulator — one direct word scan per distinct vector, one
+// allocation total (see BenchmarkFeatureMarginals).
 func (l *Log) FeatureMarginals() []float64 {
 	out := make([]float64, l.universe)
 	for i, v := range l.vecs {
-		w := float64(l.mult[i])
-		v.ForEach(func(j int) { out[j] += w })
+		v.AccumulateInto(out, float64(l.mult[i]))
 	}
 	if l.total > 0 {
 		for j := range out {
@@ -210,6 +234,7 @@ func (l *Log) Prob(q bitvec.Vector) float64 {
 	if l.total == 0 {
 		return 0
 	}
+	l.ensureIndex()
 	if i, ok := l.index[q.Key()]; ok {
 		return float64(l.mult[i]) / float64(l.total)
 	}
@@ -234,18 +259,46 @@ func (l *Log) DenseP(p int) (points [][]float64, weights []float64) {
 	return points, weights
 }
 
+// Binary returns the distinct vectors with their multiplicity weights as
+// packed clustering input — the binary-native counterpart of Dense. The
+// vectors are shared with the log, not copied (the clustering kernels treat
+// points as read-only), so the only allocation is the O(distinct) weight
+// slice: peak memory drops from O(distinct·universe·8B) dense rows to the
+// log's existing O(distinct·universe/8B) words.
+func (l *Log) Binary() cluster.BinaryPoints {
+	weights := make([]float64, len(l.vecs))
+	for i, m := range l.mult {
+		weights[i] = float64(m)
+	}
+	return cluster.BinaryPoints{Vecs: l.vecs, Weights: weights}
+}
+
 // Partition splits the log into asg.K sub-logs over the same universe,
-// following a clustering of its distinct vectors.
+// following a clustering of its distinct vectors. The source vectors are
+// already distinct and land in disjoint parts, so the sub-logs are built by
+// direct append — no per-vector key, map insert or clone (sub-logs share
+// the parent's vectors under the usual read-only contract).
 func (l *Log) Partition(asg cluster.Assignment) []*Log {
 	if len(asg.Labels) != len(l.vecs) {
 		panic("core: assignment length does not match distinct-vector count")
 	}
+	sizes := make([]int, asg.K)
+	for _, lbl := range asg.Labels {
+		sizes[lbl]++
+	}
 	parts := make([]*Log, asg.K)
 	for i := range parts {
-		parts[i] = NewLog(l.universe)
+		parts[i] = &Log{
+			universe: l.universe,
+			vecs:     make([]bitvec.Vector, 0, sizes[i]),
+			mult:     make([]int, 0, sizes[i]),
+		}
 	}
 	for i, v := range l.vecs {
-		parts[asg.Labels[i]].Add(v, l.mult[i])
+		p := parts[asg.Labels[i]]
+		p.vecs = append(p.vecs, v)
+		p.mult = append(p.mult, l.mult[i])
+		p.total += l.mult[i]
 	}
 	return parts
 }
@@ -314,19 +367,22 @@ func (l *Log) Grow(n int) *Log {
 	if n < l.universe {
 		panic("core: Grow would shrink log universe")
 	}
-	out := NewLog(n)
+	// growing preserves distinctness, so build directly (lazy index)
+	out := &Log{universe: n, vecs: make([]bitvec.Vector, len(l.vecs)), mult: make([]int, len(l.mult)), total: l.total}
 	for i, v := range l.vecs {
-		out.Add(v.Grow(n), l.mult[i])
+		out.vecs[i] = v.Grow(n)
 	}
+	copy(out.mult, l.mult)
 	return out
 }
 
 // Clone returns a deep copy of the log.
 func (l *Log) Clone() *Log {
-	out := NewLog(l.universe)
+	out := &Log{universe: l.universe, vecs: make([]bitvec.Vector, len(l.vecs)), mult: make([]int, len(l.mult)), total: l.total}
 	for i, v := range l.vecs {
-		out.Add(v, l.mult[i])
+		out.vecs[i] = v.Clone()
 	}
+	copy(out.mult, l.mult)
 	return out
 }
 

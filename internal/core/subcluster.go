@@ -53,8 +53,7 @@ func (c *Compressed) SplitWorst(seed int64) (*Compressed, error) {
 	if target.Distinct() < 2 {
 		return nil, fmt.Errorf("core: worst component holds a single distinct query; nothing to split")
 	}
-	points, weights := target.Dense()
-	asg := cluster.KMeans(points, weights, cluster.KMeansOptions{K: 2, Seed: seed, Restarts: 3})
+	asg := cluster.KMeansBinary(target.Binary(), cluster.KMeansOptions{K: 2, Seed: seed, Restarts: 3})
 	subParts := target.Partition(asg)
 
 	var parts []*Log

@@ -42,6 +42,24 @@
 // A *Workload is safe for concurrent use: a monitoring goroutine can Append
 // while others Compress or query earlier snapshots.
 //
+// # Binary kernels
+//
+// Query feature vectors are binary (q ∈ {0,1}^n, paper Section 2.1), and
+// since every supported distance reduces to a popcount on binary data,
+// Compress and Recompress cluster the word-packed vectors directly: k-means
+// scores a query q against a float centroid c through the sparse identity
+// ‖q−c‖² = ‖c‖² + Σ_{i∈q}(1−2c_i) — touching only q's set bits, with ‖c‖²
+// precomputed per centroid and Hamerly-style movement bounds skipping
+// settled points — while spectral and hierarchical clustering build their
+// distance matrices from XOR popcounts. No dense float64 point matrix is
+// ever materialized, cutting Compress's peak clustering memory from
+// O(distinct·universe·8B) to the log's packed O(distinct·universe/8B) plus
+// K centroid rows, and making the hot loops ~an order of magnitude faster
+// (see the "Binary kernels" section of the README for measurements). The
+// legacy dense path remains behind CompressOptions.DensePath; for a fixed
+// Seed both paths produce the identical assignment and Reproduction Error,
+// which the equivalence tests assert.
+//
 // # Summary epochs and incremental recompression
 //
 // Because the codebook only grows, a Summary is universe-versioned: it
@@ -405,6 +423,12 @@ type CompressOptions struct {
 	// serial). For a fixed Seed the summary is bit-identical at any
 	// setting; only throughput changes.
 	Parallelism int
+	// DensePath routes clustering through the legacy dense float64 path
+	// instead of the default popcount kernels (see "Binary kernels" in the
+	// package docs). Both paths produce the same summary for a fixed Seed;
+	// the dense path exists as the equivalence oracle and benchmark
+	// baseline, and costs O(distinct·universe) extra memory.
+	DensePath bool
 }
 
 // Summary is a LogR-compressed workload: a naive mixture encoding plus the
@@ -493,6 +517,7 @@ func (opts CompressOptions) internal() (core.CompressOptions, error) {
 		TargetError: opts.TargetError,
 		MaxK:        opts.MaxClusters,
 		Parallelism: opts.Parallelism,
+		ForceDense:  opts.DensePath,
 	}, nil
 }
 
