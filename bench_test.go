@@ -202,6 +202,82 @@ func BenchmarkRecompressDelta(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressRange* complete the maintenance-strategy table: the same
+// 55k-query stream as the Recompress benchmarks, sealed into 10 segments
+// with per-segment summaries already cached. CompressRangeMerge alternates
+// two windows, so every call re-derives its summary through the algebra
+// (merge + aligned consolidation — no clustering); CompressRangeWarm
+// re-queries one window, the steady state a monitoring dashboard sits in
+// between seals (served from the store's range cache). Compare in one
+// table:
+//
+//	go test -run '^$' -bench 'BenchmarkCompressKMeansPAll|BenchmarkCompressRange|BenchmarkRecompress' .
+//
+// BenchmarkCompress* re-cluster everything, BenchmarkRecompressDelta
+// clusters only the delta and merges, BenchmarkCompressRange* cluster
+// nothing.
+
+var compressRangeBenchOnce struct {
+	sync.Once
+	w        *logr.Workload
+	from, to int
+	err      error
+}
+
+func compressRangeBenchState(b *testing.B) (*logr.Workload, int, int) {
+	compressRangeBenchOnce.Do(func() {
+		entries := pocketBenchEntries(55000)
+		w := logr.FromEntries(nil)
+		per := (len(entries) + 9) / 10
+		for lo := 0; lo < len(entries); lo += per {
+			hi := min(lo+per, len(entries))
+			w.Append(entries[lo:hi])
+			if _, ok := w.Seal(); !ok {
+				compressRangeBenchOnce.err = fmt.Errorf("seal failed")
+				return
+			}
+		}
+		from, to, _ := w.SealedRange()
+		// build and cache the per-segment summaries outside the timing
+		if _, err := w.CompressRange(from, to, logr.CompressOptions{Clusters: 8, Seed: 1}); err != nil {
+			compressRangeBenchOnce.err = err
+			return
+		}
+		compressRangeBenchOnce.w = w
+		compressRangeBenchOnce.from, compressRangeBenchOnce.to = from, to
+	})
+	if compressRangeBenchOnce.err != nil {
+		b.Fatal(compressRangeBenchOnce.err)
+	}
+	return compressRangeBenchOnce.w, compressRangeBenchOnce.from, compressRangeBenchOnce.to
+}
+
+func BenchmarkCompressRangeMerge(b *testing.B) {
+	w, from, to := compressRangeBenchState(b)
+	segs := w.Segments()
+	alt := segs[1].ID // second window: drop the oldest segment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := from
+		if i%2 == 1 {
+			lo = alt
+		}
+		if _, err := w.CompressRange(lo, to, logr.CompressOptions{Clusters: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressRangeWarm(b *testing.B) {
+	w, from, to := compressRangeBenchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.CompressRange(from, to, logr.CompressOptions{Clusters: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRecompressFull(b *testing.B) {
 	w, _ := recompressBenchState(b)
 	b.ResetTimer()

@@ -9,8 +9,9 @@
 // Experiments: table1, fig2, fig3, fig4, fig5, table2, fig6, fig7 (alias of
 // fig6 — same traces), fig8, fig9, incremental (full vs delta-only
 // recompression of a growing log; not part of "all"), kernels (binary vs
-// dense clustering kernels; part of "all"), all. Scales: small, medium,
-// paper.
+// dense clustering kernels; part of "all"), segments (windowed
+// CompressRange over sealed segments vs full recompress; part of "all"),
+// all. Scales: small, medium, paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
 package main
@@ -167,6 +168,12 @@ func main() {
 				return err
 			}
 			fmt.Print(out)
+		case "segments":
+			out, err := segmentsExperiment(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -176,7 +183,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9", "kernels"}
+		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9", "kernels", "segments"}
 	}
 	snap := perfSnapshot{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"logr"
+	"logr/internal/experiments"
+	"logr/internal/workload"
+)
+
+// segmentsExperiment measures the windowed-analytics refresh cost: a
+// pocketdata stream is sealed into 10 segments, and the summary of the full
+// range is produced three ways — a full Compress of the concatenated log, a
+// cold CompressRange (which builds and caches every per-segment summary),
+// and a warm CompressRange (the steady-state refresh: merge + consolidate
+// over cached summaries). The warm path is the acceptance target: ≥5×
+// faster than the full compression with the Reproduction Error inside the
+// 10% drift guard. Summary bytes compare the binary artifacts.
+func segmentsExperiment(scale experiments.Scale) (string, error) {
+	const k = 8
+	const nseg = 10
+	raw := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries:   scale.PocketTotal,
+		DistinctTarget: scale.PocketDistinct,
+		Seed:           scale.Seed,
+	})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	opts := logr.CompressOptions{Clusters: k, Seed: scale.Seed}
+
+	// one monolithic workload and one sealed into 10 segments, same stream
+	mono := logr.FromEntries(entries)
+	mono.Queries() // materialize the snapshot outside the timings
+	seg := logr.FromEntries(nil)
+	per := (len(entries) + nseg - 1) / nseg
+	for lo := 0; lo < len(entries); lo += per {
+		hi := lo + per
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		seg.Append(entries[lo:hi])
+		if _, ok := seg.Seal(); !ok {
+			return "", fmt.Errorf("segments: seal failed")
+		}
+	}
+	from, to, ok := seg.SealedRange()
+	if !ok {
+		return "", fmt.Errorf("segments: nothing sealed")
+	}
+
+	summaryBytes := func(s *logr.Summary) (int, error) {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return 0, err
+		}
+		return buf.Len(), nil
+	}
+
+	t0 := time.Now()
+	sFull, err := mono.Compress(opts)
+	if err != nil {
+		return "", err
+	}
+	fullMS := time.Since(t0).Seconds() * 1000
+	fullBytes, err := summaryBytes(sFull)
+	if err != nil {
+		return "", err
+	}
+
+	t0 = time.Now()
+	sCold, err := seg.CompressRange(from, to, opts)
+	if err != nil {
+		return "", err
+	}
+	coldMS := time.Since(t0).Seconds() * 1000
+
+	// sliding refresh: a different window each call — per-segment summaries
+	// cached, but the merge + aligned consolidation re-derives every time
+	segs := seg.Segments()
+	t0 = time.Now()
+	slides := 0
+	var sSlide *logr.Summary
+	for _, lo := range []int{segs[1].ID, from} {
+		sSlide, err = seg.CompressRange(lo, to, opts)
+		if err != nil {
+			return "", err
+		}
+		slides++
+	}
+	slideMS := time.Since(t0).Seconds() * 1000 / float64(slides)
+
+	t0 = time.Now()
+	sWarm, err := seg.CompressRange(from, to, opts)
+	if err != nil {
+		return "", err
+	}
+	warmMS := time.Since(t0).Seconds() * 1000
+	coldBytes, err := summaryBytes(sCold)
+	if err != nil {
+		return "", err
+	}
+	warmBytes, err := summaryBytes(sWarm)
+	if err != nil {
+		return "", err
+	}
+
+	path := "full re-cluster (drift fallback)"
+	if sWarm.Incremental() {
+		path = "merged per-segment summaries"
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("segmented windowed summary vs full recompress (pocketdata %d queries, %d segments, K=%d)\n",
+		scale.PocketTotal, nseg, k))
+	sb.WriteString("strategy                      wall(ms)   err(nats)   bytes\n")
+	sb.WriteString(fmt.Sprintf("full Compress of range        %8.2f   %9.4f   %d\n", fullMS, sFull.Error(), fullBytes))
+	sb.WriteString(fmt.Sprintf("CompressRange cold            %8.2f   %9.4f   %d\n", coldMS, sCold.Error(), coldBytes))
+	sb.WriteString(fmt.Sprintf("CompressRange sliding         %8.2f   %9.4f   -\n", slideMS, sSlide.Error()))
+	sb.WriteString(fmt.Sprintf("CompressRange warm            %8.2f   %9.4f   %d\n", warmMS, sWarm.Error(), warmBytes))
+	sb.WriteString(fmt.Sprintf("warm speedup over full: %.1fx, sliding: %.1fx (path: %s)\n", fullMS/warmMS, fullMS/slideMS, path))
+	if ratio := sWarm.Error() / sFull.Error(); sFull.Error() > 0 {
+		sb.WriteString(fmt.Sprintf("warm/full error ratio:  %.3f\n", ratio))
+	}
+	return sb.String(), nil
+}

@@ -7,9 +7,11 @@
 //	logr stats -in log.sql                                     Table-1-style statistics
 //	logr compress -in log.sql -k 8                             compress and report fidelity
 //	logr compress -in log.sql -delta more.sql -incremental     append + incremental recompression
+//	logr compress -in log.sql -k 8 -segment 5000 -window 4     seal 5k-query segments, summarize the last 4
 //	logr inspect -in log.sql -k 8                              visualize the summary
 //	logr estimate -in log.sql -k 8 -q "SELECT * FROM t WHERE x = ?"
 //	logr advise -in log.sql -k 8                               index / view suggestions
+//	logr drift -in log.sql -segment 5000 -lookback 4           sliding-window drift over segments
 //
 // Input files are raw access logs (one SQL statement per line) or compact
 // "count<TAB>sql" files; the format is auto-detected per line.
@@ -67,23 +69,34 @@ commands:
   gen       generate a synthetic workload (pocketdata | usbank)
   stats     print Table-1-style statistics for a log
   compress  compress a log and report Error/Verbosity; with -delta [-incremental],
-            append a second log and recompress (incrementally or from scratch)
+            append a second log and recompress (incrementally or from scratch);
+            with -segment N [-window W], seal N-query segments and summarize
+            the last W of them algebraically (CompressRange)
   inspect   visualize the compressed summary
   estimate  estimate a pattern's frequency from the summary
   advise    suggest indexes and materialized views
-  drift     score a window of queries against a baseline log
+  drift     score a window of queries against a baseline log; with -in and
+            -segment, slide a per-segment window over one log instead
 
 run "logr <command> -h" for command flags`)
 }
 
-func loadWorkload(path string, parallelism int) (*logr.Workload, error) {
+func loadWorkload(path string, parallelism, segment int) (*logr.Workload, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	// compact reader accepts plain lines too
-	return logr.LoadCompactWithOptions(f, logr.Options{Parallelism: parallelism})
+	w, err := logr.LoadCompactWithOptions(f, logr.Options{Parallelism: parallelism, SegmentThreshold: segment})
+	if err != nil {
+		return nil, err
+	}
+	if segment > 0 {
+		// seal the remainder so the whole log is addressable as segments
+		w.Seal()
+	}
+	return w, nil
 }
 
 func runGen(args []string) error {
@@ -139,7 +152,7 @@ func runStats(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("stats: -in is required")
 	}
-	w, err := loadWorkload(*in, *par)
+	w, err := loadWorkload(*in, *par, 0)
 	if err != nil {
 		return err
 	}
@@ -172,6 +185,7 @@ func parseCompress(name string, args []string, extra func(fs *flag.FlagSet) func
 	target := fs.Float64("target", 1.0, "target error for the auto sweep (nats)")
 	seed := fs.Int64("seed", 1, "clustering seed")
 	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
+	segment := fs.Int("segment", 0, "seal the ingest into segments of at least this many queries (0 = one unsegmented workload)")
 	var validate func() error
 	if extra != nil {
 		validate = extra(fs)
@@ -187,7 +201,7 @@ func parseCompress(name string, args []string, extra func(fs *flag.FlagSet) func
 			return nil, logr.CompressOptions{}, err
 		}
 	}
-	w, err := loadWorkload(*in, *par)
+	w, err := loadWorkload(*in, *par, *segment)
 	if err != nil {
 		return nil, logr.CompressOptions{}, err
 	}
@@ -210,14 +224,56 @@ func runCompress(args []string) error {
 	var delta *string
 	var incremental *bool
 	var maxGrowth *float64
+	var window *int
 	w, opts, err := parseCompress("compress", args, func(fs *flag.FlagSet) func() error {
 		delta = fs.String("delta", "", "append this log after compressing and recompress")
 		incremental = fs.Bool("incremental", false, "recompress the -delta append incrementally (delta-only clustering merged into the prior mixture)")
 		maxGrowth = fs.Float64("maxgrowth", 0, "allowed relative Error growth before incremental recompression falls back to a full re-cluster (0 = default 0.10)")
+		window = fs.Int("window", 0, "with -segment: summarize only the last N sealed segments (CompressRange) instead of the whole log")
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if segs := w.Segments(); len(segs) > 0 {
+		fmt.Printf("segments (%d sealed):\n", len(segs))
+		for _, sg := range segs {
+			span := fmt.Sprintf("%d", sg.ID)
+			if sg.EndID > sg.ID+1 {
+				span = fmt.Sprintf("%d..%d", sg.ID, sg.EndID-1)
+			}
+			fmt.Printf("  [%s]  %7d queries, %5d distinct, universe %d\n", span, sg.Queries, sg.Distinct, sg.Epoch.Universe)
+		}
+	}
+	if *window > 0 {
+		from, to, ok := w.SealedRange()
+		if !ok {
+			return fmt.Errorf("compress: -window needs sealed segments (set -segment)")
+		}
+		segs := w.Segments()
+		width := len(segs)
+		if *window < len(segs) {
+			from = segs[len(segs)-*window].ID
+			width = *window
+		}
+		start := time.Now()
+		s, err := w.CompressRange(from, to, opts)
+		if err != nil {
+			return err
+		}
+		mode := "full re-cluster (drift fallback)"
+		if s.Incremental() {
+			mode = "merged per-segment summaries"
+		} else if width == 1 {
+			mode = "single segment summary"
+		}
+		fmt.Printf("windowed summary over segments [%d, %d) (%s)\n", from, to, mode)
+		fmt.Printf("  epoch:             universe %d, %d queries\n", s.Epoch().Universe, s.Epoch().TotalQueries)
+		fmt.Printf("  clusters:          %d\n", s.Clusters())
+		fmt.Printf("  total verbosity:   %d\n", s.TotalVerbosity())
+		fmt.Printf("  reproduction err:  %.4f nats\n", s.Error())
+		fmt.Printf("  wall time:         %s\n", time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 	start := time.Now()
 	s, err := w.Compress(opts)
@@ -329,16 +385,25 @@ func runDrift(args []string) error {
 	fs := flag.NewFlagSet("drift", flag.ExitOnError)
 	baseline := fs.String("baseline", "", "baseline log file")
 	window := fs.String("window", "", "window log file to score")
+	in := fs.String("in", "", "single log file for segmented sliding-window mode (with -segment)")
+	segment := fs.Int("segment", 0, "segment size for sliding-window mode (queries per segment)")
+	lookback := fs.Int("lookback", 4, "sliding-window mode: how many preceding segments form the baseline")
 	k := fs.Int("k", 8, "baseline clusters")
 	seed := fs.Int64("seed", 1, "clustering seed")
 	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *baseline == "" || *window == "" {
-		return fmt.Errorf("drift: -baseline and -window are required")
+	if *in != "" || *segment > 0 {
+		if *in == "" || *segment <= 0 {
+			return fmt.Errorf("drift: sliding-window mode needs both -in and -segment")
+		}
+		return runDriftSliding(*in, *segment, *lookback, *k, *seed, *par)
 	}
-	w, err := loadWorkload(*baseline, *par)
+	if *baseline == "" || *window == "" {
+		return fmt.Errorf("drift: -baseline and -window are required (or -in with -segment)")
+	}
+	w, err := loadWorkload(*baseline, *par, 0)
 	if err != nil {
 		return err
 	}
@@ -354,6 +419,40 @@ func runDrift(args []string) error {
 	fmt.Printf("excess surprisal: %.2f nats/query\n", rep.Score)
 	fmt.Printf("novelty rate:     %.2f%%\n", rep.NoveltyRate*100)
 	fmt.Printf("alert:            %v\n", rep.Alert)
+	return nil
+}
+
+// runDriftSliding segments one log and scores each segment against the
+// summary of the preceding lookback segments — the windowed-analytics drift
+// monitor. Per-segment summaries are cached inside the store, so each row
+// reuses all but the newest segment's work.
+func runDriftSliding(path string, segment, lookback, k int, seed int64, par int) error {
+	if lookback <= 0 {
+		lookback = 1
+	}
+	w, err := loadWorkload(path, par, segment)
+	if err != nil {
+		return err
+	}
+	segs := w.Segments()
+	if len(segs) < 2 {
+		return fmt.Errorf("drift: only %d segments; lower -segment", len(segs))
+	}
+	opts := logr.CompressOptions{Clusters: k, Seed: seed, Parallelism: par}
+	fmt.Printf("sliding drift over %d segments (baseline = previous %d segments, K=%d)\n", len(segs), lookback, k)
+	fmt.Println("segment   queries   score(nats/q)   novelty   alert")
+	for i := 1; i < len(segs); i++ {
+		lo := i - lookback
+		if lo < 0 {
+			lo = 0
+		}
+		rep, err := w.DriftBetween(segs[lo].ID, segs[i].ID, segs[i].ID, segs[i].EndID, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7d   %7d   %13.2f   %6.1f%%   %v\n",
+			segs[i].ID, segs[i].Queries, rep.Score, rep.NoveltyRate*100, rep.Alert)
+	}
 	return nil
 }
 

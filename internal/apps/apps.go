@@ -155,6 +155,19 @@ type DriftDetector struct {
 	NoveltyThreshold float64
 }
 
+// NewDriftDetectorAt prepares a detector whose baseline is lifted onto a
+// possibly larger feature universe before calibration — the segmented
+// sliding-window case, where the scored window was encoded after the
+// baseline range and may carry features the baseline predates. Grown
+// features have zero marginal in every component, so windows using them
+// score as novel. universe values not above the baseline's are ignored.
+func NewDriftDetectorAt(baseline core.Mixture, universe int) *DriftDetector {
+	if universe > baseline.Universe {
+		baseline = baseline.Grow(universe)
+	}
+	return NewDriftDetector(baseline)
+}
+
 // NewDriftDetector prepares a detector from a baseline encoding and
 // calibrates its expected surprisal by sampling the encoding itself (no
 // raw log needed — the summary is the baseline).

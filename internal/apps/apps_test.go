@@ -142,3 +142,27 @@ func TestDriftDetectorFlagsInjection(t *testing.T) {
 		t.Errorf("injection not flagged: %+v", rep)
 	}
 }
+
+// TestDriftDetectorAtGrownUniverse: a window encoded after the baseline
+// carries later-registered features; the lifted detector scores those
+// queries as novel instead of panicking on the universe mismatch.
+func TestDriftDetectorAtGrownUniverse(t *testing.T) {
+	l, _ := buildWorkload(t, map[string]int{
+		"SELECT _id FROM messages WHERE status = ?": 1000,
+	})
+	mix, _ := core.BuildNaiveMixture(l, cluster.Assignment{Labels: make([]int, l.Distinct()), K: 1})
+	grown := l.Universe() + 3
+	det := NewDriftDetectorAt(mix, grown)
+
+	window := core.NewLog(grown)
+	// baseline-shaped query, padded universe: stays unremarkable
+	window.Add(l.Vector(0).Grow(grown), 90)
+	// query on a post-baseline feature: provably unseen, scores novel
+	post := bitvec.New(grown)
+	post.Set(grown - 1)
+	window.Add(post, 10)
+	rep := det.Check(window, 0)
+	if rep.NoveltyRate != 0.1 {
+		t.Errorf("novelty = %g, want 0.1", rep.NoveltyRate)
+	}
+}

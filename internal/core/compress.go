@@ -59,6 +59,13 @@ type CompressOptions struct {
 	// scoring. ≤ 0 means all cores; 1 forces serial execution. Output is
 	// bit-identical at any parallelism for a fixed Seed.
 	Parallelism int
+	// WarmCentroids seeds the k-means path from these centroids instead of
+	// k-means++ (cluster.KMeansOptions.InitCentroids): Lloyd's algorithm runs
+	// to convergence from them, consuming no randomness. The segmented store
+	// warm-starts each sealed segment's summary from the previous segment's
+	// component centroids this way. Ignored by the auto sweep and the
+	// spectral/hierarchical methods.
+	WarmCentroids [][]float64
 	// ForceDense routes clustering through the legacy dense float64 path:
 	// every distinct vector is expanded to a []float64 row before k-means /
 	// spectral / hierarchical run dense arithmetic over it. The default
@@ -170,6 +177,17 @@ func Compress(l *Log, opts CompressOptions) (*Compressed, error) {
 	return best, nil
 }
 
+// warmFor gates CompressOptions.WarmCentroids: the warm start applies only
+// to a fixed-K k-means run whose requested K matches the centroid count, so
+// the auto sweep and mismatched-K calls fall back to cold seeding instead of
+// silently inheriting a different K.
+func warmFor(opts CompressOptions, k int) [][]float64 {
+	if opts.K == k && len(opts.WarmCentroids) == k {
+		return opts.WarmCentroids
+	}
+	return nil
+}
+
 func fromAssignment(l *Log, asg cluster.Assignment, par int) (*Compressed, error) {
 	mix, parts := BuildNaiveMixtureP(l, asg, par)
 	e, err := mix.ErrorP(parts, par)
@@ -194,7 +212,7 @@ func compressBinary(l *Log, pts cluster.BinaryPoints, opts CompressOptions, k in
 	var asg cluster.Assignment
 	switch opts.Method {
 	case KMeansMethod:
-		asg = cluster.KMeansBinary(pts, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism})
+		asg = cluster.KMeansBinary(pts, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism, InitCentroids: warmFor(opts, k)})
 	case SpectralMethod:
 		var err error
 		asg, err = cluster.SpectralBinary(pts, cluster.BinaryMetricFunc(opts.Metric, opts.MinkowskiP), cluster.SpectralOptions{
@@ -220,7 +238,7 @@ func compressDense(l *Log, points [][]float64, weights []float64, opts CompressO
 	var asg cluster.Assignment
 	switch opts.Method {
 	case KMeansMethod:
-		asg = cluster.KMeans(points, weights, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism})
+		asg = cluster.KMeans(points, weights, cluster.KMeansOptions{K: k, Seed: opts.Seed, Restarts: 3, Parallelism: opts.Parallelism, InitCentroids: warmFor(opts, k)})
 	case SpectralMethod:
 		var err error
 		asg, err = cluster.Spectral(points, weights, cluster.SpectralOptions{

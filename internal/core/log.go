@@ -376,6 +376,36 @@ func (l *Log) Grow(n int) *Log {
 	return out
 }
 
+// DeltaSince returns the sub-log of entries appended after a snapshot whose
+// per-distinct multiplicities were prevCounts: vectors whose multiplicity
+// grew contribute the increment, vectors first seen after the snapshot
+// contribute everything. Snapshots of one encode pipeline keep distinct
+// vectors in first-appearance order and multiplicities only increase, so
+// prevCounts aligns with the current distinct order; this is how the
+// segmented store materializes a sealed segment's own sub-log. Vectors are
+// shared with l under the usual read-only contract. An empty prevCounts
+// returns l itself (the whole log is the delta), which keeps the first
+// segment's compression bit-identical to compressing the log directly.
+func (l *Log) DeltaSince(prevCounts []int) *Log {
+	if len(prevCounts) == 0 {
+		return l
+	}
+	out := &Log{universe: l.universe}
+	for i, v := range l.vecs {
+		c := l.mult[i]
+		if i < len(prevCounts) {
+			c -= prevCounts[i]
+		}
+		if c <= 0 {
+			continue
+		}
+		out.vecs = append(out.vecs, v)
+		out.mult = append(out.mult, c)
+		out.total += c
+	}
+	return out
+}
+
 // Clone returns a deep copy of the log.
 func (l *Log) Clone() *Log {
 	out := &Log{universe: l.universe, vecs: make([]bitvec.Vector, len(l.vecs)), mult: make([]int, len(l.mult)), total: l.total}

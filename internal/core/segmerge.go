@@ -1,0 +1,348 @@
+package core
+
+// Segment-range merging: the summary algebra behind the segmented store.
+// A long-running workload is sealed into immutable segments, each compressed
+// independently; the summary of a contiguous segment range is then *derived*
+// from the per-segment summaries instead of re-clustering the concatenated
+// log. MergeRange lifts every per-segment mixture onto the union universe
+// (Mixture.Grow) and reweights them into one mixture (Mixture.Merge) — a
+// lossless operation whose Reproduction Error is exactly the weighted
+// combination of the per-segment errors. Consolidate then trades components
+// for error: the merged mixture carries one component per segment cluster
+// (K grows linearly with the range width), so adjacent components are
+// greedily coalesced under a compaction score until the component budget or
+// error target is met. The caller compares the consolidated error against
+// the lossless merge's and, as in Recompress, falls back to a full
+// re-cluster when the drift is too large.
+
+import (
+	"fmt"
+	"math"
+
+	"logr/internal/cluster"
+	"logr/internal/maxent"
+	"logr/internal/parallel"
+)
+
+// MergeRange combines the compressions of disjoint sub-logs — the sealed
+// segments of one workload, in segment order — into one Compressed over the
+// union universe. Components keep their encodings (grown with zero marginals
+// on features newer than their segment); only the weights are rescaled by
+// each segment's share of the range. The result's Err is evaluated exactly
+// against the concatenated partition, which equals the total-weighted
+// average of the per-segment errors.
+//
+// Every input must carry its partition (Parts) and a known Err; summaries
+// restored from disk cannot be range-merged.
+func MergeRange(cs []*Compressed, par int) (*Compressed, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("core: MergeRange over an empty segment range")
+	}
+	u := 0
+	for i, c := range cs {
+		if c == nil || math.IsNaN(c.Err) || (c.Mixture.K() > 0 && len(c.Parts) == 0) {
+			return nil, fmt.Errorf("core: MergeRange: segment %d has no partition to merge", i)
+		}
+		if c.Mixture.Universe > u {
+			u = c.Mixture.Universe
+		}
+	}
+	if len(cs) == 1 {
+		return cs[0], nil
+	}
+	mix := cs[0].Mixture.Grow(u)
+	for _, c := range cs[1:] {
+		mix = mix.Merge(c.Mixture.Grow(u))
+	}
+	var parts []*Log
+	for _, c := range cs {
+		for _, p := range c.Parts {
+			if p.Total() == 0 {
+				continue
+			}
+			parts = append(parts, p.Grow(u))
+		}
+	}
+	e, err := mix.ErrorP(parts, par)
+	if err != nil {
+		return nil, err
+	}
+	// Instance-level merge: distinct vectors recurring across segments sit in
+	// several parts, so there is no single distinct-vector labeling.
+	return &Compressed{Mixture: mix, Assignment: cluster.Assignment{K: len(parts)}, Parts: parts, Err: e}, nil
+}
+
+// consPart is one live component during consolidation: its sub-log, totals
+// and the entropy terms its error contribution is made of.
+type consPart struct {
+	log    *Log
+	total  int
+	modelH float64 // H(ρ_E) of the part's naive encoding
+	empH   float64 // H(ρ*) of the part's sub-log
+	// margSum[f] = total · p(X_f = 1): feature counts, which add under
+	// merging even when the parts share distinct vectors. supp lists the
+	// features with non-zero count, ascending — component marginal vectors
+	// are sparse (a cluster touches few of the universe's features), and
+	// every scoring pass walks supports instead of the universe.
+	margSum []float64
+	supp    []int
+}
+
+func newConsPart(l *Log) consPart {
+	t := l.Total()
+	marg := l.FeatureMarginals()
+	h := 0.0
+	sum := make([]float64, len(marg))
+	var supp []int
+	for f, p := range marg {
+		if p <= 0 {
+			continue
+		}
+		h += maxent.BernoulliEntropy(p)
+		sum[f] = p * float64(t)
+		supp = append(supp, f)
+	}
+	return consPart{log: l, total: t, modelH: h, empH: l.EmpiricalEntropy(), margSum: sum, supp: supp}
+}
+
+// compactionScore estimates T·ΔErr for coalescing parts a and b: the model-
+// entropy increase of pooling their marginals minus the empirical-entropy
+// increase of pooling their histograms (taken as the exact mixing term of
+// disjoint histograms — the common case for segment clusters). Negative
+// scores mean the merge is estimated to *reduce* the range error; the exact
+// error is re-evaluated after every committed merge, so the score only has
+// to rank candidates. The walk touches only the union of the two supports.
+func compactionScore(a, b *consPart) float64 {
+	wa, wb := float64(a.total), float64(b.total)
+	w := wa + wb
+	hm := 0.0
+	i, j := 0, 0
+	for i < len(a.supp) || j < len(b.supp) {
+		var s float64
+		switch {
+		case j >= len(b.supp) || (i < len(a.supp) && a.supp[i] < b.supp[j]):
+			s = a.margSum[a.supp[i]]
+			i++
+		case i >= len(a.supp) || b.supp[j] < a.supp[i]:
+			s = b.margSum[b.supp[j]]
+			j++
+		default: // shared feature
+			s = a.margSum[a.supp[i]] + b.margSum[b.supp[j]]
+			i++
+			j++
+		}
+		hm += maxent.BernoulliEntropy(s / w)
+	}
+	mixing := wa*math.Log(w/wa) + wb*math.Log(w/wb)
+	return w*hm - wa*a.modelH - wb*b.modelH - mixing
+}
+
+// mergeConsParts materializes the coalesced part: the sub-logs are merged
+// with deduplication (segments can repeat distinct vectors) and the exact
+// entropy terms recomputed.
+func mergeConsParts(a, b *consPart) consPart {
+	l := NewLog(a.log.Universe())
+	l.Merge(a.log)
+	l.Merge(b.log)
+	return newConsPart(l)
+}
+
+// MergeAligned consolidates per-segment compressions whose components are
+// label-aligned: when every segment's summary is a K-cluster k-means run
+// warm-started from its predecessor's centroids (the segmented store's
+// summary chain), label i denotes the same evolving cluster in every
+// segment — the warm path pins labels to their seeding centroid, exactly
+// like Recompress pinning a delta to its component. Consolidation is then
+// scoring-free: part i of the range is the union of part i across
+// segments, one linear pass instead of greedy pairwise coalescing. ok is
+// false when any segment's partition does not have exactly k parts (cold
+// mismatched runs, other methods) — callers fall back to Consolidate.
+func MergeAligned(cs []*Compressed, k, par int) (*Compressed, bool) {
+	if k <= 0 || len(cs) == 0 {
+		return nil, false
+	}
+	u, total := 0, 0
+	for _, c := range cs {
+		if len(c.Parts) != k {
+			return nil, false
+		}
+		if c.Mixture.Universe > u {
+			u = c.Mixture.Universe
+		}
+		total += c.Mixture.Total
+	}
+	groups := make([]*Log, k)
+	parallel.For(k, par, func(i int) {
+		g := NewLog(u)
+		for _, c := range cs {
+			p := c.Parts[i]
+			if p.Total() == 0 {
+				continue
+			}
+			if p.Universe() < u {
+				p = p.Grow(u)
+			}
+			g.Merge(p)
+		}
+		groups[i] = g
+	})
+	mix := BuildMixtureP(groups, par)
+	e, err := mix.ErrorP(groups, par)
+	if err != nil {
+		return nil, false
+	}
+	if mix.Total != total {
+		// a distinct vector double-counted or lost — cannot happen with
+		// disjoint per-segment parts, but refuse rather than mis-weight
+		return nil, false
+	}
+	return &Compressed{Mixture: mix, Assignment: cluster.Assignment{K: k}, Parts: groups, Err: e}, true
+}
+
+// ConsolidateOptions bound the greedy component coalescing.
+type ConsolidateOptions struct {
+	// TargetK, when > 0, coalesces until at most TargetK components remain.
+	TargetK int
+	// TargetError, used when TargetK == 0, keeps coalescing as long as the
+	// exact Reproduction Error of the result stays ≤ TargetError (the
+	// auto-sweep threshold, approached from above instead of below).
+	TargetError float64
+	// Parallelism bounds the scoring and rescoring workers (≤ 0 = all cores).
+	Parallelism int
+}
+
+// Consolidate reduces the component count of a range-merged compression by
+// greedily coalescing the component pair with the lowest compaction score,
+// re-evaluating the exact error after each merge. The input is never
+// mutated; unmerged parts are shared with it under the usual read-only
+// contract. The result is deterministic: scores are scanned in component
+// order and ties keep the earliest pair.
+func Consolidate(c *Compressed, opts ConsolidateOptions, total int) *Compressed {
+	live := make([]*consPart, 0, len(c.Parts))
+	for _, p := range c.Parts {
+		if p.Total() == 0 {
+			continue
+		}
+		cp := newConsPart(p)
+		live = append(live, &cp)
+	}
+	if len(live) <= 1 {
+		return c
+	}
+	t := float64(total)
+	exactErr := func() float64 {
+		e := 0.0
+		for _, p := range live {
+			e += float64(p.total) / t * (p.modelH - p.empH)
+		}
+		return e
+	}
+
+	// Pair scores live in a symmetric K×K matrix; only the rows touching
+	// the merged slot are rescored each round. The initial fill is the
+	// O(K²) bulk of the scoring work and fans out over the pool — each
+	// worker writes only its own row, so the matrix is deterministic at any
+	// parallelism.
+	scores := make([][]float64, len(live))
+	for i := range scores {
+		scores[i] = make([]float64, len(live))
+	}
+	parallel.For(len(live), opts.Parallelism, func(i int) {
+		for j := i + 1; j < len(live); j++ {
+			scores[i][j] = compactionScore(live[i], live[j])
+		}
+	})
+	for i := range scores {
+		for j := 0; j < i; j++ {
+			scores[i][j] = scores[j][i]
+		}
+	}
+	dropRow := func(bj int) {
+		for i := range scores {
+			scores[i] = append(scores[i][:bj], scores[i][bj+1:]...)
+		}
+		scores = append(scores[:bj], scores[bj+1:]...)
+	}
+
+	want := opts.TargetK
+	for len(live) > 1 {
+		if want > 0 && len(live) <= want {
+			break
+		}
+		// lowest-score pair, earliest on ties
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(live); i++ {
+			row := scores[i]
+			for j := i + 1; j < len(live); j++ {
+				if row[j] < best {
+					bi, bj, best = i, j, row[j]
+				}
+			}
+		}
+		merged := mergeConsParts(live[bi], live[bj])
+		if want == 0 {
+			// error-target mode: commit only while the exact error holds
+			old := live[bi]
+			live[bi] = &merged
+			tail := live[bj]
+			live = append(live[:bj], live[bj+1:]...)
+			if exactErr() > opts.TargetError {
+				live = append(live[:bj], append([]*consPart{tail}, live[bj:]...)...)
+				live[bi] = old
+				break
+			}
+		} else {
+			live[bi] = &merged
+			live = append(live[:bj], live[bj+1:]...)
+		}
+		dropRow(bj)
+		for i := range live {
+			if i == bi {
+				continue
+			}
+			s := compactionScore(live[bi], live[i])
+			scores[bi][i], scores[i][bi] = s, s
+		}
+	}
+
+	parts := make([]*Log, len(live))
+	for i, p := range live {
+		parts[i] = p.log
+	}
+	mix := BuildMixtureP(parts, opts.Parallelism)
+	mix.Total = total
+	for i := range mix.Components {
+		mix.Components[i].Weight = float64(parts[i].Total()) / t
+	}
+	e, err := mix.ErrorP(parts, opts.Parallelism)
+	if err != nil {
+		// cannot happen: parts and components are built together
+		e = math.NaN()
+	}
+	return &Compressed{Mixture: mix, Assignment: cluster.Assignment{K: len(parts)}, Parts: parts, Err: e}
+}
+
+// CompactionRuns plans segment compaction: given the per-segment query
+// counts of adjacent sealed segments, it returns the index ranges [lo, hi)
+// of runs of small segments (each < minQueries) that should merge into one.
+// Runs are cut greedily once their running total reaches minQueries, so
+// compacted segments converge toward the threshold instead of snowballing;
+// single small segments with no small neighbor are left alone.
+func CompactionRuns(sizes []int, minQueries int) [][2]int {
+	var runs [][2]int
+	for i := 0; i < len(sizes); {
+		if sizes[i] >= minQueries {
+			i++
+			continue
+		}
+		lo, total := i, 0
+		for i < len(sizes) && sizes[i] < minQueries && total < minQueries {
+			total += sizes[i]
+			i++
+		}
+		if i-lo >= 2 {
+			runs = append(runs, [2]int{lo, i})
+		}
+	}
+	return runs
+}

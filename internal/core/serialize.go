@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"logr/internal/feature"
 )
@@ -12,6 +15,13 @@ import (
 // mixture encoding (per-cluster marginals) plus the codebook that maps
 // feature indices back to SQL fragments — everything needed to answer
 // workload statistics and render visualizations without the original log.
+//
+// Two formats exist. The original JSON layout (WriteSummary) remains fully
+// readable; the compact binary layout (WriteSummaryBinary) is the default
+// artifact a compression library ought to emit: a magic+version header, the
+// codebook as length-prefixed strings, and each cluster's sparse marginals
+// as varint-delta feature indices plus raw IEEE-754 bits. ReadSummary
+// auto-detects the format from the first bytes.
 
 // summaryFile is the on-disk JSON layout (versioned for forward evolution).
 type summaryFile struct {
@@ -35,15 +45,33 @@ type clusterRecord struct {
 	Marginal []float64 `json:"marginal"`
 }
 
+// epochFeatures returns the codebook prefix the mixture's universe covers.
+// The codebook is append-only and may have grown past the summarized
+// snapshot (appends after Compress, or a range summary ending before the
+// newest segment); features with index ≥ universe are post-epoch and are
+// not part of the artifact — the restored summary reports probability 0
+// for them, same as the live one.
+func epochFeatures(m Mixture, book *feature.Codebook) ([]feature.Feature, error) {
+	feats := book.Features()
+	if len(feats) < m.Universe {
+		return nil, fmt.Errorf("core: codebook has %d features for universe %d", len(feats), m.Universe)
+	}
+	return feats[:m.Universe], nil
+}
+
 // WriteSummary serializes a mixture encoding with its codebook.
 func WriteSummary(w io.Writer, m Mixture, book *feature.Codebook) error {
+	feats, err := epochFeatures(m, book)
+	if err != nil {
+		return err
+	}
 	f := summaryFile{
 		Version:  1,
 		Universe: m.Universe,
 		Total:    m.Total,
 		Scheme:   int(book.Scheme()),
 	}
-	for _, ft := range book.Features() {
+	for _, ft := range feats {
 		f.Features = append(f.Features, featureEntry{Kind: int(ft.Kind), Text: ft.Text})
 	}
 	for _, c := range m.Components {
@@ -60,8 +88,248 @@ func WriteSummary(w io.Writer, m Mixture, book *feature.Codebook) error {
 	return enc.Encode(f)
 }
 
-// ReadSummary deserializes a mixture encoding and rebuilds its codebook.
+// binaryMagic opens every binary summary artifact; the byte after it is the
+// format version.
+const binaryMagic = "LGRS"
+
+// binaryVersion is the current binary summary format.
+const binaryVersion = 1
+
+// WriteSummaryBinary serializes a mixture encoding with its codebook in the
+// compact binary format:
+//
+//	"LGRS" | version u8
+//	universe, total, scheme, featureCount   (uvarint)
+//	featureCount × (kind uvarint, len uvarint, bytes)
+//	clusterCount                            (uvarint)
+//	clusterCount × (count uvarint, support uvarint,
+//	                support × index-delta uvarint,
+//	                support × float64 marginal bits, little-endian)
+//
+// Indices are stored as deltas between consecutive sparse entries, so the
+// hot part of the artifact is a varint stream plus the raw marginal words.
+func WriteSummaryBinary(w io.Writer, m Mixture, book *feature.Codebook) error {
+	feats, err := epochFeatures(m, book)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(uint64(m.Universe)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(m.Total)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(book.Scheme())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(feats))); err != nil {
+		return err
+	}
+	for _, ft := range feats {
+		if err := putUvarint(uint64(ft.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(ft.Text))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ft.Text); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(m.Components))); err != nil {
+		return err
+	}
+	var word [8]byte
+	for _, c := range m.Components {
+		if err := putUvarint(uint64(c.Encoding.Count)); err != nil {
+			return err
+		}
+		support := 0
+		for _, p := range c.Encoding.Marginals {
+			if p > 0 {
+				support++
+			}
+		}
+		if err := putUvarint(uint64(support)); err != nil {
+			return err
+		}
+		prev := 0
+		for i, p := range c.Encoding.Marginals {
+			if p <= 0 {
+				continue
+			}
+			if err := putUvarint(uint64(i - prev)); err != nil {
+				return err
+			}
+			prev = i
+		}
+		for _, p := range c.Encoding.Marginals {
+			if p <= 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint64(word[:], math.Float64bits(p))
+			if _, err := bw.Write(word[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// readSummaryBinary decodes the binary format after the magic has been
+// consumed by the auto-detecting ReadSummary.
+func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
+	fail := func(err error) (Mixture, *feature.Codebook, error) {
+		return Mixture{}, nil, fmt.Errorf("core: reading binary summary: %w", err)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	if version != binaryVersion {
+		return Mixture{}, nil, fmt.Errorf("core: unsupported binary summary version %d", version)
+	}
+	// Structural fields (universe, feature counts, string lengths) size
+	// allocations, so a corrupt or adversarial header must not be able to
+	// demand terabytes before the stream runs dry; counts (query totals)
+	// never allocate and may legitimately be huge for a heavy-traffic log.
+	const (
+		maxStructural = 1 << 24 // 16M features / 16 MiB feature text
+		maxCount      = 1 << 50
+	)
+	readBounded := func(limit uint64) (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if v > limit {
+			return 0, fmt.Errorf("implausible length %d", v)
+		}
+		return int(v), nil
+	}
+	readUvarint := func() (int, error) { return readBounded(maxStructural) }
+	universe, err := readUvarint()
+	if err != nil {
+		return fail(err)
+	}
+	total, err := readBounded(maxCount)
+	if err != nil {
+		return fail(err)
+	}
+	scheme, err := readUvarint()
+	if err != nil {
+		return fail(err)
+	}
+	nfeats, err := readUvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if nfeats != universe {
+		return Mixture{}, nil, fmt.Errorf("core: binary summary lists %d features for universe %d", nfeats, universe)
+	}
+	book := feature.NewCodebook(feature.Scheme(scheme))
+	for i := 0; i < nfeats; i++ {
+		kind, err := readUvarint()
+		if err != nil {
+			return fail(err)
+		}
+		n, err := readUvarint()
+		if err != nil {
+			return fail(err)
+		}
+		text := make([]byte, n)
+		if _, err := io.ReadFull(br, text); err != nil {
+			return fail(err)
+		}
+		book.Register(feature.Feature{Kind: feature.Kind(kind), Text: string(text)})
+	}
+	nclusters, err := readUvarint()
+	if err != nil {
+		return fail(err)
+	}
+	m := Mixture{Universe: universe, Total: total}
+	var word [8]byte
+	for ci := 0; ci < nclusters; ci++ {
+		count, err := readBounded(maxCount)
+		if err != nil {
+			return fail(err)
+		}
+		support, err := readUvarint()
+		if err != nil {
+			return fail(err)
+		}
+		if support > universe {
+			return Mixture{}, nil, fmt.Errorf("core: cluster %d claims support %d over universe %d", ci, support, universe)
+		}
+		idx := make([]int, support)
+		prev := 0
+		for j := 0; j < support; j++ {
+			d, err := readUvarint()
+			if err != nil {
+				return fail(err)
+			}
+			if j > 0 && d == 0 {
+				// the writer emits strictly ascending indices, so a zero
+				// delta past the first entry is a duplicate — corrupt
+				return Mixture{}, nil, fmt.Errorf("core: cluster %d repeats feature %d", ci, prev)
+			}
+			prev += d
+			if prev >= universe {
+				return Mixture{}, nil, fmt.Errorf("core: cluster %d references feature %d outside universe", ci, prev)
+			}
+			idx[j] = prev
+		}
+		marg := make([]float64, universe)
+		for j := 0; j < support; j++ {
+			if _, err := io.ReadFull(br, word[:]); err != nil {
+				return fail(err)
+			}
+			p := math.Float64frombits(binary.LittleEndian.Uint64(word[:]))
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return Mixture{}, nil, fmt.Errorf("core: cluster %d has marginal %v outside [0,1]", ci, p)
+			}
+			marg[idx[j]] = p
+		}
+		w := 0.0
+		if total > 0 {
+			w = float64(count) / float64(total)
+		}
+		m.Components = append(m.Components, Component{
+			Encoding: Naive{Marginals: marg, Count: count},
+			Weight:   w,
+		})
+	}
+	return m, book, nil
+}
+
+// ReadSummary deserializes a summary in either format: the binary layout is
+// recognized by its magic bytes, anything else is decoded as the original
+// JSON document.
 func ReadSummary(r io.Reader) (Mixture, *feature.Codebook, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		br.Discard(len(binaryMagic))
+		return readSummaryBinary(br)
+	}
+	return readSummaryJSON(br)
+}
+
+// readSummaryJSON deserializes the version-1 JSON layout.
+func readSummaryJSON(r io.Reader) (Mixture, *feature.Codebook, error) {
 	var f summaryFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return Mixture{}, nil, fmt.Errorf("core: reading summary: %w", err)

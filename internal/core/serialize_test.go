@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 
@@ -59,6 +61,169 @@ func TestSummaryRoundTrip(t *testing.T) {
 	viz := Visualize(m2, book2, VisualizeOptions{})
 	if !strings.Contains(viz, "messages") {
 		t.Errorf("restored visualization missing table: %s", viz)
+	}
+}
+
+// TestSummaryBinaryRoundTrip: the compact binary format restores the exact
+// mixture and codebook, ReadSummary auto-detects it, and the artifact is
+// smaller than the JSON one.
+func TestSummaryBinaryRoundTrip(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0, 1}, K: 2})
+
+	var bin, js bytes.Buffer
+	if err := WriteSummaryBinary(&bin, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSummary(&js, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Errorf("binary artifact (%d bytes) not smaller than JSON (%d bytes)", bin.Len(), js.Len())
+	}
+	m2, book2, err := ReadSummary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Universe != mix.Universe || m2.Total != mix.Total || m2.K() != mix.K() {
+		t.Fatalf("shape mismatch: %+v vs %+v", m2, mix)
+	}
+	for ci, c := range mix.Components {
+		got := m2.Components[ci]
+		if got.Encoding.Count != c.Encoding.Count || got.Weight != c.Weight {
+			t.Fatalf("component %d: count/weight mismatch", ci)
+		}
+		for f, p := range c.Encoding.Marginals {
+			if got.Encoding.Marginals[f] != p {
+				t.Errorf("component %d marginal %d: %v != %v", ci, f, got.Encoding.Marginals[f], p)
+			}
+		}
+	}
+	if book2.Size() != book.Size() {
+		t.Fatalf("codebook size %d != %d", book2.Size(), book.Size())
+	}
+	for i := 0; i < book.Size(); i++ {
+		if book2.Feature(i) != book.Feature(i) {
+			t.Errorf("feature %d = %v, want %v", i, book2.Feature(i), book.Feature(i))
+		}
+	}
+}
+
+// TestSummaryFormatsInteroperate: both writers' artifacts decode through
+// the same auto-detecting reader to identical estimates.
+func TestSummaryFormatsInteroperate(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 1, 1}, K: 2})
+
+	var bin, js bytes.Buffer
+	if err := WriteSummaryBinary(&bin, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSummary(&js, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	mb, _, err := ReadSummary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, _, err := ReadSummary(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < l.Universe(); f++ {
+		b := bitvec.FromIndices(l.Universe(), f)
+		if mb.EstimateMarginal(b) != mj.EstimateMarginal(b) {
+			t.Errorf("feature %d: binary %v != json %v", f, mb.EstimateMarginal(b), mj.EstimateMarginal(b))
+		}
+	}
+}
+
+// TestSummaryRoundTripAfterCodebookGrowth: a summary whose codebook has
+// grown past its universe (appends after Compress, or a range summary
+// ending before the newest segment) serializes its epoch's codebook prefix
+// and round-trips in both formats.
+func TestSummaryRoundTripAfterCodebookGrowth(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0, 1}, K: 2})
+	// the codebook grows after the mixture's snapshot
+	book.Register(feature.Feature{Kind: feature.FromKind, Text: "late_table"})
+	book.Register(feature.Feature{Kind: feature.WhereKind, Text: "late = ?"})
+
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"binary": func(b *bytes.Buffer) error { return WriteSummaryBinary(b, mix, book) },
+		"json":   func(b *bytes.Buffer) error { return WriteSummary(b, mix, book) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m2, book2, err := ReadSummary(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m2.Universe != mix.Universe || book2.Size() != mix.Universe {
+			t.Fatalf("%s: universe %d, restored book size %d, want both %d", name, m2.Universe, book2.Size(), mix.Universe)
+		}
+		for f := 0; f < mix.Universe; f++ {
+			b := bitvec.FromIndices(mix.Universe, f)
+			if m2.EstimateMarginal(b) != mix.EstimateMarginal(b) {
+				t.Fatalf("%s: feature %d marginal drifted", name, f)
+			}
+		}
+	}
+}
+
+// TestReadSummaryRejectsCorruptBinary: truncations and header corruption
+// fail loudly instead of yielding a half-read mixture.
+func TestReadSummaryRejectsCorruptBinary(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0, 1}, K: 2})
+	var buf bytes.Buffer
+	if err := WriteSummaryBinary(&buf, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// bumped version byte
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, _, err := ReadSummary(bytes.NewReader(bad)); err == nil {
+		t.Error("expected an error for an unknown binary version")
+	}
+	// truncations at every section boundary-ish offset
+	for _, cut := range []int{5, 8, len(good) / 2, len(good) - 1} {
+		if cut >= len(good) {
+			continue
+		}
+		if _, _, err := ReadSummary(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("expected an error for a %d-byte truncation", cut)
+		}
+	}
+
+	// hand-built artifact with a duplicate sparse index (zero delta past
+	// the first entry): universe 2, one cluster claiming support 2 but
+	// encoding feature 0 twice
+	dup := []byte("LGRS\x01")
+	dup = append(dup,
+		2,       // universe
+		10,      // total
+		0,       // scheme
+		2,       // feature count
+		0, 1, 'a', // feature 0
+		0, 1, 'b', // feature 1
+		1,    // cluster count
+		5,    // cluster 0 count
+		2,    // support 2
+		0, 0, // deltas: feature 0, then duplicate feature 0
+	)
+	half := math.Float64bits(0.5)
+	for _, p := range []uint64{half, half} {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], p)
+		dup = append(dup, w[:]...)
+	}
+	if _, _, err := ReadSummary(bytes.NewReader(dup)); err == nil {
+		t.Error("expected an error for a duplicate sparse index")
 	}
 }
 

@@ -320,6 +320,28 @@ func ProjectAffine(a *Matrix, b, x0 []float64) ([]float64, error) {
 			x[j] -= a.At(i, j) * yi
 		}
 	}
+	// Verify feasibility: when AAᵀ is nearly singular (rows dependent just
+	// past the pivot tolerance), the elimination can return a y that does
+	// not solve the system at all. Report that loudly instead of handing
+	// back a point far off the subspace.
+	scale := 1.0
+	for i := 0; i < m; i++ {
+		if v := math.Abs(b[i]); v > scale {
+			scale = v
+		}
+		if v := math.Abs(r[i]); v > scale {
+			scale = v
+		}
+	}
+	for i := 0; i < m; i++ {
+		s := -b[i]
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(s) > 1e-6*scale {
+			return nil, fmt.Errorf("linalg: ProjectAffine: constraints too ill-conditioned (row %d residual %g)", i, s)
+		}
+	}
 	return x, nil
 }
 
@@ -343,7 +365,16 @@ func SolveSPD(g *Matrix, r []float64) ([]float64, error) {
 	for i := range perm {
 		perm[i] = i
 	}
-	const pivTol = 1e-12
+	// Pivot tolerance is relative to the matrix scale: an absolute cutoff
+	// misclassifies near-dependent rows of a G with O(n) entries, letting a
+	// noise-sized pivot through and amplifying it in back-substitution.
+	maxDiag := 0.0
+	for i := 0; i < m; i++ {
+		if v := math.Abs(g.At(i, i)); v > maxDiag {
+			maxDiag = v
+		}
+	}
+	pivTol := 1e-12 * (1 + maxDiag)
 	for col := 0; col < m; col++ {
 		// partial pivot
 		best, bestAbs := col, math.Abs(aug.At(col, col))

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"logr/internal/core"
+	"logr/internal/workload"
+)
+
+// streamEntries fabricates n distinct-ish queries cycling over a few tables
+// and predicates, deterministic in seed-free fashion.
+func streamEntries(n, offset int) []workload.LogEntry {
+	tables := []string{"messages", "contacts", "orders", "inventory"}
+	out := make([]workload.LogEntry, n)
+	for i := range out {
+		t := tables[(offset+i)%len(tables)]
+		out[i] = workload.LogEntry{
+			SQL:   fmt.Sprintf("SELECT c%d FROM %s WHERE k%d = ?", (offset+i)%7, t, (offset+i)%5),
+			Count: 1 + (offset+i)%4,
+		}
+	}
+	return out
+}
+
+func entriesTotal(es []workload.LogEntry) int {
+	t := 0
+	for _, e := range es {
+		t += e.Count
+	}
+	return t
+}
+
+func TestSealCutsSegments(t *testing.T) {
+	s := New(Options{})
+	if _, ok := s.Seal(); ok {
+		t.Fatal("sealed an empty buffer")
+	}
+	batch := streamEntries(20, 0)
+	s.Append(batch)
+	meta, ok := s.Seal()
+	if !ok || meta.ID != 0 || meta.EndID != 1 {
+		t.Fatalf("first seal = %+v, %v", meta, ok)
+	}
+	if meta.Queries != entriesTotal(batch) {
+		t.Fatalf("segment holds %d queries, appended %d", meta.Queries, entriesTotal(batch))
+	}
+	if _, ok := s.Seal(); ok {
+		t.Fatal("re-sealed with an empty active buffer")
+	}
+	s.Append(streamEntries(10, 50))
+	meta2, ok := s.Seal()
+	if !ok || meta2.ID != 1 {
+		t.Fatalf("second seal = %+v, %v", meta2, ok)
+	}
+	// per-segment queries sum to the stream total
+	segs := s.Segments()
+	sum := 0
+	for _, m := range segs {
+		sum += m.Queries
+	}
+	if sum != s.Snapshot().Log.Total() {
+		t.Fatalf("segment totals %d != stream total %d", sum, s.Snapshot().Log.Total())
+	}
+	// epochs are monotone and bracket correctly
+	if segs[1].StartEpoch != segs[0].Epoch {
+		t.Fatalf("segment 1 start epoch %+v != segment 0 end epoch %+v", segs[1].StartEpoch, segs[0].Epoch)
+	}
+}
+
+func TestAutoSealThreshold(t *testing.T) {
+	s := New(Options{SealThreshold: 100})
+	s.Append(streamEntries(200, 0)) // ~500 queries in one batch
+	segs := s.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("expected several auto-sealed segments, got %d", len(segs))
+	}
+	for i, m := range segs[:len(segs)-1] {
+		if m.Queries < 100 {
+			t.Errorf("segment %d under threshold: %d queries", i, m.Queries)
+		}
+	}
+	// active buffer holds the remainder, below the threshold
+	if a := s.ActiveQueries(); a >= 100 {
+		t.Errorf("active buffer %d should be below the threshold", a)
+	}
+}
+
+// TestFirstSegmentSharesSnapshotLog: the first segment's sub-log IS the
+// snapshot log, so compressing it is bit-identical to compressing the
+// workload directly.
+func TestFirstSegmentOracle(t *testing.T) {
+	entries := streamEntries(60, 0)
+	s := New(Options{})
+	s.Append(entries)
+	s.Seal()
+	opts := core.CompressOptions{K: 3, Seed: 7}
+
+	direct, err := core.Compress(s.Snapshot().Log, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CompressRange(0, 1, opts, RangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged {
+		t.Fatal("single-segment range took the merge path")
+	}
+	if res.Compressed.Err != direct.Err {
+		t.Fatalf("single-segment error %v != direct %v", res.Compressed.Err, direct.Err)
+	}
+	if !reflect.DeepEqual(res.Compressed.Mixture, direct.Mixture) {
+		t.Fatal("single-segment mixture differs from direct compression")
+	}
+}
+
+func TestCompressRangeMergesAndConsolidates(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 4; i++ {
+		s.Append(streamEntries(40, i*40))
+		s.Seal()
+	}
+	opts := core.CompressOptions{K: 3, Seed: 1}
+	res, err := s.CompressRange(0, 4, opts, RangeOptions{MaxErrorGrowth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Merged {
+		t.Fatal("range summary did not take the algebraic path")
+	}
+	if got := res.Compressed.Mixture.K(); got > 3 {
+		t.Fatalf("consolidation left %d components, budget 3", got)
+	}
+	if res.Compressed.Mixture.Total != s.Snapshot().Log.Total() {
+		t.Fatalf("range total %d != stream total %d", res.Compressed.Mixture.Total, s.Snapshot().Log.Total())
+	}
+	// deterministic on repeat (and served from cache)
+	res2, err := s.CompressRange(0, 4, opts, RangeOptions{MaxErrorGrowth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Compressed.Err != res.Compressed.Err || !reflect.DeepEqual(res2.Compressed.Mixture, res.Compressed.Mixture) {
+		t.Fatal("repeated CompressRange diverged")
+	}
+	// sub-ranges work and respect boundaries
+	if _, err := s.CompressRange(1, 3, opts, RangeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompressRange(1, 1, opts, RangeOptions{}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := s.CompressRange(0, 9, opts, RangeOptions{}); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+}
+
+func TestDropBefore(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 3; i++ {
+		s.Append(streamEntries(20, i*20))
+		s.Seal()
+	}
+	if n := s.DropBefore(2); n != 2 {
+		t.Fatalf("DropBefore dropped %d segments, want 2", n)
+	}
+	segs := s.Segments()
+	if len(segs) != 1 || segs[0].ID != 2 {
+		t.Fatalf("live segments after drop: %+v", segs)
+	}
+	if _, err := s.CompressRange(0, 3, core.CompressOptions{K: 2, Seed: 1}, RangeOptions{}); err == nil {
+		t.Fatal("range over dropped segments accepted")
+	}
+	if _, err := s.CompressRange(2, 3, core.CompressOptions{K: 2, Seed: 1}, RangeOptions{}); err != nil {
+		t.Fatalf("live range rejected: %v", err)
+	}
+	// dropping everything is fine; the stream keeps flowing
+	s.DropBefore(100)
+	s.Append(streamEntries(10, 90))
+	if meta, ok := s.Seal(); !ok || meta.ID != 3 {
+		t.Fatalf("seal after full drop: %+v, %v", meta, ok)
+	}
+}
+
+func TestCompactMergesSmallRuns(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 4; i++ {
+		s.Append(streamEntries(8, i*8)) // ~20 queries each
+		s.Seal()
+	}
+	before := s.Segments()
+	total := 0
+	for _, m := range before {
+		total += m.Queries
+	}
+	if n := s.Compact(1000); n != 3 {
+		t.Fatalf("Compact eliminated %d segments, want 3", n)
+	}
+	after := s.Segments()
+	if len(after) != 1 {
+		t.Fatalf("expected one compacted segment, got %d", len(after))
+	}
+	m := after[0]
+	if m.ID != 0 || m.EndID != 4 {
+		t.Fatalf("compacted span = [%d, %d)", m.ID, m.EndID)
+	}
+	if m.Queries != total {
+		t.Fatalf("compacted segment holds %d queries, want %d", m.Queries, total)
+	}
+	// the compacted span is addressable as a range
+	res, err := s.CompressRange(0, 4, core.CompressOptions{K: 2, Seed: 1}, RangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed.Mixture.Total != total {
+		t.Fatalf("compacted range total %d != %d", res.Compressed.Mixture.Total, total)
+	}
+	// interior boundaries are gone
+	if _, err := s.CompressRange(1, 4, core.CompressOptions{K: 2, Seed: 1}, RangeOptions{}); err == nil {
+		t.Fatal("range splitting a compacted segment accepted")
+	}
+}
+
+// TestRangeLogDeduplicates: the range's union log folds multiplicities of
+// shapes recurring across segments.
+func TestRangeLogDeduplicates(t *testing.T) {
+	s := New(Options{})
+	same := []workload.LogEntry{{SQL: "SELECT a FROM t WHERE x = ?", Count: 5}}
+	s.Append(same)
+	s.Seal()
+	s.Append(same)
+	s.Append(streamEntries(5, 0))
+	s.Seal()
+	l, _, err := s.RangeLog(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() != s.Snapshot().Log.Total() {
+		t.Fatalf("range log total %d != stream %d", l.Total(), s.Snapshot().Log.Total())
+	}
+	if l.Distinct() != s.Snapshot().Log.Distinct() {
+		t.Fatalf("range log distinct %d != stream %d (dedup failed)", l.Distinct(), s.Snapshot().Log.Distinct())
+	}
+}

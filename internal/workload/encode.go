@@ -87,6 +87,20 @@ type EncodeResult struct {
 	Epoch Epoch
 }
 
+// Counts returns the snapshot's per-distinct-vector multiplicities, aligned
+// with the Log's distinct order. This is the boundary record the segmented
+// store keeps at every seal: a later snapshot's DeltaSince(counts) is
+// exactly the sub-log ingested after this one, because snapshots of one
+// Encoder share the codebook and keep distinct vectors in first-appearance
+// order.
+func (r EncodeResult) Counts() []int {
+	counts := make([]int, r.Log.Distinct())
+	for i := range counts {
+		counts[i] = r.Log.Multiplicity(i)
+	}
+	return counts
+}
+
 // Encoder runs the parse → regularize → feature-extraction pipeline
 // incrementally: entries can be added in batches (a live monitoring stream,
 // a growing log file) and a snapshot taken at any point. Each distinct SQL
@@ -319,6 +333,17 @@ func (e *Encoder) admit(sql string, p prepared, count int) {
 	e.featSum += len(indices) * count
 	e.encodedN += count
 }
+
+// EncodedQueries returns the number of encoded queries so far (duplicates
+// included) — the running Log.Total() of the next snapshot, maintained as
+// a counter so threshold checks need not materialize a snapshot.
+func (e *Encoder) EncodedQueries() int { return e.encodedN }
+
+// Book returns the encoder's codebook. The codebook instance is shared
+// across the encoder's whole life — snapshots reference it, it only ever
+// grows — so this is a cheap accessor for callers that need feature
+// translation without materializing a full snapshot.
+func (e *Encoder) Book() *feature.Codebook { return e.book }
 
 // Result snapshots the encoded log, codebook and statistics. The encoder
 // remains usable; later Adds extend the same codebook (vectors in earlier

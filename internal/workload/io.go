@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,6 +15,72 @@ import (
 //     a raw access log.
 //   - Compact: "count<TAB>sql" per line — the deduplicated shape used for
 //     the generated corpora (a 629k-query log stays a 605-line file).
+
+// DefaultMaxLineBytes is the per-line size cap the readers apply when
+// ReadOptions.MaxLineBytes is zero (the old hard-wired scanner buffer).
+const DefaultMaxLineBytes = 1 << 20
+
+// ReadOptions tune the log-file readers.
+type ReadOptions struct {
+	// MaxLineBytes caps the length of one input line. A line that exceeds it
+	// is reported as a *LineTooLongError naming the offending line instead
+	// of a bare bufio.ErrTooLong. 0 means DefaultMaxLineBytes (1 MiB).
+	MaxLineBytes int
+}
+
+// LineTooLongError reports an input line that exceeded the reader's line
+// cap, with enough context to find and fix it.
+type LineTooLongError struct {
+	// Line is the 1-based line number of the oversized line.
+	Line int
+	// Limit is the cap that was in force (bytes).
+	Limit int
+}
+
+func (e *LineTooLongError) Error() string {
+	return fmt.Sprintf("workload: line %d exceeds the %d-byte line limit (raise ReadOptions.MaxLineBytes to accept it)", e.Line, e.Limit)
+}
+
+// lineScanner wraps bufio.Scanner with the configured cap and 1-based line
+// accounting so both readers report overflow identically.
+type lineScanner struct {
+	sc    *bufio.Scanner
+	line  int
+	limit int
+}
+
+func newLineScanner(r io.Reader, opts ReadOptions) *lineScanner {
+	limit := opts.MaxLineBytes
+	if limit <= 0 {
+		limit = DefaultMaxLineBytes
+	}
+	sc := bufio.NewScanner(r)
+	initial := limit
+	if initial > 64<<10 {
+		initial = 64 << 10
+	}
+	sc.Buffer(make([]byte, 0, initial), limit)
+	return &lineScanner{sc: sc, limit: limit}
+}
+
+func (s *lineScanner) scan() bool {
+	if s.sc.Scan() {
+		s.line++
+		return true
+	}
+	return false
+}
+
+// err translates the scanner's terminal state: a too-long line becomes a
+// *LineTooLongError pointing at the line the scanner choked on (one past the
+// last line it delivered).
+func (s *lineScanner) err() error {
+	err := s.sc.Err()
+	if errors.Is(err, bufio.ErrTooLong) {
+		return &LineTooLongError{Line: s.line + 1, Limit: s.limit}
+	}
+	return err
+}
 
 // WritePlain writes entries as a raw access log, repeating each query by
 // its multiplicity.
@@ -33,14 +100,19 @@ func WritePlain(w io.Writer, entries []LogEntry) error {
 	return bw.Flush()
 }
 
-// ReadPlain reads a raw access log, deduplicating on exact text.
+// ReadPlain reads a raw access log with default options, deduplicating on
+// exact text.
 func ReadPlain(r io.Reader) ([]LogEntry, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return ReadPlainOptions(r, ReadOptions{})
+}
+
+// ReadPlainOptions reads a raw access log, deduplicating on exact text.
+func ReadPlainOptions(r io.Reader, opts ReadOptions) ([]LogEntry, error) {
+	sc := newLineScanner(r, opts)
 	counts := map[string]int{}
 	var order []string
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for sc.scan() {
+		line := strings.TrimSpace(sc.sc.Text())
 		if line == "" {
 			continue
 		}
@@ -49,7 +121,7 @@ func ReadPlain(r io.Reader) ([]LogEntry, error) {
 		}
 		counts[line]++
 	}
-	if err := sc.Err(); err != nil {
+	if err := sc.err(); err != nil {
 		return nil, err
 	}
 	out := make([]LogEntry, 0, len(order))
@@ -71,16 +143,20 @@ func WriteCompact(w io.Writer, entries []LogEntry) error {
 	return bw.Flush()
 }
 
-// ReadCompact reads "count<TAB>sql" lines; lines without a leading count
-// are treated as count-1 plain entries, so the two formats interoperate.
+// ReadCompact reads "count<TAB>sql" lines with default options; lines
+// without a leading count are treated as count-1 plain entries, so the two
+// formats interoperate.
 func ReadCompact(r io.Reader) ([]LogEntry, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return ReadCompactOptions(r, ReadOptions{})
+}
+
+// ReadCompactOptions reads "count<TAB>sql" lines; lines without a leading
+// count are treated as count-1 plain entries.
+func ReadCompactOptions(r io.Reader, opts ReadOptions) ([]LogEntry, error) {
+	sc := newLineScanner(r, opts)
 	var out []LogEntry
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	for sc.scan() {
+		line := strings.TrimSpace(sc.sc.Text())
 		if line == "" {
 			continue
 		}
@@ -91,11 +167,11 @@ func ReadCompact(r io.Reader) ([]LogEntry, error) {
 		}
 		n, err := strconv.Atoi(line[:tab])
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("workload: bad count on line %d: %q", lineNo, line[:tab])
+			return nil, fmt.Errorf("workload: bad count on line %d: %q", sc.line, line[:tab])
 		}
 		out = append(out, LogEntry{SQL: line[tab+1:], Count: n})
 	}
-	if err := sc.Err(); err != nil {
+	if err := sc.err(); err != nil {
 		return nil, err
 	}
 	return out, nil

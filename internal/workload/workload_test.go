@@ -2,8 +2,10 @@ package workload
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -276,5 +278,59 @@ func TestReadCompactBadCount(t *testing.T) {
 	}
 	if _, err := ReadCompact(bytes.NewBufferString("-3\tSELECT 1\n")); err == nil {
 		t.Error("expected error for negative count")
+	}
+	// the bad-count error names the right line (blank lines still count)
+	_, err := ReadCompact(bytes.NewBufferString("1\tSELECT 1\n\nx\tSELECT 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("bad-count error = %v, want line 3", err)
+	}
+}
+
+// TestReadLineTooLong: an over-limit line is a *LineTooLongError naming the
+// offending line, for both readers and at a configurable limit.
+func TestReadLineTooLong(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	input := "SELECT a FROM t\nSELECT b FROM u\nSELECT c FROM v WHERE note = '" + long + "'\n"
+
+	for name, read := range map[string]func(string) error{
+		"plain": func(s string) error {
+			_, err := ReadPlainOptions(bytes.NewBufferString(s), ReadOptions{MaxLineBytes: 128})
+			return err
+		},
+		"compact": func(s string) error {
+			_, err := ReadCompactOptions(bytes.NewBufferString(s), ReadOptions{MaxLineBytes: 128})
+			return err
+		},
+	} {
+		err := read(input)
+		var tooLong *LineTooLongError
+		if !errors.As(err, &tooLong) {
+			t.Fatalf("%s: err = %v, want *LineTooLongError", name, err)
+		}
+		if tooLong.Line != 3 || tooLong.Limit != 128 {
+			t.Errorf("%s: error = %+v, want line 3 limit 128", name, tooLong)
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: message does not name the line: %q", name, err)
+		}
+	}
+
+	// the same input fits under a raised limit
+	if _, err := ReadPlainOptions(bytes.NewBufferString(input), ReadOptions{MaxLineBytes: 4096}); err != nil {
+		t.Fatalf("raised limit: %v", err)
+	}
+	// and under the 1 MiB default
+	if _, err := ReadPlain(bytes.NewBufferString(input)); err != nil {
+		t.Fatalf("default limit: %v", err)
+	}
+}
+
+// TestReadLineTooLongFirstLine: overflow on line 1 (no line ever delivered)
+// still reports line 1.
+func TestReadLineTooLongFirstLine(t *testing.T) {
+	_, err := ReadPlainOptions(bytes.NewBufferString(strings.Repeat("y", 300)), ReadOptions{MaxLineBytes: 64})
+	var tooLong *LineTooLongError
+	if !errors.As(err, &tooLong) || tooLong.Line != 1 {
+		t.Fatalf("err = %v, want *LineTooLongError at line 1", err)
 	}
 }

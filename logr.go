@@ -81,6 +81,24 @@
 // MaxErrorGrowth above prev's (the delta carries structure the old
 // partition cannot absorb), Recompress automatically falls back to a full
 // re-cluster; Summary.Incremental reports which path produced a summary.
+//
+// # Segmented store and windowed analytics
+//
+// A long-running ingest additionally segments the stream: Seal (explicit,
+// or automatic every Options.SegmentThreshold queries) freezes the entries
+// appended since the last seal into an immutable segment with its own
+// epoch-stamped sub-log and a lazily built summary, warm-started from the
+// previous segment's centroids. CompressRange(from, to, opts) then derives
+// the summary of any contiguous sealed range algebraically — per-segment
+// mixtures are grown onto the union universe, merged, and consolidated down
+// to the requested component budget, falling back to a full re-cluster of
+// the range only if consolidation drifts the Reproduction Error too far.
+// DriftBetween scores one segment range against another the same way,
+// turning drift detection into sliding-window comparisons of per-segment
+// summaries with no re-encoding of raw entries; DropBefore retires old
+// segments (retention) and the store transparently compacts runs of small
+// adjacent segments. A store with a single sealed segment compresses
+// bit-identically to Compress on the same snapshot.
 package logr
 
 import (
@@ -90,7 +108,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 
 	"logr/internal/apps"
 	"logr/internal/bitvec"
@@ -99,6 +116,7 @@ import (
 	"logr/internal/feature"
 	"logr/internal/regularize"
 	"logr/internal/sqlparser"
+	"logr/internal/store"
 	"logr/internal/workload"
 )
 
@@ -124,16 +142,17 @@ type Stats struct {
 	Unparseable         int     // skipped malformed entries
 }
 
-// Workload is an encoded query log: an incremental encode pipeline plus a
-// lazily materialized snapshot of its feature-vector form and codebook.
-// All methods are safe for concurrent use.
+// Workload is an encoded query log backed by the segmented store: an
+// incremental encode pipeline whose ingest can be sealed into immutable
+// segments, plus a lazily materialized snapshot of the whole stream's
+// feature-vector form and codebook. All methods are safe for concurrent
+// use.
 type Workload struct {
-	mu  sync.Mutex
-	enc *workload.Encoder
+	st  *store.Store
 	par int // encode-side parallelism, reused by Count
 }
 
-// Options tune workload encoding.
+// Options tune workload encoding and ingest segmentation.
 type Options struct {
 	// ExtendedScheme additionally extracts GROUP BY, ORDER BY and
 	// aggregate features (Makiyama-style; the paper's Section 2.2 cites it
@@ -144,6 +163,17 @@ type Options struct {
 	// Parallelism bounds the encode workers (0 = all cores, 1 = serial).
 	// The encoded workload is identical at any setting.
 	Parallelism int
+	// SegmentThreshold seals the ingest buffer into an immutable segment
+	// once it holds at least this many queries (see Seal/CompressRange).
+	// 0 means segments are cut only by explicit Seal calls.
+	SegmentThreshold int
+	// CompactSegments, when > 0, automatically merges runs of adjacent
+	// sealed segments smaller than this many queries, so a trickle of tiny
+	// seals cannot fragment range queries.
+	CompactSegments int
+	// MaxLineBytes caps one input line for Load/LoadCompact (0 = 1 MiB).
+	// Longer lines are reported as an error naming the offending line.
+	MaxLineBytes int
 }
 
 func (o Options) internal() workload.EncodeOptions {
@@ -152,6 +182,14 @@ func (o Options) internal() workload.EncodeOptions {
 		scheme = feature.ExtendedScheme
 	}
 	return workload.EncodeOptions{Scheme: scheme, KeepConstants: o.KeepConstants, Parallelism: o.Parallelism}
+}
+
+func (o Options) storeOptions() store.Options {
+	return store.Options{
+		SealThreshold:     o.SegmentThreshold,
+		CompactMinQueries: o.CompactSegments,
+		Encode:            o.internal(),
+	}
 }
 
 // FromEntries encodes a deduplicated workload with default options.
@@ -163,7 +201,7 @@ func FromEntries(entries []Entry) *Workload {
 
 // FromEntriesWithOptions encodes a deduplicated workload.
 func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
-	w := &Workload{enc: workload.NewEncoder(opts.internal()), par: opts.Parallelism}
+	w := &Workload{st: store.New(opts.storeOptions()), par: opts.Parallelism}
 	w.Append(entries)
 	return w
 }
@@ -183,19 +221,16 @@ func (w *Workload) Append(entries []Entry) {
 		}
 		batch[i] = workload.LogEntry{SQL: e.SQL, Count: c}
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.enc.AddBatch(batch)
+	w.st.Append(batch)
 }
 
-// snapshot returns the current encode snapshot. The encoder caches it and
-// rebuilds only after a mutation, so calls between Appends are free; the
-// returned result is immutable (later Appends build a new Log rather than
-// mutating it).
+// snapshot returns the current encode snapshot of the whole stream (sealed
+// segments and active buffer together). The encoder caches it and rebuilds
+// only after a mutation, so calls between Appends are free; the returned
+// result is immutable (later Appends build a new Log rather than mutating
+// it).
 func (w *Workload) snapshot() workload.EncodeResult {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.enc.Result()
+	return w.st.Snapshot()
 }
 
 // Load reads a raw access log (one SQL statement per line, duplicates
@@ -207,7 +242,7 @@ func Load(r io.Reader) (*Workload, error) {
 // LoadWithOptions reads a raw access log and encodes it with the given
 // options.
 func LoadWithOptions(r io.Reader, opts Options) (*Workload, error) {
-	entries, err := workload.ReadPlain(r)
+	entries, err := workload.ReadPlainOptions(r, workload.ReadOptions{MaxLineBytes: opts.MaxLineBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +258,7 @@ func LoadCompact(r io.Reader) (*Workload, error) {
 // LoadCompactWithOptions reads a deduplicated "count<TAB>sql" log and
 // encodes it with the given options.
 func LoadCompactWithOptions(r io.Reader, opts Options) (*Workload, error) {
-	entries, err := workload.ReadCompact(r)
+	entries, err := workload.ReadCompactOptions(r, workload.ReadOptions{MaxLineBytes: opts.MaxLineBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -231,8 +266,8 @@ func LoadCompactWithOptions(r io.Reader, opts Options) (*Workload, error) {
 }
 
 func fromInternal(entries []workload.LogEntry, opts Options) *Workload {
-	w := &Workload{enc: workload.NewEncoder(opts.internal()), par: opts.Parallelism}
-	w.enc.AddBatch(entries)
+	w := &Workload{st: store.New(opts.storeOptions()), par: opts.Parallelism}
+	w.st.Append(entries)
 	return w
 }
 
@@ -468,20 +503,18 @@ func (s *Summary) Epoch() Epoch {
 	return Epoch{Universe: s.epoch.Universe, TotalQueries: s.epoch.Total}
 }
 
-// Incremental reports whether the summary was produced by Recompress's
-// delta-merge path. It is false for full compressions, including the
-// error-drift fallback inside Recompress.
+// Incremental reports whether the summary was produced by merging prior
+// summaries — Recompress's delta-merge path, or CompressRange's algebraic
+// merge of per-segment summaries — rather than by a fresh clustering. It is
+// false for full compressions, including the error-drift fallbacks inside
+// Recompress and CompressRange.
 func (s *Summary) Incremental() bool { return s.incremental }
 
 // newSummary wraps a compression result with the snapshot version it
 // covers, capturing the per-distinct multiplicities future Recompress calls
 // diff against.
 func newSummary(c *core.Compressed, res workload.EncodeResult, incremental bool) *Summary {
-	counts := make([]int, res.Log.Distinct())
-	for i := range counts {
-		counts[i] = res.Log.Multiplicity(i)
-	}
-	return &Summary{c: c, book: res.Book, epoch: res.Epoch, counts: counts, incremental: incremental}
+	return &Summary{c: c, book: res.Book, epoch: res.Epoch, counts: res.Counts(), incremental: incremental}
 }
 
 // Compress builds the naive mixture encoding from the current snapshot.
@@ -580,6 +613,133 @@ func (w *Workload) Recompress(prev *Summary, opts RecompressOptions) (*Summary, 
 		return nil, err
 	}
 	return newSummary(c, res, incremental), nil
+}
+
+// SegmentInfo describes one sealed segment of the workload's ingest
+// stream.
+type SegmentInfo struct {
+	// ID is the segment's first seal number and EndID one past its last;
+	// fresh segments cover one seal, compacted segments a run. IDs are
+	// stable across compaction and retention, so they are the coordinates
+	// CompressRange, DriftBetween and DropBefore address ranges with.
+	ID, EndID int
+	// Queries and Distinct size the segment's own sub-log.
+	Queries, Distinct int
+	// Epoch is the snapshot version at the segment's seal; its universe is
+	// the one the segment's summary resolves probes against.
+	Epoch Epoch
+	// Summarized reports whether the lazy per-segment summary is built.
+	Summarized bool
+}
+
+// Seal freezes the entries appended since the last seal into an immutable
+// segment and returns its ID; ok is false when the buffer is empty. With
+// Options.SegmentThreshold set, sealing also happens automatically as the
+// buffer fills.
+func (w *Workload) Seal() (id int, ok bool) {
+	meta, ok := w.st.Seal()
+	return meta.ID, ok
+}
+
+// Segments lists the live sealed segments in order.
+func (w *Workload) Segments() []SegmentInfo {
+	metas := w.st.Segments()
+	out := make([]SegmentInfo, len(metas))
+	for i, m := range metas {
+		out[i] = SegmentInfo{
+			ID: m.ID, EndID: m.EndID,
+			Queries: m.Queries, Distinct: m.Distinct,
+			Epoch:      Epoch{Universe: m.Epoch.Universe, TotalQueries: m.Epoch.Total},
+			Summarized: m.Summarized,
+		}
+	}
+	return out
+}
+
+// SealedRange returns the seal-id span [from, to) covered by the live
+// sealed segments — the widest range CompressRange accepts. ok is false
+// when nothing is sealed.
+func (w *Workload) SealedRange() (from, to int, ok bool) {
+	metas := w.st.Segments()
+	if len(metas) == 0 {
+		return 0, 0, false
+	}
+	return metas[0].ID, metas[len(metas)-1].EndID, true
+}
+
+// DropBefore retires every sealed segment lying entirely before seal id —
+// the retention knob of a long-running store. The segments' sub-logs and
+// summaries are released; the codebook (append-only by design) and the
+// active buffer are untouched. It returns the number of segments dropped.
+func (w *Workload) DropBefore(id int) int { return w.st.DropBefore(id) }
+
+// CompactSegments merges runs of adjacent sealed segments smaller than
+// minQueries into single segments and returns the number of segments
+// eliminated. Options.CompactSegments runs this automatically after every
+// seal.
+func (w *Workload) CompactSegments(minQueries int) int { return w.st.Compact(minQueries) }
+
+// CompressRange summarizes the contiguous sealed segments spanning seal
+// ids [from, to) using the summary algebra: per-segment summaries (cached,
+// built on demand, warm-started from their predecessor's centroids) are
+// merged over the union universe and consolidated down to opts.Clusters
+// components — or, with Clusters == 0 and a TargetError, consolidated as
+// far as the error target allows. Only if consolidation drifts the
+// Reproduction Error more than 10% above the lossless merge does the range
+// get fully re-clustered. A single-segment range returns that segment's
+// summary, bit-identical to compressing the segment directly.
+//
+// The returned summary is universe-versioned like any other: probes
+// resolve against the range's end epoch. It has no delta basis, so
+// Recompress against it falls back to a full compression.
+func (w *Workload) CompressRange(from, to int, opts CompressOptions) (*Summary, error) {
+	coreOpts, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.st.CompressRange(from, to, coreOpts, store.RangeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		c:           res.Compressed,
+		book:        w.st.Book(),
+		epoch:       res.Epoch,
+		incremental: res.Merged,
+	}, nil
+}
+
+// DriftBetween scores the traffic of one sealed segment range (the window)
+// against the summary of another (the baseline): the segmented successor of
+// Summary.CheckDrift. Both ranges are addressed by seal ids, the baseline
+// summary comes from CompressRange (cached per-segment summaries — no
+// re-clustering on repeat calls), and the window's already-encoded
+// sub-logs are scored directly — no raw SQL is re-parsed or re-encoded. A
+// sliding monitor therefore re-uses all but the newest segment's work from
+// one refresh to the next.
+//
+// Queries carrying features first registered after the baseline range
+// (unseen by construction) score as novel, as do shapes the baseline
+// assigns (near-)zero probability.
+func (w *Workload) DriftBetween(baseFrom, baseTo, winFrom, winTo int, opts CompressOptions) (DriftReport, error) {
+	coreOpts, err := opts.internal()
+	if err != nil {
+		return DriftReport{}, err
+	}
+	base, err := w.st.CompressRange(baseFrom, baseTo, coreOpts, store.RangeOptions{})
+	if err != nil {
+		return DriftReport{}, err
+	}
+	win, _, err := w.st.RangeLog(winFrom, winTo)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	if win.Universe() < base.Compressed.Mixture.Universe {
+		win = win.Grow(base.Compressed.Mixture.Universe)
+	}
+	det := apps.NewDriftDetectorAt(base.Compressed.Mixture, win.Universe())
+	rep := det.Check(win, 0)
+	return DriftReport{Score: rep.Score, NoveltyRate: rep.NoveltyRate, Alert: rep.Alert}, nil
 }
 
 func parseMethod(s string) (core.Method, error) {
@@ -694,16 +854,27 @@ type CostModel struct {
 	MaintenanceCost float64
 }
 
-// Save serializes the summary (mixture encoding + codebook) as JSON. The
-// artifact is self-contained: ReadSummary restores estimation,
-// visualization and the analytics applications without the original log.
+// Save serializes the summary (mixture encoding + codebook) in the compact
+// binary format: a versioned header, the codebook as length-prefixed
+// strings, and each cluster's sparse marginals as varint-delta indices plus
+// raw float64 bits. The artifact is self-contained: ReadSummary restores
+// estimation, visualization and the analytics applications without the
+// original log. Use SaveJSON for the human-readable legacy format; both
+// are auto-detected on read.
 func (s *Summary) Save(w io.Writer) error {
+	return core.WriteSummaryBinary(w, s.c.Mixture, s.book)
+}
+
+// SaveJSON serializes the summary in the original JSON layout — larger,
+// but greppable. ReadSummary reads both formats.
+func (s *Summary) SaveJSON(w io.Writer) error {
 	return core.WriteSummary(w, s.c.Mixture, s.book)
 }
 
-// ReadSummary restores a summary saved with Save. The restored summary
-// estimates, visualizes and runs the analytics applications; it has no
-// delta basis, so Recompress against it falls back to a full compression.
+// ReadSummary restores a summary saved with Save or SaveJSON (the format
+// is auto-detected). The restored summary estimates, visualizes and runs
+// the analytics applications; it has no delta basis, so Recompress against
+// it falls back to a full compression.
 func ReadSummary(r io.Reader) (*Summary, error) {
 	m, book, err := core.ReadSummary(r)
 	if err != nil {
