@@ -278,6 +278,68 @@ func BenchmarkCompressRangeWarm(b *testing.B) {
 	}
 }
 
+// --- Durable ingest benchmarks --------------------------------------------
+//
+// BenchmarkAppend vs BenchmarkAppendDurable*: the identical ingest batch
+// through the identical encode pipeline, with and without the write-ahead
+// log, under each fsync policy. The first append is primed outside the
+// timing so every measured iteration replays cached parses — the steady
+// state of a long-running ingest — making the delta over BenchmarkAppend
+// exactly the durability overhead (record framing + write + fsync policy).
+// Complete the maintenance-strategy table with:
+//
+//	go test -run '^$' -bench 'BenchmarkAppend|BenchmarkRecompress|BenchmarkCompressRange' .
+
+func benchAppendEntries() []logr.Entry { return pocketBenchEntries(5000) }
+
+func reportAppendRate(b *testing.B, entries []logr.Entry) {
+	queries := 0
+	for _, e := range entries {
+		queries += e.Count
+	}
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+func BenchmarkAppend(b *testing.B) {
+	entries := benchAppendEntries()
+	w := logr.FromEntries(nil)
+	if err := w.Append(entries); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportAppendRate(b, entries)
+}
+
+func benchAppendDurable(b *testing.B, pol logr.SyncPolicy) {
+	entries := benchAppendEntries()
+	w, err := logr.OpenDir(b.TempDir(), logr.Options{Sync: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(entries); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportAppendRate(b, entries)
+}
+
+func BenchmarkAppendDurableAlways(b *testing.B)   { benchAppendDurable(b, logr.SyncAlways) }
+func BenchmarkAppendDurableInterval(b *testing.B) { benchAppendDurable(b, logr.SyncInterval) }
+func BenchmarkAppendDurableOff(b *testing.B)      { benchAppendDurable(b, logr.SyncNever) }
+
 func BenchmarkRecompressFull(b *testing.B) {
 	w, _ := recompressBenchState(b)
 	b.ResetTimer()

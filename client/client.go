@@ -1,0 +1,348 @@
+// Package client is the Go client for the logrd workload-analytics daemon
+// (internal/server, cmd/logrd, `logr serve`): a thin typed wrapper over its
+// HTTP/JSON API. The wire DTOs defined here are the protocol's single
+// source of truth — the server marshals and unmarshals exactly these
+// types.
+//
+//	c := client.New("http://localhost:8080")
+//	c.Ingest(ctx, []logr.Entry{{SQL: "SELECT ...", Count: 3}})
+//	est, _ := c.Estimate(ctx, "SELECT _id FROM messages WHERE status = ?")
+//	sum, _ := c.Summary(ctx) // a full *logr.Summary, usable offline
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"logr"
+)
+
+// Client talks to one logrd daemon. The zero value is not usable; construct
+// with New. Methods are safe for concurrent use (the underlying
+// *http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://host:8080").
+// Pass a custom *http.Client via WithHTTPClient for timeouts or transport
+// tuning; the default is http.DefaultClient.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+}
+
+// WithHTTPClient returns a copy of c that uses hc for every request.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	return &Client{base: c.base, hc: hc}
+}
+
+// Wire DTOs. Field names are the protocol; both ends marshal these.
+
+// Health is GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Queries  int    `json:"queries"`
+	Active   int    `json:"active_queries"`
+	Segments int    `json:"segments"`
+	Dir      string `json:"dir,omitempty"`
+}
+
+// IngestRequest is the JSON body of POST /ingest.
+type IngestRequest struct {
+	Entries []logr.Entry `json:"entries"`
+}
+
+// IngestResult is the response of POST /ingest.
+type IngestResult struct {
+	// Entries is how many request entries were accepted this call.
+	Entries int `json:"entries"`
+	// TotalQueries is the workload's query total after the ingest.
+	TotalQueries int `json:"total_queries"`
+}
+
+// EstimateResult is GET /estimate.
+type EstimateResult struct {
+	Frequency float64 `json:"frequency"`
+	Count     float64 `json:"count"`
+	Epoch     Epoch   `json:"epoch"`
+}
+
+// Epoch mirrors logr.Epoch on the wire.
+type Epoch struct {
+	Universe     int `json:"universe"`
+	TotalQueries int `json:"total_queries"`
+}
+
+// CountResult is GET /count.
+type CountResult struct {
+	Count int `json:"count"`
+}
+
+// SealResult is POST /seal.
+type SealResult struct {
+	ID     int  `json:"id"`
+	Sealed bool `json:"sealed"`
+}
+
+// CompactResult is POST /compact.
+type CompactResult struct {
+	Eliminated int `json:"eliminated"`
+}
+
+// DropResult is POST /dropBefore.
+type DropResult struct {
+	Dropped int `json:"dropped"`
+}
+
+// Segment mirrors logr.SegmentInfo on the wire.
+type Segment struct {
+	ID         int   `json:"id"`
+	EndID      int   `json:"end_id"`
+	Queries    int   `json:"queries"`
+	Distinct   int   `json:"distinct"`
+	Epoch      Epoch `json:"epoch"`
+	Summarized bool  `json:"summarized"`
+}
+
+// SegmentsResult is GET /segments.
+type SegmentsResult struct {
+	Segments      []Segment `json:"segments"`
+	ActiveQueries int       `json:"active_queries"`
+}
+
+// DriftResult is GET /drift: the window range scored against the baseline
+// range's summary.
+type DriftResult struct {
+	Score       float64 `json:"score"`
+	NoveltyRate float64 `json:"novelty_rate"`
+	Alert       bool    `json:"alert"`
+	BaseFrom    int     `json:"base_from"`
+	BaseTo      int     `json:"base_to"`
+	WinFrom     int     `json:"win_from"`
+	WinTo       int     `json:"win_to"`
+}
+
+// StatsResult mirrors logr.Stats on the wire.
+type StatsResult struct {
+	Queries             int     `json:"queries"`
+	DistinctQueries     int     `json:"distinct_queries"`
+	DistinctNoConst     int     `json:"distinct_no_const"`
+	DistinctConjunctive int     `json:"distinct_conjunctive"`
+	DistinctRewritable  int     `json:"distinct_rewritable"`
+	MaxMultiplicity     int     `json:"max_multiplicity"`
+	Features            int     `json:"features"`
+	FeaturesNoConst     int     `json:"features_no_const"`
+	AvgFeaturesPerQuery float64 `json:"avg_features_per_query"`
+	StoredProcedures    int     `json:"stored_procedures"`
+	Unparseable         int     `json:"unparseable"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// APIError is a non-2xx daemon response surfaced as a Go error.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("logrd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// do issues a request and decodes a JSON response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body io.Reader, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var er ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &er) != nil || er.Error == "" {
+		er.Error = strings.TrimSpace(string(data))
+		if er.Error == "" {
+			er.Error = resp.Status
+		}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+}
+
+// Health checks the daemon.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", nil, &h)
+	return h, err
+}
+
+// Stats fetches the Table-1-style pipeline statistics.
+func (c *Client) Stats(ctx context.Context) (StatsResult, error) {
+	var s StatsResult
+	err := c.do(ctx, http.MethodGet, "/stats", nil, "", nil, &s)
+	return s, err
+}
+
+// Ingest appends a batch of entries.
+func (c *Client) Ingest(ctx context.Context, entries []logr.Entry) (IngestResult, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(IngestRequest{Entries: entries}); err != nil {
+		return IngestResult{}, err
+	}
+	var r IngestResult
+	err := c.do(ctx, http.MethodPost, "/ingest", nil, "application/json", &buf, &r)
+	return r, err
+}
+
+// IngestReader streams a raw or compact ("count<TAB>sql") log file body;
+// the daemon parses it with its configured line limits.
+func (c *Client) IngestReader(ctx context.Context, r io.Reader) (IngestResult, error) {
+	var res IngestResult
+	err := c.do(ctx, http.MethodPost, "/ingest", nil, "text/plain", r, &res)
+	return res, err
+}
+
+// Estimate asks the summary for a pattern's frequency and count.
+func (c *Client) Estimate(ctx context.Context, pattern string) (EstimateResult, error) {
+	var r EstimateResult
+	err := c.do(ctx, http.MethodGet, "/estimate", url.Values{"q": {pattern}}, "", nil, &r)
+	return r, err
+}
+
+// Count asks for the exact containment count over the uncompressed log.
+func (c *Client) Count(ctx context.Context, pattern string) (int, error) {
+	var r CountResult
+	err := c.do(ctx, http.MethodGet, "/count", url.Values{"q": {pattern}}, "", nil, &r)
+	return r.Count, err
+}
+
+// Seal freezes the active buffer into a segment.
+func (c *Client) Seal(ctx context.Context) (SealResult, error) {
+	var r SealResult
+	err := c.do(ctx, http.MethodPost, "/seal", nil, "", nil, &r)
+	return r, err
+}
+
+// Compact merges runs of adjacent segments smaller than minQueries.
+func (c *Client) Compact(ctx context.Context, minQueries int) (CompactResult, error) {
+	var r CompactResult
+	err := c.do(ctx, http.MethodPost, "/compact", url.Values{"min": {strconv.Itoa(minQueries)}}, "", nil, &r)
+	return r, err
+}
+
+// DropBefore retires segments entirely before seal id.
+func (c *Client) DropBefore(ctx context.Context, id int) (DropResult, error) {
+	var r DropResult
+	err := c.do(ctx, http.MethodPost, "/dropBefore", url.Values{"id": {strconv.Itoa(id)}}, "", nil, &r)
+	return r, err
+}
+
+// Segments lists the live sealed segments.
+func (c *Client) Segments(ctx context.Context) (SegmentsResult, error) {
+	var r SegmentsResult
+	err := c.do(ctx, http.MethodGet, "/segments", nil, "", nil, &r)
+	return r, err
+}
+
+// Drift scores the window segment range against the baseline range's
+// summary. Negative bounds select the daemon's defaults (window = newest
+// segment, baseline = the preceding lookback segments).
+func (c *Client) Drift(ctx context.Context, baseFrom, baseTo, winFrom, winTo int) (DriftResult, error) {
+	q := url.Values{}
+	set := func(k string, v int) {
+		if v >= 0 {
+			q.Set(k, strconv.Itoa(v))
+		}
+	}
+	set("baseFrom", baseFrom)
+	set("baseTo", baseTo)
+	set("winFrom", winFrom)
+	set("winTo", winTo)
+	var r DriftResult
+	err := c.do(ctx, http.MethodGet, "/drift", q, "", nil, &r)
+	return r, err
+}
+
+// SummaryRaw streams the binary summary artifact to w and returns the byte
+// count. Both from and to < 0 selects the whole-workload summary;
+// otherwise both must name the sealed segment range [from, to) — a
+// one-sided pair is an error (matching the server), not a silent fallback
+// to the whole workload.
+func (c *Client) SummaryRaw(ctx context.Context, w io.Writer, from, to int) (int64, error) {
+	if (from >= 0) != (to >= 0) {
+		return 0, fmt.Errorf("logrd: summary range needs both from and to (got from=%d, to=%d)", from, to)
+	}
+	q := url.Values{}
+	if from >= 0 && to >= 0 {
+		q.Set("from", strconv.Itoa(from))
+		q.Set("to", strconv.Itoa(to))
+	}
+	u := c.base + "/summary"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return 0, decodeError(resp)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// Summary fetches the binary artifact and restores it as a *logr.Summary:
+// estimation, visualization and the analytics applications then run
+// client-side, with no further daemon round trips.
+func (c *Client) Summary(ctx context.Context) (*logr.Summary, error) {
+	return c.summary(ctx, -1, -1)
+}
+
+// SummaryRange is Summary over the sealed segment range [from, to).
+func (c *Client) SummaryRange(ctx context.Context, from, to int) (*logr.Summary, error) {
+	return c.summary(ctx, from, to)
+}
+
+func (c *Client) summary(ctx context.Context, from, to int) (*logr.Summary, error) {
+	var buf bytes.Buffer
+	if _, err := c.SummaryRaw(ctx, &buf, from, to); err != nil {
+		return nil, err
+	}
+	return logr.ReadSummary(&buf)
+}

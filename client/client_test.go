@@ -1,0 +1,57 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The client's happy paths are exercised end to end by the server package's
+// HTTP tests; here we pin the error surface.
+
+func TestAPIErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/estimate":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"pattern does not parse"}`))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte("plain not found"))
+		}
+	}))
+	defer ts.Close()
+	c := New(ts.URL + "///") // trailing slashes are normalized
+
+	_, err := c.Estimate(context.Background(), "nope")
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("expected *APIError, got %T: %v", err, err)
+	}
+	if ae.StatusCode != http.StatusBadRequest || ae.Message != "pattern does not parse" {
+		t.Fatalf("decoded %+v", ae)
+	}
+
+	// non-JSON error bodies still surface usefully
+	_, err = c.Count(context.Background(), "x")
+	ae, ok = err.(*APIError)
+	if !ok || ae.StatusCode != http.StatusNotFound || ae.Message != "plain not found" {
+		t.Fatalf("plain-body error: %v", err)
+	}
+}
+
+// TestSummaryRangeOneSidedPair: a one-sided from/to pair must error
+// client-side instead of silently fetching the whole-workload summary.
+func TestSummaryRangeOneSidedPair(t *testing.T) {
+	c := New("http://unreachable.invalid")
+	var sink struct{ io.Writer }
+	if _, err := c.SummaryRaw(context.Background(), sink, 3, -1); err == nil {
+		t.Fatal("one-sided range pair must error before any request is sent")
+	}
+	if _, err := c.SummaryRaw(context.Background(), sink, -1, 5); err == nil {
+		t.Fatal("one-sided range pair must error before any request is sent")
+	}
+}

@@ -11,7 +11,8 @@
 // recompression of a growing log; not part of "all"), kernels (binary vs
 // dense clustering kernels; part of "all"), segments (windowed
 // CompressRange over sealed segments vs full recompress; part of "all"),
-// all. Scales: small, medium, paper.
+// serve (HTTP ingest throughput + WAL recovery time of the logrd serving
+// path; part of "all"), all. Scales: small, medium, paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
 package main
@@ -174,6 +175,12 @@ func main() {
 				return err
 			}
 			fmt.Print(out)
+		case "serve":
+			out, err := serveExperiment(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -183,7 +190,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9", "kernels", "segments"}
+		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig8", "fig9", "kernels", "segments", "serve"}
 	}
 	snap := perfSnapshot{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"logr"
+	"logr/client"
+	"logr/internal/experiments"
+	"logr/internal/server"
+	"logr/internal/workload"
+)
+
+// serveExperiment measures the serving path end to end: a PocketData
+// stream is POSTed over HTTP to an in-process logrd server backed by a
+// durable (WAL-backed) workload, at one client connection and at GOMAXPROCS
+// concurrent connections, under fsync=always and the interval group-commit
+// default. After ingest the daemon is shut down and the data directory
+// reopened, timing recovery (WAL replay + segment artifact load). The
+// table reports acknowledged ingest throughput (queries/sec, duplicates
+// included) and the recovery cost a restart pays.
+func serveExperiment(scale experiments.Scale) (string, error) {
+	raw := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries:   scale.PocketTotal,
+		DistinctTarget: scale.PocketDistinct,
+		Seed:           scale.Seed,
+	})
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	queries := 0
+	for _, e := range entries {
+		queries += e.Count
+	}
+	// batches small enough that p=all has real concurrency to exploit
+	batch := max(len(entries)/64, 1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP ingest of %d queries (%d distinct, batches of %d entries) + recovery\n\n",
+		queries, len(entries), batch)
+	fmt.Fprintf(&b, "%-28s %14s %14s %12s\n", "configuration", "ingest q/s", "wall", "recovery")
+
+	type cfg struct {
+		name string
+		pol  logr.SyncPolicy
+		par  int
+	}
+	cases := []cfg{
+		{"fsync=always  p=1", logr.SyncAlways, 1},
+		{"fsync=always  p=all", logr.SyncAlways, 0},
+		{"fsync=interval p=1", logr.SyncInterval, 1},
+		{"fsync=interval p=all", logr.SyncInterval, 0},
+	}
+	for _, c := range cases {
+		rate, wall, recovery, err := serveOnce(entries, queries, batch, c.pol, c.par)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14s %12s\n", c.name, rate, wall.Round(time.Millisecond), recovery.Round(time.Millisecond))
+	}
+	b.WriteString("\np=all uses GOMAXPROCS concurrent client connections; recovery is\nlogr.OpenDir on the written directory (WAL replay + artifact load).\n")
+	return b.String(), nil
+}
+
+func serveOnce(entries []logr.Entry, queries, batch int, pol logr.SyncPolicy, par int) (rate float64, wall, recovery time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "logr-serve-bench")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+	wopts := logr.Options{Sync: pol, SegmentThreshold: queries/8 + 1}
+	w, err := logr.OpenDir(dataDir, wopts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	srv := server.New(w, server.Options{Compress: logr.CompressOptions{Clusters: 8, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+
+	// shard the batches across the client workers
+	var batches [][]logr.Entry
+	for lo := 0; lo < len(entries); lo += batch {
+		batches = append(batches, entries[lo:min(lo+batch, len(entries))])
+	}
+	workers := par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	next := make(chan []logr.Entry, len(batches))
+	for _, bb := range batches {
+		next <- bb
+	}
+	close(next)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bb := range next {
+				if _, err := c.Ingest(ctx, bb); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err = <-errs:
+		ts.Close()
+		w.Close()
+		return 0, 0, 0, err
+	default:
+	}
+	wall = time.Since(start)
+	rate = float64(queries) / wall.Seconds()
+
+	// graceful shutdown: drain, seal the tail, sync, close
+	ts.Close()
+	w.Seal()
+	if err := w.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	rstart := time.Now()
+	re, err := logr.OpenDir(dataDir, wopts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	recovery = time.Since(rstart)
+	if re.Queries() != queries {
+		re.Close()
+		return 0, 0, 0, fmt.Errorf("recovery lost data: %d queries, ingested %d", re.Queries(), queries)
+	}
+	re.Close()
+	return rate, wall, recovery, nil
+}

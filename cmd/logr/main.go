@@ -18,12 +18,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"logr"
+	"logr/internal/server"
 	"logr/internal/workload"
 )
 
@@ -32,15 +36,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// every command runs under a signal-aware context: the first
+	// SIGINT/SIGTERM cancels it so commands abort at their next checkpoint
+	// (removing partial output) and the daemon drains gracefully; a second
+	// signal restores default delivery and kills the process
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "gen":
-		err = runGen(args)
+		err = runGen(ctx, args)
 	case "stats":
 		err = runStats(args)
 	case "compress":
-		err = runCompress(args)
+		err = runCompress(ctx, args)
 	case "inspect":
 		err = runInspect(args)
 	case "estimate":
@@ -48,7 +62,11 @@ func main() {
 	case "advise":
 		err = runAdvise(args)
 	case "drift":
-		err = runDrift(args)
+		err = runDrift(ctx, args)
+	case "serve":
+		err = runServe(ctx, args)
+	case "remote":
+		err = runRemote(ctx, args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,8 +95,22 @@ commands:
   advise    suggest indexes and materialized views
   drift     score a window of queries against a baseline log; with -in and
             -segment, slide a per-segment window over one log instead
+  serve     run the logrd daemon over a durable data directory (same flags
+            as the logrd binary: -dir, -addr, -segment, -k, -sync, ...)
+  remote    talk to a running daemon: logr remote -addr URL <verb>
+            (health | stats | ingest | estimate | count | seal | segments |
+             drift | compact | drop | summary)
 
 run "logr <command> -h" for command flags`)
+}
+
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg, err := server.ParseFlags(fs, args)
+	if err != nil {
+		return err
+	}
+	return server.Run(ctx, cfg)
 }
 
 func loadWorkload(path string, parallelism, segment int) (*logr.Workload, error) {
@@ -99,7 +131,7 @@ func loadWorkload(path string, parallelism, segment int) (*logr.Workload, error)
 	return w, nil
 }
 
-func runGen(args []string) error {
+func runGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	dataset := fs.String("dataset", "pocketdata", "pocketdata or usbank")
 	total := fs.Int("total", 50000, "total queries including duplicates")
@@ -127,19 +159,58 @@ func runGen(args []string) error {
 	default:
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	write := func(w *os.File) error {
+		// the ctx-checking writer makes an interrupt abort mid-stream
+		cw := &ctxWriter{ctx: ctx, w: w}
+		if *compact {
+			return workload.WriteCompact(cw, entries)
 		}
-		defer f.Close()
-		w = f
+		return workload.WritePlain(cw, entries)
 	}
-	if *compact {
-		return workload.WriteCompact(w, entries)
+	if *out == "" {
+		return write(os.Stdout)
 	}
-	return workload.WritePlain(w, entries)
+	// write to a temp file and rename into place: an interrupted or failed
+	// run leaves no torn output under the requested name
+	tmp := *out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, *out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ctxWriter aborts a long write loop as soon as its context is canceled.
+type ctxWriter struct {
+	ctx context.Context
+	w   *os.File
+}
+
+func (c *ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
 }
 
 func runStats(args []string) error {
@@ -220,7 +291,7 @@ func compressFrom(args []string, name string, extra func(fs *flag.FlagSet) func(
 	return w, s, err
 }
 
-func runCompress(args []string) error {
+func runCompress(ctx context.Context, args []string) error {
 	var delta *string
 	var incremental *bool
 	var maxGrowth *float64
@@ -291,6 +362,9 @@ func runCompress(args []string) error {
 	report("baseline summary", s, time.Since(start))
 	if *delta == "" {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	entries, err := loadEntries(*delta)
 	if err != nil {
@@ -381,7 +455,7 @@ func runEstimate(args []string) error {
 	return nil
 }
 
-func runDrift(args []string) error {
+func runDrift(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("drift", flag.ExitOnError)
 	baseline := fs.String("baseline", "", "baseline log file")
 	window := fs.String("window", "", "window log file to score")
@@ -398,7 +472,7 @@ func runDrift(args []string) error {
 		if *in == "" || *segment <= 0 {
 			return fmt.Errorf("drift: sliding-window mode needs both -in and -segment")
 		}
-		return runDriftSliding(*in, *segment, *lookback, *k, *seed, *par)
+		return runDriftSliding(ctx, *in, *segment, *lookback, *k, *seed, *par)
 	}
 	if *baseline == "" || *window == "" {
 		return fmt.Errorf("drift: -baseline and -window are required (or -in with -segment)")
@@ -426,7 +500,7 @@ func runDrift(args []string) error {
 // summary of the preceding lookback segments — the windowed-analytics drift
 // monitor. Per-segment summaries are cached inside the store, so each row
 // reuses all but the newest segment's work.
-func runDriftSliding(path string, segment, lookback, k int, seed int64, par int) error {
+func runDriftSliding(ctx context.Context, path string, segment, lookback, k int, seed int64, par int) error {
 	if lookback <= 0 {
 		lookback = 1
 	}
@@ -442,6 +516,9 @@ func runDriftSliding(path string, segment, lookback, k int, seed int64, par int)
 	fmt.Printf("sliding drift over %d segments (baseline = previous %d segments, K=%d)\n", len(segs), lookback, k)
 	fmt.Println("segment   queries   score(nats/q)   novelty   alert")
 	for i := 1; i < len(segs); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lo := i - lookback
 		if lo < 0 {
 			lo = 0

@@ -1,0 +1,49 @@
+// Command logrd is the workload-analytics daemon: a durable, concurrent
+// ingest/analytics server over one WAL-backed logr workload.
+//
+//	logrd -dir /var/lib/logrd -addr :8080 -segment 50000 -k 8
+//
+// Clients POST batched entries (or raw log bodies) to /ingest and query
+// /estimate, /count, /drift, /segments and /summary; see package
+// logr/internal/server for the API and package logr/client for the Go
+// client. SIGINT/SIGTERM shut down gracefully: in-flight requests drain,
+// the active buffer is sealed, and the WAL is synced — restarting the
+// daemon on the same -dir recovers everything acknowledged.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"logr/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// first signal starts the graceful drain; unregistering then restores
+	// default delivery so a second signal force-kills a hung shutdown
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "logrd:", err)
+		os.Exit(1)
+	}
+	// a canceled context here means we were interrupted and drained
+	// cleanly; exit 0 is correct for an orderly daemon stop
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("logrd", flag.ExitOnError)
+	cfg, err := server.ParseFlags(fs, args)
+	if err != nil {
+		return err
+	}
+	return server.Run(ctx, cfg)
+}

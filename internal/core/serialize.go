@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -92,8 +93,23 @@ func WriteSummary(w io.Writer, m Mixture, book *feature.Codebook) error {
 // format version.
 const binaryMagic = "LGRS"
 
-// binaryVersion is the current binary summary format.
-const binaryVersion = 1
+// binaryVersion is the current binary summary format. Version 2 appends a
+// CRC32 (IEEE) trailer over every preceding byte — magic, version and body
+// — so artifacts shipped over the network or stored on disk are
+// integrity-checked on read. Version-1 artifacts (no trailer) still load.
+const binaryVersion = 2
+
+// crcWriter updates a running CRC32 with everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
 
 // WriteSummaryBinary serializes a mixture encoding with its codebook in the
 // compact binary format:
@@ -105,15 +121,19 @@ const binaryVersion = 1
 //	clusterCount × (count uvarint, support uvarint,
 //	                support × index-delta uvarint,
 //	                support × float64 marginal bits, little-endian)
+//	crc32 u32le                             (IEEE, over every preceding byte)
 //
 // Indices are stored as deltas between consecutive sparse entries, so the
 // hot part of the artifact is a varint stream plus the raw marginal words.
+// The trailing CRC makes bit rot and torn copies detectable on read;
+// version-1 artifacts without it are still accepted.
 func WriteSummaryBinary(w io.Writer, m Mixture, book *feature.Codebook) error {
 	feats, err := epochFeatures(m, book)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
@@ -186,7 +206,37 @@ func WriteSummaryBinary(w io.Writer, m Mixture, book *feature.Codebook) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// trailer: CRC over everything flushed so far, written past the hash
+	binary.LittleEndian.PutUint32(word[:4], cw.crc)
+	_, err = cw.w.Write(word[:4])
+	return err
+}
+
+// crcReader hashes every byte the binary decoder consumes, so the
+// version-2 trailer can be verified without buffering the whole artifact.
+// The trailer itself is read from the underlying reader, not through here.
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+	one [1]byte
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.br.ReadByte()
+	if err == nil {
+		cr.one[0] = b
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, cr.one[:])
+	}
+	return b, err
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.br.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
 }
 
 // readSummaryBinary decodes the binary format after the magic has been
@@ -195,11 +245,14 @@ func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
 	fail := func(err error) (Mixture, *feature.Codebook, error) {
 		return Mixture{}, nil, fmt.Errorf("core: reading binary summary: %w", err)
 	}
-	version, err := br.ReadByte()
+	// the hash covers the artifact from its first byte; the magic was
+	// already consumed, so seed with it
+	cr := &crcReader{br: br, crc: crc32.ChecksumIEEE([]byte(binaryMagic))}
+	version, err := cr.ReadByte()
 	if err != nil {
 		return fail(err)
 	}
-	if version != binaryVersion {
+	if version != 1 && version != binaryVersion {
 		return Mixture{}, nil, fmt.Errorf("core: unsupported binary summary version %d", version)
 	}
 	// Structural fields (universe, feature counts, string lengths) size
@@ -211,7 +264,7 @@ func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
 		maxCount      = 1 << 50
 	)
 	readBounded := func(limit uint64) (int, error) {
-		v, err := binary.ReadUvarint(br)
+		v, err := binary.ReadUvarint(cr)
 		if err != nil {
 			return 0, err
 		}
@@ -251,7 +304,7 @@ func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
 			return fail(err)
 		}
 		text := make([]byte, n)
-		if _, err := io.ReadFull(br, text); err != nil {
+		if _, err := io.ReadFull(cr, text); err != nil {
 			return fail(err)
 		}
 		book.Register(feature.Feature{Kind: feature.Kind(kind), Text: string(text)})
@@ -294,7 +347,7 @@ func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
 		}
 		marg := make([]float64, universe)
 		for j := 0; j < support; j++ {
-			if _, err := io.ReadFull(br, word[:]); err != nil {
+			if _, err := io.ReadFull(cr, word[:]); err != nil {
 				return fail(err)
 			}
 			p := math.Float64frombits(binary.LittleEndian.Uint64(word[:]))
@@ -311,6 +364,17 @@ func readSummaryBinary(br *bufio.Reader) (Mixture, *feature.Codebook, error) {
 			Encoding: Naive{Marginals: marg, Count: count},
 			Weight:   w,
 		})
+	}
+	if version >= 2 {
+		// verify the CRC trailer; it is read from br directly so it does not
+		// fold into the running hash
+		want := cr.crc
+		if _, err := io.ReadFull(br, word[:4]); err != nil {
+			return fail(fmt.Errorf("missing CRC trailer: %w", err))
+		}
+		if got := binary.LittleEndian.Uint32(word[:4]); got != want {
+			return Mixture{}, nil, fmt.Errorf("core: binary summary CRC mismatch (artifact corrupt)")
+		}
 	}
 	return m, book, nil
 }

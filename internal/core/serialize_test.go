@@ -245,3 +245,51 @@ func TestReadSummaryRejectsCorrupt(t *testing.T) {
 		}
 	}
 }
+
+// TestBinarySummaryCRCTrailer: the version-2 artifact ends in a CRC32 over
+// everything before it, so ANY single-byte flip anywhere in the artifact —
+// header, codebook, marginal bits, or the trailer itself — must be detected
+// on read. A trailer-less version-1 artifact (the pre-CRC format) must
+// still load and decode to the same mixture.
+func TestBinarySummaryCRCTrailer(t *testing.T) {
+	l, book := buildBookAndLog(t)
+	mix, _ := BuildNaiveMixture(l, cluster.Assignment{Labels: []int{0, 0, 1}, K: 2})
+	var buf bytes.Buffer
+	if err := WriteSummaryBinary(&buf, mix, book); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, _, err := ReadSummary(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine artifact: %v", err)
+	}
+
+	for off := 0; off < len(good); off++ {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x01
+		if _, _, err := ReadSummary(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", off, len(good))
+		}
+	}
+
+	// synthesize the legacy trailer-less version-1 artifact: same body,
+	// version byte 1, no CRC words
+	legacy := append([]byte(nil), good[:len(good)-4]...)
+	legacy[len(binaryMagic)] = 1
+	m2, book2, err := ReadSummary(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy version-1 artifact failed to load: %v", err)
+	}
+	if m2.Universe != mix.Universe || m2.Total != mix.Total || len(m2.Components) != len(mix.Components) {
+		t.Fatalf("legacy artifact decoded shape mismatch")
+	}
+	if book2.Size() != book.Size() {
+		t.Fatalf("legacy artifact codebook mismatch")
+	}
+	for ci := range mix.Components {
+		for f, p := range mix.Components[ci].Encoding.Marginals {
+			if m2.Components[ci].Encoding.Marginals[f] != p {
+				t.Fatalf("legacy artifact marginal drifted at cluster %d feature %d", ci, f)
+			}
+		}
+	}
+}

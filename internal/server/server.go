@@ -1,0 +1,419 @@
+// Package server is the logrd daemon: an HTTP/JSON serving layer over one
+// shared durable *logr.Workload — the network front of the paper's whole
+// pitch, analytics over the summary rather than the raw log.
+//
+// One Server multiplexes concurrent ingest and analytics over the same
+// workload using the store's existing epoch/snapshot concurrency model:
+// ingest batches are WAL-logged and applied under the store's ingest
+// ordering, while estimation, counting and drift queries read immutable
+// snapshots and summaries — a monitoring dashboard never blocks the ingest
+// path and vice versa. The estimation endpoints share one cached summary
+// that is refreshed incrementally (Workload.Recompress) whenever ingest
+// has advanced the epoch, so a steady query stream pays clustering cost
+// proportional to the delta, not the log.
+//
+// Endpoints (wire DTOs live in package logr/client, the protocol's single
+// source of truth):
+//
+//	POST /ingest      batched entries: JSON {"entries":[{sql,count}]} or a
+//	                  text/plain raw/compact log body; bounded body size,
+//	                  429 backpressure when the ingest queue is full
+//	GET  /estimate?q= frequency + count estimate from the cached summary
+//	GET  /count?q=    exact containment count over the uncompressed log
+//	GET  /drift       windowed drift: window segment range scored against
+//	                  a baseline range's summary
+//	GET  /segments    live sealed segments + active buffer size
+//	POST /seal|/compact|/dropBefore   segment control
+//	GET  /summary     streams the binary summary artifact (whole workload,
+//	                  or ?from=&to= for a sealed range)
+//	GET  /stats       Table-1-style pipeline statistics
+//	GET  /healthz     liveness + basic gauges
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"logr"
+	"logr/client"
+	"logr/internal/workload"
+)
+
+// Options configure the serving layer.
+type Options struct {
+	// Compress are the compression options behind /estimate, /summary and
+	// /drift. The zero value means Clusters = 8, Seed = 1 — the same
+	// default the durable store's seal-time summaries use, so segment
+	// caches are shared.
+	Compress logr.CompressOptions
+	// MaxBodyBytes caps one /ingest request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxLineBytes caps one line of a text/plain ingest body, through the
+	// same machinery as Options.MaxLineBytes on file loads (default 1 MiB).
+	MaxLineBytes int
+	// MaxConcurrentIngest bounds ingest requests decoding and applying at
+	// once; excess requests are refused with 429 and a Retry-After header
+	// (backpressure, not queueing — the client owns the retry policy).
+	// Default: 2 × GOMAXPROCS.
+	MaxConcurrentIngest int
+	// DriftLookback is how many segments before the window form the default
+	// /drift baseline when the request does not pin one (default 4).
+	DriftLookback int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Compress.Clusters == 0 && o.Compress.TargetError == 0 {
+		o.Compress = logr.CompressOptions{Clusters: 8, Seed: 1}
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxConcurrentIngest <= 0 {
+		o.MaxConcurrentIngest = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.DriftLookback <= 0 {
+		o.DriftLookback = 4
+	}
+	return o
+}
+
+// Server serves one workload. All handlers are safe for concurrent use.
+type Server struct {
+	w    *logr.Workload
+	opts Options
+	mux  *http.ServeMux
+
+	ingestSem chan struct{}
+
+	// sumMu guards the cached summary the estimation endpoints share; the
+	// refresh is an incremental Recompress of the delta since the cache's
+	// epoch.
+	sumMu sync.Mutex
+	cur   *logr.Summary
+}
+
+// New builds a server over w.
+func New(w *logr.Workload, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		w:         w,
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		ingestSem: make(chan struct{}, opts.MaxConcurrentIngest),
+	}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /count", s.handleCount)
+	s.mux.HandleFunc("GET /drift", s.handleDrift)
+	s.mux.HandleFunc("GET /segments", s.handleSegments)
+	s.mux.HandleFunc("POST /seal", s.handleSeal)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	s.mux.HandleFunc("POST /dropBefore", s.handleDropBefore)
+	s.mux.HandleFunc("GET /summary", s.handleSummary)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workload returns the served workload (the daemon runner seals and closes
+// it at shutdown).
+func (s *Server) Workload() *logr.Workload { return s.w }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, client.ErrorResponse{Error: err.Error()})
+}
+
+// persisted maps a mutation's outcome: a sticky persistence failure turns
+// the response into a 500 — the WAL can no longer guarantee the
+// acknowledged state, which an ingest client must not mistake for success.
+func (s *Server) persisted(w http.ResponseWriter, v any) {
+	if err := s.w.Err(); err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persistence degraded: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// summary returns the shared estimation summary, incrementally refreshed
+// when ingest has advanced past its epoch.
+func (s *Server) summary() (*logr.Summary, error) {
+	s.sumMu.Lock()
+	defer s.sumMu.Unlock()
+	if s.cur != nil && s.cur.Epoch().TotalQueries == s.w.Queries() {
+		return s.cur, nil
+	}
+	next, err := s.w.Recompress(s.cur, logr.RecompressOptions{CompressOptions: s.opts.Compress})
+	if err != nil {
+		return nil, err
+	}
+	s.cur = next
+	return next, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.ingestSem <- struct{}{}:
+		defer func() { <-s.ingestSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, errors.New("ingest backlog full, retry later"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// the media type decides the codec; parameters (charset) and casing
+	// must not push a JSON body down the raw-SQL text path
+	mediaType := ""
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad Content-Type %q: %w", ct, err))
+			return
+		}
+		mediaType = mt
+	}
+	var entries []logr.Entry
+	if mediaType == "" || mediaType == "application/json" {
+		var req client.IngestRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeErr(w, badBodyStatus(err), fmt.Errorf("decoding ingest body: %w", err))
+			return
+		}
+		entries = req.Entries
+	} else {
+		// a raw or compact log file body, through the same line-capped
+		// reader the file loaders use
+		var err error
+		entries, err = ReadIngestBody(body, s.opts.MaxLineBytes)
+		if err != nil {
+			writeErr(w, badBodyStatus(err), fmt.Errorf("reading ingest body: %w", err))
+			return
+		}
+	}
+	if err := s.w.Append(entries); err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting ingest: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, client.IngestResult{Entries: len(entries), TotalQueries: s.w.Queries()})
+}
+
+// badBodyStatus distinguishes an oversized body (413) from a malformed one
+// (400).
+func badBodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?q= pattern"))
+		return
+	}
+	sum, err := s.summary()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	freq, err := sum.EstimateFrequency(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count, _ := sum.EstimateCount(q)
+	writeJSON(w, http.StatusOK, client.EstimateResult{
+		Frequency: freq,
+		Count:     count,
+		Epoch:     client.Epoch{Universe: sum.Epoch().Universe, TotalQueries: sum.Epoch().TotalQueries},
+	})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?q= pattern"))
+		return
+	}
+	n, err := s.w.Count(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.CountResult{Count: n})
+}
+
+// intParam parses an optional integer query parameter, def when absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q", name, v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	segs := s.w.Segments()
+	if len(segs) < 2 {
+		writeErr(w, http.StatusConflict, fmt.Errorf("drift needs at least 2 sealed segments, have %d", len(segs)))
+		return
+	}
+	last := segs[len(segs)-1]
+	baseLo := len(segs) - 1 - s.opts.DriftLookback
+	if baseLo < 0 {
+		baseLo = 0
+	}
+	var params [4]int
+	defaults := [4]int{segs[baseLo].ID, last.ID, last.ID, last.EndID}
+	for i, name := range []string{"baseFrom", "baseTo", "winFrom", "winTo"} {
+		v, err := intParam(r, name, defaults[i])
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		params[i] = v
+	}
+	rep, err := s.w.DriftBetween(params[0], params[1], params[2], params[3], s.opts.Compress)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.DriftResult{
+		Score: rep.Score, NoveltyRate: rep.NoveltyRate, Alert: rep.Alert,
+		BaseFrom: params[0], BaseTo: params[1], WinFrom: params[2], WinTo: params[3],
+	})
+}
+
+func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	segs := s.w.Segments()
+	out := client.SegmentsResult{Segments: make([]client.Segment, len(segs)), ActiveQueries: s.w.ActiveQueries()}
+	for i, sg := range segs {
+		out.Segments[i] = client.Segment{
+			ID: sg.ID, EndID: sg.EndID, Queries: sg.Queries, Distinct: sg.Distinct,
+			Epoch:      client.Epoch{Universe: sg.Epoch.Universe, TotalQueries: sg.Epoch.TotalQueries},
+			Summarized: sg.Summarized,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.w.Seal()
+	s.persisted(w, client.SealResult{ID: id, Sealed: ok})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	minQ, err := intParam(r, "min", -1)
+	if err != nil || minQ <= 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing or bad ?min= (queries)"))
+		return
+	}
+	n := s.w.CompactSegments(minQ)
+	s.persisted(w, client.CompactResult{Eliminated: n})
+}
+
+func (s *Server) handleDropBefore(w http.ResponseWriter, r *http.Request) {
+	id, err := intParam(r, "id", -1)
+	if err != nil || id < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing or bad ?id= (seal id)"))
+		return
+	}
+	n := s.w.DropBefore(id)
+	s.persisted(w, client.DropResult{Dropped: n})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	from, err := intParam(r, "from", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := intParam(r, "to", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var sum *logr.Summary
+	if from >= 0 || to >= 0 {
+		if from < 0 || to < 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("?from= and ?to= must be given together"))
+			return
+		}
+		sum, err = s.w.CompressRange(from, to, s.opts.Compress)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if sum, err = s.summary(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Logr-Clusters", strconv.Itoa(sum.Clusters()))
+	w.Header().Set("X-Logr-Epoch-Universe", strconv.Itoa(sum.Epoch().Universe))
+	w.Header().Set("X-Logr-Epoch-Queries", strconv.Itoa(sum.Epoch().TotalQueries))
+	sum.Save(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.w.Stats()
+	writeJSON(w, http.StatusOK, client.StatsResult{
+		Queries:             st.Queries,
+		DistinctQueries:     st.DistinctQueries,
+		DistinctNoConst:     st.DistinctNoConst,
+		DistinctConjunctive: st.DistinctConjunctive,
+		DistinctRewritable:  st.DistinctRewritable,
+		MaxMultiplicity:     st.MaxMultiplicity,
+		Features:            st.Features,
+		FeaturesNoConst:     st.FeaturesNoConst,
+		AvgFeaturesPerQuery: st.AvgFeaturesPerQuery,
+		StoredProcedures:    st.StoredProcedures,
+		Unparseable:         st.Unparseable,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{
+		Status:   "ok",
+		Queries:  s.w.Queries(),
+		Active:   s.w.ActiveQueries(),
+		Segments: len(s.w.Segments()),
+		Dir:      s.w.Dir(),
+	})
+}
+
+// ReadIngestBody parses a text ingest body — raw one-statement-per-line or
+// compact "count<TAB>sql" — through the same line-capped reader the file
+// loaders use.
+func ReadIngestBody(r io.Reader, maxLineBytes int) ([]logr.Entry, error) {
+	raw, err := workload.ReadCompactOptions(r, workload.ReadOptions{MaxLineBytes: maxLineBytes})
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]logr.Entry, len(raw))
+	for i, e := range raw {
+		entries[i] = logr.Entry{SQL: e.SQL, Count: e.Count}
+	}
+	return entries, nil
+}

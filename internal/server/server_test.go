@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"logr"
+	"logr/client"
+)
+
+func testEntries(n, offset int) []logr.Entry {
+	tables := []string{"messages", "contacts", "orders"}
+	out := make([]logr.Entry, n)
+	for i := range out {
+		t := tables[(offset+i)%len(tables)]
+		out[i] = logr.Entry{
+			SQL:   fmt.Sprintf("SELECT c%d FROM %s WHERE k%d = ?", (offset+i)%5, t, (offset+i)%4),
+			Count: 1 + (offset+i)%3,
+		}
+	}
+	return out
+}
+
+// TestEndToEndHTTP is the serving-layer smoke the CI step mirrors: ingest
+// over HTTP (JSON and text bodies), seal, estimate vs exact count, drift,
+// segment control, binary summary export — then a clean shutdown and a
+// reopen of the same directory with no data loss.
+func TestEndToEndHTTP(t *testing.T) {
+	dir := t.TempDir()
+	wopts := logr.Options{Sync: logr.SyncAlways, SegmentThreshold: 0}
+	w, err := logr.OpenDir(dir, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(w, Options{Compress: logr.CompressOptions{Clusters: 2, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// JSON ingest
+	res, err := c.Ingest(ctx, testEntries(30, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != 30 || res.TotalQueries == 0 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	// text ingest: compact body through the MaxLineBytes machinery
+	text := "7\tSELECT c0 FROM messages WHERE k0 = ?\nSELECT name FROM contacts WHERE chat_id = ?\n"
+	tres, err := c.IngestReader(ctx, strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Entries != 2 {
+		t.Fatalf("text ingest accepted %d entries, want 2", tres.Entries)
+	}
+
+	// seal → segments
+	seal, err := c.Seal(ctx)
+	if err != nil || !seal.Sealed {
+		t.Fatalf("seal: %+v, %v", seal, err)
+	}
+	if _, err := c.Ingest(ctx, testEntries(25, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := c.Segments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs.Segments) != 2 {
+		t.Fatalf("daemon reports %d segments, want 2", len(segs.Segments))
+	}
+
+	// estimate + exact count agree with the served workload
+	pattern := "SELECT c0 FROM messages WHERE k0 = ?"
+	est, err := c.Estimate(ctx, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Frequency <= 0 || est.Epoch.TotalQueries != w.Queries() {
+		t.Fatalf("estimate %+v vs %d queries", est, w.Queries())
+	}
+	n, err := c.Count(ctx, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := w.Count(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != truth {
+		t.Fatalf("remote count %d != local %d", n, truth)
+	}
+
+	// drift with defaulted ranges
+	drift, err := c.Drift(ctx, -1, -1, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift.WinFrom != segs.Segments[1].ID || drift.WinTo != segs.Segments[1].EndID {
+		t.Fatalf("drift defaulted to window [%d,%d)", drift.WinFrom, drift.WinTo)
+	}
+
+	// binary summary export round-trips into a usable client-side Summary
+	sum, err := c.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sum.EstimateFrequency(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != est.Frequency {
+		t.Fatalf("client-side summary frequency %v != daemon's %v", f, est.Frequency)
+	}
+	if _, err := c.SummaryRange(ctx, segs.Segments[0].ID, segs.Segments[1].EndID); err != nil {
+		t.Fatal(err)
+	}
+
+	// stats + health
+	st, err := c.Stats(ctx)
+	if err != nil || st.Queries != w.Queries() {
+		t.Fatalf("stats %+v, err %v", st, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Segments != 2 {
+		t.Fatalf("health %+v, err %v", h, err)
+	}
+
+	// errors surface as typed API errors
+	if _, err := c.Estimate(ctx, "NOT SQL AT ALL ((("); err == nil {
+		t.Fatal("bad pattern must error")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad pattern error: %v", err)
+	}
+
+	// graceful shutdown: close the HTTP side, seal + close the workload,
+	// reopen the directory — nothing acknowledged may be lost
+	queries := w.Queries()
+	ts.Close()
+	w.Seal()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := logr.OpenDir(dir, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Queries() != queries {
+		t.Fatalf("reopened with %d queries, want %d", re.Queries(), queries)
+	}
+	truth2, err := re.Count(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth2 != truth {
+		t.Fatalf("reopened count %d, want %d", truth2, truth)
+	}
+}
+
+// TestIngestBodyLimit: an oversized ingest body is refused with 413.
+func TestIngestBodyLimit(t *testing.T) {
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv := New(w, Options{MaxBodyBytes: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	big := strings.Repeat("SELECT c FROM t WHERE k = ?\n", 100)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	if w.Queries() != 0 {
+		t.Fatalf("refused body still ingested %d queries", w.Queries())
+	}
+}
+
+// TestIngestBackpressure: with a zero-width ingest gate every request is
+// refused with 429 + Retry-After rather than queueing without bound.
+func TestIngestBackpressure(t *testing.T) {
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv := New(w, Options{MaxConcurrentIngest: 1})
+	// fill the gate so the next request sees a full backlog
+	srv.ingestSem <- struct{}{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(`{"entries":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("backpressure: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("backpressure response missing Retry-After")
+	}
+	<-srv.ingestSem
+	if _, err := client.New(ts.URL).Ingest(context.Background(), testEntries(3, 0)); err != nil {
+		t.Fatalf("ingest after releasing the gate: %v", err)
+	}
+}
+
+// TestRunGracefulShutdown drives the daemon runner end to end: serve on an
+// ephemeral port, ingest, cancel the context (the signal path), and verify
+// the drain-seal-sync shutdown left a reopenable directory holding
+// everything acknowledged — including the unsealed ingest tail.
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	cfg := RunConfig{
+		Addr:     "127.0.0.1:0",
+		Dir:      dir,
+		Workload: logr.Options{Sync: logr.SyncInterval},
+		Server:   Options{Compress: logr.CompressOptions{Clusters: 2, Seed: 1}},
+		OnListen: func(a net.Addr) { addrCh <- a },
+		Logf:     t.Logf,
+	}
+	go func() { done <- Run(ctx, cfg) }()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("Run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	c := client.New(base)
+	if _, err := c.Ingest(ctx, testEntries(40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// an unsealed tail must survive shutdown via the drain-time seal
+	if _, err := c.Ingest(ctx, testEntries(10, 50)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown never completed")
+	}
+	// the port must actually be released
+	if _, err := (&http.Client{Timeout: time.Second}).Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+
+	re, err := logr.OpenDir(dir, logr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Queries() != h.Queries {
+		t.Fatalf("reopened with %d queries, daemon acknowledged %d", re.Queries(), h.Queries)
+	}
+	if re.ActiveQueries() != 0 {
+		t.Fatalf("shutdown left %d queries unsealed", re.ActiveQueries())
+	}
+}
+
+// TestDriftPinnedRanges exercises /drift with explicit ranges through the
+// raw query API (the client sends them the same way).
+func TestDriftPinnedRanges(t *testing.T) {
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 3; i++ {
+		if err := w.Append(testEntries(20, i*9)); err != nil {
+			t.Fatal(err)
+		}
+		w.Seal()
+	}
+	srv := New(w, Options{Compress: logr.CompressOptions{Clusters: 2, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/drift?" + url.Values{
+		"baseFrom": {"0"}, "baseTo": {"2"}, "winFrom": {"2"}, "winTo": {"3"},
+	}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned drift: HTTP %d: %s", resp.StatusCode, buf.String())
+	}
+}
+
+// TestIngestContentTypeVariants: JSON bodies with charset parameters or
+// different casing must hit the JSON codec, never the raw-SQL text path.
+func TestIngestContentTypeVariants(t *testing.T) {
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv := New(w, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := `{"entries":[{"sql":"SELECT c FROM t WHERE k = ?","count":3}]}`
+	for _, ct := range []string{
+		"application/json; charset=utf-8",
+		"application/json;charset=UTF-8",
+		"Application/JSON",
+	} {
+		resp, err := http.Post(ts.URL+"/ingest", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: HTTP %d", ct, resp.StatusCode)
+		}
+	}
+	if got := w.Queries(); got != 9 {
+		t.Fatalf("3 JSON ingests of count 3 yielded %d queries, want 9 (a variant fell into the text path)", got)
+	}
+	// a malformed Content-Type is a client error, not a text-path fallback
+	resp, err := http.Post(ts.URL+"/ingest", "application/", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed Content-Type: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,375 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"logr/internal/cluster"
+	"logr/internal/core"
+	"logr/internal/wal"
+	"logr/internal/workload"
+)
+
+// Durable is the disk-backed segmented store: a Store whose every mutating
+// operation is written to a write-ahead log before it is applied, and whose
+// sealed segments are exported as self-contained artifacts. Open replays
+// the WAL into a fresh in-memory store — recovery is equivalent to a store
+// that never crashed, up to the last durable record — and re-installs the
+// seal-time summary caches from the segment artifacts.
+//
+// The WAL is the system of record and holds the full raw entry stream;
+// this is what makes recovery exact (the shared codebook, the raw-SQL
+// dedup state and the pipeline statistics are all deterministic functions
+// of the entry sequence) and it is also what the exact-count query path
+// fundamentally needs. Segment artifacts are caches and shippable exports:
+// losing one costs a lazy re-clustering, never data.
+//
+// All methods are safe for concurrent use. Mutations serialize on one lock
+// so the WAL record order always matches the in-memory apply order; reads
+// (through Mem) run against the inner store's own synchronization and are
+// never blocked by ingest I/O. Artifact persistence — including the
+// seal-time summary clustering — runs *after* the mutation lock is
+// released, on its own serialization, so a seal's clustering never stalls
+// concurrent ingest.
+type Durable struct {
+	mu     sync.Mutex
+	mem    *Store
+	w      *wal.Log
+	dir    string
+	opts   Options
+	dopts  DurableOptions
+	lock   *os.File // the data directory's single-writer flock
+	closed bool
+
+	// persistMu serializes artifact-directory reconciliation (summary
+	// builds, file writes, GC) outside the mutation lock.
+	persistMu sync.Mutex
+}
+
+// DurableOptions configure persistence; Options (the in-memory knobs)
+// travel alongside in Open.
+type DurableOptions struct {
+	// Sync is the WAL fsync policy (default wal.SyncInterval: group commit
+	// with a bounded staleness window).
+	Sync wal.SyncPolicy
+	// SyncInterval is the SyncInterval staleness bound (0 = 100ms).
+	SyncInterval time.Duration
+	// SealSummary are the compression options used to build the summary
+	// written into each seal's segment artifact (and cached for range
+	// queries). The zero value (K == 0 and TargetError == 0) selects the
+	// default of K=8, Seed=1. Queries with different options simply
+	// re-cluster lazily; the artifact summary is the export default.
+	SealSummary core.CompressOptions
+	// DisableSealSummaries skips the summary build at seal: artifacts then
+	// carry only the sub-log, and summaries are built lazily on first use.
+	// The right setting when ingest latency matters more than recovery
+	// warmth.
+	DisableSealSummaries bool
+}
+
+func (o DurableOptions) sealSummary() (core.CompressOptions, bool) {
+	if o.DisableSealSummaries {
+		return core.CompressOptions{}, false
+	}
+	opts := o.SealSummary
+	if opts.K == 0 && opts.TargetError == 0 {
+		// mirror the public façade's defaults (including the Hamming metric
+		// it selects for an empty Metric string) so seal-time caches are hit
+		// by default-option queries
+		opts = core.CompressOptions{K: 8, Seed: 1, Metric: cluster.Hamming}
+	}
+	return opts, true
+}
+
+// ErrClosed reports an operation on a closed durable store.
+var ErrClosed = errors.New("store: durable store is closed")
+
+const walFileName = "wal.log"
+
+// Open opens (creating if needed) a durable store rooted at dir. Recovery
+// replays the WAL's durable prefix into a fresh store with the same
+// automatic seal/compact triggers live — the replay executes literally the
+// same call sequence the pre-crash store executed, so every truncation
+// point recovers to the state a never-crashed store fed the same durable
+// prefix would hold, automatic boundaries included. A torn tail from a
+// crash is truncated away. Exact pre-crash equivalence therefore assumes
+// reopening with the same Options; opening with, say, a different
+// SealThreshold still yields a valid store, just with segment boundaries
+// re-cut under the new options.
+func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
+	if err := os.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
+		return nil, err
+	}
+	// single-writer guard: two processes appending to one WAL would
+	// interleave records and recovery would silently truncate at the first
+	// torn one
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	mem := New(opts)
+	replayErr := func(err error) error {
+		return fmt.Errorf("store: replaying %s: %w", filepath.Join(dir, walFileName), err)
+	}
+	w, err := wal.Open(filepath.Join(dir, walFileName), wal.Options{Sync: dopts.Sync, Interval: dopts.SyncInterval},
+		func(payload []byte, _ int64) error {
+			op, err := decodeOp(payload)
+			if err != nil {
+				return replayErr(err)
+			}
+			if err := applyOp(mem, op); err != nil {
+				return replayErr(err)
+			}
+			return nil
+		})
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	d := &Durable{mem: mem, w: w, dir: dir, opts: opts, dopts: dopts, lock: lock}
+	d.loadArtifacts()
+	return d, nil
+}
+
+// Mem returns the in-memory store behind the durable layer. Use it for
+// every read path (snapshots, range queries, drift): reads see exactly the
+// applied state and never touch the WAL.
+func (d *Durable) Mem() *Store { return d.mem }
+
+// Dir returns the store's data directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// segDir returns the segment-artifact directory.
+func (d *Durable) segDir() string { return filepath.Join(d.dir, segDirName) }
+
+// Append logs and applies a batch of entries. Each WAL record is written
+// before its slice is applied; the inner store then runs its own automatic
+// sealing and compaction, exactly as replay will re-run them. Segments the
+// batch sealed get their artifacts (and seal summaries) written before
+// Append returns, but outside the mutation lock, so other ingest proceeds
+// while they build.
+func (d *Durable) Append(entries []workload.LogEntry) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	// bound one WAL record to an ingest window so a giant batch cannot
+	// demand a giant replay allocation
+	const window = 8192
+	before := d.mem.NextID()
+	var err error
+	for len(entries) > 0 {
+		n := min(len(entries), window)
+		if err = d.w.Append(encodeEntriesOp(entries[:n])); err != nil {
+			break
+		}
+		d.mem.Append(entries[:n])
+		entries = entries[n:]
+	}
+	// a seal is the only thing that can reshape segments during an Append
+	// (the inner store only compacts after a seal)
+	sealed := d.mem.NextID() != before
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !sealed {
+		return nil
+	}
+	return d.persistSegments()
+}
+
+// Seal freezes the active buffer into a segment, writes its artifact
+// (summary per DurableOptions.SealSummary plus the sub-log), and returns
+// its descriptor; ok is false when the buffer is empty.
+func (d *Durable) Seal() (SegmentMeta, bool, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return SegmentMeta{}, false, ErrClosed
+	}
+	if d.mem.ActiveQueries() == 0 {
+		d.mu.Unlock()
+		return SegmentMeta{}, false, nil
+	}
+	if err := d.w.Append(encodeSealOp()); err != nil {
+		d.mu.Unlock()
+		return SegmentMeta{}, false, err
+	}
+	meta, ok := d.mem.Seal()
+	d.mu.Unlock()
+	if !ok {
+		return SegmentMeta{}, false, nil
+	}
+	return meta, true, d.persistSegments()
+}
+
+// DropBefore logs and applies retention: segments entirely before seal id
+// are retired and their artifact files removed. The WAL keeps their raw
+// entries — the codebook, dedup state and statistics they contributed are
+// still live state — so reopening replays them and re-drops the segments.
+func (d *Durable) DropBefore(id int) (int, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := d.w.Append(encodeDropOp(id)); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	n := d.mem.DropBefore(id)
+	d.mu.Unlock()
+	return n, d.persistSegments()
+}
+
+// Compact logs and applies a compaction pass, then refreshes the artifact
+// directory (merged runs get a combined sub-log artifact; their old files
+// are removed).
+func (d *Durable) Compact(minQueries int) (int, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := d.w.Append(encodeCompactOp(minQueries)); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	n := d.mem.Compact(minQueries)
+	d.mu.Unlock()
+	return n, d.persistSegments()
+}
+
+// Sync forces every appended record to stable storage (the fsync the
+// configured policy may have deferred).
+func (d *Durable) Sync() error {
+	return d.w.Sync()
+}
+
+// Close syncs and closes the WAL and releases the data directory's
+// single-writer lock. Reads through Mem keep working; further mutations
+// report ErrClosed.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	err := d.w.Close()
+	d.mu.Unlock()
+	// wait out any in-flight artifact reconciliation before releasing the
+	// single-writer lock: its file writes and GC must not race a new
+	// process taking ownership of the directory
+	d.persistMu.Lock()
+	d.persistMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	d.lock.Close()
+	return err
+}
+
+// persistSegments reconciles the artifact directory with the live
+// segments: every live segment lacking an artifact file gets one — with a
+// freshly built seal summary (warm-chained from its predecessor's, the
+// same recurrence lazy range queries follow) unless seal summaries are
+// disabled — and files naming no live segment are removed. It runs outside
+// the mutation lock (segment clustering must not stall ingest), serialized
+// on its own lock, and re-reads the live segment list each run: a
+// drop/compact racing an artifact write at worst leaves a stale file the
+// next reconciliation removes. Artifact failures are reported but never
+// leave the store inconsistent: the WAL already holds the truth.
+func (d *Durable) persistSegments() error {
+	d.persistMu.Lock()
+	defer d.persistMu.Unlock()
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		// Close already ran (or is waiting on persistMu to release the
+		// directory lock): skip quietly — the WAL holds the truth and the
+		// next Open rebuilds any missing artifacts
+		return nil
+	}
+	segs := d.mem.liveSegments()
+	keep := make(map[string]bool, len(segs))
+	var firstErr error
+	for i, sg := range segs {
+		name := segFileName(sg.meta)
+		keep[name] = true
+		if _, err := os.Stat(filepath.Join(d.segDir(), name)); err == nil {
+			continue
+		}
+		var sum *core.Compressed
+		sumKey := ""
+		if opts, enabled := d.dopts.sealSummary(); enabled {
+			key := summaryKey(opts)
+			var prev *core.Compressed
+			if i > 0 {
+				prev = segs[i-1].cached(key)
+			}
+			s, err := sg.summary(opts, key, func() [][]float64 {
+				return warmCentroids(prev, sg.log.Universe(), opts.K)
+			})
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err == nil {
+				sum, sumKey = s, key
+			}
+		}
+		if err := writeSegFile(d.segDir(), sg, sumKey, sum, d.mem.Book()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.gcArtifacts(keep)
+	return firstErr
+}
+
+// gcArtifacts removes artifact files naming no live segment.
+func (d *Durable) gcArtifacts(keep map[string]bool) {
+	ents, err := os.ReadDir(d.segDir())
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !keep[e.Name()] {
+			os.Remove(filepath.Join(d.segDir(), e.Name()))
+		}
+	}
+}
+
+// loadArtifacts re-installs seal-time summary caches from the artifacts
+// that match the replayed segments, and clears out files describing
+// segments that no longer exist (stale survivors of a crash between a
+// WAL-logged drop/compaction and its file cleanup).
+func (d *Durable) loadArtifacts() {
+	segs := d.mem.liveSegments()
+	keep := make(map[string]bool, len(segs))
+	for _, sg := range segs {
+		keep[segFileName(sg.meta)] = true
+		sumKey, asg, ok := readSegFile(d.segDir(), sg)
+		if !ok || sumKey == "" {
+			continue
+		}
+		sum, err := rebuildSummary(sg.log, asg)
+		if err != nil {
+			continue
+		}
+		sg.mu.Lock()
+		sg.sum, sg.sumKey = sum, sumKey
+		sg.mu.Unlock()
+	}
+	d.gcArtifacts(keep)
+}
+
+// liveSegments snapshots the live segment slice.
+func (s *Store) liveSegments() []*Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Segment(nil), s.segs...)
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDataDir on platforms without flock degrades to creating the LOCK
+// file without an exclusive guard: the durable store still works, but the
+// single-writer protection against two processes sharing one data
+// directory is advisory only.
+func lockDataDir(dir string) (*os.File, error) {
+	return os.OpenFile(dir+string(os.PathSeparator)+"LOCK", os.O_RDWR|os.O_CREATE, 0o644)
+}

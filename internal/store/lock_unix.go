@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDataDir takes the single-writer guard on a durable store's data
+// directory: an exclusive, non-blocking flock on <dir>/LOCK. Two processes
+// appending to one WAL would interleave writes at overlapping offsets and
+// the next recovery would silently truncate at the first torn record —
+// so a second Open of a locked directory must fail loudly instead.
+//
+// The returned file holds the lock for the process's life; closing it
+// releases the lock (flocks also die with the process, so a crash never
+// leaves a stale lock).
+func lockDataDir(dir string) (*os.File, error) {
+	path := dir + string(os.PathSeparator) + "LOCK"
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}

@@ -260,6 +260,17 @@ func (s *Store) ActiveQueries() int {
 	return s.enc.EncodedQueries() - s.boundaryEpoch.Total
 }
 
+// TotalQueries returns the number of encoded queries in the whole stream
+// (sealed segments and active buffer, duplicates included) — the running
+// Log.Total() of the next snapshot, served from the encoder's O(1) counter
+// without materializing a snapshot. The ingest hot path's answer to "how
+// many queries so far".
+func (s *Store) TotalQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.EncodedQueries()
+}
+
 // Seal freezes the active buffer into a new immutable segment and returns
 // its descriptor. An empty buffer seals nothing and reports ok == false.
 func (s *Store) Seal() (SegmentMeta, bool) {

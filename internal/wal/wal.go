@@ -1,0 +1,361 @@
+// Package wal is the durability primitive under the disk-backed workload
+// store: an append-only log of length-prefixed, CRC-checked records.
+//
+// The store writes every mutating operation (entry batches, seals,
+// retention, compaction) as one record before applying it in memory, so
+// replaying the file reproduces the in-memory state exactly up to the last
+// durable record. The framing is deliberately dumb — the WAL knows nothing
+// about record contents; the store owns the payload codec — which keeps the
+// torn-write semantics easy to state: a record either round-trips with a
+// matching CRC or it, and everything after it, never happened.
+//
+//	record := payloadLen u32le | crc32(payload) u32le | payload
+//
+// Recovery scans from the start, stops at the first incomplete or
+// CRC-mismatching record (a torn tail from a crash mid-write, or rot), and
+// truncates the file back to the durable prefix so the next append starts
+// on a clean boundary.
+//
+// Durability is governed by Options.Sync: SyncAlways fsyncs after every
+// append (every acknowledged record survives a machine crash), SyncInterval
+// fsyncs when at least Options.Interval has elapsed since the last sync
+// (bounded-staleness group commit; Sync and Close still flush everything),
+// and SyncNever leaves flushing to the OS. A process crash (as opposed to a
+// machine crash) loses nothing under any policy: the records are already in
+// the page cache.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs an append only when Options.Interval
+	// has elapsed since the last sync — group commit with bounded staleness.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+	// SyncNever never fsyncs on append; the OS flushes at its leisure.
+	// Sync and Close still force everything down.
+	SyncNever
+)
+
+// DefaultSyncInterval is the SyncInterval staleness bound when
+// Options.Interval is zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Options configure a WAL writer.
+type Options struct {
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// Interval is the SyncInterval staleness bound (0 = 100ms).
+	Interval time.Duration
+}
+
+// maxPayload caps one record so a corrupt length prefix cannot demand a
+// multi-GiB allocation before the CRC check gets a chance to reject it.
+const maxPayload = 1 << 30
+
+// headerSize is the fixed per-record framing overhead.
+const headerSize = 8
+
+// Log is an open WAL file positioned for appending. Appends are safe for
+// concurrent use; the record order on disk is the order Append calls
+// acquire the internal lock.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	opts     Options
+	size     int64
+	lastSync time.Time
+	buf      []byte
+	closed   bool
+	// failed poisons the log after a failure that compromised durability: a
+	// write error that could not be rolled back (the file may end in a torn
+	// record, and appending past it would make every later record
+	// unrecoverable), or a deferred group-commit fsync that errored (the
+	// kernel reports a writeback error to fsync only once, so retrying
+	// cannot be trusted to surface it again). failCause is reported by
+	// every subsequent Append/Sync/Close.
+	failed    bool
+	failCause error
+	// pending is the deferred-sync timer of the SyncInterval policy: an
+	// append that does not sync inline schedules one, so the staleness
+	// bound holds even when ingest goes idle right after the append.
+	pending *time.Timer
+}
+
+// Scan reads the WAL at path, invoking fn (if non-nil) for every complete,
+// CRC-valid record in order, and returns the durable length: the byte
+// offset one past the last valid record. A missing file scans as empty.
+// The payload passed to fn is only valid for the duration of the call.
+// fn's second argument is the offset one past the record — the truncation
+// boundary that would keep it.
+func Scan(path string, fn func(payload []byte, end int64) error) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return scan(f, fn)
+}
+
+func scan(f *os.File, fn func(payload []byte, end int64) error) (int64, error) {
+	var (
+		durable int64
+		header  [headerSize]byte
+		payload []byte
+	)
+	// tornOrFail distinguishes the end of the durable prefix from a disk
+	// that cannot be read: an EOF-class error is a torn tail (the caller
+	// may truncate and continue), anything else — a transient EIO, say —
+	// must abort rather than be "repaired" by truncating valid records.
+	tornOrFail := func(err error) (int64, error) {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return durable, nil
+		}
+		return durable, fmt.Errorf("wal: reading log: %w", err)
+	}
+	r := newByteCounter(f)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return tornOrFail(err)
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if n > maxPayload {
+			// implausible length: corrupt header, stop at the durable prefix
+			return durable, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return tornOrFail(err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return durable, nil
+		}
+		durable = r.n
+		if fn != nil {
+			if err := fn(payload, durable); err != nil {
+				return durable, err
+			}
+		}
+	}
+}
+
+// byteCounter tracks how many bytes have been consumed from the underlying
+// reader, through a buffered front so the scan isn't syscall-bound.
+type byteCounter struct {
+	r   io.Reader
+	buf []byte
+	off int // read position in buf
+	n   int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter {
+	return &byteCounter{r: r, buf: make([]byte, 0, 1<<16)}
+}
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	if b.off == len(b.buf) {
+		b.buf = b.buf[:cap(b.buf)]
+		n, err := b.r.Read(b.buf)
+		b.buf = b.buf[:n]
+		b.off = 0
+		if n == 0 {
+			return 0, err
+		}
+	}
+	n := copy(p, b.buf[b.off:])
+	b.off += n
+	b.n += int64(n)
+	return n, nil
+}
+
+// Open opens (creating if missing) the WAL at path for appending: it scans
+// the existing contents, replaying each durable record through fn (if
+// non-nil), truncates any torn tail back to the durable prefix, and
+// positions the writer at the end. If fn returns an error the open is
+// abandoned and the file left untouched.
+func Open(path string, opts Options, fn func(payload []byte, end int64) error) (*Log, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSyncInterval
+	}
+	durable, err := Scan(path, fn)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > durable {
+		// torn tail from a crash mid-write: drop it so the next record
+		// starts on a clean boundary
+		if err := f.Truncate(durable); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(durable, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, opts: opts, size: durable, lastSync: time.Now()}, nil
+}
+
+// Append frames payload as one record, writes it, and applies the sync
+// policy. The write is a single syscall, so concurrent appends never
+// interleave bytes.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), maxPayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	if l.failed {
+		return l.failedLocked()
+	}
+	need := headerSize + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	b := l.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+	copy(b[headerSize:], payload)
+	if _, err := l.f.Write(b); err != nil {
+		// a short write leaves a torn record mid-file; anything appended
+		// after it would be lost at recovery (the scan stops at the first
+		// bad CRC). Roll the file back to the last good boundary, and
+		// poison the log if that fails.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.failed, l.failCause = true, err
+			return err
+		}
+		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.failed, l.failCause = true, err
+			return err
+		}
+		return err
+	}
+	l.size += int64(need)
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		elapsed := time.Since(l.lastSync)
+		if elapsed >= l.opts.Interval {
+			return l.syncLocked()
+		}
+		// not syncing now: arm a deferred sync so the record reaches disk
+		// within the staleness bound even if no further append arrives
+		if l.pending == nil {
+			l.pending = time.AfterFunc(l.opts.Interval-elapsed, l.deferredSync)
+		}
+	}
+	return nil
+}
+
+// deferredSync is the SyncInterval timer body: it flushes whatever the
+// inline path left unsynced. A failure here has no caller to report to and
+// the kernel only reports a writeback error to fsync once, so it poisons
+// the log: the next Append/Sync/Close surfaces it instead of silently
+// acknowledging data that never reached disk.
+func (l *Log) deferredSync() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = nil
+	if l.closed || l.failed {
+		return
+	}
+	if err := l.syncLocked(); err != nil {
+		l.failed, l.failCause = true, err
+	}
+}
+
+// failedLocked renders the poisoned state as an error.
+func (l *Log) failedLocked() error {
+	return fmt.Errorf("wal: log failed on an earlier write; durability can no longer be guaranteed: %w", l.failCause)
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if l.failed {
+		return l.failedLocked()
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.pending != nil {
+		l.pending.Stop()
+		l.pending = nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Size returns the current durable-on-success length of the log in bytes
+// (every byte ever appended; syncing lags per the policy).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close syncs and closes the file. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.pending != nil {
+		l.pending.Stop()
+		l.pending = nil
+	}
+	if l.failed {
+		l.f.Close()
+		return l.failedLocked()
+	}
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

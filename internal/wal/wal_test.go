@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect opens the WAL read-only and gathers its durable records and their
+// end offsets.
+func collect(t *testing.T, path string) (recs [][]byte, ends []int64) {
+	t.Helper()
+	_, err := Scan(path, func(p []byte, end int64) error {
+		recs = append(recs, append([]byte(nil), p...))
+		ends = append(ends, end)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return recs, ends
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i))))
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyAndMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	if n, err := Scan(filepath.Join(dir, "absent.log"), nil); err != nil || n != 0 {
+		t.Fatalf("missing file: durable=%d err=%v", n, err)
+	}
+	path := filepath.Join(dir, "empty.log")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Scan(path, nil); err != nil || n != 0 {
+		t.Fatalf("empty file: durable=%d err=%v", n, err)
+	}
+}
+
+// TestTornTailEveryByte truncates the file at every byte offset and checks
+// the scan recovers exactly the records whose frames fit the prefix.
+func TestTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path, Options{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ends := collect(t, path)
+	for cut := 0; cut <= len(full); cut++ {
+		sub := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(sub, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		var wantDurable int64
+		for i, e := range ends {
+			if e <= int64(cut) {
+				wantN = i + 1
+				wantDurable = e
+			}
+		}
+		gotN := 0
+		durable, err := Scan(sub, func(p []byte, end int64) error { gotN++; return nil })
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if gotN != wantN || durable != wantDurable {
+			t.Fatalf("cut=%d: got %d records durable=%d, want %d records durable=%d",
+				cut, gotN, durable, wantN, wantDurable)
+		}
+	}
+}
+
+// TestOpenRepairsTornTail checks Open truncates a torn tail and appends
+// continue cleanly from the durable prefix.
+func TestOpenRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"alpha", "beta"} {
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// simulate a crash mid-write: append garbage that looks like a header
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{42, 0, 0, 0, 1, 2, 3})
+	f.Close()
+
+	l, err = Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	recs, _ := collect(t, path)
+	want := []string{"alpha", "beta", "gamma"}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if string(recs[i]) != w {
+			t.Fatalf("record %d: got %q want %q", i, recs[i], w)
+		}
+	}
+}
+
+// TestCorruptRecordStopsScan flips a byte inside an early record: the scan
+// must stop at the preceding durable prefix rather than deliver the
+// corrupted record or anything after it.
+func TestCorruptRecordStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	_, ends := collect(t, path)
+	data, _ := os.ReadFile(path)
+	// corrupt the payload of record 2 (bytes after its header)
+	data[ends[1]+headerSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("scan past corruption: got %d records, want 2", len(recs))
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, err := Open(path, Options{Sync: pol}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := l.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if recs, _ := collect(t, path); len(recs) != 10 {
+			t.Fatalf("policy %v: got %d records, want 10", pol, len(recs))
+		}
+	}
+}
+
+// TestDeferredIntervalSync: under SyncInterval, an append that does not
+// sync inline must arm a deferred sync so the record reaches disk within
+// the staleness bound even when ingest goes idle immediately after.
+func TestDeferredIntervalSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncInterval, Interval: 20 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("idle-tail")); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	armed := l.pending != nil
+	before := l.lastSync
+	l.mu.Unlock()
+	if !armed {
+		t.Fatal("append within the interval did not arm a deferred sync")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		fired := l.pending == nil && l.lastSync.After(before)
+		l.mu.Unlock()
+		if fired {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deferred sync never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

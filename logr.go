@@ -99,6 +99,21 @@
 // segments (retention) and the store transparently compacts runs of small
 // adjacent segments. A store with a single sealed segment compresses
 // bit-identically to Compress on the same snapshot.
+//
+// # Durability and serving
+//
+// OpenDir turns the store durable: mutations are written to an append-only
+// CRC-checked write-ahead log before they apply, sealed segments are
+// exported as artifacts (binary summary + sub-log), and reopening the
+// directory recovers a workload equivalent to one that never crashed, up
+// to the last durable record — the crash-recovery property tests truncate
+// the WAL at every record boundary and assert byte-identical compression.
+// Options.Sync picks the fsync policy (always / interval group-commit /
+// never); Sync and Close flush explicitly. The logrd daemon
+// (internal/server, cmd/logrd, `logr serve`) serves a durable workload
+// over HTTP/JSON — batched ingest with backpressure, estimation, exact
+// counts, windowed drift, segment control and binary summary export — with
+// graceful drain-seal-sync shutdown; package logr/client is its Go client.
 package logr
 
 import (
@@ -108,6 +123,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"logr/internal/apps"
 	"logr/internal/bitvec"
@@ -117,6 +134,7 @@ import (
 	"logr/internal/regularize"
 	"logr/internal/sqlparser"
 	"logr/internal/store"
+	"logr/internal/wal"
 	"logr/internal/workload"
 )
 
@@ -147,9 +165,22 @@ type Stats struct {
 // segments, plus a lazily materialized snapshot of the whole stream's
 // feature-vector form and codebook. All methods are safe for concurrent
 // use.
+//
+// A Workload is either in-memory (FromEntries, Load) or durable (OpenDir):
+// a durable workload writes every ingest mutation to a write-ahead log
+// before applying it and persists sealed segments as artifacts, so Close —
+// or a crash — loses at most the fsync window of the configured Options.Sync
+// policy. Append reports persistence errors directly; the mutation methods
+// that predate durability (Seal, DropBefore, CompactSegments) record the
+// first persistence failure instead, which Err, Sync and Close all report —
+// check one of them at your commit points.
 type Workload struct {
 	st  *store.Store
-	par int // encode-side parallelism, reused by Count
+	d   *store.Durable // nil for in-memory workloads
+	par int            // encode-side parallelism, reused by Count
+
+	errMu  sync.Mutex
+	sticky error
 }
 
 // Options tune workload encoding and ingest segmentation.
@@ -174,6 +205,47 @@ type Options struct {
 	// MaxLineBytes caps one input line for Load/LoadCompact (0 = 1 MiB).
 	// Longer lines are reported as an error naming the offending line.
 	MaxLineBytes int
+	// Sync selects the WAL fsync policy of a workload opened with OpenDir:
+	// how much acknowledged ingest a machine crash may lose. Ignored by
+	// in-memory workloads.
+	Sync SyncPolicy
+	// SyncEvery bounds the SyncInterval policy's staleness window
+	// (0 = 100ms).
+	SyncEvery time.Duration
+	// SealSummary configures the summary built and persisted into each
+	// sealed segment's artifact of a durable workload. The zero value
+	// selects Clusters = 8, Seed = 1. Queries using the same options hit
+	// these caches; others re-cluster lazily.
+	SealSummary CompressOptions
+	// DisableSealSummaries skips the summary build at seal time: segment
+	// artifacts then carry only the sub-log and summaries are built lazily
+	// on first use. For ingest paths where seal latency matters more than
+	// recovery warmth.
+	DisableSealSummaries bool
+}
+
+// SyncPolicy selects when a durable workload's WAL reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs when Options.SyncEvery has elapsed
+	// since the last sync — group commit with a bounded staleness window.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs every append: an acknowledged Append survives a
+	// machine crash.
+	SyncAlways
+	// SyncNever leaves flushing to the OS; Sync and Close still flush.
+	SyncNever
+)
+
+func (p SyncPolicy) internal() wal.SyncPolicy {
+	switch p {
+	case SyncAlways:
+		return wal.SyncAlways
+	case SyncNever:
+		return wal.SyncNever
+	}
+	return wal.SyncInterval
 }
 
 func (o Options) internal() workload.EncodeOptions {
@@ -212,7 +284,11 @@ func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
 // is rebuilt lazily on next use, not on every Append. The codebook extends
 // in place; summaries built from earlier snapshots remain valid for their
 // own universe.
-func (w *Workload) Append(entries []Entry) {
+//
+// On a durable workload the batch is WAL-logged before it is applied and
+// the error reports a persistence failure (the batch's durable prefix is
+// still applied); in-memory workloads always return nil.
+func (w *Workload) Append(entries []Entry) error {
 	batch := make([]workload.LogEntry, len(entries))
 	for i, e := range entries {
 		c := e.Count
@@ -221,7 +297,33 @@ func (w *Workload) Append(entries []Entry) {
 		}
 		batch[i] = workload.LogEntry{SQL: e.SQL, Count: c}
 	}
+	if w.d != nil {
+		return w.note(w.d.Append(batch))
+	}
 	w.st.Append(batch)
+	return nil
+}
+
+// note records a persistence error in the workload's sticky slot (reported
+// by Err, Sync and Close) and passes it through.
+func (w *Workload) note(err error) error {
+	if err != nil {
+		w.errMu.Lock()
+		if w.sticky == nil {
+			w.sticky = err
+		}
+		w.errMu.Unlock()
+	}
+	return err
+}
+
+// Err returns the first persistence error recorded by a mutation whose
+// signature predates durability (Seal, DropBefore, CompactSegments) or by
+// Append. In-memory workloads always report nil.
+func (w *Workload) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.sticky
 }
 
 // snapshot returns the current encode snapshot of the whole stream (sealed
@@ -271,6 +373,74 @@ func fromInternal(entries []workload.LogEntry, opts Options) *Workload {
 	return w
 }
 
+// OpenDir opens (creating if needed) a durable workload rooted at dir: the
+// persistent form of a long-running ingest. Every mutation is written to an
+// append-only, CRC-checked write-ahead log under dir before it is applied,
+// and each sealed segment is exported as a self-contained artifact (its
+// binary summary plus sub-log). Opening an existing directory recovers by
+// replaying the WAL — recovery is equivalent to a workload that never
+// crashed, up to the last durable record; a torn tail from a crash is
+// truncated — and re-installs the seal-time summary caches from the
+// artifacts.
+//
+// The WAL holds the full raw entry stream (which the exact-count path needs
+// anyway), so reopen cost grows with ingest history; segment artifacts
+// spare recovery the re-clustering. For exact pre-crash equivalence reopen
+// with the same Options — SegmentThreshold and CompactSegments govern where
+// replay re-cuts automatic boundaries.
+func OpenDir(dir string, opts Options) (*Workload, error) {
+	sealOpts, err := opts.SealSummary.internal()
+	if err != nil {
+		return nil, err
+	}
+	d, err := store.Open(dir, opts.storeOptions(), store.DurableOptions{
+		Sync:                 opts.Sync.internal(),
+		SyncInterval:         opts.SyncEvery,
+		SealSummary:          sealOpts,
+		DisableSealSummaries: opts.DisableSealSummaries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{st: d.Mem(), d: d, par: opts.Parallelism}, nil
+}
+
+// Dir returns a durable workload's data directory ("" for in-memory
+// workloads).
+func (w *Workload) Dir() string {
+	if w.d == nil {
+		return ""
+	}
+	return w.d.Dir()
+}
+
+// Sync forces everything appended so far to stable storage — the fsync the
+// configured policy may have deferred — and reports the first recorded
+// persistence error, if any. A no-op on in-memory workloads.
+func (w *Workload) Sync() error {
+	if w.d == nil {
+		return nil
+	}
+	if err := w.d.Sync(); err != nil {
+		return w.note(err)
+	}
+	return w.Err()
+}
+
+// Close syncs and closes a durable workload's WAL. Reads keep working;
+// further mutations fail. Close is idempotent and a no-op on in-memory
+// workloads; it reports the first persistence error recorded over the
+// workload's life, so a clean shutdown can end with a single check.
+func (w *Workload) Close() error {
+	if w.d == nil {
+		return nil
+	}
+	if err := w.d.Close(); err != nil {
+		return w.note(err)
+	}
+	return w.Err()
+}
+
 // Stats reports the pipeline statistics.
 func (w *Workload) Stats() Stats {
 	s := w.snapshot().Stats
@@ -290,7 +460,13 @@ func (w *Workload) Stats() Stats {
 }
 
 // Queries returns the number of encoded queries (duplicates included).
-func (w *Workload) Queries() int { return w.snapshot().Log.Total() }
+// Served from the encoder's running counter in O(1) — an ingest loop can
+// ask after every batch without forcing a snapshot rebuild.
+func (w *Workload) Queries() int { return w.st.TotalQueries() }
+
+// ActiveQueries returns the number of encoded queries in the active
+// (unsealed) ingest buffer — what the next Seal would freeze.
+func (w *Workload) ActiveQueries() int { return w.st.ActiveQueries() }
 
 // Count returns the exact Γ_b(L): how many queries contain every feature of
 // the given pattern query. This reads the *uncompressed* log; after
@@ -635,8 +811,15 @@ type SegmentInfo struct {
 // Seal freezes the entries appended since the last seal into an immutable
 // segment and returns its ID; ok is false when the buffer is empty. With
 // Options.SegmentThreshold set, sealing also happens automatically as the
-// buffer fills.
+// buffer fills. On a durable workload the seal is WAL-logged and the
+// segment's artifact (summary + sub-log) written; persistence failures are
+// recorded for Err/Sync/Close.
 func (w *Workload) Seal() (id int, ok bool) {
+	if w.d != nil {
+		meta, ok, err := w.d.Seal()
+		w.note(err)
+		return meta.ID, ok
+	}
 	meta, ok := w.st.Seal()
 	return meta.ID, ok
 }
@@ -671,13 +854,30 @@ func (w *Workload) SealedRange() (from, to int, ok bool) {
 // the retention knob of a long-running store. The segments' sub-logs and
 // summaries are released; the codebook (append-only by design) and the
 // active buffer are untouched. It returns the number of segments dropped.
-func (w *Workload) DropBefore(id int) int { return w.st.DropBefore(id) }
+// On a durable workload the retention is WAL-logged and the dropped
+// segments' artifact files removed (the WAL keeps their raw entries: the
+// codebook and statistics they contributed remain live state).
+func (w *Workload) DropBefore(id int) int {
+	if w.d != nil {
+		n, err := w.d.DropBefore(id)
+		w.note(err)
+		return n
+	}
+	return w.st.DropBefore(id)
+}
 
 // CompactSegments merges runs of adjacent sealed segments smaller than
 // minQueries into single segments and returns the number of segments
 // eliminated. Options.CompactSegments runs this automatically after every
 // seal.
-func (w *Workload) CompactSegments(minQueries int) int { return w.st.Compact(minQueries) }
+func (w *Workload) CompactSegments(minQueries int) int {
+	if w.d != nil {
+		n, err := w.d.Compact(minQueries)
+		w.note(err)
+		return n
+	}
+	return w.st.Compact(minQueries)
+}
 
 // CompressRange summarizes the contiguous sealed segments spanning seal
 // ids [from, to) using the summary algebra: per-segment summaries (cached,
