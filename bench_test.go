@@ -22,9 +22,11 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"logr"
 	"logr/internal/experiments"
+	"logr/internal/stats"
 	"logr/internal/workload"
 )
 
@@ -326,14 +328,21 @@ func benchAppendDurable(b *testing.B, pol logr.SyncPolicy) {
 	if err := w.Append(entries); err != nil {
 		b.Fatal(err)
 	}
+	// per-iteration ack latency quantiles alongside the mean ns/op: the
+	// group-commit WAL is judged on its tail, not its average
+	var h stats.Histogram
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		if err := w.Append(entries); err != nil {
 			b.Fatal(err)
 		}
+		h.RecordDuration(time.Since(t0))
 	}
 	b.StopTimer()
 	reportAppendRate(b, entries)
+	b.ReportMetric(float64(h.Quantile(0.50)), "p50-ns")
+	b.ReportMetric(float64(h.Quantile(0.99)), "p99-ns")
 }
 
 func BenchmarkAppendDurableAlways(b *testing.B)   { benchAppendDurable(b, logr.SyncAlways) }

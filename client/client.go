@@ -16,10 +16,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"logr"
 )
@@ -30,6 +32,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// retryOn429/maxRetries implement the daemon's backpressure contract:
+	// a 429 means "the ingest queue is full, come back after Retry-After" —
+	// opt in via WithRetryOn429.
+	retryOn429 bool
+	maxRetries int
 }
 
 // New returns a client for the daemon at base (e.g. "http://host:8080").
@@ -41,7 +49,82 @@ func New(base string) *Client {
 
 // WithHTTPClient returns a copy of c that uses hc for every request.
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
-	return &Client{base: c.base, hc: hc}
+	cp := *c
+	cp.hc = hc
+	return &cp
+}
+
+// WithRetryOn429 returns a copy of c that retries a request refused with
+// HTTP 429 up to maxRetries more times, sleeping the server's Retry-After
+// hint (exponential backoff when absent) with ±25% jitter so synchronized
+// clients spread out; each wait is capped at 30s and aborts when the
+// request context does. Only requests whose bodies the client can replay
+// retry — IngestReader streams its body and always surfaces the 429.
+func (c *Client) WithRetryOn429(maxRetries int) *Client {
+	cp := *c
+	cp.retryOn429 = true
+	cp.maxRetries = maxRetries
+	return &cp
+}
+
+// retryWait turns a 429's Retry-After header (attempt used as the backoff
+// exponent when the header is absent or malformed) into a jittered wait.
+func retryWait(header string, attempt int) time.Duration {
+	d := time.Second << uint(min(attempt, 5))
+	if s, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && s >= 0 {
+		d = time.Duration(s) * time.Second
+	}
+	if d == 0 {
+		return 0
+	}
+	d = d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// send issues a request, retrying on 429 when the client opted in.
+// makeBody, when non-nil, returns a fresh reader per attempt (a replayable
+// body); oneShot, when non-nil, is a streaming body the first attempt
+// consumes, so such requests never retry. Both nil means no body.
+func (c *Client) send(ctx context.Context, method, u, contentType string, makeBody func() io.Reader, oneShot io.Reader) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		switch {
+		case makeBody != nil:
+			body = makeBody()
+		case oneShot != nil:
+			body = oneShot
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, body)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		canRetry := c.retryOn429 && attempt < c.maxRetries && (makeBody != nil || oneShot == nil)
+		if resp.StatusCode != http.StatusTooManyRequests || !canRetry {
+			return resp, nil
+		}
+		wait := retryWait(resp.Header.Get("Retry-After"), attempt)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
 }
 
 // Wire DTOs. Field names are the protocol; both ends marshal these.
@@ -143,6 +226,22 @@ type StatsResult struct {
 	AvgFeaturesPerQuery float64 `json:"avg_features_per_query"`
 	StoredProcedures    int     `json:"stored_procedures"`
 	Unparseable         int     `json:"unparseable"`
+	// Ingest reports the durable pipeline's backlog: apply-queue depth and
+	// how far the applier trails the acknowledged WAL offset. All-zero for
+	// in-memory workloads.
+	Ingest IngestLagResult `json:"ingest"`
+}
+
+// IngestLagResult mirrors logr.IngestLag on the wire.
+type IngestLagResult struct {
+	QueuedBatches int   `json:"queued_batches"`
+	QueueCap      int   `json:"queue_cap"`
+	QueuedEntries int64 `json:"queued_entries"`
+	AckedOffset   int64 `json:"acked_wal_offset"`
+	AppliedOffset int64 `json:"applied_wal_offset"`
+	// LagBytes = AckedOffset − AppliedOffset: acknowledged WAL bytes the
+	// applier has not made visible to reads yet.
+	LagBytes int64 `json:"applied_lag_bytes"`
 }
 
 // ErrorResponse is every non-2xx JSON body.
@@ -161,19 +260,26 @@ func (e *APIError) Error() string {
 }
 
 // do issues a request and decodes a JSON response into out (when non-nil).
+// Buffered bodies (bytes.Buffer / bytes.Reader) are replayable, so they
+// participate in 429 retries; any other reader is one-shot.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body io.Reader, out any) error {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, method, u, body)
-	if err != nil {
-		return err
+	var makeBody func() io.Reader
+	switch b := body.(type) {
+	case *bytes.Buffer:
+		data := b.Bytes()
+		makeBody = func() io.Reader { return bytes.NewReader(data) }
+		body = nil
+	case *bytes.Reader:
+		data := make([]byte, b.Len())
+		b.Read(data)
+		makeBody = func() io.Reader { return bytes.NewReader(data) }
+		body = nil
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(ctx, method, u, contentType, makeBody, body)
 	if err != nil {
 		return err
 	}
@@ -312,11 +418,7 @@ func (c *Client) SummaryRaw(ctx context.Context, w io.Writer, from, to int) (int
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(ctx, http.MethodGet, u, "", nil, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -2,10 +2,16 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"logr"
 )
 
 // The client's happy paths are exercised end to end by the server package's
@@ -40,6 +46,124 @@ func TestAPIErrorDecoding(t *testing.T) {
 	ae, ok = err.(*APIError)
 	if !ok || ae.StatusCode != http.StatusNotFound || ae.Message != "plain not found" {
 		t.Fatalf("plain-body error: %v", err)
+	}
+}
+
+// backlogServer refuses the first rejections ingest attempts with 429 +
+// Retry-After, then accepts, echoing how many entries the final attempt
+// carried — the daemon's backpressure contract in miniature.
+func backlogServer(rejections int32) (*httptest.Server, *atomic.Int32) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= rejections {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"ingest backlog full, retry later"}`))
+			return
+		}
+		var req IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(IngestResult{Entries: len(req.Entries), TotalQueries: len(req.Entries)})
+	}))
+	return ts, &attempts
+}
+
+// TestRetryOn429 pins the backpressure retry policy: opt-in, bounded, body
+// replayed intact on every attempt, and surfaced as the original 429 once
+// the budget runs out.
+func TestRetryOn429(t *testing.T) {
+	entries := []logr.Entry{{SQL: "SELECT a FROM t WHERE k = ?", Count: 3}}
+
+	t.Run("default surfaces the 429", func(t *testing.T) {
+		ts, attempts := backlogServer(1)
+		defer ts.Close()
+		_, err := New(ts.URL).Ingest(context.Background(), entries)
+		ae, ok := err.(*APIError)
+		if !ok || ae.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("want APIError 429, got %v", err)
+		}
+		if attempts.Load() != 1 {
+			t.Fatalf("client without retry made %d attempts", attempts.Load())
+		}
+	})
+
+	t.Run("retries until accepted with the body intact", func(t *testing.T) {
+		ts, attempts := backlogServer(2)
+		defer ts.Close()
+		res, err := New(ts.URL).WithRetryOn429(3).Ingest(context.Background(), entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Entries != len(entries) {
+			t.Fatalf("final attempt carried %d entries, want %d (body not replayed?)", res.Entries, len(entries))
+		}
+		if attempts.Load() != 3 {
+			t.Fatalf("made %d attempts, want 3", attempts.Load())
+		}
+	})
+
+	t.Run("bounded by MaxRetries", func(t *testing.T) {
+		ts, attempts := backlogServer(100)
+		defer ts.Close()
+		_, err := New(ts.URL).WithRetryOn429(2).Ingest(context.Background(), entries)
+		ae, ok := err.(*APIError)
+		if !ok || ae.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("want APIError 429 after exhausting retries, got %v", err)
+		}
+		if attempts.Load() != 3 { // 1 initial + 2 retries
+			t.Fatalf("made %d attempts, want 3", attempts.Load())
+		}
+	})
+
+	t.Run("streaming bodies never retry", func(t *testing.T) {
+		ts, attempts := backlogServer(1)
+		defer ts.Close()
+		_, err := New(ts.URL).WithRetryOn429(3).IngestReader(context.Background(), strings.NewReader("SELECT a FROM t\n"))
+		ae, ok := err.(*APIError)
+		if !ok || ae.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("streaming ingest must surface the 429, got %v", err)
+		}
+		if attempts.Load() != 1 {
+			t.Fatalf("streaming body retried: %d attempts", attempts.Load())
+		}
+	})
+
+	t.Run("context cancels a pending wait", func(t *testing.T) {
+		// no Retry-After header forces the exponential fallback (≥ 750ms),
+		// so the 50ms deadline must fire mid-backoff
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTooManyRequests)
+		}))
+		defer ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		_, err := New(ts.URL).WithRetryOn429(5).Ingest(ctx, nil)
+		if err == nil || ctx.Err() == nil {
+			t.Fatalf("want a context-deadline abort mid-backoff, got %v", err)
+		}
+	})
+}
+
+// TestRetryWaitBounds pins the backoff shape: Retry-After wins, malformed
+// headers fall back to exponential, and every wait stays within ±25% of
+// its base and under the 30s cap.
+func TestRetryWaitBounds(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		if w := retryWait("2", 0); w < 1500*time.Millisecond || w > 2500*time.Millisecond {
+			t.Fatalf("Retry-After 2s produced wait %v outside ±25%%", w)
+		}
+		if w := retryWait("", 1); w < 1500*time.Millisecond || w > 2500*time.Millisecond {
+			t.Fatalf("fallback attempt 1 produced wait %v outside ±25%%", w)
+		}
+		if w := retryWait("garbage", 200); w > 30*time.Second {
+			t.Fatalf("wait %v above the 30s cap", w)
+		}
+		if w := retryWait("0", 3); w != 0 {
+			t.Fatalf("Retry-After 0 must not sleep, got %v", w)
+		}
 	}
 }
 

@@ -12,7 +12,9 @@
 // dense clustering kernels; part of "all"), segments (windowed
 // CompressRange over sealed segments vs full recompress; part of "all"),
 // serve (HTTP ingest throughput + WAL recovery time of the logrd serving
-// path; part of "all"), all. Scales: small, medium, paper.
+// path; part of "all"), sustained (sustained-q/s durable ingest: ack
+// latency quantiles, recovery, RSS; writes -json; not part of "all"), all.
+// Scales: small, medium, paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
 package main
@@ -45,10 +47,11 @@ type perfSnapshot struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, incremental, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, incremental, sustained, all)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	csvDir := flag.String("csv", "", "directory for CSV series (created if missing)")
 	perfOut := flag.String("perf", "", "write a JSON perf snapshot (per-experiment wall time) to this file")
+	jsonOut := flag.String("json", "", "write the sustained experiment's structured results to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -177,6 +180,12 @@ func main() {
 			fmt.Print(out)
 		case "serve":
 			out, err := serveExperiment(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "sustained":
+			out, err := sustainedExperiment(scale, *jsonOut)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logr"
+	"logr/internal/experiments"
+	"logr/internal/stats"
+	"logr/internal/workload"
+)
+
+// sustainedExperiment drives the durable ingest pipeline directly (no HTTP)
+// with replayed query streams, measuring what the decoupled WAL
+// group-commit + async-apply design is supposed to deliver: per-Append ack
+// latency quantiles (p50/p99/p99.9 from per-worker HDR-style histograms,
+// merged exactly), sustained acknowledged q/s under fsync=always and the
+// interval group-commit default, recovery time of the written directory,
+// and peak RSS. Each stream cycles its dataset's distinct statements with
+// Count=1 entries, so q/s here counts individual queries, not multiplicity
+// shortcuts. A paced run (TargetQPS > 0) sleeps each batch to its deadline
+// and reports how much of the target was actually acknowledged.
+//
+// JSON results additionally land in the path given by -json (the committed
+// BENCH_6_sustained.json artifact).
+
+// sustainedRun is one stream × sync-policy × pacing measurement.
+type sustainedRun struct {
+	Name         string  `json:"name"`
+	Dataset      string  `json:"dataset"`
+	Sync         string  `json:"sync"`
+	TargetQPS    int     `json:"target_qps,omitempty"`
+	Queries      int     `json:"queries"`
+	BatchSize    int     `json:"batch_queries"`
+	Workers      int     `json:"workers"`
+	WallSecs     float64 `json:"wall_seconds"`
+	QPS          float64 `json:"sustained_qps"`
+	OfTarget     float64 `json:"fraction_of_target,omitempty"`
+	AckP50us     float64 `json:"ack_p50_us"`
+	AckP99us     float64 `json:"ack_p99_us"`
+	AckP999us    float64 `json:"ack_p99_9_us"`
+	AckMaxus     float64 `json:"ack_max_us"`
+	AckMeanus    float64 `json:"ack_mean_us"`
+	RecoverySecs float64 `json:"recovery_seconds"`
+	PeakRSSMB    float64 `json:"peak_rss_mb"`
+}
+
+// sustainedSnapshot is the JSON document the -json flag writes.
+type sustainedSnapshot struct {
+	Timestamp  string         `json:"timestamp"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Runs       []sustainedRun `json:"runs"`
+}
+
+// sustainedTotal sizes the replay stream: multi-million at the paper
+// scale, sized down with the generators so CI stays quick.
+func sustainedTotal(scale experiments.Scale) int {
+	total := 10 * scale.PocketTotal
+	if total < 400_000 {
+		total = 400_000
+	}
+	if total > 4_000_000 {
+		total = 4_000_000
+	}
+	return total
+}
+
+const sustainedBatch = 4096 // queries acknowledged per Append call
+
+func sustainedExperiment(scale experiments.Scale, jsonPath string) (string, error) {
+	total := sustainedTotal(scale)
+	synthetic := workload.USBank(workload.USBankConfig{
+		TotalQueries:     scale.BankTotal,
+		DistinctTarget:   scale.BankDistinct,
+		ConstantVariants: scale.BankConstVariants,
+		Seed:             scale.Seed,
+	})
+	pocket := workload.PocketData(workload.PocketDataConfig{
+		TotalQueries:   scale.PocketTotal,
+		DistinctTarget: scale.PocketDistinct,
+		Seed:           scale.Seed,
+	})
+
+	type cfg struct {
+		name    string
+		dataset string
+		raw     []workload.LogEntry
+		pol     logr.SyncPolicy
+		target  int
+	}
+	cases := []cfg{
+		{"synthetic fsync=interval unthrottled", "usbank-synthetic", synthetic, logr.SyncInterval, 0},
+		{"synthetic fsync=interval @500k q/s", "usbank-synthetic", synthetic, logr.SyncInterval, 500_000},
+		{"synthetic fsync=always unthrottled", "usbank-synthetic", synthetic, logr.SyncAlways, 0},
+		{"pocketdata fsync=interval unthrottled", "pocketdata", pocket, logr.SyncInterval, 0},
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sustained durable ingest: %d queries per run, %d-query batches, %d workers\n\n",
+		total, sustainedBatch, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-38s %12s %10s %10s %10s %10s %9s\n",
+		"configuration", "q/s", "ack p50", "ack p99", "ack p99.9", "recovery", "rss")
+
+	snap := sustainedSnapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range cases {
+		run, err := sustainedOnce(c.name, c.dataset, c.raw, total, c.pol, c.target)
+		if err != nil {
+			return "", err
+		}
+		snap.Runs = append(snap.Runs, run)
+		fmt.Fprintf(&b, "%-38s %12.0f %10s %10s %10s %10s %8.0fM\n",
+			c.name, run.QPS,
+			time.Duration(run.AckP50us*1e3).Round(time.Microsecond),
+			time.Duration(run.AckP99us*1e3).Round(time.Microsecond),
+			time.Duration(run.AckP999us*1e3).Round(time.Microsecond),
+			time.Duration(run.RecoverySecs*1e9).Round(time.Millisecond),
+			run.PeakRSSMB)
+	}
+	b.WriteString("\nack latencies are per-Append acknowledgement quantiles; rss is the\nprocess peak (VmHWM, monotone across runs); recovery is logr.OpenDir\non the written directory (WAL replay + artifact load).\n")
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return "", err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n(sustained snapshot written to %s)\n", jsonPath)
+	}
+	return b.String(), nil
+}
+
+func sustainedOnce(name, dataset string, raw []workload.LogEntry, total int, pol logr.SyncPolicy, target int) (sustainedRun, error) {
+	dir, err := os.MkdirTemp("", "logr-sustained")
+	if err != nil {
+		return sustainedRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+	wopts := logr.Options{Sync: pol, SegmentThreshold: total/8 + 1}
+	w, err := logr.OpenDir(dataDir, wopts)
+	if err != nil {
+		return sustainedRun{}, err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	batches := (total + sustainedBatch - 1) / sustainedBatch
+	if workers > batches {
+		workers = batches
+	}
+	// pacing: batch i's deadline is start + i·(batch/target); an unpaced
+	// run (target 0) never sleeps and measures the pipeline's ceiling
+	var interval time.Duration
+	if target > 0 {
+		interval = time.Duration(float64(sustainedBatch) / float64(target) * float64(time.Second))
+	}
+
+	hists := make([]stats.Histogram, workers)
+	errs := make(chan error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			h := &hists[wi]
+			batch := make([]logr.Entry, 0, sustainedBatch)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(batches) {
+					return
+				}
+				// cycle the distinct statements as Count=1 entries so the
+				// batch really carries sustainedBatch queries
+				lo := i * sustainedBatch
+				hi := lo + sustainedBatch
+				if hi > int64(total) {
+					hi = int64(total)
+				}
+				batch = batch[:0]
+				for j := lo; j < hi; j++ {
+					batch = append(batch, logr.Entry{SQL: raw[j%int64(len(raw))].SQL, Count: 1})
+				}
+				if interval > 0 {
+					if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				t0 := time.Now()
+				if err := w.Append(batch); err != nil {
+					errs <- err
+					return
+				}
+				h.RecordDuration(time.Since(t0))
+			}
+		}(wi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		w.Close()
+		return sustainedRun{}, err
+	default:
+	}
+	wall := time.Since(start)
+
+	var h stats.Histogram
+	for i := range hists {
+		h.Merge(&hists[i])
+	}
+	w.Seal()
+	if err := w.Close(); err != nil {
+		return sustainedRun{}, err
+	}
+	rstart := time.Now()
+	re, err := logr.OpenDir(dataDir, wopts)
+	if err != nil {
+		return sustainedRun{}, err
+	}
+	recovery := time.Since(rstart)
+	if re.Queries() != total {
+		re.Close()
+		return sustainedRun{}, fmt.Errorf("%s: recovery lost data: %d queries, ingested %d", name, re.Queries(), total)
+	}
+	if err := re.Close(); err != nil {
+		return sustainedRun{}, err
+	}
+
+	run := sustainedRun{
+		Name: name, Dataset: dataset, Sync: syncName(pol), TargetQPS: target,
+		Queries: total, BatchSize: sustainedBatch, Workers: workers,
+		WallSecs:     wall.Seconds(),
+		QPS:          float64(total) / wall.Seconds(),
+		AckP50us:     float64(h.Quantile(0.50)) / 1e3,
+		AckP99us:     float64(h.Quantile(0.99)) / 1e3,
+		AckP999us:    float64(h.Quantile(0.999)) / 1e3,
+		AckMaxus:     float64(h.Max()) / 1e3,
+		AckMeanus:    h.Mean() / 1e3,
+		RecoverySecs: recovery.Seconds(),
+		PeakRSSMB:    peakRSSMB(),
+	}
+	if target > 0 {
+		run.OfTarget = run.QPS / float64(target)
+	}
+	return run, nil
+}
+
+func syncName(pol logr.SyncPolicy) string {
+	switch pol {
+	case logr.SyncAlways:
+		return "always"
+	case logr.SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) from
+// /proc/self/status; 0 on platforms without procfs.
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

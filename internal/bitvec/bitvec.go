@@ -177,6 +177,77 @@ func (v Vector) AndNot(u Vector) Vector {
 	return out
 }
 
+// reshape resizes dst to a universe of n features, reusing its word
+// storage when capacity allows. Word contents beyond what the caller
+// overwrites are unspecified; every Into kernel writes the full span.
+func (dst *Vector) reshape(n int) {
+	nw := (n + wordBits - 1) / wordBits
+	if cap(dst.words) >= nw {
+		dst.words = dst.words[:nw]
+	} else {
+		dst.words = make([]uint64, nw)
+	}
+	dst.n = n
+}
+
+// AndInto sets *dst to v ∧ u, reusing dst's word storage when it has
+// capacity — the allocation-free form of And for hot loops that keep a
+// scratch vector across iterations. dst may alias v or u.
+func (v Vector) AndInto(u Vector, dst *Vector) {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	dst.reshape(v.n)
+	for i := range v.words {
+		dst.words[i] = v.words[i] & u.words[i]
+	}
+}
+
+// OrInto sets *dst to v ∨ u, reusing dst's word storage when it has
+// capacity. dst may alias v or u.
+func (v Vector) OrInto(u Vector, dst *Vector) {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	dst.reshape(v.n)
+	for i := range v.words {
+		dst.words[i] = v.words[i] | u.words[i]
+	}
+}
+
+// AndNotInto sets *dst to v ∧ ¬u, reusing dst's word storage when it has
+// capacity. dst may alias v or u.
+func (v Vector) AndNotInto(u Vector, dst *Vector) {
+	if v.n != u.n {
+		panic("bitvec: universe size mismatch")
+	}
+	dst.reshape(v.n)
+	for i := range v.words {
+		dst.words[i] = v.words[i] &^ u.words[i]
+	}
+}
+
+// CopyInto sets *dst to a copy of v, reusing dst's word storage when it
+// has capacity — Clone without the allocation.
+func (v Vector) CopyInto(dst *Vector) {
+	dst.reshape(v.n)
+	copy(dst.words, v.words)
+}
+
+// GrowInto sets *dst to v widened to a universe of size n (n ≥ v.Len()),
+// reusing dst's word storage when it has capacity. Existing bits keep
+// their indices; the widened tail is zero. dst must not alias v.
+func (v Vector) GrowInto(n int, dst *Vector) {
+	if n < v.n {
+		panic("bitvec: Grow would shrink universe")
+	}
+	dst.reshape(n)
+	copy(dst.words, v.words)
+	for i := len(v.words); i < len(dst.words); i++ {
+		dst.words[i] = 0
+	}
+}
+
 // OrInPlace sets v to v ∨ u.
 func (v Vector) OrInPlace(u Vector) {
 	if v.n != u.n {

@@ -48,12 +48,17 @@ func Flashlight(d *Labeled, opts FlashlightOptions) *LaserlightModel {
 	seen := map[string]bool{}
 	var cands []bitvec.Vector
 	add := func(b bitvec.Vector) {
-		if b.IsZero() || seen[b.Key()] || len(cands) >= opts.MaxCandidates {
+		if b.IsZero() || len(cands) >= opts.MaxCandidates {
 			return
 		}
-		seen[b.Key()] = true
-		cands = append(cands, b)
+		k := b.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		cands = append(cands, b.Clone())
 	}
+	var scratch bitvec.Vector
 outer:
 	for i := 0; i < d.Distinct(); i++ {
 		add(d.Vector(i))
@@ -61,7 +66,8 @@ outer:
 			if len(cands) >= opts.MaxCandidates {
 				break outer
 			}
-			add(d.Vector(i).And(d.Vector(j)))
+			d.Vector(i).AndInto(d.Vector(j), &scratch)
+			add(scratch)
 		}
 	}
 

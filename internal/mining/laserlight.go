@@ -142,12 +142,14 @@ func (m *LaserlightModel) sampleCandidates(rng *rand.Rand, sample int, seen map[
 		if b.IsZero() || seen[b.Key()] {
 			return
 		}
-		out = append(out, b)
+		out = append(out, b.Clone())
 	}
+	var scratch bitvec.Vector
 	for i := 0; i < len(rows); i++ {
 		add(rows[i])
 		for j := i + 1; j < len(rows); j++ {
-			add(rows[i].And(rows[j]))
+			rows[i].AndInto(rows[j], &scratch)
+			add(scratch)
 		}
 	}
 	return out

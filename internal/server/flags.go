@@ -23,6 +23,7 @@ func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 	maxBody := fs.Int64("max-body", 32<<20, "max /ingest body bytes")
 	maxLine := fs.Int("max-line", 0, "max bytes per text-ingest line (0 = 1 MiB)")
 	extended := fs.Bool("extended", false, "use the extended feature scheme (GROUP BY / ORDER BY / aggregates)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return RunConfig{}, err
 	}
@@ -39,8 +40,9 @@ func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 	}
 	copts := logr.CompressOptions{Clusters: *k, Seed: *seed, Parallelism: *par}
 	return RunConfig{
-		Addr: *addr,
-		Dir:  *dir,
+		Addr:      *addr,
+		PprofAddr: *pprofAddr,
+		Dir:       *dir,
 		Workload: logr.Options{
 			ExtendedScheme:   *extended,
 			Parallelism:      *par,

@@ -3,18 +3,36 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"logr"
 )
 
+// pprofMux builds a standalone profiling mux so the pprof handlers never
+// register on the API mux or the global DefaultServeMux.
+func pprofMux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
+}
+
 // RunConfig configures a daemon run (shared by cmd/logrd and `logr serve`).
 type RunConfig struct {
 	// Addr is the listen address (e.g. ":8080"; ":0" picks a free port).
 	Addr string
+	// PprofAddr, when non-empty, serves net/http/pprof on its own listener
+	// and mux at this address (profiling never shares the API surface).
+	// Empty means no profiling endpoint at all.
+	PprofAddr string
 	// Dir is the durable workload's data directory.
 	Dir string
 	// Workload are the workload options (encoding, segmentation, fsync
@@ -65,6 +83,19 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		cfg.OnListen(ln.Addr())
 	}
 	logf("logrd: listening on %s", ln.Addr())
+
+	if cfg.PprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			ln.Close()
+			w.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		ps := &http.Server{Handler: pprofMux()}
+		go ps.Serve(pln)
+		defer ps.Close()
+		logf("logrd: pprof on %s", pln.Addr())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

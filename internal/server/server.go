@@ -171,7 +171,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.ingestSem <- struct{}{}:
 		defer func() { <-s.ingestSem }()
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeErr(w, http.StatusTooManyRequests, errors.New("ingest backlog full, retry later"))
 		return
 	}
@@ -210,6 +210,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, client.IngestResult{Entries: len(entries), TotalQueries: s.w.Queries()})
+}
+
+// retryAfter derives the 429 Retry-After hint from the durable pipeline's
+// backlog: 1s when the refusal is pure request-concurrency pressure, one
+// more second per quarter of the apply queue in use, capped at 8s. Clients
+// arriving while the applier is drowning are told to stay away longer.
+func (s *Server) retryAfter() int {
+	lag := s.w.IngestLag()
+	secs := 1
+	if lag.QueueCap > 0 {
+		secs += 4 * lag.QueuedBatches / lag.QueueCap
+	}
+	if secs > 8 {
+		secs = 8
+	}
+	return secs
 }
 
 // badBodyStatus distinguishes an oversized body (413) from a malformed one
@@ -378,6 +394,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.w.Stats()
+	lag := s.w.IngestLag()
 	writeJSON(w, http.StatusOK, client.StatsResult{
 		Queries:             st.Queries,
 		DistinctQueries:     st.DistinctQueries,
@@ -390,6 +407,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AvgFeaturesPerQuery: st.AvgFeaturesPerQuery,
 		StoredProcedures:    st.StoredProcedures,
 		Unparseable:         st.Unparseable,
+		Ingest: client.IngestLagResult{
+			QueuedBatches: lag.QueuedBatches,
+			QueueCap:      lag.QueueCap,
+			QueuedEntries: lag.QueuedEntries,
+			AckedOffset:   lag.AckedOffset,
+			AppliedOffset: lag.AppliedOffset,
+			LagBytes:      lag.AckedOffset - lag.AppliedOffset,
+		},
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -216,12 +217,28 @@ func TestIngestBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("backpressure: HTTP %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("backpressure response missing Retry-After")
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q must be a positive integer of seconds", resp.Header.Get("Retry-After"))
 	}
 	<-srv.ingestSem
-	if _, err := client.New(ts.URL).Ingest(context.Background(), testEntries(3, 0)); err != nil {
+	if _, err := client.New(ts.URL).WithRetryOn429(5).Ingest(context.Background(), testEntries(3, 0)); err != nil {
 		t.Fatalf("ingest after releasing the gate: %v", err)
+	}
+
+	// /stats surfaces the pipeline backlog gauges alongside the Table-1 row
+	var st client.StatsResult
+	st, err = client.New(ts.URL).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest.QueueCap <= 0 {
+		t.Fatalf("stats ingest lag %+v: durable workload must report a bounded apply queue", st.Ingest)
+	}
+	if st.Ingest.QueuedBatches < 0 || st.Ingest.AppliedOffset > st.Ingest.AckedOffset {
+		t.Fatalf("stats ingest lag %+v: applied offset ran ahead of acked", st.Ingest)
+	}
+	if st.Ingest.LagBytes != st.Ingest.AckedOffset-st.Ingest.AppliedOffset {
+		t.Fatalf("stats ingest lag %+v: lag_bytes inconsistent", st.Ingest)
 	}
 }
 

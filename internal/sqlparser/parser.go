@@ -2,14 +2,25 @@ package sqlparser
 
 import (
 	"strings"
+	"sync"
 )
+
+// parserPool recycles parser+lexer shells across Parse calls: the ingest
+// hot path parses every distinct SQL string exactly once, and the two
+// small structs were the only per-call allocations besides the AST itself.
+// Pooled objects are scrubbed of token/source references before reuse so
+// the pool never pins a caller's string.
+var parserPool = sync.Pool{
+	New: func() any { return &parser{lex: &lexer{}} },
+}
 
 // Parse parses a single SQL statement. Trailing semicolons are allowed.
 // Non-SELECT statements return *UnsupportedError; malformed input returns
 // *SyntaxError.
 func Parse(src string) (Statement, error) {
-	p, err := newParser(src)
-	if err != nil {
+	p := parserPool.Get().(*parser)
+	defer p.release()
+	if err := p.reset(src); err != nil {
 		return nil, err
 	}
 	stmt, err := p.parseStatement()
@@ -49,15 +60,31 @@ type parser struct {
 }
 
 func newParser(src string) (*parser, error) {
-	p := &parser{lex: &lexer{src: src}}
-	var err error
-	if p.cur, err = p.lex.next(); err != nil {
-		return nil, err
-	}
-	if p.peek, err = p.lex.next(); err != nil {
+	p := &parser{lex: &lexer{}}
+	if err := p.reset(src); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// reset re-aims a (possibly pooled) parser at a new source string and
+// primes the two-token lookahead.
+func (p *parser) reset(src string) error {
+	p.lex.src, p.lex.pos = src, 0
+	var err error
+	if p.cur, err = p.lex.next(); err != nil {
+		return err
+	}
+	p.peek, err = p.lex.next()
+	return err
+}
+
+// release scrubs source and token references and returns the parser to the
+// pool.
+func (p *parser) release() {
+	p.lex.src, p.lex.pos = "", 0
+	p.cur, p.peek = Token{}, Token{}
+	parserPool.Put(p)
 }
 
 func (p *parser) advance() error {

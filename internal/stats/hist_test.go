@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	// every value must land in a bucket whose high edge is ≥ the value and
+	// within the advertised relative error
+	vals := []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		b := bucketOf(v)
+		hi := bucketHigh(b)
+		if hi < v {
+			t.Fatalf("value %d: bucket high %d below the value", v, hi)
+		}
+		if v >= 64 && float64(hi-v) > 0.05*float64(v) {
+			t.Fatalf("value %d: bucket high %d off by more than 5%%", v, hi)
+		}
+		// edges are consistent: the high edge maps back to the same bucket
+		if bucketOf(hi) != b {
+			t.Fatalf("value %d: high edge %d maps to bucket %d, want %d", v, hi, bucketOf(hi), b)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	sample := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// log-uniform latencies from ~100ns to ~1s
+		v := int64(100 * (1 << uint(rng.Intn(24))))
+		v += rng.Int63n(v)
+		sample = append(sample, v)
+		h.Record(v)
+	}
+	if h.Count() != uint64(len(sample)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(sample))
+	}
+	for _, q := range []float64{0.0, 0.5, 0.9, 0.99, 0.999, 1.0} {
+		exact := QuantilesOf(sample, q)
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q=%g: histogram %d below exact %d (quantiles must be upper bounds)", q, got, exact)
+		}
+		if float64(got-exact) > 0.04*float64(exact)+1 {
+			t.Fatalf("q=%g: histogram %d vs exact %d exceeds 4%% relative error", q, got, exact)
+		}
+	}
+	if h.Max() != QuantilesOf(sample, 1) {
+		t.Fatalf("max %d, want %d", h.Max(), QuantilesOf(sample, 1))
+	}
+}
+
+func TestHistogramMergeIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole Histogram
+	parts := make([]Histogram, 4)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatal("merge of per-worker histograms diverges from a single histogram")
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Summary() != "n=0" {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.RecordDuration(3 * time.Millisecond)
+	if h.QuantileDuration(0.5) < 3*time.Millisecond {
+		t.Fatal("single recording: p50 below the value")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear the histogram")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*97 + 13)
+	}
+}

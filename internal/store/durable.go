@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"logr/internal/cluster"
@@ -28,26 +29,80 @@ import (
 // fundamentally needs. Segment artifacts are caches and shippable exports:
 // losing one costs a lazy re-clustering, never data.
 //
-// All methods are safe for concurrent use. Mutations serialize on one lock
-// so the WAL record order always matches the in-memory apply order; reads
-// (through Mem) run against the inner store's own synchronization and are
-// never blocked by ingest I/O. Artifact persistence — including the
-// seal-time summary clustering — runs *after* the mutation lock is
-// released, on its own serialization, so a seal's clustering never stalls
-// concurrent ingest.
+// # Ingest pipeline
+//
+// Ingest is split into three decoupled stages so an acknowledgement never
+// waits on the encoder or on artifact clustering:
+//
+//  1. Commit: Append/Seal/DropBefore/Compact serialize on one sequencing
+//     lock just long enough to hand their records to the WAL's buffered
+//     group-commit writer and enqueue matching apply jobs — so the WAL
+//     record order is, by construction, the apply order, and recovery
+//     replays exactly the sequence the live store executed. Under
+//     wal.SyncAlways the caller then waits (outside the lock, sharing
+//     fsyncs with concurrent callers) until its records are on stable
+//     storage before acknowledging.
+//  2. Apply: a single ordered applier drains the bounded apply queue into
+//     the in-memory store (parse/regularize/codebook encode, automatic
+//     seals and compactions). The queue bound makes backpressure explicit:
+//     when the applier falls behind, commits block enqueueing. Reads that
+//     need append-then-read visibility call Barrier, which waits until the
+//     applier has caught up to "applied ≥ acknowledged WAL offset".
+//  3. Persist: a background worker rebuilds segment artifacts (including
+//     seal-time summary clustering, under its own parallelism budget)
+//     whenever the segment set changes. A seal therefore never stalls
+//     ingest acknowledgements; Close drains the worker so artifacts are
+//     current before the directory lock is released.
+//
+// All methods are safe for concurrent use. Failures on the asynchronous
+// stages (apply-side WAL poisoning, artifact writes) are sticky: Err
+// reports the first one, and Close returns it.
 type Durable struct {
-	mu     sync.Mutex
-	mem    *Store
-	w      *wal.Log
-	dir    string
-	opts   Options
-	dopts  DurableOptions
-	lock   *os.File // the data directory's single-writer flock
-	closed bool
+	// seqMu is the commit-stage sequencing lock: it couples "record
+	// accepted by the WAL" with "job enqueued for apply" so the two orders
+	// can never diverge. It is held only for buffer framing and a channel
+	// send — never for disk I/O or encoding.
+	seqMu  sync.Mutex
+	closed bool // guarded by seqMu
 
-	// persistMu serializes artifact-directory reconciliation (summary
-	// builds, file writes, GC) outside the mutation lock.
-	persistMu sync.Mutex
+	mem   *Store
+	w     *wal.Log
+	dir   string
+	opts  Options
+	dopts DurableOptions
+	lock  *os.File // the data directory's single-writer flock
+
+	applyQ      chan applyJob
+	applierDone chan struct{}
+	persistNote chan struct{}      // coalesced "segment set changed" signal
+	persistSync chan chan struct{} // WaitPersisted rendezvous
+	persistDone chan struct{}
+
+	acked   atomic.Int64 // WAL offset of the last acknowledged record
+	applied atomic.Int64 // WAL offset up to which the applier has caught up
+	queued  atomic.Int64 // entries sitting in applyQ, pending apply
+
+	applyMu   sync.Mutex // barrier condition variable
+	applyCond *sync.Cond
+
+	errMu  sync.Mutex
+	sticky error // first asynchronous failure (apply WAL poison, artifact write)
+}
+
+// applyJob is one WAL record en route to the in-memory store. lsn is the
+// WAL offset the applier may publish after applying it (0 for all but the
+// last window of a batch — barrier visibility is batch-granular). reply,
+// when non-nil, receives the operation's result (control ops only).
+type applyJob struct {
+	op    walOp
+	lsn   int64
+	reply chan applyResult
+}
+
+type applyResult struct {
+	meta SegmentMeta
+	ok   bool
+	n    int
 }
 
 // DurableOptions configure persistence; Options (the in-memory knobs)
@@ -58,6 +113,16 @@ type DurableOptions struct {
 	Sync wal.SyncPolicy
 	// SyncInterval is the SyncInterval staleness bound (0 = 100ms).
 	SyncInterval time.Duration
+	// ApplyQueue bounds the apply queue in ingest windows (≈8k entries
+	// each); when the applier falls this far behind, commits block and
+	// backpressure reaches the caller (0 = 64 windows).
+	ApplyQueue int
+	// PersistParallelism is the worker budget for seal-time summary
+	// clustering on the background persist worker (≤ 0 = all cores).
+	// Summaries are bit-identical at any parallelism for a fixed seed;
+	// capping it keeps artifact builds from competing with ingest and
+	// queries for every core.
+	PersistParallelism int
 	// SealSummary are the compression options used to build the summary
 	// written into each seal's segment artifact (and cached for range
 	// queries). The zero value (K == 0 and TargetError == 0) selects the
@@ -66,8 +131,7 @@ type DurableOptions struct {
 	SealSummary core.CompressOptions
 	// DisableSealSummaries skips the summary build at seal: artifacts then
 	// carry only the sub-log, and summaries are built lazily on first use.
-	// The right setting when ingest latency matters more than recovery
-	// warmth.
+	// The right setting when recovery warmth matters less than idle CPU.
 	DisableSealSummaries bool
 }
 
@@ -82,13 +146,36 @@ func (o DurableOptions) sealSummary() (core.CompressOptions, bool) {
 		// by default-option queries
 		opts = core.CompressOptions{K: 8, Seed: 1, Metric: cluster.Hamming}
 	}
+	if opts.Parallelism <= 0 {
+		// the persist worker's own budget; Parallelism is not part of the
+		// summary cache key and output is bit-identical regardless
+		opts.Parallelism = o.PersistParallelism
+	}
 	return opts, true
+}
+
+func (o DurableOptions) applyQueue() int {
+	if o.ApplyQueue > 0 {
+		return o.ApplyQueue
+	}
+	return 64
 }
 
 // ErrClosed reports an operation on a closed durable store.
 var ErrClosed = errors.New("store: durable store is closed")
 
 const walFileName = "wal.log"
+
+// ingestWindow bounds one WAL record (and one apply job) so a giant batch
+// cannot demand a giant replay allocation.
+const ingestWindow = 8192
+
+// recordBufPool recycles the ~150 KiB encode buffers of entry-batch WAL
+// records: the WAL copies payloads during AppendBatch, so the buffer is
+// reusable the moment the call returns.
+var recordBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
 
 // Open opens (creating if needed) a durable store rooted at dir. Recovery
 // replays the WAL's durable prefix into a fresh store with the same
@@ -130,14 +217,26 @@ func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
 		lock.Close()
 		return nil, err
 	}
-	d := &Durable{mem: mem, w: w, dir: dir, opts: opts, dopts: dopts, lock: lock}
+	d := &Durable{
+		mem: mem, w: w, dir: dir, opts: opts, dopts: dopts, lock: lock,
+		applyQ:      make(chan applyJob, dopts.applyQueue()),
+		applierDone: make(chan struct{}),
+		persistNote: make(chan struct{}, 1),
+		persistSync: make(chan chan struct{}),
+		persistDone: make(chan struct{}),
+	}
+	d.applyCond = sync.NewCond(&d.applyMu)
+	d.acked.Store(w.Size())
+	d.applied.Store(w.Size())
 	d.loadArtifacts()
+	go d.applier()
+	go d.persister()
 	return d, nil
 }
 
-// Mem returns the in-memory store behind the durable layer. Use it for
-// every read path (snapshots, range queries, drift): reads see exactly the
-// applied state and never touch the WAL.
+// Mem returns the in-memory store behind the durable layer. Reads see the
+// applied state and never touch the WAL; call Barrier first for
+// append-then-read visibility of acknowledged batches.
 func (d *Durable) Mem() *Store { return d.mem }
 
 // Dir returns the store's data directory.
@@ -146,67 +245,129 @@ func (d *Durable) Dir() string { return d.dir }
 // segDir returns the segment-artifact directory.
 func (d *Durable) segDir() string { return filepath.Join(d.dir, segDirName) }
 
-// Append logs and applies a batch of entries. Each WAL record is written
-// before its slice is applied; the inner store then runs its own automatic
-// sealing and compaction, exactly as replay will re-run them. Segments the
-// batch sealed get their artifacts (and seal summaries) written before
-// Append returns, but outside the mutation lock, so other ingest proceeds
-// while they build.
+// Append logs a batch of entries (in bounded windows) and enqueues it for
+// the ordered applier; it acknowledges once every window is accepted by the
+// WAL — and, under wal.SyncAlways, on stable storage — without waiting for
+// the encoder. The entry slice must not be mutated by the caller after
+// Append returns: the applier still reads it.
 func (d *Durable) Append(entries []workload.LogEntry) error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return ErrClosed
-	}
-	// bound one WAL record to an ingest window so a giant batch cannot
-	// demand a giant replay allocation
-	const window = 8192
-	before := d.mem.NextID()
-	var err error
-	for len(entries) > 0 {
-		n := min(len(entries), window)
-		if err = d.w.Append(encodeEntriesOp(entries[:n])); err != nil {
-			break
-		}
-		d.mem.Append(entries[:n])
-		entries = entries[n:]
-	}
-	// a seal is the only thing that can reshape segments during an Append
-	// (the inner store only compacts after a seal)
-	sealed := d.mem.NextID() != before
-	d.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if !sealed {
+	if len(entries) == 0 {
 		return nil
 	}
-	return d.persistSegments()
+	// frame every window outside the sequencing lock; buffers recycle
+	// because the WAL copies them during AppendBatch
+	nw := (len(entries) + ingestWindow - 1) / ingestWindow
+	payloads := make([][]byte, 0, nw)
+	bufs := make([]*[]byte, 0, nw)
+	jobs := make([]applyJob, 0, nw)
+	queued := int64(0)
+	for rest := entries; len(rest) > 0; {
+		n := min(len(rest), ingestWindow)
+		bp := recordBufPool.Get().(*[]byte)
+		*bp = encodeEntriesOpInto(*bp, rest[:n])
+		bufs = append(bufs, bp)
+		payloads = append(payloads, *bp)
+		jobs = append(jobs, applyJob{op: walOp{kind: opEntries, entries: rest[:n]}})
+		queued += int64(n)
+		rest = rest[n:]
+	}
+	putBufs := func() {
+		for _, bp := range bufs {
+			recordBufPool.Put(bp)
+		}
+	}
+	d.seqMu.Lock()
+	if d.closed {
+		d.seqMu.Unlock()
+		putBufs()
+		return ErrClosed
+	}
+	end, err := d.w.AppendBatch(payloads)
+	if err != nil {
+		d.seqMu.Unlock()
+		putBufs()
+		return err
+	}
+	d.acked.Store(end)
+	d.queued.Add(queued)
+	jobs[len(jobs)-1].lsn = end
+	for _, j := range jobs {
+		d.applyQ <- j // blocks when the applier is behind: backpressure
+	}
+	d.seqMu.Unlock()
+	putBufs()
+	if d.dopts.Sync == wal.SyncAlways {
+		return d.w.Commit(end)
+	}
+	return nil
 }
 
-// Seal freezes the active buffer into a segment, writes its artifact
-// (summary per DurableOptions.SealSummary plus the sub-log), and returns
-// its descriptor; ok is false when the buffer is empty.
-func (d *Durable) Seal() (SegmentMeta, bool, error) {
-	d.mu.Lock()
+// control logs one control record and routes it through the apply queue,
+// so it is totally ordered with appends, then waits for the applier's
+// reply — a control op is inherently a barrier.
+func (d *Durable) control(op walOp, payload []byte) (applyResult, error) {
+	reply := make(chan applyResult, 1)
+	d.seqMu.Lock()
 	if d.closed {
-		d.mu.Unlock()
+		d.seqMu.Unlock()
+		return applyResult{}, ErrClosed
+	}
+	end, err := d.w.AppendBatch([][]byte{payload})
+	if err != nil {
+		d.seqMu.Unlock()
+		return applyResult{}, err
+	}
+	d.acked.Store(end)
+	d.applyQ <- applyJob{op: op, lsn: end, reply: reply}
+	d.seqMu.Unlock()
+	if d.dopts.Sync == wal.SyncAlways {
+		if err := d.w.Commit(end); err != nil {
+			<-reply // the op still applied in order; report the durability failure
+			return applyResult{}, err
+		}
+	}
+	return <-reply, nil
+}
+
+// Seal freezes the active buffer into a segment and returns its
+// descriptor; ok is false when the buffer is empty. The segment's artifact
+// (summary per DurableOptions.SealSummary plus the sub-log) is built by
+// the background persist worker — WaitPersisted blocks until it lands.
+func (d *Durable) Seal() (SegmentMeta, bool, error) {
+	// an empty active buffer seals to nothing; checking it needs the
+	// applier caught up, and holding seqMu keeps new appends out between
+	// the check and the record (the applier never takes seqMu, so the
+	// barrier cannot deadlock)
+	d.seqMu.Lock()
+	if d.closed {
+		d.seqMu.Unlock()
 		return SegmentMeta{}, false, ErrClosed
 	}
+	d.Barrier()
 	if d.mem.ActiveQueries() == 0 {
-		d.mu.Unlock()
+		d.seqMu.Unlock()
 		return SegmentMeta{}, false, nil
 	}
-	if err := d.w.Append(encodeSealOp()); err != nil {
-		d.mu.Unlock()
+	reply := make(chan applyResult, 1)
+	end, err := d.w.AppendBatch([][]byte{encodeSealOp()})
+	if err != nil {
+		d.seqMu.Unlock()
 		return SegmentMeta{}, false, err
 	}
-	meta, ok := d.mem.Seal()
-	d.mu.Unlock()
-	if !ok {
+	d.acked.Store(end)
+	d.applyQ <- applyJob{op: walOp{kind: opSeal}, lsn: end, reply: reply}
+	d.seqMu.Unlock()
+	if d.dopts.Sync == wal.SyncAlways {
+		if err := d.w.Commit(end); err != nil {
+			<-reply
+			return SegmentMeta{}, false, err
+		}
+	}
+	res := <-reply
+	if !res.ok {
 		return SegmentMeta{}, false, nil
 	}
-	return meta, true, d.persistSegments()
+	return res.meta, true, nil
 }
 
 // DropBefore logs and applies retention: segments entirely before seal id
@@ -214,62 +375,196 @@ func (d *Durable) Seal() (SegmentMeta, bool, error) {
 // entries — the codebook, dedup state and statistics they contributed are
 // still live state — so reopening replays them and re-drops the segments.
 func (d *Durable) DropBefore(id int) (int, error) {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return 0, ErrClosed
-	}
-	if err := d.w.Append(encodeDropOp(id)); err != nil {
-		d.mu.Unlock()
-		return 0, err
-	}
-	n := d.mem.DropBefore(id)
-	d.mu.Unlock()
-	return n, d.persistSegments()
+	res, err := d.control(walOp{kind: opDrop, arg: id}, encodeDropOp(id))
+	return res.n, err
 }
 
-// Compact logs and applies a compaction pass, then refreshes the artifact
-// directory (merged runs get a combined sub-log artifact; their old files
-// are removed).
+// Compact logs and applies a compaction pass, then lets the background
+// persist worker refresh the artifact directory (merged runs get a
+// combined sub-log artifact; their old files are removed).
 func (d *Durable) Compact(minQueries int) (int, error) {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return 0, ErrClosed
-	}
-	if err := d.w.Append(encodeCompactOp(minQueries)); err != nil {
-		d.mu.Unlock()
-		return 0, err
-	}
-	n := d.mem.Compact(minQueries)
-	d.mu.Unlock()
-	return n, d.persistSegments()
+	res, err := d.control(walOp{kind: opCompact, arg: minQueries}, encodeCompactOp(minQueries))
+	return res.n, err
 }
 
-// Sync forces every appended record to stable storage (the fsync the
+// Barrier blocks until the applier has caught up with every batch
+// acknowledged before the call: on return, reads through Mem see them.
+// The fast path — applier already caught up — is two atomic loads.
+func (d *Durable) Barrier() {
+	target := d.acked.Load()
+	if d.applied.Load() >= target {
+		return
+	}
+	d.applyMu.Lock()
+	for d.applied.Load() < target {
+		d.applyCond.Wait()
+	}
+	d.applyMu.Unlock()
+}
+
+// IngestLag is a snapshot of the ingest pipeline's backlog: how far the
+// asynchronous applier trails acknowledged WAL records.
+type IngestLag struct {
+	// QueuedBatches and QueueCap are the apply queue's depth and bound, in
+	// ingest windows.
+	QueuedBatches int
+	QueueCap      int
+	// QueuedEntries counts log entries awaiting apply.
+	QueuedEntries int64
+	// AckedOffset and AppliedOffset are WAL byte offsets: the last
+	// acknowledged record and the applier's progress through them.
+	AckedOffset   int64
+	AppliedOffset int64
+}
+
+// Lag reports the ingest pipeline's current backlog.
+func (d *Durable) Lag() IngestLag {
+	return IngestLag{
+		QueuedBatches: len(d.applyQ),
+		QueueCap:      cap(d.applyQ),
+		QueuedEntries: d.queued.Load(),
+		AckedOffset:   d.acked.Load(),
+		AppliedOffset: d.applied.Load(),
+	}
+}
+
+// applier is the single ordered apply stage: it drains WAL-committed jobs
+// into the in-memory store, publishes apply progress for Barrier, answers
+// control-op replies, and nudges the persist worker when the segment set
+// changes.
+func (d *Durable) applier() {
+	defer close(d.applierDone)
+	for job := range d.applyQ {
+		before := d.mem.NextID()
+		var res applyResult
+		switch job.op.kind {
+		case opEntries:
+			d.mem.Append(job.op.entries)
+			d.queued.Add(-int64(len(job.op.entries)))
+		case opSeal:
+			res.meta, res.ok = d.mem.Seal()
+		case opDrop:
+			res.n = d.mem.DropBefore(job.op.arg)
+		case opCompact:
+			res.n = d.mem.Compact(job.op.arg)
+		}
+		if job.lsn > 0 {
+			d.applyMu.Lock()
+			d.applied.Store(job.lsn)
+			d.applyCond.Broadcast()
+			d.applyMu.Unlock()
+		}
+		if job.reply != nil {
+			job.reply <- res
+		}
+		if job.op.kind != opEntries || d.mem.NextID() != before {
+			select {
+			case d.persistNote <- struct{}{}:
+			default: // a reconcile is already pending; it will see this change
+			}
+		}
+	}
+}
+
+// persister is the background persist worker: every nudge reconciles the
+// artifact directory against the live segments (clustering seal summaries
+// under DurableOptions.PersistParallelism). Failures are sticky, reported
+// by Err and Close — the WAL already holds the truth, so a failed artifact
+// build costs recovery warmth, never data.
+func (d *Durable) persister() {
+	defer close(d.persistDone)
+	for {
+		select {
+		case _, ok := <-d.persistNote:
+			if !ok {
+				// shutdown: one final reconcile so Close leaves artifacts
+				// current before the directory lock is released
+				if err := d.persistSegments(); err != nil {
+					d.note(err)
+				}
+				return
+			}
+			if err := d.persistSegments(); err != nil {
+				d.note(err)
+			}
+		case ready := <-d.persistSync:
+			// drain a pending nudge first so the wait covers it
+			select {
+			case <-d.persistNote:
+			default:
+			}
+			if err := d.persistSegments(); err != nil {
+				d.note(err)
+			}
+			close(ready)
+		}
+	}
+}
+
+// WaitPersisted blocks until the persist worker has reconciled the
+// artifact directory with the segment set as of the call. It does not
+// barrier on the applier; callers that need "everything I appended is
+// sealed and persisted" should Barrier (or Seal) first.
+func (d *Durable) WaitPersisted() {
+	ready := make(chan struct{})
+	select {
+	case d.persistSync <- ready:
+		<-ready
+	case <-d.persistDone:
+		// worker already shut down: Close's final reconcile covered it
+	}
+}
+
+// note records the first asynchronous failure.
+func (d *Durable) note(err error) {
+	if err == nil {
+		return
+	}
+	d.errMu.Lock()
+	if d.sticky == nil {
+		d.sticky = err
+	}
+	d.errMu.Unlock()
+}
+
+// Err reports the first failure from the asynchronous pipeline stages
+// (artifact persistence, deferred WAL flush/fsync poisoning), nil if none.
+func (d *Durable) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.sticky
+}
+
+// Sync forces every acknowledged record to stable storage (the fsync the
 // configured policy may have deferred).
 func (d *Durable) Sync() error {
-	return d.w.Sync()
+	if err := d.w.Sync(); err != nil {
+		return err
+	}
+	return d.Err()
 }
 
-// Close syncs and closes the WAL and releases the data directory's
-// single-writer lock. Reads through Mem keep working; further mutations
-// report ErrClosed.
+// Close drains the pipeline — applier, then persist worker — syncs and
+// closes the WAL, and releases the data directory's single-writer lock.
+// Reads through Mem keep working; further mutations report ErrClosed.
+// Close returns the first error the asynchronous stages hit, if any.
 func (d *Durable) Close() error {
-	d.mu.Lock()
+	d.seqMu.Lock()
 	if d.closed {
-		d.mu.Unlock()
+		d.seqMu.Unlock()
 		return nil
 	}
 	d.closed = true
+	close(d.applyQ)
+	d.seqMu.Unlock()
+	<-d.applierDone
+	close(d.persistNote)
+	<-d.persistDone
 	err := d.w.Close()
-	d.mu.Unlock()
-	// wait out any in-flight artifact reconciliation before releasing the
-	// single-writer lock: its file writes and GC must not race a new
-	// process taking ownership of the directory
-	d.persistMu.Lock()
-	d.persistMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	d.lock.Close()
+	if err == nil {
+		err = d.Err()
+	}
 	return err
 }
 
@@ -277,24 +572,13 @@ func (d *Durable) Close() error {
 // segments: every live segment lacking an artifact file gets one — with a
 // freshly built seal summary (warm-chained from its predecessor's, the
 // same recurrence lazy range queries follow) unless seal summaries are
-// disabled — and files naming no live segment are removed. It runs outside
-// the mutation lock (segment clustering must not stall ingest), serialized
-// on its own lock, and re-reads the live segment list each run: a
-// drop/compact racing an artifact write at worst leaves a stale file the
-// next reconciliation removes. Artifact failures are reported but never
-// leave the store inconsistent: the WAL already holds the truth.
+// disabled — and files naming no live segment are removed. It runs on the
+// persist worker (segment clustering must not stall ingest) and re-reads
+// the live segment list each run: a drop/compact racing an artifact write
+// at worst leaves a stale file the next reconciliation removes. Artifact
+// failures never leave the store inconsistent: the WAL already holds the
+// truth.
 func (d *Durable) persistSegments() error {
-	d.persistMu.Lock()
-	defer d.persistMu.Unlock()
-	d.mu.Lock()
-	closed := d.closed
-	d.mu.Unlock()
-	if closed {
-		// Close already ran (or is waiting on persistMu to release the
-		// directory lock): skip quietly — the WAL holds the truth and the
-		// next Open rebuilds any missing artifacts
-		return nil
-	}
 	segs := d.mem.liveSegments()
 	keep := make(map[string]bool, len(segs))
 	var firstErr error

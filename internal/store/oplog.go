@@ -51,12 +51,22 @@ func appendUvarint(b []byte, v uint64) []byte {
 // 1 here so the durable record and the in-memory encoder agree on the
 // multiplicity that was actually ingested.
 func encodeEntriesOp(entries []workload.LogEntry) []byte {
+	return encodeEntriesOpInto(nil, entries)
+}
+
+// encodeEntriesOpInto is encodeEntriesOp appending into buf[:0], so the
+// ingest hot path can recycle record buffers instead of allocating ~150 KiB
+// per window. The WAL copies payloads before AppendBatch returns, which is
+// what makes the recycling safe.
+func encodeEntriesOpInto(buf []byte, entries []workload.LogEntry) []byte {
 	size := 1 + binary.MaxVarintLen64
 	for _, e := range entries {
 		size += 2*binary.MaxVarintLen64 + len(e.SQL)
 	}
-	b := make([]byte, 1, size)
-	b[0] = opEntries
+	if cap(buf) < size {
+		buf = make([]byte, 0, size)
+	}
+	b := append(buf[:0], opEntries)
 	b = appendUvarint(b, uint64(len(entries)))
 	for _, e := range entries {
 		c := e.Count

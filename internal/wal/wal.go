@@ -16,13 +16,26 @@
 // truncates the file back to the durable prefix so the next append starts
 // on a clean boundary.
 //
-// Durability is governed by Options.Sync: SyncAlways fsyncs after every
-// append (every acknowledged record survives a machine crash), SyncInterval
-// fsyncs when at least Options.Interval has elapsed since the last sync
-// (bounded-staleness group commit; Sync and Close still flush everything),
-// and SyncNever leaves flushing to the OS. A process crash (as opposed to a
-// machine crash) loses nothing under any policy: the records are already in
-// the page cache.
+// # Group commit
+//
+// The writer is decoupled from the disk: Append and AppendBatch frame
+// records into an in-process buffer and return, a background flusher
+// drains the buffer to the file in large writes (at most one in flight, so
+// record order on disk is exactly accept order), and fsyncs coalesce —
+// Commit callers whose offsets are covered by an in-flight or completed
+// fsync never issue their own. Appends only block when the buffer exceeds
+// Options.MaxBuffer (explicit backpressure) or, under SyncAlways, until
+// their record is fsynced.
+//
+// Durability is governed by Options.Sync: SyncAlways makes Append/Commit
+// wait for the fsync covering the record (every acknowledged record
+// survives a machine crash), SyncInterval fsyncs on a timer so no accepted
+// record stays unsynced longer than Options.Interval (bounded-staleness
+// group commit; Sync and Close still flush everything), and SyncNever
+// leaves fsync to the OS. Under SyncInterval and SyncNever an accepted
+// record reaches the OS page cache within Options.FlushDelay (or sooner,
+// when FlushBytes accumulate), so a *process* crash can lose at most that
+// window; SyncAlways acknowledges nothing a process crash could lose.
 package wal
 
 import (
@@ -40,10 +53,13 @@ import (
 type SyncPolicy int
 
 const (
-	// SyncInterval (the default) fsyncs an append only when Options.Interval
-	// has elapsed since the last sync — group commit with bounded staleness.
+	// SyncInterval (the default) fsyncs on a timer so no accepted record
+	// stays unsynced longer than Options.Interval — group commit with
+	// bounded staleness.
 	SyncInterval SyncPolicy = iota
-	// SyncAlways fsyncs after every append.
+	// SyncAlways makes every append wait until its record is fsynced.
+	// Concurrent appenders share fsyncs (group commit): one fsync covers
+	// every record accepted before it started.
 	SyncAlways
 	// SyncNever never fsyncs on append; the OS flushes at its leisure.
 	// Sync and Close still force everything down.
@@ -54,12 +70,30 @@ const (
 // Options.Interval is zero.
 const DefaultSyncInterval = 100 * time.Millisecond
 
+// Defaults for the write-buffer knobs when the corresponding Option is zero.
+const (
+	DefaultFlushBytes = 512 << 10
+	DefaultMaxBuffer  = 4 << 20
+	DefaultFlushDelay = 5 * time.Millisecond
+)
+
 // Options configure a WAL writer.
 type Options struct {
 	// Sync is the fsync policy (default SyncInterval).
 	Sync SyncPolicy
 	// Interval is the SyncInterval staleness bound (0 = 100ms).
 	Interval time.Duration
+	// FlushBytes is the buffered-byte threshold that triggers a background
+	// write to the file (0 = 512 KiB).
+	FlushBytes int
+	// MaxBuffer caps the bytes an appender may leave unwritten in the
+	// buffer; appends block (backpressure) until the flusher drains below
+	// it (0 = 4 MiB).
+	MaxBuffer int
+	// FlushDelay bounds how long an accepted record may sit in the buffer
+	// before a write is forced, so a quiet log still reaches the page
+	// cache promptly (0 = 5ms).
+	FlushDelay time.Duration
 }
 
 // maxPayload caps one record so a corrupt length prefix cannot demand a
@@ -69,30 +103,48 @@ const maxPayload = 1 << 30
 // headerSize is the fixed per-record framing overhead.
 const headerSize = 8
 
-// Log is an open WAL file positioned for appending. Appends are safe for
-// concurrent use; the record order on disk is the order Append calls
+// Log is an open WAL file positioned for appending. All methods are safe
+// for concurrent use; the record order on disk is the order appends
 // acquire the internal lock.
 type Log struct {
-	mu       sync.Mutex
-	f        *os.File
-	opts     Options
-	size     int64
+	mu sync.Mutex
+	// cond signals every buffer/flush/sync state change: flush completion
+	// (buffer space, flushed advance), fsync completion (synced advance),
+	// and poisoning. Waiters re-check their own predicate.
+	cond sync.Cond
+	f    *os.File
+	opts Options
+
+	size    int64 // logical end offset: every byte ever accepted
+	flushed int64 // bytes handed to write() successfully
+	synced  int64 // prefix covered by the last completed fsync
+
+	pend  []byte // framed records not yet handed to write()
+	spare []byte // recycled flush buffer awaiting reuse
+	// flushing marks the single in-flight background write; at most one
+	// write runs at a time so records land on disk in accept order.
+	flushing bool
+	// syncing marks the single in-flight fsync; Commit waiters piggyback
+	// on it instead of stacking redundant fsyncs.
+	syncing  bool
 	lastSync time.Time
-	buf      []byte
-	closed   bool
+
+	closed bool
 	// failed poisons the log after a failure that compromised durability: a
-	// write error that could not be rolled back (the file may end in a torn
-	// record, and appending past it would make every later record
-	// unrecoverable), or a deferred group-commit fsync that errored (the
-	// kernel reports a writeback error to fsync only once, so retrying
-	// cannot be trusted to surface it again). failCause is reported by
-	// every subsequent Append/Sync/Close.
+	// flush write error (records already acknowledged under the interval
+	// policy may sit in a torn tail), or an fsync that errored (the kernel
+	// reports a writeback error to fsync only once, so retrying cannot be
+	// trusted to surface it again). failCause is reported by every
+	// subsequent Append/Commit/Sync/Close.
 	failed    bool
 	failCause error
-	// pending is the deferred-sync timer of the SyncInterval policy: an
-	// append that does not sync inline schedules one, so the staleness
-	// bound holds even when ingest goes idle right after the append.
-	pending *time.Timer
+
+	// flushTimer enforces Options.FlushDelay: an append that does not
+	// trigger a size-based flush schedules one.
+	flushTimer *time.Timer
+	// syncTimer is the deferred fsync of the SyncInterval policy, so the
+	// staleness bound holds even when ingest goes idle after an append.
+	syncTimer *time.Timer
 }
 
 // Scan reads the WAL at path, invoking fn (if non-nil) for every complete,
@@ -197,6 +249,18 @@ func Open(path string, opts Options, fn func(payload []byte, end int64) error) (
 	if opts.Interval <= 0 {
 		opts.Interval = DefaultSyncInterval
 	}
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = DefaultFlushBytes
+	}
+	if opts.MaxBuffer <= 0 {
+		opts.MaxBuffer = DefaultMaxBuffer
+	}
+	if opts.MaxBuffer < opts.FlushBytes {
+		opts.MaxBuffer = opts.FlushBytes
+	}
+	if opts.FlushDelay <= 0 {
+		opts.FlushDelay = DefaultFlushDelay
+	}
 	durable, err := Scan(path, fn)
 	if err != nil {
 		return nil, err
@@ -222,85 +286,232 @@ func Open(path string, opts Options, fn func(payload []byte, end int64) error) (
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, opts: opts, size: durable, lastSync: time.Now()}, nil
+	l := &Log{f: f, opts: opts, size: durable, flushed: durable, synced: durable, lastSync: time.Now()}
+	l.cond.L = &l.mu
+	return l, nil
 }
 
-// Append frames payload as one record, writes it, and applies the sync
-// policy. The write is a single syscall, so concurrent appends never
-// interleave bytes.
+// Append frames payload as one record and applies the sync policy: under
+// SyncAlways it returns once the record is fsynced; otherwise it returns
+// as soon as the record is buffered (see the package comment for the
+// durability window). Equivalent to AppendBatch of one payload followed,
+// under SyncAlways, by Commit.
 func (l *Log) Append(payload []byte) error {
-	if len(payload) > maxPayload {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), maxPayload)
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return fmt.Errorf("wal: append to closed log")
-	}
-	if l.failed {
-		return l.failedLocked()
-	}
-	need := headerSize + len(payload)
-	if cap(l.buf) < need {
-		l.buf = make([]byte, need)
-	}
-	b := l.buf[:need]
-	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
-	copy(b[headerSize:], payload)
-	if _, err := l.f.Write(b); err != nil {
-		// a short write leaves a torn record mid-file; anything appended
-		// after it would be lost at recovery (the scan stops at the first
-		// bad CRC). Roll the file back to the last good boundary, and
-		// poison the log if that fails.
-		if terr := l.f.Truncate(l.size); terr != nil {
-			l.failed, l.failCause = true, err
-			return err
-		}
-		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
-			l.failed, l.failCause = true, err
-			return err
-		}
+	end, err := l.AppendBatch([][]byte{payload})
+	if err != nil {
 		return err
 	}
-	l.size += int64(need)
-	switch l.opts.Sync {
-	case SyncAlways:
-		return l.syncLocked()
-	case SyncInterval:
-		elapsed := time.Since(l.lastSync)
-		if elapsed >= l.opts.Interval {
-			return l.syncLocked()
-		}
-		// not syncing now: arm a deferred sync so the record reaches disk
-		// within the staleness bound even if no further append arrives
-		if l.pending == nil {
-			l.pending = time.AfterFunc(l.opts.Interval-elapsed, l.deferredSync)
-		}
+	if l.opts.Sync == SyncAlways {
+		return l.Commit(end)
 	}
 	return nil
 }
 
-// deferredSync is the SyncInterval timer body: it flushes whatever the
-// inline path left unsynced. A failure here has no caller to report to and
-// the kernel only reports a writeback error to fsync once, so it poisons
-// the log: the next Append/Sync/Close surfaces it instead of silently
-// acknowledging data that never reached disk.
+// AppendBatch frames each payload as one record, in order, with no other
+// appender's records interleaved, and returns the log's logical end offset
+// after the batch — the value to pass to Commit to make the whole batch
+// machine-crash durable. AppendBatch itself never fsyncs (even under
+// SyncAlways: it is the group-commit half, Commit is the durability half);
+// it blocks only for buffer backpressure. The payload bytes are copied
+// before return; the caller may reuse them.
+func (l *Log) AppendBatch(payloads [][]byte) (int64, error) {
+	need := 0
+	for _, p := range payloads {
+		if len(p) > maxPayload {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(p), maxPayload)
+		}
+		need += headerSize + len(p)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: append to closed log")
+	}
+	if l.failed {
+		return 0, l.failedLocked()
+	}
+	// backpressure: a batch larger than the cap is admitted alone; anything
+	// else waits until the flusher has drained enough room
+	for len(l.pend) > 0 && len(l.pend)+need > l.opts.MaxBuffer {
+		l.startFlushLocked()
+		l.cond.Wait()
+		if l.closed {
+			return 0, errors.New("wal: append to closed log")
+		}
+		if l.failed {
+			return 0, l.failedLocked()
+		}
+	}
+	if cap(l.pend)-len(l.pend) < need {
+		grown := make([]byte, len(l.pend), len(l.pend)+need)
+		copy(grown, l.pend)
+		l.pend = grown
+	}
+	for _, p := range payloads {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(p))
+		l.pend = append(l.pend, hdr[:]...)
+		l.pend = append(l.pend, p...)
+	}
+	l.size += int64(need)
+	end := l.size
+	if len(l.pend) >= l.opts.FlushBytes {
+		l.startFlushLocked()
+	} else if l.flushTimer == nil {
+		l.flushTimer = time.AfterFunc(l.opts.FlushDelay, l.deferredFlush)
+	}
+	if l.opts.Sync == SyncInterval && l.syncTimer == nil {
+		d := l.opts.Interval - time.Since(l.lastSync)
+		if d < 0 {
+			d = 0
+		}
+		l.syncTimer = time.AfterFunc(d, l.deferredSync)
+	}
+	return end, nil
+}
+
+// startFlushLocked hands the pending buffer to a background write unless
+// one is already in flight (the single-flusher rule keeps on-disk order
+// equal to accept order; the completion handler chains the next flush).
+func (l *Log) startFlushLocked() {
+	if l.flushing || len(l.pend) == 0 || l.failed || l.closed {
+		return
+	}
+	l.flushing = true
+	buf := l.pend
+	if l.spare != nil {
+		l.pend = l.spare[:0]
+		l.spare = nil
+	} else {
+		l.pend = nil
+	}
+	go l.flush(buf)
+}
+
+// flush is the background write of one swapped-out buffer.
+func (l *Log) flush(buf []byte) {
+	_, err := l.f.Write(buf)
+	l.mu.Lock()
+	l.flushing = false
+	if err != nil {
+		// records in buf may already be acknowledged (interval/never
+		// policies), and a short write leaves a torn record that recovery
+		// will truncate — there is no rollback that preserves them, so
+		// poison the log and surface the cause on every later call.
+		l.failLocked(err)
+	} else {
+		l.flushed += int64(len(buf))
+		l.spare = buf[:0]
+		if len(l.pend) >= l.opts.FlushBytes {
+			l.startFlushLocked()
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// deferredFlush is the FlushDelay timer body.
+func (l *Log) deferredFlush() {
+	l.mu.Lock()
+	l.flushTimer = nil
+	l.startFlushLocked()
+	l.mu.Unlock()
+}
+
+// deferredSync is the SyncInterval timer body: it commits everything
+// accepted so far. A failure here has no caller to report to, and
+// commitLocked has already poisoned the log; the next call surfaces it.
 func (l *Log) deferredSync() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.pending = nil
+	l.syncTimer = nil
 	if l.closed || l.failed {
 		return
 	}
-	if err := l.syncLocked(); err != nil {
-		l.failed, l.failCause = true, err
+	_ = l.commitLocked(l.size)
+}
+
+// failLocked poisons the log and stops the timers.
+func (l *Log) failLocked(err error) {
+	if l.failed {
+		return
+	}
+	l.failed, l.failCause = true, err
+	if l.flushTimer != nil {
+		l.flushTimer.Stop()
+		l.flushTimer = nil
+	}
+	if l.syncTimer != nil {
+		l.syncTimer.Stop()
+		l.syncTimer = nil
 	}
 }
 
 // failedLocked renders the poisoned state as an error.
 func (l *Log) failedLocked() error {
 	return fmt.Errorf("wal: log failed on an earlier write; durability can no longer be guaranteed: %w", l.failCause)
+}
+
+// Commit blocks until every record at or before logical offset end is on
+// stable storage. Concurrent commits coalesce: one fsync covers every
+// record flushed before it started, so N waiting appenders cost one or two
+// fsyncs, not N.
+func (l *Log) Commit(end int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed {
+		return l.failedLocked()
+	}
+	if l.closed {
+		// Close fsynced everything; a poisoned close took the failed branch
+		return nil
+	}
+	return l.commitLocked(end)
+}
+
+// commitLocked drives flush+fsync until synced covers target, releasing
+// the lock around the fsync so appends and commits keep flowing.
+func (l *Log) commitLocked(target int64) error {
+	for l.synced < target {
+		if l.failed {
+			return l.failedLocked()
+		}
+		if l.flushed < target {
+			// everything up to target is either pending or in flight;
+			// (not flushing && pend empty && flushed < target) is impossible
+			// since flushed + inflight + len(pend) == size >= target
+			l.startFlushLocked()
+			l.cond.Wait()
+			continue
+		}
+		if l.syncing {
+			// piggyback: the in-flight fsync may cover us; re-check after
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		covered := l.flushed
+		l.mu.Unlock()
+		err := l.f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.failLocked(err)
+			l.cond.Broadcast()
+			return err
+		}
+		if covered > l.synced {
+			l.synced = covered
+		}
+		l.lastSync = time.Now()
+		if l.synced >= l.size && l.syncTimer != nil {
+			l.syncTimer.Stop()
+			l.syncTimer = nil
+		}
+		l.cond.Broadcast()
+	}
+	return nil
 }
 
 // Sync forces everything appended so far to stable storage.
@@ -313,49 +524,61 @@ func (l *Log) Sync() error {
 	if l.failed {
 		return l.failedLocked()
 	}
-	return l.syncLocked()
+	return l.commitLocked(l.size)
 }
 
-func (l *Log) syncLocked() error {
-	if l.pending != nil {
-		l.pending.Stop()
-		l.pending = nil
-	}
-	if err := l.f.Sync(); err != nil {
-		return err
-	}
-	l.lastSync = time.Now()
-	return nil
-}
-
-// Size returns the current durable-on-success length of the log in bytes
-// (every byte ever appended; syncing lags per the policy).
+// Size returns the logical length of the log in bytes (every byte ever
+// accepted; flushing and syncing lag per the policy).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.size
 }
 
-// Close syncs and closes the file. Further appends fail.
+// Durable returns the prefix known to be on stable storage (advanced by
+// completed fsyncs).
+func (l *Log) Durable() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Close flushes and fsyncs everything accepted, then closes the file.
+// Further appends fail.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
-	l.closed = true
-	if l.pending != nil {
-		l.pending.Stop()
-		l.pending = nil
+	// drain: run the commit protocol before marking closed so in-flight
+	// flusher/fsync goroutines finish and every accepted byte lands; loop
+	// because commitLocked drops the lock around fsync and a racing append
+	// may slip more bytes in
+	var cerr error
+	for !l.failed && cerr == nil {
+		target := l.size
+		cerr = l.commitLocked(target)
+		if l.size == target {
+			break
+		}
 	}
+	l.closed = true
+	if l.flushTimer != nil {
+		l.flushTimer.Stop()
+		l.flushTimer = nil
+	}
+	if l.syncTimer != nil {
+		l.syncTimer.Stop()
+		l.syncTimer = nil
+	}
+	l.cond.Broadcast()
 	if l.failed {
 		l.f.Close()
 		return l.failedLocked()
 	}
-	serr := l.f.Sync()
-	cerr := l.f.Close()
-	if serr != nil {
-		return serr
+	if err := l.f.Close(); cerr == nil {
+		cerr = err
 	}
 	return cerr
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -207,9 +208,9 @@ func TestSyncPolicies(t *testing.T) {
 	}
 }
 
-// TestDeferredIntervalSync: under SyncInterval, an append that does not
-// sync inline must arm a deferred sync so the record reaches disk within
-// the staleness bound even when ingest goes idle immediately after.
+// TestDeferredIntervalSync: under SyncInterval, an append must arm a
+// deferred sync so the record reaches stable storage within the staleness
+// bound even when ingest goes idle immediately after.
 func TestDeferredIntervalSync(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, err := Open(path, Options{Sync: SyncInterval, Interval: 20 * time.Millisecond}, nil)
@@ -221,23 +222,126 @@ func TestDeferredIntervalSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.mu.Lock()
-	armed := l.pending != nil
-	before := l.lastSync
+	armed := l.syncTimer != nil
+	size := l.size
 	l.mu.Unlock()
 	if !armed {
 		t.Fatal("append within the interval did not arm a deferred sync")
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		l.mu.Lock()
-		fired := l.pending == nil && l.lastSync.After(before)
-		l.mu.Unlock()
-		if fired {
+		if l.Durable() >= size {
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("deferred sync never fired")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeferredFlush: a buffered record must reach the file within the
+// FlushDelay bound without any explicit Sync/Commit/Close.
+func TestDeferredFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncNever, FlushDelay: 5 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if recs, _ := collect(t, path); len(recs) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deferred flush never wrote the record")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAppendBatchRoundTrip: a batch frames one record per payload, in
+// order, and Commit makes the whole batch durable.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var batch [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("batched-%02d", i))
+		want = append(want, p)
+		batch = append(batch, p)
+	}
+	end, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := l.Commit(end); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := l.Durable(); got < end {
+		t.Fatalf("Durable=%d after Commit(%d)", got, end)
+	}
+	// records must be readable without Close: Commit flushed and fsynced
+	recs, ends := collect(t, path)
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, recs[i], want[i])
+		}
+	}
+	if ends[len(ends)-1] != end {
+		t.Fatalf("last record ends at %d, AppendBatch reported %d", ends[len(ends)-1], end)
+	}
+	l.Close()
+}
+
+// TestConcurrentAppendCommit hammers the group-commit path from many
+// goroutines and checks every acknowledged record survives.
+func TestConcurrentAppendCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways, FlushBytes: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				end, err := l.AppendBatch([][]byte{[]byte(fmt.Sprintf("w%d-%03d", w, i))})
+				if err == nil {
+					err = l.Commit(end)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, path)
+	if len(recs) != workers*per {
+		t.Fatalf("got %d records, want %d", len(recs), workers*per)
 	}
 }

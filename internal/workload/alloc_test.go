@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+// TestAddBatchSteadyStateAllocs pins the encode hot path: once every
+// distinct SQL string in a stream has been admitted, re-encoding further
+// windows of the same workload must not allocate at all — the dedup index,
+// job list and result slots are encoder-owned scratch, and replaying a
+// known string is pure map lookups and counter bumps.
+func TestAddBatchSteadyStateAllocs(t *testing.T) {
+	entries := PocketData(PocketDataConfig{TotalQueries: 20000, DistinctTarget: 605, Seed: 1})
+	enc := NewEncoder(EncodeOptions{Parallelism: 1})
+	enc.AddBatch(entries) // admit every distinct string
+	window := entries
+	if len(window) > 500 {
+		window = window[:500]
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		enc.AddBatch(window)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AddBatch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestAddSteadyStateAllocs is the single-entry form of the same guarantee.
+func TestAddSteadyStateAllocs(t *testing.T) {
+	entries := PocketData(PocketDataConfig{TotalQueries: 5000, DistinctTarget: 605, Seed: 1})
+	enc := NewEncoder(EncodeOptions{Parallelism: 1})
+	enc.AddBatch(entries)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, e := range entries {
+			enc.Add(e)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Add allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -125,6 +125,15 @@ type Encoder struct {
 	featSum     int
 	encodedN    int
 	snapshot    *EncodeResult // cached Result; nil after any mutation
+
+	// per-window scratch reused across addBatch calls so the steady state
+	// (every SQL string already seen) allocates nothing: the job list and
+	// dedup index of newly-seen SQL, and the parallel workers' result
+	// slots. Cleared after each window — results hold parsed ASTs that
+	// must not outlive the merge.
+	scratchJobs []string
+	scratchIdx  map[string]int
+	scratchRes  []prepared
 }
 
 type rawInfo struct {
@@ -175,6 +184,7 @@ func NewEncoder(opts EncodeOptions) *Encoder {
 		keepOpts:      regularize.Options{ScrubConstants: false, MaxDisjuncts: opts.MaxDisjuncts},
 		distinctRaw:   map[string]*rawInfo{},
 		canon:         map[string]*canonical{},
+		scratchIdx:    map[string]int{},
 	}
 }
 
@@ -218,9 +228,12 @@ func (e *Encoder) addBatch(entries []LogEntry) {
 		return
 	}
 	e.snapshot = nil
-	// distinct new SQL strings, in first-appearance order
-	var jobs []string
-	jobIdx := map[string]int{}
+	// distinct new SQL strings, in first-appearance order; the job list,
+	// dedup index and result slots are encoder-owned scratch — the steady
+	// state, where every string is already in distinctRaw, touches none of
+	// them and allocates nothing
+	jobs := e.scratchJobs[:0]
+	jobIdx := e.scratchIdx
 	for _, en := range entries {
 		if _, seen := e.distinctRaw[en.SQL]; seen {
 			continue
@@ -231,10 +244,16 @@ func (e *Encoder) addBatch(entries []LogEntry) {
 		jobIdx[en.SQL] = len(jobs)
 		jobs = append(jobs, en.SQL)
 	}
-	results := make([]prepared, len(jobs))
-	parallel.For(len(jobs), e.opts.Parallelism, func(i int) {
-		results[i] = e.prepare(jobs[i])
-	})
+	var results []prepared
+	if len(jobs) > 0 {
+		if cap(e.scratchRes) < len(jobs) {
+			e.scratchRes = make([]prepared, len(jobs))
+		}
+		results = e.scratchRes[:len(jobs)]
+		parallel.For(len(jobs), e.opts.Parallelism, func(i int) {
+			results[i] = e.prepare(jobs[i])
+		})
+	}
 	for _, en := range entries {
 		count := en.Count
 		if count <= 0 {
@@ -247,6 +266,15 @@ func (e *Encoder) addBatch(entries []LogEntry) {
 		}
 		e.admit(en.SQL, results[jobIdx[en.SQL]], count)
 	}
+	if len(jobs) > 0 {
+		// drop AST references so the scratch does not pin parsed trees, and
+		// keep the (string-header) job list and index for the next window
+		clear(results)
+		clear(jobIdx)
+		clear(jobs)
+		e.scratchRes = results[:0]
+	}
+	e.scratchJobs = jobs[:0]
 }
 
 // prepare runs the stateless half of the pipeline for one SQL string. It

@@ -222,6 +222,16 @@ type Options struct {
 	// on first use. For ingest paths where seal latency matters more than
 	// recovery warmth.
 	DisableSealSummaries bool
+	// ApplyQueue bounds a durable workload's apply queue, in ingest
+	// windows (≈8k entries each; 0 = 64). Appends are acknowledged as soon
+	// as the WAL accepts them; a full queue is the pipeline's backpressure,
+	// blocking further appends until the applier catches up.
+	ApplyQueue int
+	// PersistParallelism bounds the worker count of the background segment
+	// persister's summary builds (0 = all cores, 1 = serial). Summaries are
+	// bit-identical at any setting; this only budgets how much CPU seal-time
+	// clustering may take from the ingest path.
+	PersistParallelism int
 }
 
 // SyncPolicy selects when a durable workload's WAL reaches stable storage.
@@ -285,9 +295,15 @@ func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
 // in place; summaries built from earlier snapshots remain valid for their
 // own universe.
 //
-// On a durable workload the batch is WAL-logged before it is applied and
-// the error reports a persistence failure (the batch's durable prefix is
-// still applied); in-memory workloads always return nil.
+// On a durable workload the batch is handed to the WAL's group-commit
+// writer and acknowledged without waiting for the encoder: a single
+// ordered applier encodes batches off the caller's critical path, and the
+// read methods barrier on it, so an acknowledged Append is always visible
+// to the caller's subsequent reads. Under SyncPolicy "always" the
+// acknowledgement additionally waits until the batch is on stable storage
+// (concurrent callers share fsyncs). An error reports a persistence
+// failure: the batch was not acknowledged. In-memory workloads apply
+// synchronously and always return nil.
 func (w *Workload) Append(entries []Entry) error {
 	batch := make([]workload.LogEntry, len(entries))
 	for i, e := range entries {
@@ -318,12 +334,61 @@ func (w *Workload) note(err error) error {
 }
 
 // Err returns the first persistence error recorded by a mutation whose
-// signature predates durability (Seal, DropBefore, CompactSegments) or by
-// Append. In-memory workloads always report nil.
+// signature predates durability (Seal, DropBefore, CompactSegments), by
+// Append, or by the asynchronous pipeline stages behind a durable workload
+// (deferred WAL flush/fsync, background artifact persistence). In-memory
+// workloads always report nil.
 func (w *Workload) Err() error {
 	w.errMu.Lock()
-	defer w.errMu.Unlock()
-	return w.sticky
+	err := w.sticky
+	w.errMu.Unlock()
+	if err == nil && w.d != nil {
+		err = w.d.Err()
+	}
+	return err
+}
+
+// barrier waits, on a durable workload, until the asynchronous applier has
+// caught up with every batch acknowledged before the call — the
+// append-then-read visibility contract of the public read methods. The
+// caught-up fast path is two atomic loads; in-memory workloads apply
+// synchronously and skip it entirely.
+func (w *Workload) barrier() {
+	if w.d != nil {
+		w.d.Barrier()
+	}
+}
+
+// IngestLag is a snapshot of a durable workload's ingest backlog: how far
+// the asynchronous apply stage trails acknowledged WAL records. The zero
+// value (in-memory workloads, or a drained pipeline) means no lag.
+type IngestLag struct {
+	// QueuedBatches and QueueCap are the apply queue's depth and bound, in
+	// ingest windows (≈8k entries each).
+	QueuedBatches int
+	QueueCap      int
+	// QueuedEntries counts log entries acknowledged but not yet applied.
+	QueuedEntries int64
+	// AckedOffset and AppliedOffset are WAL byte offsets: the last
+	// acknowledged record and the applier's progress through them.
+	AckedOffset   int64
+	AppliedOffset int64
+}
+
+// IngestLag reports the ingest pipeline's current backlog. In-memory
+// workloads always report the zero value.
+func (w *Workload) IngestLag() IngestLag {
+	if w.d == nil {
+		return IngestLag{}
+	}
+	lag := w.d.Lag()
+	return IngestLag{
+		QueuedBatches: lag.QueuedBatches,
+		QueueCap:      lag.QueueCap,
+		QueuedEntries: lag.QueuedEntries,
+		AckedOffset:   lag.AckedOffset,
+		AppliedOffset: lag.AppliedOffset,
+	}
 }
 
 // snapshot returns the current encode snapshot of the whole stream (sealed
@@ -332,6 +397,7 @@ func (w *Workload) Err() error {
 // result is immutable (later Appends build a new Log rather than mutating
 // it).
 func (w *Workload) snapshot() workload.EncodeResult {
+	w.barrier()
 	return w.st.Snapshot()
 }
 
@@ -398,6 +464,8 @@ func OpenDir(dir string, opts Options) (*Workload, error) {
 		SyncInterval:         opts.SyncEvery,
 		SealSummary:          sealOpts,
 		DisableSealSummaries: opts.DisableSealSummaries,
+		ApplyQueue:           opts.ApplyQueue,
+		PersistParallelism:   opts.PersistParallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -462,11 +530,11 @@ func (w *Workload) Stats() Stats {
 // Queries returns the number of encoded queries (duplicates included).
 // Served from the encoder's running counter in O(1) — an ingest loop can
 // ask after every batch without forcing a snapshot rebuild.
-func (w *Workload) Queries() int { return w.st.TotalQueries() }
+func (w *Workload) Queries() int { w.barrier(); return w.st.TotalQueries() }
 
 // ActiveQueries returns the number of encoded queries in the active
 // (unsealed) ingest buffer — what the next Seal would freeze.
-func (w *Workload) ActiveQueries() int { return w.st.ActiveQueries() }
+func (w *Workload) ActiveQueries() int { w.barrier(); return w.st.ActiveQueries() }
 
 // Count returns the exact Γ_b(L): how many queries contain every feature of
 // the given pattern query. This reads the *uncompressed* log; after
@@ -811,9 +879,10 @@ type SegmentInfo struct {
 // Seal freezes the entries appended since the last seal into an immutable
 // segment and returns its ID; ok is false when the buffer is empty. With
 // Options.SegmentThreshold set, sealing also happens automatically as the
-// buffer fills. On a durable workload the seal is WAL-logged and the
-// segment's artifact (summary + sub-log) written; persistence failures are
-// recorded for Err/Sync/Close.
+// buffer fills. On a durable workload the seal is WAL-logged and ordered
+// with in-flight appends; the segment's artifact (summary + sub-log) is
+// built by a background worker so the seal never stalls ingest.
+// Persistence failures are recorded for Err/Sync/Close.
 func (w *Workload) Seal() (id int, ok bool) {
 	if w.d != nil {
 		meta, ok, err := w.d.Seal()
@@ -826,6 +895,7 @@ func (w *Workload) Seal() (id int, ok bool) {
 
 // Segments lists the live sealed segments in order.
 func (w *Workload) Segments() []SegmentInfo {
+	w.barrier()
 	metas := w.st.Segments()
 	out := make([]SegmentInfo, len(metas))
 	for i, m := range metas {
@@ -843,6 +913,7 @@ func (w *Workload) Segments() []SegmentInfo {
 // sealed segments — the widest range CompressRange accepts. ok is false
 // when nothing is sealed.
 func (w *Workload) SealedRange() (from, to int, ok bool) {
+	w.barrier()
 	metas := w.st.Segments()
 	if len(metas) == 0 {
 		return 0, 0, false
@@ -897,6 +968,7 @@ func (w *Workload) CompressRange(from, to int, opts CompressOptions) (*Summary, 
 	if err != nil {
 		return nil, err
 	}
+	w.barrier()
 	res, err := w.st.CompressRange(from, to, coreOpts, store.RangeOptions{})
 	if err != nil {
 		return nil, err
@@ -926,6 +998,7 @@ func (w *Workload) DriftBetween(baseFrom, baseTo, winFrom, winTo int, opts Compr
 	if err != nil {
 		return DriftReport{}, err
 	}
+	w.barrier()
 	base, err := w.st.CompressRange(baseFrom, baseTo, coreOpts, store.RangeOptions{})
 	if err != nil {
 		return DriftReport{}, err
