@@ -1,0 +1,28 @@
+# Development workflow for the logr repository.
+#
+#   make build   compile every package and binary
+#   make test    run the full test suite
+#   make lint    gofmt check + the project invariant analyzers (cmd/logrvet
+#                via `go vet -vettool`) + govulncheck when installed
+#   make bench   the benchmark harness (see cmd/logr-bench/Makefile)
+
+.PHONY: build test lint bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	go build -o bin/logrvet ./cmd/logrvet
+	go vet -vettool=$(CURDIR)/bin/logrvet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+bench:
+	$(MAKE) -C cmd/logr-bench bench

@@ -39,7 +39,9 @@ func incrementalExperiment(scale experiments.Scale) (string, error) {
 		if _, err := wFull.Compress(opts); err != nil {
 			return "", err
 		}
-		wFull.Append(delta)
+		if err := wFull.Append(delta); err != nil {
+			return "", err
+		}
 		t0 := time.Now()
 		sFull, err := wFull.Compress(opts)
 		if err != nil {
@@ -52,7 +54,9 @@ func incrementalExperiment(scale experiments.Scale) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		wIncr.Append(delta)
+		if err := wIncr.Append(delta); err != nil {
+			return "", err
+		}
 		t0 = time.Now()
 		sIncr, err := wIncr.Recompress(prev, logr.RecompressOptions{CompressOptions: opts})
 		if err != nil {

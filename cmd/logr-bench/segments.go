@@ -43,7 +43,9 @@ func segmentsExperiment(scale experiments.Scale) (string, error) {
 		if hi > len(entries) {
 			hi = len(entries)
 		}
-		seg.Append(entries[lo:hi])
+		if err := seg.Append(entries[lo:hi]); err != nil {
+			return "", err
+		}
 		if _, ok := seg.Seal(); !ok {
 			return "", fmt.Errorf("segments: seal failed")
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -123,8 +124,7 @@ func serveOnce(entries []logr.Entry, queries, batch int, pol logr.SyncPolicy, pa
 	select {
 	case err = <-errs:
 		ts.Close()
-		w.Close()
-		return 0, 0, 0, err
+		return 0, 0, 0, errors.Join(err, w.Close())
 	default:
 	}
 	wall = time.Since(start)
@@ -144,9 +144,9 @@ func serveOnce(entries []logr.Entry, queries, batch int, pol logr.SyncPolicy, pa
 	}
 	recovery = time.Since(rstart)
 	if re.Queries() != queries {
-		re.Close()
-		return 0, 0, 0, fmt.Errorf("recovery lost data: %d queries, ingested %d", re.Queries(), queries)
+		return 0, 0, 0, errors.Join(
+			fmt.Errorf("recovery lost data: %d queries, ingested %d", re.Queries(), queries),
+			re.Close())
 	}
-	re.Close()
-	return rate, wall, recovery, nil
+	return rate, wall, recovery, re.Close()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -220,8 +221,7 @@ func sustainedOnce(name, dataset string, raw []workload.LogEntry, total int, pol
 	wg.Wait()
 	select {
 	case err := <-errs:
-		w.Close()
-		return sustainedRun{}, err
+		return sustainedRun{}, errors.Join(err, w.Close())
 	default:
 	}
 	wall := time.Since(start)
@@ -241,8 +241,9 @@ func sustainedOnce(name, dataset string, raw []workload.LogEntry, total int, pol
 	}
 	recovery := time.Since(rstart)
 	if re.Queries() != total {
-		re.Close()
-		return sustainedRun{}, fmt.Errorf("%s: recovery lost data: %d queries, ingested %d", name, re.Queries(), total)
+		return sustainedRun{}, errors.Join(
+			fmt.Errorf("%s: recovery lost data: %d queries, ingested %d", name, re.Queries(), total),
+			re.Close())
 	}
 	if err := re.Close(); err != nil {
 		return sustainedRun{}, err

@@ -370,7 +370,9 @@ func runCompress(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	w.Append(entries)
+	if err := w.Append(entries); err != nil {
+		return err
+	}
 	start = time.Now()
 	var next *logr.Summary
 	if *incremental {

@@ -1,0 +1,24 @@
+// Command logrvet is the project's invariant checker: a vet tool
+// (`go vet -vettool=$(which logrvet) ./...`) bundling four analyzers
+// that turn the repo's conventions into machine-checked rules —
+// determinism of summary-producing packages, zero-alloc hot paths,
+// lock discipline on the ingest pipeline, and sticky durability
+// errors / façade barriers. See README "Static analysis & invariants".
+package main
+
+import (
+	"logr/internal/analysis/determinism"
+	"logr/internal/analysis/lockdiscipline"
+	"logr/internal/analysis/noalloc"
+	"logr/internal/analysis/stickyerr"
+	"logr/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		determinism.Analyzer,
+		noalloc.Analyzer,
+		lockdiscipline.Analyzer,
+		stickyerr.Analyzer,
+	)
+}

@@ -25,6 +25,12 @@ func toPublic(es []workload.LogEntry) []logr.Entry {
 	return out
 }
 
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	const lookback = 4 // baseline window: the 4 segments before the one scored
 	opts := logr.CompressOptions{Clusters: 6, Seed: 1}
@@ -32,9 +38,9 @@ func main() {
 
 	// Stream six windows of normal traffic, sealing each into a segment.
 	for i := 0; i < 6; i++ {
-		w.Append(toPublic(workload.PocketData(workload.PocketDataConfig{
+		must(w.Append(toPublic(workload.PocketData(workload.PocketDataConfig{
 			TotalQueries: 8000, DistinctTarget: 250, Seed: 11,
-		})))
+		}))))
 		if _, ok := w.Seal(); !ok {
 			log.Fatal("seal failed")
 		}
@@ -42,10 +48,10 @@ func main() {
 	// Seventh window: normal traffic with a ~10% injected exfiltration
 	// workload — joins contacts against message bodies, which the app
 	// never does.
-	w.Append(toPublic(workload.PocketData(workload.PocketDataConfig{
+	must(w.Append(toPublic(workload.PocketData(workload.PocketDataConfig{
 		TotalQueries: 7000, DistinctTarget: 250, Seed: 11,
-	})))
-	w.Append(toPublic(workload.InjectDrift(13, 15, 800)))
+	}))))
+	must(w.Append(toPublic(workload.InjectDrift(13, 15, 800))))
 	if _, ok := w.Seal(); !ok {
 		log.Fatal("seal failed")
 	}

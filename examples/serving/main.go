@@ -87,7 +87,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer re.Close()
 	fmt.Printf("reopened: %d queries, %d segments — nothing lost\n",
 		re.Queries(), len(re.Segments()))
+	if err := re.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,241 @@
+// Package analysis is a dependency-free re-implementation of the slice of
+// golang.org/x/tools/go/analysis that logrvet needs: an Analyzer runs over
+// one type-checked package and reports position-anchored diagnostics.
+//
+// The repo builds with a zero-dependency go.mod, so instead of importing
+// x/tools this package defines the same Analyzer/Pass/Diagnostic contract
+// on the standard library and the sibling packages provide the two
+// drivers: analysis/unit speaks the `go vet -vettool` protocol (reading
+// the vet.cfg handed over by cmd/go and type-checking against the export
+// data cmd/go already built), and analysis/analysistest runs analyzers
+// over testdata fixture packages, checking diagnostics against
+// `// want "regexp"` comments.
+//
+// # Annotation grammar
+//
+// Analyzers read machine-checked contracts from comment directives
+// (attached to a function's doc comment unless noted):
+//
+//	//logr:noalloc
+//	    The function is a steady-state hot path: the noalloc analyzer
+//	    flags allocating constructs inside it.
+//	//logr:holds(EXPR)
+//	    The function assumes lock EXPR (e.g. l.mu) is held on entry; the
+//	    lockdiscipline analyzer starts its held-lock tracking there.
+//	//logr:blocking
+//	    The function blocks (disk, network, heavy compute); calling it
+//	    with a lock held is a lockdiscipline finding. Same-package only.
+//	//logr:allow(NAME) reason
+//	    Line-scoped suppression: diagnostics from analyzer NAME on this
+//	    line (the directive may trail the line or sit on the line above)
+//	    are dropped. The reason is mandatory and should say why the
+//	    construct is safe, not what it does.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags and
+	// //logr:allow(Name) suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. Drivers install it.
+	Report func(Diagnostic)
+
+	suppress map[suppressKey]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a finding at pos unless an //logr:allow(name) directive
+// covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+var allowRE = regexp.MustCompile(`^//logr:allow\(([a-z]+)\)\s*(.*)$`)
+
+// Suppressed reports whether pos sits on a line covered by an
+// //logr:allow directive naming this pass's analyzer. A directive covers
+// its own line and, when it is the whole comment line, the next line.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.suppress == nil {
+		p.suppress = map[suppressKey]bool{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRE.FindStringSubmatch(c.Text)
+					if m == nil || m[1] != p.Analyzer.Name {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					p.suppress[suppressKey{cp.Filename, cp.Line}] = true
+					// a standalone directive line also covers the line below
+					p.suppress[suppressKey{cp.Filename, cp.Line + 1}] = true
+				}
+			}
+		}
+	}
+	pp := p.Fset.Position(pos)
+	return p.suppress[suppressKey{pp.Filename, pp.Line}]
+}
+
+// Directives returns the //logr: directives in fn's doc comment, e.g.
+// "noalloc", "holds(l.mu)", "blocking".
+func Directives(fn *ast.FuncDecl) []string {
+	if fn == nil || fn.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//logr:"); ok {
+			if i := strings.IndexByte(rest, ' '); i >= 0 {
+				rest = rest[:i]
+			}
+			out = append(out, strings.TrimSpace(rest))
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether fn's doc carries the exact directive name
+// (without arguments), e.g. HasDirective(fn, "noalloc").
+func HasDirective(fn *ast.FuncDecl, name string) bool {
+	for _, d := range Directives(fn) {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveArg returns the parenthesised arguments of directives named
+// name, e.g. for //logr:holds(l.mu) DirectiveArg(fn, "holds") returns
+// ["l.mu"].
+func DirectiveArg(fn *ast.FuncDecl, name string) []string {
+	var out []string
+	for _, d := range Directives(fn) {
+		rest, ok := strings.CutPrefix(d, name+"(")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(rest, ')'); i >= 0 {
+			out = append(out, strings.TrimSpace(rest[:i]))
+		}
+	}
+	return out
+}
+
+// IsTestFile reports whether the file's name ends in _test.go; the
+// analyzers skip test files (tests intentionally discard errors, measure
+// wall-clock time, and allocate freely).
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// PkgPath returns the package's import path with any cmd/go test-variant
+// suffix ("pkg [pkg.test]") stripped.
+func PkgPath(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (methods included), or nil for builtins, conversions and indirect calls
+// through function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncKey renders a *types.Func as "pkgpath.Name" for package functions
+// and "(recvtype).Name" for methods — e.g. "time.Now",
+// "(*os.File).Sync", "(*logr/internal/wal.Log).Commit".
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "(" + typeString(sig.Recv().Type()) + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Path() })
+}
+
+// ExprString renders a (simple) expression as source text — used to match
+// lock expressions like "l.mu" across Lock/Unlock/holds sites.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.ArrayType:
+		return "[]" + ExprString(e.Elt)
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(…)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,191 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against the fixtures'
+// `// want "regexp"` comments — the same contract as x/tools'
+// analysistest, rebuilt on `go list -export` so the repo stays
+// dependency-free.
+//
+// The fixture tree is a real module (testdata/src/go.mod) named `logr`
+// so fixture packages can occupy the exact import paths the analyzers
+// key on (logr/internal/wal, the logr façade, …) with stub
+// implementations. `go list` compiles the fixtures and hands back
+// export data; the harness then type-checks each requested package from
+// source and diffs analyzer output against expectations:
+//
+//	l.Append(nil) // want `discards its error`
+//
+// A diagnostic with no matching want, or a want with no diagnostic,
+// fails the test. Each want regexp must match on its own line.
+package analysistest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"logr/internal/analysis"
+	"logr/internal/analysis/load"
+)
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Run applies the analyzer to each pattern (an import path relative to
+// dir, the fixture module root) and checks diagnostics against the
+// `// want` comments in the fixture sources.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	pkgs := list(t, dir, patterns)
+	exports := map[string]string{}
+	goVersion := ""
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			t.Fatalf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+			if p.Module != nil && p.Module.GoVersion != "" {
+				goVersion = "go" + p.Module.GoVersion
+			}
+		}
+	}
+	for _, p := range targets {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		res, err := load.Package(load.Spec{
+			Path:        p.ImportPath,
+			GoFiles:     files,
+			PackageFile: exports,
+			GoVersion:   goVersion,
+		})
+		if err != nil {
+			t.Fatalf("loading %s: %v", p.ImportPath, err)
+		}
+		check(t, a, res)
+	}
+}
+
+// list shells out to go list for the fixture module: it compiles the
+// fixtures (so export data exists) and reports the dependency closure.
+func list(t *testing.T, dir string, patterns []string) []*listPkg {
+	t.Helper()
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOPROXY=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		t.Fatalf("go list %v: %v\n%s", patterns, err, msg)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// check diffs the analyzer's diagnostics on res against want comments.
+func check(t *testing.T, a *analysis.Analyzer, res *load.Result) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range res.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					lit := m[1]
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("bad want literal %s: %v", lit, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", pat, err)
+					}
+					pos := res.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      res.Fset,
+		Files:     res.Files,
+		Pkg:       res.Pkg,
+		TypesInfo: res.Info,
+	}
+	var diags []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, res.Pkg.Path(), err)
+	}
+	for _, d := range diags {
+		pos := res.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	if t.Failed() {
+		fmt.Fprintf(os.Stderr, "--- %s diagnostics for %s ---\n", a.Name, res.Pkg.Path())
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", res.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package determinism guards the paper's reproducibility claim: the
+// packages that produce summaries promise bit-identical output for the
+// same input at any parallelism, so nothing in them may depend on Go's
+// randomized map iteration order, wall-clock time, or an unseeded RNG.
+//
+// Findings:
+//   - a range over a map whose body appends to state that outlives the
+//     loop, or accumulates floating-point values (order-sensitive:
+//     float addition does not associate), without a later sort of the
+//     accumulated object in the same function;
+//   - calls to time.Now / time.Since;
+//   - calls to package-level math/rand functions (the shared, globally
+//     seeded source). Methods on an explicitly seeded *rand.Rand are
+//     fine and are the idiom the deterministic packages use.
+//
+// Keyed stores (dst[k] = v inside `for k, v := range m`) are
+// order-independent and never flagged; nor is integer accumulation.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"logr/internal/analysis"
+)
+
+// Packages lists the import paths that promise bit-identical output.
+var Packages = map[string]bool{
+	"logr/internal/core":       true,
+	"logr/internal/cluster":    true,
+	"logr/internal/bitvec":     true,
+	"logr/internal/mining":     true,
+	"logr/internal/linalg":     true,
+	"logr/internal/regularize": true,
+	"logr/internal/maxent":     true,
+	"logr/internal/workload":   true,
+}
+
+// Analyzer is the determinism invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration-order, wall-clock and global-RNG dependence in packages promising bit-identical output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[analysis.PkgPath(pass.Pkg)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, fn, n)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock and global-RNG calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch {
+	case fn.Pkg().Path() == "time" && !isMethod && (fn.Name() == "Now" || fn.Name() == "Since"):
+		pass.Reportf(call.Pos(), "time.%s in a package promising bit-identical output; results must not depend on wall-clock time", fn.Name())
+	case fn.Pkg().Path() == "math/rand" && !isMethod && fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewZipf":
+		pass.Reportf(call.Pos(), "math/rand.%s uses the global RNG; use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Name())
+	}
+}
+
+// checkMapRange flags loops whose body accumulates order-sensitive state.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	keyObj := identObj(pass.TypesInfo, rng.Key)
+
+	// targets the body appends to, keyed by the object (nil for fields),
+	// with the rendered expression for the diagnostic and sort matching
+	type target struct {
+		obj  types.Object
+		expr string
+		pos  token.Pos
+	}
+	var appended []target
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				lhs := n.Lhs[i]
+				obj := identObj(pass.TypesInfo, lhs)
+				if obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+					continue // loop-local accumulator dies with the loop
+				}
+				appended = append(appended, target{obj, analysis.ExprString(lhs), lhs.Pos()})
+			}
+			// order-sensitive float accumulation: total += v and friends
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN ||
+				n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				lhs := n.Lhs[0]
+				if obj := baseObj(pass.TypesInfo, lhs); obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+					break // per-iteration state, reset each pass
+				}
+				if isFloat(pass.TypesInfo, lhs) && !indexedByKey(pass.TypesInfo, lhs, keyObj) {
+					pass.Reportf(n.Pos(), "floating-point accumulation into %s inside a map range: iteration order changes the rounding; iterate sorted keys", analysis.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+
+	for _, t := range appended {
+		if sortedAfter(pass, fn, rng, t.obj, t.expr) {
+			continue
+		}
+		pass.Reportf(t.pos, "append to %s inside a map range without a later sort: element order follows randomized map iteration; sort %s (or iterate sorted keys) before it escapes", t.expr, t.expr)
+	}
+}
+
+// sortedAfter reports whether fn's body, after the range loop, calls a
+// sort function (any callee whose name starts with "sort", e.g.
+// sort.Slice, sort.Strings, slices.Sort, a local sortInts) passing the
+// accumulated object.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object, expr string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() < rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj != nil && identObj(pass.TypesInfo, arg) == obj {
+				found = true
+			} else if obj == nil && analysis.ExprString(arg) == expr {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sorting callees by name: the sort and slices
+// packages (sort.Strings, sort.Slice, slices.SortFunc, …) and local
+// helpers following the sortXxx convention (sortInts).
+func isSortCall(call *ast.CallExpr) bool {
+	full := strings.ToLower(analysis.ExprString(ast.Unparen(call.Fun)))
+	if strings.HasPrefix(full, "sort") { // sort.X and sortXxx
+		return true
+	}
+	base := full
+	if i := strings.LastIndexByte(full, '.'); i >= 0 {
+		base = full[i+1:]
+	}
+	return strings.HasPrefix(base, "sort")
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// baseObj unwraps index/selector/deref chains to the root identifier's
+// object: the owner of the mutated storage.
+func baseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return identObj(info, e)
+		}
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// indexedByKey reports whether lhs is an index expression whose index is
+// the range key variable — per-key stores are order-independent.
+func indexedByKey(info *types.Info, lhs ast.Expr, keyObj types.Object) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok || keyObj == nil {
+		return false
+	}
+	return identObj(info, ix.Index) == keyObj
+}

@@ -1,0 +1,15 @@
+package determinism
+
+import (
+	"testing"
+
+	"logr/internal/analysis/analysistest"
+)
+
+// TestDeterminism checks the fixture package on logr/internal/core: the
+// unsorted map-range, float-accumulation, wall-clock and global-RNG
+// positives, and the sorted / keyed-store / seeded / suppressed
+// negatives.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src", "logr/internal/core")
+}

@@ -1,0 +1,115 @@
+// Package load parses and type-checks one package from source, resolving
+// its imports through compiler export data — the same .a files cmd/go
+// hands a vet tool in vet.cfg's PackageFile map, or the Export files
+// `go list -export` reports. This is the piece x/tools' go/packages would
+// normally provide; re-built here on go/parser + go/importer so the repo
+// stays dependency-free.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Spec describes one package to load.
+type Spec struct {
+	// Path is the canonical import path the type-checked package reports.
+	Path string
+	// GoFiles are the compiled source files (absolute paths).
+	GoFiles []string
+	// ImportMap maps source-level import paths to canonical paths
+	// (vendoring, test variants). May be nil (identity).
+	ImportMap map[string]string
+	// PackageFile maps canonical import paths to compiler export data
+	// (.a archives or raw export files).
+	PackageFile map[string]string
+	// GoVersion is the language version ("go1.22"); empty uses the
+	// type-checker default.
+	GoVersion string
+}
+
+// Result is a loaded package.
+type Result struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Package parses spec.GoFiles and type-checks them against the export
+// data in spec.PackageFile.
+func Package(spec Spec) (*Result, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(spec.GoFiles))
+	for _, name := range spec.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    newImporter(fset, spec.ImportMap, spec.PackageFile),
+		FakeImportC: true,
+		GoVersion:   spec.GoVersion,
+		// Keep going on errors so SucceedOnTypecheckFailure semantics and
+		// partial analysis remain possible; Check still returns the first
+		// error.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(spec.Path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", spec.Path, err)
+	}
+	return &Result{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// mapImporter resolves import paths through ImportMap, then loads export
+// data from PackageFile via the gc importer. The gc importer caches by
+// path, so one instance serves the whole load.
+type mapImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func newImporter(fset *token.FileSet, importMap, packageFile map[string]string) *mapImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mapImporter{gc: importer.ForCompiler(fset, "gc", lookup), importMap: importMap}
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canon, ok := m.importMap[path]; ok && canon != "" {
+		path = canon
+	}
+	// test variants ("pkg [pkg.test]") carry their own export data entry
+	pkg, err := m.gc.Import(path)
+	if err != nil && strings.Contains(path, " [") {
+		// fall back to the base package if the variant has none
+		pkg, err = m.gc.Import(path[:strings.Index(path, " [")])
+	}
+	return pkg, err
+}

@@ -1,0 +1,15 @@
+package lockdiscipline
+
+import (
+	"testing"
+
+	"logr/internal/analysis/analysistest"
+)
+
+// TestLockDiscipline checks held-lock tracking across the repo's
+// idioms: defer-unlock guards, release-around-fsync, early-exit
+// unlocks, //logr:holds(*Locked helpers), //logr:blocking callees and
+// the line suppression form.
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src", "logr/lockfix")
+}

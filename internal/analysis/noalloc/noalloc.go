@@ -1,0 +1,486 @@
+// Package noalloc guards the zero-alloc steady-state contract: functions
+// annotated //logr:noalloc are hot paths pinned by AllocsPerRun tests,
+// and this analyzer points at the exact line that would make such a pin
+// fail — at vet time instead of as an opaque allocation count.
+//
+// Inside an annotated function it flags: make/new, map and slice
+// literals, &composite literals, growing appends, string<->[]byte
+// conversions, string concatenation, fmt/errors/strconv formatting
+// calls, function literals (closures escape), go statements, map writes,
+// and interface boxing of non-pointer-shaped values.
+//
+// Two idioms are exempt because they do not allocate in steady state:
+//   - appends whose backing slice traces to a function parameter or to a
+//     reslice (buf[:0]) — the append-into-caller-buffer and
+//     scratch-reuse patterns amortize to zero;
+//   - constructs inside a guard block that ends by panicking or
+//     returning an error — failure exits are not steady state.
+//
+// Anything else needs a line-scoped //logr:allow(noalloc) with a reason
+// (the usual one: cold-path capacity growth that amortizes away).
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"logr/internal/analysis"
+)
+
+// Analyzer is the zero-alloc hot-path check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs inside functions annotated //logr:noalloc",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasDirective(fn, "noalloc") {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// params holds objects whose backing storage belongs to the caller:
+	// parameters, receivers, and locals assigned from reslices of them.
+	callerOwned map[types.Object]bool
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, fn: fn, callerOwned: map[types.Object]bool{}}
+	for _, fl := range []*ast.FieldList{fn.Recv, fn.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					c.callerOwned[obj] = true
+				}
+			}
+		}
+	}
+	c.walk(fn.Body, nil)
+}
+
+// walk visits stmts in source order, tracking the enclosing-block stack
+// so failure-exit guards can be exempted.
+func (c *checker) walk(n ast.Node, stack []ast.Node) {
+	if n == nil {
+		return
+	}
+	var visit func(ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.recordOwnership(n)
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := typeOf(c.pass.TypesInfo, ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !c.exempt(stack) {
+							c.pass.Reportf(lhs.Pos(), "map insert in //logr:noalloc function may allocate a bucket")
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !c.exempt(stack) {
+				c.pass.Reportf(n.Pos(), "function literal in //logr:noalloc function: the closure escapes to the heap")
+			}
+			return false // don't descend: the literal's body runs elsewhere
+		case *ast.GoStmt:
+			if !c.exempt(stack) {
+				c.pass.Reportf(n.Pos(), "go statement in //logr:noalloc function allocates a goroutine")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, stack)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isString(n.X) && !c.exempt(stack) {
+				c.pass.Reportf(n.Pos(), "string concatenation allocates; use an appended []byte scratch buffer")
+			}
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause, *ast.CommClause:
+			// descend with the node pushed on the block stack
+			inner := append(stack, n)
+			for _, child := range children(n) {
+				c.walk(child, inner)
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+}
+
+// children returns the direct statement/expression children of a
+// control-flow node, enough for the walk to recurse through.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	add := func(ns ...ast.Node) {
+		for _, x := range ns {
+			if x != nil && x != ast.Node(nil) {
+				out = append(out, x)
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			add(s)
+		}
+	case *ast.IfStmt:
+		if n.Init != nil {
+			add(n.Init)
+		}
+		add(n.Cond, n.Body)
+		if n.Else != nil {
+			add(n.Else)
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			add(n.Init)
+		}
+		if n.Cond != nil {
+			add(n.Cond)
+		}
+		if n.Post != nil {
+			add(n.Post)
+		}
+		add(n.Body)
+	case *ast.RangeStmt:
+		add(n.X, n.Body)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			add(n.Init)
+		}
+		if n.Tag != nil {
+			add(n.Tag)
+		}
+		add(n.Body)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			add(n.Init)
+		}
+		add(n.Assign, n.Body)
+	case *ast.SelectStmt:
+		add(n.Body)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			add(e)
+		}
+		for _, s := range n.Body {
+			add(s)
+		}
+	case *ast.CommClause:
+		if n.Comm != nil {
+			add(n.Comm)
+		}
+		for _, s := range n.Body {
+			add(s)
+		}
+	}
+	return out
+}
+
+// exempt reports whether the innermost enclosing if/case block ends by
+// panicking or returning an error: failure exits are not steady state.
+func (c *checker) exempt(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		// only guard blocks (if/else bodies) count, not loop/func bodies
+		if i == 0 {
+			return false
+		}
+		if _, isIf := stack[i-1].(*ast.IfStmt); !isIf {
+			return false
+		}
+		return c.terminatesInFailure(blk)
+	}
+	return false
+}
+
+func (c *checker) terminatesInFailure(blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.ReturnStmt:
+		// a return of a non-nil error is a failure exit
+		if len(last.Results) == 0 {
+			return false
+		}
+		final := last.Results[len(last.Results)-1]
+		if id, ok := ast.Unparen(final).(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return c.isError(final)
+	}
+	return false
+}
+
+// recordOwnership extends callerOwned through the scratch-reuse idioms:
+//
+//	buf := p[:0]        // reslice of a parameter
+//	s := *bp            // deref of a pooled buffer pointer
+//	buf = append(buf, …)
+func (c *checker) recordOwnership(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if c.callerOwnedExpr(as.Rhs[i]) {
+			c.callerOwned[obj] = true
+		}
+	}
+}
+
+// callerOwnedExpr reports whether e's backing storage already exists:
+// a caller-owned object, any reslice (x[:0] reuses x's array), a deref
+// of a pointer, a field of owned storage, a sync.Pool recycled value
+// (pool.Get().(*T) — growth amortizes to zero across reuses), or an
+// append to a caller-owned slice.
+func (c *checker) callerOwnedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.callerOwned[obj]
+	case *ast.SliceExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.SelectorExpr:
+		return c.callerOwnedExpr(e.X)
+	case *ast.TypeAssertExpr:
+		if call, ok := ast.Unparen(e.X).(*ast.CallExpr); ok {
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil && analysis.FuncKey(fn) == "(*sync.Pool).Get" {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if isBuiltin(c.pass.TypesInfo, e, "append") && len(e.Args) > 0 {
+			return c.callerOwnedExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, stack []ast.Node) {
+	info := c.pass.TypesInfo
+	switch {
+	case isBuiltin(info, call, "make"), isBuiltin(info, call, "new"):
+		if !c.exempt(stack) {
+			c.pass.Reportf(call.Pos(), "%s in //logr:noalloc function allocates", calleeText(call))
+		}
+		return
+	case isBuiltin(info, call, "append"):
+		if len(call.Args) > 0 && !c.callerOwnedExpr(call.Args[0]) && !c.exempt(stack) {
+			c.pass.Reportf(call.Pos(), "append to %s may grow a heap slice; append into a caller-provided or pooled buffer", analysis.ExprString(call.Args[0]))
+		}
+		return
+	case isBuiltin(info, call, "panic"):
+		return // panic itself is a failure exit; its argument may box
+	}
+	// conversions: string <-> []byte/[]rune copy
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, typeOf(info, call.Args[0])
+		if from != nil && stringSliceConv(to, from) && !c.exempt(stack) {
+			c.pass.Reportf(call.Pos(), "conversion %s(…) copies its operand", calleeText(call))
+		}
+		return
+	}
+	if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil { // package-level functions only
+			switch fn.Pkg().Path() {
+			case "fmt", "errors":
+				if !c.exempt(stack) {
+					c.pass.Reportf(call.Pos(), "%s.%s allocates its result", fn.Pkg().Name(), fn.Name())
+				}
+				return
+			case "strconv":
+				if len(fn.Name()) < 6 || fn.Name()[:6] != "Append" {
+					if !c.exempt(stack) {
+						c.pass.Reportf(call.Pos(), "strconv.%s allocates; use the strconv.Append* forms", fn.Name())
+					}
+					return
+				}
+			}
+		}
+	}
+	c.checkBoxing(call, stack)
+}
+
+// checkBoxing flags arguments passed as interfaces when the concrete
+// value is not pointer-shaped (those conversions heap-allocate the box).
+func (c *checker) checkBoxing(call *ast.CallExpr, stack []ast.Node) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			if sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || pointerShaped(at) {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if !c.exempt(stack) {
+			c.pass.Reportf(arg.Pos(), "passing %s as an interface boxes it on the heap", at.String())
+		}
+	}
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit, stack []ast.Node) {
+	t := typeOf(c.pass.TypesInfo, lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		if !c.exempt(stack) {
+			c.pass.Reportf(lit.Pos(), "%s literal in //logr:noalloc function allocates", kindName(t))
+		}
+	}
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return t.String()
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := typeOf(c.pass.TypesInfo, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) isError(e ast.Expr) bool {
+	t := typeOf(c.pass.TypesInfo, e)
+	if t == nil {
+		return false
+	}
+	return t.String() == "error" || types.Implements(t, errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func calleeText(call *ast.CallExpr) string {
+	return analysis.ExprString(call.Fun)
+}
+
+// stringSliceConv reports whether the conversion copies between string
+// and a byte/rune slice.
+func stringSliceConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit in a pointer word and
+// need no heap box when stored in an interface.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

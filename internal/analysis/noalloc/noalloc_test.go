@@ -1,0 +1,15 @@
+package noalloc
+
+import (
+	"testing"
+
+	"logr/internal/analysis/analysistest"
+)
+
+// TestNoalloc checks the annotation-driven hot-path rules: allocating
+// constructs inside //logr:noalloc functions are findings, the
+// caller-owned-append and failure-exit idioms are exempt, and
+// //logr:allow(noalloc) suppresses a justified cold path.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src", "logr/noallocfix")
+}

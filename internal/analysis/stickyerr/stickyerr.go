@@ -1,0 +1,167 @@
+// Package stickyerr is the project-scoped errcheck plus the façade
+// barrier rule.
+//
+// Durability errors are sticky and load-bearing: a dropped error from a
+// wal.Log or store.Durable mutating call silently un-acknowledges data
+// (the caller believes the write is durable when it is not). The
+// analyzer flags statements that discard the error result of those
+// APIs — `_ = l.Append(p)` stays legal as the explicit opt-out.
+//
+// The second rule guards append-then-read visibility: logr.Workload
+// read methods serve from the applied in-memory state, which trails
+// acknowledged writes; any Workload method that reads through w.st
+// (Snapshot, Segments, counts, range queries) must barrier first, or a
+// caller can read its own acknowledged append and not see it.
+package stickyerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logr/internal/analysis"
+)
+
+// Analyzer is the sticky-error / barrier check.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc:  "flag discarded errors from WAL/Durable mutators and façade reads that skip the applier barrier",
+	Run:  run,
+}
+
+// mutators are the error-returning durability APIs whose results must
+// not be silently discarded (analysis.FuncKey form).
+var mutators = map[string]bool{
+	"(*logr/internal/wal.Log).Append":           true,
+	"(*logr/internal/wal.Log).AppendBatch":      true,
+	"(*logr/internal/wal.Log).Commit":           true,
+	"(*logr/internal/wal.Log).Sync":             true,
+	"(*logr/internal/wal.Log).Close":            true,
+	"(*logr/internal/store.Durable).Append":     true,
+	"(*logr/internal/store.Durable).Seal":       true,
+	"(*logr/internal/store.Durable).Compact":    true,
+	"(*logr/internal/store.Durable).Sync":       true,
+	"(*logr/internal/store.Durable).Close":      true,
+	"(*logr/internal/store.Durable).DropBefore": true,
+	"(*logr.Workload).Append":                   true,
+	"(*logr.Workload).Sync":                     true,
+	"(*logr.Workload).Close":                    true,
+}
+
+// appliedReads are Store methods that serve applied state; a Workload
+// method reaching one through w.st must barrier in the same body.
+var appliedReads = map[string]bool{
+	"Snapshot":      true,
+	"Segments":      true,
+	"TotalQueries":  true,
+	"ActiveQueries": true,
+	"CompressRange": true,
+	"RangeLog":      true,
+	"Book":          true,
+	"NextID":        true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "go ")
+			}
+			return true
+		})
+	}
+	if analysis.PkgPath(pass.Pkg) == "logr" {
+		checkBarriers(pass)
+	}
+	return nil
+}
+
+// checkDiscard flags a statement-position call to a mutator: all its
+// results, the error included, are dropped.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !mutators[analysis.FuncKey(fn)] {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s%s discards its error: durability failures are sticky and must be propagated (assign to _ to discard explicitly)", prefix, analysis.ExprString(call.Fun))
+}
+
+// checkBarriers enforces the façade rule: Workload methods that read
+// applied state via w.st must call barrier/snapshot in the same body.
+func checkBarriers(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !isWorkloadRecv(pass, fn) {
+				continue
+			}
+			switch fn.Name.Name {
+			case "barrier", "snapshot":
+				continue // these ARE the barrier implementations
+			}
+			var reads []*ast.SelectorExpr
+			hasBarrier := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "barrier", "Barrier", "snapshot":
+					hasBarrier = true
+				default:
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok &&
+						inner.Sel.Name == "st" && appliedReads[sel.Sel.Name] {
+						reads = append(reads, sel)
+					}
+				}
+				return true
+			})
+			if hasBarrier {
+				continue
+			}
+			for _, sel := range reads {
+				pass.Reportf(sel.Pos(), "%s reads applied state (%s.%s) without a barrier: acknowledged appends may be invisible; call the receiver's barrier first", fn.Name.Name, analysis.ExprString(sel.X), sel.Sel.Name)
+			}
+		}
+	}
+}
+
+func isWorkloadRecv(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	var t types.Type
+	if ok {
+		t = tv.Type
+	} else if len(fn.Recv.List[0].Names) > 0 {
+		if obj := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Workload"
+}

@@ -1,0 +1,15 @@
+package stickyerr
+
+import (
+	"testing"
+
+	"logr/internal/analysis/analysistest"
+)
+
+// TestStickyErr checks both halves: discarded errors from WAL/Durable
+// mutators (statement and defer position, with `_ =` as the legal
+// opt-out and a same-name unrelated type as the negative), and the
+// façade rule that Workload reads of applied state barrier first.
+func TestStickyErr(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src", "logr/stickyfix", "logr")
+}

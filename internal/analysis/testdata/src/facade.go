@@ -1,0 +1,35 @@
+// Package logr is the façade-barrier half of the stickyerr fixture:
+// Workload methods that read applied state through w.st must call the
+// barrier first, because reads serve the applied store, which trails
+// acknowledged appends.
+package logr
+
+type appliedStore struct{}
+
+func (appliedStore) Snapshot() int      { return 0 }
+func (appliedStore) Segments() []int    { return nil }
+func (appliedStore) ActiveQueries() int { return 0 }
+func (appliedStore) Append(e []string)  {}
+
+type Workload struct {
+	st appliedStore
+}
+
+func (w *Workload) barrier() {}
+
+// Queries barriers before reading: acknowledged appends are visible.
+func (w *Workload) Queries() int {
+	w.barrier()
+	return w.st.Snapshot()
+}
+
+// Stale reads applied state without a barrier: a caller can append,
+// get the ack, and not see its own data.
+func (w *Workload) Stale() []int {
+	return w.st.Segments() // want `Stale reads applied state \(w\.st\.Segments\) without a barrier`
+}
+
+// Mutate writes through w.st; the barrier rule only covers reads.
+func (w *Workload) Mutate(e []string) {
+	w.st.Append(e)
+}

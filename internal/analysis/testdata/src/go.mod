@@ -1,0 +1,6 @@
+// The fixture tree is its own module named logr so fixture packages sit
+// on the exact import paths the analyzers key on (logr/internal/core,
+// logr/internal/wal, the logr façade) with stub implementations.
+module logr
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package cluster stubs the seal-time clustering entry points the
+// lockdiscipline fixture treats as blocking compute.
+package cluster
+
+func KMeansBinary(k int) int { return k }

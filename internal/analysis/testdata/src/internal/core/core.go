@@ -1,0 +1,144 @@
+// Package core is a determinism fixture: it sits on logr/internal/core,
+// a package that promises bit-identical summaries, so map-order, clock
+// and global-RNG dependence must be flagged — and the sorted /
+// keyed-store / seeded idioms must not be.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// mapOrderLeaks appends map keys in iteration order with no later sort:
+// callers observe a different slice every run.
+func mapOrderLeaks(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range without a later sort`
+	}
+	return out
+}
+
+// mapOrderSorted is the blessed idiom: accumulate, then sort before the
+// slice escapes.
+func mapOrderSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapOrderSortSlice uses the closure form of the sort.
+func mapOrderSortSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// localSortCounts recognizes project-local sort helpers by name.
+func localSortCounts(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// floatAccum sums floats in map order: float addition does not
+// associate, so the rounding differs run to run.
+func floatAccum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total inside a map range`
+	}
+	return total
+}
+
+// intAccum is order-independent: integer addition associates.
+func intAccum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedStore writes through the range key — order-independent.
+func keyedStore(m map[int]float64, dst []float64) {
+	for i, v := range m {
+		dst[i] = v
+	}
+}
+
+// loopLocalAccum resets its accumulator every iteration.
+func loopLocalAccum(m map[int][]float64, dst []float64) {
+	for i, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		dst[i] = s
+	}
+}
+
+// perIterationState mutates float storage created inside the iteration
+// (the maxent per-block solver shape): order-independent, the results
+// are sorted before they escape.
+func perIterationState(m map[int][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		w := make([]float64, len(vs))
+		for i := range w {
+			w[i] = 1
+		}
+		for i, v := range vs {
+			w[i] *= v
+		}
+		out = append(out, w[0])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// sliceRange is not a map range at all; the analyzer must be type-aware.
+func sliceRange(counts []int) []int {
+	var out []int
+	for f, c := range counts {
+		if c > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in a package promising bit-identical output`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a package promising bit-identical output`
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `math/rand.Intn uses the global RNG`
+}
+
+// seededRand is the blessed idiom: an explicit source, seeded by the
+// caller, threaded through the computation.
+func seededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(4)
+}
+
+// allowedClock shows the line-scoped suppression form.
+func allowedClock() time.Time {
+	return time.Now() //logr:allow(determinism) feeds Stats.Elapsed only, never summary bytes
+}

@@ -1,0 +1,14 @@
+// Package store stubs logr/internal/store with the Durable mutator
+// signatures the stickyerr fixture exercises.
+package store
+
+type SegmentMeta struct{ ID int }
+
+type Durable struct{}
+
+func (d *Durable) Append(entries []string) error       { return nil }
+func (d *Durable) Seal() (SegmentMeta, bool, error)    { return SegmentMeta{}, false, nil }
+func (d *Durable) DropBefore(id int) (int, error)      { return 0, nil }
+func (d *Durable) Compact(minQueries int) (int, error) { return 0, nil }
+func (d *Durable) Sync() error                         { return nil }
+func (d *Durable) Close() error                        { return nil }

@@ -1,0 +1,97 @@
+// Package lockfix is the lockdiscipline fixture: blocking calls under a
+// held mutex are findings; the release-around-I/O, early-exit-unlock and
+// defer-unlock idioms must track precisely; //logr:holds marks *Locked
+// helpers and //logr:blocking marks slow same-package callees.
+package lockfix
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"logr/internal/cluster"
+)
+
+type S struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// fsyncUnderLock is the bug class PR 5/6 fixed by hand: a deferred
+// unlock keeps mu held across the fsync.
+func (s *S) fsyncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `s\.f\.Sync \(fsync\) while holding s\.mu`
+}
+
+// releaseAroundSync is the fix idiom: drop the lock, sync, retake it.
+func (s *S) releaseAroundSync() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	err := s.f.Sync()
+	s.mu.Lock()
+	s.mu.Unlock()
+	return err
+}
+
+// earlyExitUnlock must not leak the branch's unlock into the
+// fall-through path: the write below still runs with mu held.
+func (s *S) earlyExitUnlock(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.f.Write(nil) // want `s\.f\.Write \(file write\) while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// sealClusteringUnderLock burns seal-time compute inside the lock.
+func (s *S) sealClusteringUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cluster.KMeansBinary(4) // want `seal-time clustering\) while holding s\.mu`
+}
+
+// sleepLocked documents lock ownership with //logr:holds: the lock is
+// held on entry even though no Lock call appears in the body.
+//
+//logr:holds(s.mu)
+func (s *S) sleepLocked() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep \(sleep\) while holding s\.mu`
+}
+
+// syncLockedRelease is the commitLocked idiom: a *Locked helper that
+// releases around its blocking region.
+//
+//logr:holds(s.mu)
+func (s *S) syncLockedRelease() error {
+	s.mu.Unlock()
+	err := s.f.Sync()
+	s.mu.Lock()
+	return err
+}
+
+//logr:blocking
+func slowRebuild() {}
+
+func (s *S) annotatedCallee() {
+	s.mu.Lock()
+	slowRebuild() // want `call to slowRebuild \(annotated //logr:blocking\) while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// handOff spawns the blocking work instead of doing it under the lock.
+func (s *S) handOff() {
+	s.mu.Lock()
+	go slowRebuild()
+	s.mu.Unlock()
+}
+
+// allowForm is the explicit suppression: a justified blocking call.
+func (s *S) allowForm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() //logr:allow(lockdiscipline) shutdown path, no concurrent callers remain
+}

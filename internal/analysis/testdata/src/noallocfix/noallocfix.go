@@ -1,0 +1,120 @@
+// Package noallocfix is the noalloc fixture: only functions annotated
+// //logr:noalloc are checked, caller-owned append targets and failure
+// exits are exempt, and //logr:allow(noalloc) suppresses a line.
+package noallocfix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// appendIntoCaller is the blessed hot-path shape: every append lands in
+// storage the caller (or a pool) already owns.
+//
+//logr:noalloc
+func appendIntoCaller(dst []int, src []int) []int {
+	for _, v := range src {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// reuseScratch reslices a caller buffer to zero length and fills it.
+//
+//logr:noalloc
+func reuseScratch(bp *[]byte, src []byte) {
+	buf := (*bp)[:0]
+	for _, b := range src {
+		buf = append(buf, b)
+	}
+	*bp = buf
+}
+
+//logr:noalloc
+func hotAllocs(n int) []int {
+	s := make([]int, n) // want `make in //logr:noalloc function allocates`
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out may grow a heap slice`
+	}
+	_ = fmt.Sprintf("%d", n)     // want `fmt.Sprintf allocates its result`
+	f := func() int { return n } // want `function literal in //logr:noalloc function`
+	_ = f()
+	return s
+}
+
+//logr:noalloc
+func hotConversions(s string, b []byte) int {
+	x := []byte(s) // want `conversion .* copies its operand`
+	y := string(b) // want `conversion string\(…\) copies its operand`
+	return len(x) + len(y)
+}
+
+//logr:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+func box(x any) any { return x }
+
+//logr:noalloc
+func hotBoxingCall(v int64) {
+	box(v) // want `passing int64 as an interface boxes it`
+}
+
+//logr:noalloc
+func hotMapWrite(m map[int]int, k int) {
+	m[k] = k // want `map insert in //logr:noalloc function may allocate`
+}
+
+type scratch struct {
+	bufs [][]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// pooledScratch appends into sync.Pool recycled storage: growth amortizes
+// to zero across reuses, so fields of a pool.Get().(*T) value are owned.
+//
+//logr:noalloc
+func pooledScratch(src [][]byte) {
+	sc := scratchPool.Get().(*scratch)
+	for _, b := range src {
+		sc.bufs = append(sc.bufs, b)
+	}
+	sc.bufs = sc.bufs[:0]
+	scratchPool.Put(sc)
+}
+
+// coldGuard allows amortized growth behind an explicit suppression.
+//
+//logr:noalloc
+func coldGuard(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, 0, n) //logr:allow(noalloc) cold-path capacity growth, amortizes to zero
+	}
+	return buf[:0]
+}
+
+// failureExit may allocate the error: error paths are not steady state.
+//
+//logr:noalloc
+func failureExit(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("negative input %d", v)
+	}
+	if v > 1<<20 {
+		return 0, errBig
+	}
+	return v * 2, nil
+}
+
+var errBig = errors.New("too big")
+
+// unannotated functions allocate freely.
+func unannotated(n int) []int {
+	out := make([]int, n)
+	_ = fmt.Sprint(n)
+	return out
+}

@@ -1,0 +1,37 @@
+// Package stickyfix is the discarded-error half of the stickyerr
+// fixture: statement-position calls to WAL/Durable mutators drop sticky
+// durability errors; explicit `_ =` stays legal.
+package stickyfix
+
+import (
+	"logr/internal/store"
+	"logr/internal/wal"
+)
+
+func discards(l *wal.Log, d *store.Durable) {
+	l.Append(nil)   // want `l\.Append discards its error`
+	d.Append(nil)   // want `d\.Append discards its error`
+	d.Seal()        // want `d\.Seal discards its error`
+	defer l.Close() // want `defer l\.Close discards its error`
+}
+
+func handled(l *wal.Log, d *store.Durable) error {
+	if err := l.Append(nil); err != nil {
+		return err
+	}
+	if _, _, err := d.Seal(); err != nil {
+		return err
+	}
+	_ = l.Sync() // explicit discard is the documented opt-out
+	return d.Close()
+}
+
+// lookalike has the same method names on an unrelated type: the
+// analyzer matches by type, not by name.
+type lookalike struct{}
+
+func (lookalike) Append(p []byte) error { return nil }
+
+func notAMutator(x lookalike) {
+	x.Append(nil)
+}

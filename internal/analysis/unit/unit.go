@@ -1,0 +1,240 @@
+// Package unit speaks the `go vet -vettool` protocol: cmd/go invokes
+// the tool once per package with a JSON config describing the sources,
+// the import remapping and the export data of every dependency it has
+// already compiled. This is the stdlib-only equivalent of x/tools'
+// go/analysis/unitchecker.
+//
+// The contract (see cmd/go/internal/work and cmd/go/internal/vet):
+//
+//   - `tool -V=full` prints "name version <id>"; the id feeds the build
+//     cache key, so it hashes the tool binary — edit logrvet, and every
+//     package re-vets.
+//   - `tool -flags` prints a JSON array of the flags vet may forward.
+//   - `tool [-analyzer ...] path/to/vet.cfg` runs the checks and prints
+//     findings to stderr as file:line:col: messages, exiting nonzero if
+//     there were any.
+//
+// Each run writes the (empty — logrvet exchanges no facts) VetxOutput
+// file so cmd/go can cache clean results; VetxOnly runs, which exist
+// purely to produce facts for dependencies, skip analysis entirely.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"logr/internal/analysis"
+	"logr/internal/analysis/load"
+)
+
+// Config mirrors the vetConfig JSON cmd/go writes next to each package
+// it vets. Field names must match exactly; unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it handles the protocol
+// handshakes and runs the analyzers over the package in the vet.cfg
+// argument.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		// The id must change when the tool changes: hash our own binary.
+		fmt.Printf("%s version %s\n", strings.TrimSuffix(progname, ".exe"), selfID())
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlags(analyzers)
+		return
+	}
+	enabled, cfgPath, err := parseArgs(os.Args[1:], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	code, err := Run(cfgPath, enabled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// parseArgs accepts -NAME / -NAME=true|false for each analyzer plus the
+// trailing vet.cfg path. With no analyzer flags set true, all run (the
+// same convention as x/tools' unitchecker).
+func parseArgs(args []string, analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, string, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	want := map[string]bool{}
+	cfg := ""
+	for _, arg := range args {
+		if !strings.HasPrefix(arg, "-") {
+			if cfg != "" {
+				return nil, "", fmt.Errorf("unexpected argument %q", arg)
+			}
+			cfg = arg
+			continue
+		}
+		name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+		if _, ok := byName[name]; !ok {
+			continue // tolerate unrelated vet flags
+		}
+		want[name] = !hasVal || val == "true"
+	}
+	if cfg == "" {
+		return nil, "", fmt.Errorf("usage: logrvet [-analyzer[=bool] ...] vet.cfg")
+	}
+	anyTrue := false
+	for _, v := range want {
+		anyTrue = anyTrue || v
+	}
+	if !anyTrue {
+		return analyzers, cfg, nil
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, cfg, nil
+}
+
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{a.Name, true, a.Doc})
+	}
+	data, _ := json.Marshal(flags)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// Run loads the package described by cfgPath and applies the analyzers.
+// It returns the process exit code: 0 clean, 2 findings.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// Always leave the (empty) facts file: cmd/go treats its presence as
+	// "this vet ran" and caches accordingly.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("logrvet-no-facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	res, err := load.Package(load.Spec{
+		Path:        cfg.ImportPath,
+		GoFiles:     files,
+		ImportMap:   cfg.ImportMap,
+		PackageFile: cfg.PackageFile,
+		GoVersion:   goVersion(cfg.GoVersion),
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      res.Fset,
+			Files:     res.Files,
+			Pkg:       res.Pkg,
+			TypesInfo: res.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2, nil
+}
+
+// goVersion normalizes "1.22" / "go1.22" / "" to what go/types expects.
+func goVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	// go/types rejects versions above the toolchain's; trim patch digits
+	// it may not know ("go1.22.3" -> "go1.22").
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:20]
+}

@@ -52,18 +52,24 @@ func FromIndices(n int, indices ...int) Vector {
 func (v Vector) Len() int { return v.n }
 
 // Set sets bit i.
+//
+//logr:noalloc
 func (v Vector) Set(i int) {
 	v.check(i)
 	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
 }
 
 // Clear clears bit i.
+//
+//logr:noalloc
 func (v Vector) Clear(i int) {
 	v.check(i)
 	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
 }
 
 // Get reports whether bit i is set.
+//
+//logr:noalloc
 func (v Vector) Get(i int) bool {
 	v.check(i)
 	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
@@ -76,6 +82,8 @@ func (v Vector) check(i int) {
 }
 
 // Count returns the number of set bits (the pattern's size |b|).
+//
+//logr:noalloc
 func (v Vector) Count() int {
 	c := 0
 	for _, w := range v.words {
@@ -85,6 +93,8 @@ func (v Vector) Count() int {
 }
 
 // IsZero reports whether no bits are set.
+//
+//logr:noalloc
 func (v Vector) IsZero() bool {
 	for _, w := range v.words {
 		if w != 0 {
@@ -102,6 +112,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Equal reports whether v and u have the same universe and the same bits.
+//
+//logr:noalloc
 func (v Vector) Equal(u Vector) bool {
 	if v.n != u.n {
 		return false
@@ -116,6 +128,8 @@ func (v Vector) Equal(u Vector) bool {
 
 // Contains reports whether b ⊆ v: every bit set in b is set in v.
 // This is the pattern-containment relation of Section 2.1.
+//
+//logr:noalloc
 func (v Vector) Contains(b Vector) bool {
 	if v.n != b.n {
 		panic("bitvec: universe size mismatch")
@@ -129,6 +143,8 @@ func (v Vector) Contains(b Vector) bool {
 }
 
 // Intersects reports whether v and u share at least one set bit.
+//
+//logr:noalloc
 func (v Vector) Intersects(u Vector) bool {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -180,12 +196,14 @@ func (v Vector) AndNot(u Vector) Vector {
 // reshape resizes dst to a universe of n features, reusing its word
 // storage when capacity allows. Word contents beyond what the caller
 // overwrites are unspecified; every Into kernel writes the full span.
+//
+//logr:noalloc
 func (dst *Vector) reshape(n int) {
 	nw := (n + wordBits - 1) / wordBits
 	if cap(dst.words) >= nw {
 		dst.words = dst.words[:nw]
 	} else {
-		dst.words = make([]uint64, nw)
+		dst.words = make([]uint64, nw) //logr:allow(noalloc) capacity growth on universe widening, amortizes to zero
 	}
 	dst.n = n
 }
@@ -193,6 +211,8 @@ func (dst *Vector) reshape(n int) {
 // AndInto sets *dst to v ∧ u, reusing dst's word storage when it has
 // capacity — the allocation-free form of And for hot loops that keep a
 // scratch vector across iterations. dst may alias v or u.
+//
+//logr:noalloc
 func (v Vector) AndInto(u Vector, dst *Vector) {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -205,6 +225,8 @@ func (v Vector) AndInto(u Vector, dst *Vector) {
 
 // OrInto sets *dst to v ∨ u, reusing dst's word storage when it has
 // capacity. dst may alias v or u.
+//
+//logr:noalloc
 func (v Vector) OrInto(u Vector, dst *Vector) {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -217,6 +239,8 @@ func (v Vector) OrInto(u Vector, dst *Vector) {
 
 // AndNotInto sets *dst to v ∧ ¬u, reusing dst's word storage when it has
 // capacity. dst may alias v or u.
+//
+//logr:noalloc
 func (v Vector) AndNotInto(u Vector, dst *Vector) {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -229,6 +253,8 @@ func (v Vector) AndNotInto(u Vector, dst *Vector) {
 
 // CopyInto sets *dst to a copy of v, reusing dst's word storage when it
 // has capacity — Clone without the allocation.
+//
+//logr:noalloc
 func (v Vector) CopyInto(dst *Vector) {
 	dst.reshape(v.n)
 	copy(dst.words, v.words)
@@ -237,6 +263,8 @@ func (v Vector) CopyInto(dst *Vector) {
 // GrowInto sets *dst to v widened to a universe of size n (n ≥ v.Len()),
 // reusing dst's word storage when it has capacity. Existing bits keep
 // their indices; the widened tail is zero. dst must not alias v.
+//
+//logr:noalloc
 func (v Vector) GrowInto(n int, dst *Vector) {
 	if n < v.n {
 		panic("bitvec: Grow would shrink universe")
@@ -249,6 +277,8 @@ func (v Vector) GrowInto(n int, dst *Vector) {
 }
 
 // OrInPlace sets v to v ∨ u.
+//
+//logr:noalloc
 func (v Vector) OrInPlace(u Vector) {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -261,6 +291,8 @@ func (v Vector) OrInPlace(u Vector) {
 // AndCount returns |v ∧ u|, the popcount of the intersection, without
 // allocating. Together with Count it gives a branch-light containment test
 // (b ⊆ v iff |b ∧ v| = |b|) that batch counting loops exploit.
+//
+//logr:noalloc
 func (v Vector) AndCount(u Vector) int {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -276,6 +308,8 @@ func (v Vector) AndCount(u Vector) int {
 // Hamming distance as a raw word-packed kernel. It is the primitive the
 // binary clustering path builds its metrics on: for binary vectors,
 // manhattan(v,u) = canberra(v,u) = XorCount and euclid²(v,u) = XorCount.
+//
+//logr:noalloc
 func (v Vector) XorCount(u Vector) int {
 	if v.n != u.n {
 		panic("bitvec: universe size mismatch")
@@ -288,6 +322,8 @@ func (v Vector) XorCount(u Vector) int {
 }
 
 // Hamming returns the Hamming distance |{i : v_i ≠ u_i}|.
+//
+//logr:noalloc
 func (v Vector) Hamming(u Vector) int {
 	return v.XorCount(u)
 }
@@ -295,6 +331,8 @@ func (v Vector) Hamming(u Vector) int {
 // AndCountInto writes |v ∧ us[j]| into out[j] for every vector in us — the
 // batch form of AndCount, sharing v's words across the whole batch without
 // allocating. len(out) must be ≥ len(us).
+//
+//logr:noalloc
 func (v Vector) AndCountInto(us []Vector, out []int) {
 	for j, u := range us {
 		if v.n != u.n {
@@ -313,6 +351,8 @@ func (v Vector) AndCountInto(us []Vector, out []int) {
 // and feature marginals: summing packed vectors column-wise without
 // materializing a dense row or allocating an index slice. counts must span
 // the vector's universe.
+//
+//logr:noalloc
 func (v Vector) AccumulateInto(counts []float64, w float64) {
 	for wi, word := range v.words {
 		for word != 0 {
@@ -327,6 +367,8 @@ func (v Vector) AccumulateInto(counts []float64, w float64) {
 // the sparse dot product of a binary vector with a dense coefficient row.
 // The binary Lloyd scorer uses it to evaluate ‖q−c‖² = ‖c‖² + Σ_{i∈q}(1−2c_i)
 // while touching only q's set bits. vals must span the vector's universe.
+//
+//logr:noalloc
 func (v Vector) Dot(vals []float64) float64 {
 	s := 0.0
 	for wi, word := range v.words {
@@ -408,6 +450,8 @@ func (v Vector) Dense() []float64 {
 // clustering kernels use it wherever exact agreement with the dense float
 // path matters more than speed: near-tie resolution, empty-cluster
 // re-seeding and final inertia. c must span the vector's universe.
+//
+//logr:noalloc
 func (v Vector) SqDist(c []float64) float64 {
 	s := 0.0
 	for wi, word := range v.words {

@@ -537,7 +537,7 @@ func NewSpectralModelBinaryP(vecs []bitvec.Vector, dist BinaryDistanceFunc, sigm
 	if dist == nil {
 		dist = BinaryMetricFunc(Euclidean, 0)
 	}
-	start := time.Now()
+	start := time.Now() //logr:allow(determinism) wall-clock feeds Stats/Elapsed timing fields only, never summary bytes
 	return newSpectralModelFromDistances(DistanceMatrixBinary(vecs, dist, p), sigma, p, start)
 }
 

@@ -85,7 +85,7 @@ func NewSpectralModelP(points [][]float64, dist DistanceFunc, sigma float64, p i
 	if dist == nil {
 		dist = MetricFunc(Euclidean, 0)
 	}
-	start := time.Now()
+	start := time.Now() //logr:allow(determinism) wall-clock feeds Stats/Elapsed timing fields only, never summary bytes
 	return newSpectralModelFromDistances(distanceMatrix(points, dist, p), sigma, p, start)
 }
 
@@ -133,7 +133,7 @@ func newSpectralModelFromDistances(dm [][]float64, sigma float64, p int, start t
 	if err != nil {
 		return nil, fmt.Errorf("cluster: spectral eigensolve: %w", err)
 	}
-	return &SpectralModel{n: n, vecs: vecs, BuildTime: time.Since(start)}, nil
+	return &SpectralModel{n: n, vecs: vecs, BuildTime: time.Since(start)}, nil //logr:allow(determinism) wall-clock feeds Stats/Elapsed timing fields only, never summary bytes
 }
 
 // Cluster embeds the points into the K smallest eigenvectors (rows

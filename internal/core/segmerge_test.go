@@ -301,12 +301,12 @@ func TestCompactionRuns(t *testing.T) {
 		want  [][2]int
 	}{
 		{nil, 100, nil},
-		{[]int{500, 600}, 100, nil},                               // nothing small
-		{[]int{50, 500}, 100, nil},                                // lone small segment
-		{[]int{50, 60, 500}, 100, [][2]int{{0, 2}}},               // adjacent smalls merge
-		{[]int{500, 10, 20, 30, 40, 500}, 100, [][2]int{{1, 5}}},  // run inside
+		{[]int{500, 600}, 100, nil},                                // nothing small
+		{[]int{50, 500}, 100, nil},                                 // lone small segment
+		{[]int{50, 60, 500}, 100, [][2]int{{0, 2}}},                // adjacent smalls merge
+		{[]int{500, 10, 20, 30, 40, 500}, 100, [][2]int{{1, 5}}},   // run inside
 		{[]int{10, 20, 80, 10, 20}, 100, [][2]int{{0, 3}, {3, 5}}}, // run cut once it reaches the threshold
-		{[]int{500, 99}, 100, nil},                                // trailing lone small
+		{[]int{500, 99}, 100, nil},                                 // trailing lone small
 	}
 	for i, tc := range cases {
 		got := CompactionRuns(tc.sizes, tc.min)

@@ -205,10 +205,10 @@ func TestReadSummaryRejectsCorruptBinary(t *testing.T) {
 	// encoding feature 0 twice
 	dup := []byte("LGRS\x01")
 	dup = append(dup,
-		2,       // universe
-		10,      // total
-		0,       // scheme
-		2,       // feature count
+		2,         // universe
+		10,        // total
+		0,         // scheme
+		2,         // feature count
 		0, 1, 'a', // feature 0
 		0, 1, 'b', // feature 1
 		1,    // cluster count

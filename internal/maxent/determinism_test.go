@@ -1,0 +1,65 @@
+package maxent
+
+import (
+	"math"
+	"testing"
+
+	"logr/internal/bitvec"
+)
+
+// TestFitBitIdenticalAcrossRuns is the regression pin for the logrvet
+// determinism findings in Fit and PatternMarginal: block construction
+// used to iterate the union-find component map in map order, so block
+// layout — and with it Entropy's summation order and PatternMarginal's
+// product order — differed run to run. Fitting the same constraints
+// repeatedly (each run re-rolls Go's per-map iteration seed) must now
+// produce bit-identical distributions.
+func TestFitBitIdenticalAcrossRuns(t *testing.T) {
+	n := 12
+	fm := make([]float64, n)
+	for i := range fm {
+		fm[i] = 0.1 + 0.05*float64(i)
+	}
+	// four disjoint components so a map-ordered walk has 4! chances to
+	// shuffle the block layout
+	cs := []Constraint{
+		{Pattern: bitvec.FromIndices(n, 0, 1), Target: 0.08},
+		{Pattern: bitvec.FromIndices(n, 1, 2), Target: 0.11},
+		{Pattern: bitvec.FromIndices(n, 3, 4), Target: 0.21},
+		{Pattern: bitvec.FromIndices(n, 5, 6, 7), Target: 0.05},
+		{Pattern: bitvec.FromIndices(n, 9, 10), Target: 0.33},
+	}
+	probe := []bitvec.Vector{
+		bitvec.FromIndices(n, 0, 1, 2),
+		bitvec.FromIndices(n, 3, 4, 9),
+		bitvec.FromIndices(n, 5, 6, 7, 10),
+		bitvec.FromIndices(n, 0, 4, 7, 10),
+	}
+
+	ref, err := Fit(n, fm, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEntropy := ref.Entropy()
+	refMarg := make([]float64, len(probe))
+	for i, b := range probe {
+		refMarg[i] = ref.PatternMarginal(b)
+	}
+
+	for run := 0; run < 20; run++ {
+		d, err := Fit(n, fm, cs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Entropy(); got != refEntropy {
+			t.Fatalf("run %d: entropy %v != %v (diff %g): block order leaked map iteration order",
+				run, got, refEntropy, math.Abs(got-refEntropy))
+		}
+		for i, b := range probe {
+			if got := d.PatternMarginal(b); got != refMarg[i] {
+				t.Fatalf("run %d: PatternMarginal(probe %d) %v != %v: product order leaked map iteration order",
+					run, i, got, refMarg[i])
+			}
+		}
+	}
+}

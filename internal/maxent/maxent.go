@@ -145,13 +145,22 @@ func Fit(n int, featureMarginals []float64, patterns []Constraint, opts Options)
 			}
 		}
 	}
+	// Block layout is part of the observable output (block order decides
+	// d.blockOf and the probs tables PatternMarginal walks), so iterate
+	// components in first-appearance order — never in map order, which
+	// would shuffle blocks run to run.
 	groups := map[int][]int{}
+	var roots []int
 	for pi := range multi {
 		r := comp.find(pi)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
 		groups[r] = append(groups[r], pi)
 	}
 
-	for _, g := range groups {
+	for _, r := range roots {
+		g := groups[r]
 		// feature block = union of supports
 		featSet := map[int]bool{}
 		for _, pi := range g {
@@ -329,7 +338,13 @@ func (d *Dist) PatternMarginal(b bitvec.Vector) float64 {
 			p *= d.bern[i]
 		}
 	})
-	for bi, mask := range blockMask {
+	// accumulate the product in block-index order: float multiplication
+	// does not associate, so map order would perturb the low bits
+	for bi := range d.blocks {
+		mask, ok := blockMask[bi]
+		if !ok {
+			continue
+		}
 		blk := d.blocks[bi]
 		m := 0.0
 		for s, pr := range blk.probs {

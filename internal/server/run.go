@@ -76,8 +76,7 @@ func Run(ctx context.Context, cfg RunConfig) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		w.Close()
-		return err
+		return errors.Join(err, w.Close())
 	}
 	if cfg.OnListen != nil {
 		cfg.OnListen(ln.Addr())
@@ -88,8 +87,7 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		pln, err := net.Listen("tcp", cfg.PprofAddr)
 		if err != nil {
 			ln.Close()
-			w.Close()
-			return fmt.Errorf("pprof listener: %w", err)
+			return errors.Join(fmt.Errorf("pprof listener: %w", err), w.Close())
 		}
 		ps := &http.Server{Handler: pprofMux()}
 		go ps.Serve(pln)

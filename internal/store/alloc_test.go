@@ -1,0 +1,51 @@
+package store
+
+import (
+	"testing"
+
+	"logr/internal/wal"
+	"logr/internal/workload"
+)
+
+// TestAppendSteadyStateAllocs pins the //logr:noalloc contract on
+// Durable.Append: once the record buffers, the framing scratch, and the
+// encoder's dedup state are warm, acknowledging a batch must not allocate
+// per call. The pre-pooling implementation built three fresh slices and a
+// cleanup closure per batch (5+ allocations before the encode buffer), so
+// the bound below is a real regression tripwire, with slack only for the
+// group-commit goroutine's background noise.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow state allocates on the apply-queue channel ops")
+	}
+	d, err := Open(t.TempDir(), Options{}, DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	batch := []workload.LogEntry{
+		{SQL: "SELECT _id, _time FROM messages WHERE status = ?", Count: 3},
+		{SQL: "SELECT name FROM contacts WHERE circle_id = ?", Count: 2},
+		{SQL: "SELECT job_name FROM batch_jobs WHERE status != 'DONE'", Count: 1},
+	}
+	// Warm-up: seed the encoder's dedup tables, the record-buffer pool,
+	// and the scratch pool, and let every lazily grown slice reach its
+	// steady-state capacity.
+	for i := 0; i < 8; i++ {
+		if err := d.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Barrier()
+
+	avg := testing.AllocsPerRun(200, func() {
+		if err := d.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	d.Barrier()
+	if avg >= 2 {
+		t.Fatalf("Durable.Append steady state allocates %.2f times per call; the pooled hot path budget is <2", avg)
+	}
+}

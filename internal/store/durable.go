@@ -177,6 +177,36 @@ var recordBufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 64<<10); return &b },
 }
 
+// appendScratch carries the per-call framing state of Durable.Append —
+// the window payloads, their pooled buffers, and the apply jobs — so the
+// steady-state ingest path reuses the three slice headers across calls
+// instead of allocating them per batch.
+type appendScratch struct {
+	payloads [][]byte
+	bufs     []*[]byte
+	jobs     []applyJob
+}
+
+var appendScratchPool = sync.Pool{New: func() any { return new(appendScratch) }}
+
+// release returns the record buffers to their pool and recycles the
+// scratch with its capacity intact. The payload and job slots are cleared
+// so recycled scratches never pin entry slices or encode buffers.
+//
+//logr:noalloc
+func (sc *appendScratch) release() {
+	for i, bp := range sc.bufs {
+		recordBufPool.Put(bp)
+		sc.bufs[i] = nil
+		sc.payloads[i] = nil
+		sc.jobs[i] = applyJob{}
+	}
+	sc.payloads = sc.payloads[:0]
+	sc.bufs = sc.bufs[:0]
+	sc.jobs = sc.jobs[:0]
+	appendScratchPool.Put(sc)
+}
+
 // Open opens (creating if needed) a durable store rooted at dir. Recovery
 // replays the WAL's durable prefix into a fresh store with the same
 // automatic seal/compact triggers live — the replay executes literally the
@@ -250,52 +280,47 @@ func (d *Durable) segDir() string { return filepath.Join(d.dir, segDirName) }
 // WAL — and, under wal.SyncAlways, on stable storage — without waiting for
 // the encoder. The entry slice must not be mutated by the caller after
 // Append returns: the applier still reads it.
+//
+//logr:noalloc
 func (d *Durable) Append(entries []workload.LogEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	// frame every window outside the sequencing lock; buffers recycle
-	// because the WAL copies them during AppendBatch
-	nw := (len(entries) + ingestWindow - 1) / ingestWindow
-	payloads := make([][]byte, 0, nw)
-	bufs := make([]*[]byte, 0, nw)
-	jobs := make([]applyJob, 0, nw)
+	// frame every window outside the sequencing lock; record buffers and
+	// the scratch recycle because the WAL copies payloads during
+	// AppendBatch and the applier gets its own job values
+	sc := appendScratchPool.Get().(*appendScratch)
 	queued := int64(0)
 	for rest := entries; len(rest) > 0; {
 		n := min(len(rest), ingestWindow)
 		bp := recordBufPool.Get().(*[]byte)
 		*bp = encodeEntriesOpInto(*bp, rest[:n])
-		bufs = append(bufs, bp)
-		payloads = append(payloads, *bp)
-		jobs = append(jobs, applyJob{op: walOp{kind: opEntries, entries: rest[:n]}})
+		sc.bufs = append(sc.bufs, bp)
+		sc.payloads = append(sc.payloads, *bp)
+		sc.jobs = append(sc.jobs, applyJob{op: walOp{kind: opEntries, entries: rest[:n]}})
 		queued += int64(n)
 		rest = rest[n:]
-	}
-	putBufs := func() {
-		for _, bp := range bufs {
-			recordBufPool.Put(bp)
-		}
 	}
 	d.seqMu.Lock()
 	if d.closed {
 		d.seqMu.Unlock()
-		putBufs()
+		sc.release()
 		return ErrClosed
 	}
-	end, err := d.w.AppendBatch(payloads)
+	end, err := d.w.AppendBatch(sc.payloads)
 	if err != nil {
 		d.seqMu.Unlock()
-		putBufs()
+		sc.release()
 		return err
 	}
 	d.acked.Store(end)
 	d.queued.Add(queued)
-	jobs[len(jobs)-1].lsn = end
-	for _, j := range jobs {
+	sc.jobs[len(sc.jobs)-1].lsn = end
+	for _, j := range sc.jobs {
 		d.applyQ <- j // blocks when the applier is behind: backpressure
 	}
 	d.seqMu.Unlock()
-	putBufs()
+	sc.release()
 	if d.dopts.Sync == wal.SyncAlways {
 		return d.w.Commit(end)
 	}

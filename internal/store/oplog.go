@@ -41,6 +41,7 @@ type walOp struct {
 	arg     int                 // opDrop id / opCompact minQueries
 }
 
+//logr:noalloc
 func appendUvarint(b []byte, v uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], v)
@@ -58,13 +59,15 @@ func encodeEntriesOp(entries []workload.LogEntry) []byte {
 // ingest hot path can recycle record buffers instead of allocating ~150 KiB
 // per window. The WAL copies payloads before AppendBatch returns, which is
 // what makes the recycling safe.
+//
+//logr:noalloc
 func encodeEntriesOpInto(buf []byte, entries []workload.LogEntry) []byte {
 	size := 1 + binary.MaxVarintLen64
 	for _, e := range entries {
 		size += 2*binary.MaxVarintLen64 + len(e.SQL)
 	}
 	if cap(buf) < size {
-		buf = make([]byte, 0, size)
+		buf = make([]byte, 0, size) //logr:allow(noalloc) record-buffer capacity growth, amortizes to zero across pool reuses
 	}
 	b := append(buf[:0], opEntries)
 	b = appendUvarint(b, uint64(len(entries)))

@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its shadow-state bookkeeping allocates on channel operations, so the
+// strict allocation pins are meaningless under -race.
+const raceEnabled = true

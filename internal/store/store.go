@@ -145,6 +145,10 @@ func (sg *Segment) summary(opts core.CompressOptions, key string, warm func() []
 	}
 	o := opts
 	o.WarmCentroids = warm()
+	// Serializing concurrent cache fills under sg.mu is the point: the
+	// segment is sealed (ingest never takes this lock), and two racing
+	// readers would otherwise both pay the clustering.
+	//logr:allow(lockdiscipline) per-segment cache fill; sealed segments are never on the ingest path
 	c, err := core.Compress(sg.log, o)
 	if err != nil {
 		return nil, err
@@ -283,6 +287,7 @@ func (s *Store) Seal() (SegmentMeta, bool) {
 	return seg.Meta(), true
 }
 
+//logr:holds(s.mu)
 func (s *Store) sealLocked() *Segment {
 	if s.enc.EncodedQueries() == s.boundaryEpoch.Total {
 		return nil
@@ -360,6 +365,7 @@ func (s *Store) Compact(minQueries int) int {
 	return s.compactLocked(minQueries)
 }
 
+//logr:holds(s.mu)
 func (s *Store) compactLocked(minQueries int) int {
 	sizes := make([]int, len(s.segs))
 	for i, sg := range s.segs {
@@ -415,6 +421,8 @@ func mergeSegments(run []*Segment) *Segment {
 // segments: it returns every live segment up to the range end (the summary
 // warm-start chain) and the count of trailing chain segments that form the
 // requested range.
+//
+//logr:holds(s.mu)
 func (s *Store) chainLocked(from, to int) (chain []*Segment, width int, err error) {
 	if from >= to {
 		return nil, 0, fmt.Errorf("store: empty segment range [%d, %d)", from, to)

@@ -314,6 +314,8 @@ func (l *Log) Append(payload []byte) error {
 // SyncAlways: it is the group-commit half, Commit is the durability half);
 // it blocks only for buffer backpressure. The payload bytes are copied
 // before return; the caller may reuse them.
+//
+//logr:noalloc
 func (l *Log) AppendBatch(payloads [][]byte) (int64, error) {
 	need := 0
 	for _, p := range payloads {
@@ -343,7 +345,7 @@ func (l *Log) AppendBatch(payloads [][]byte) (int64, error) {
 		}
 	}
 	if cap(l.pend)-len(l.pend) < need {
-		grown := make([]byte, len(l.pend), len(l.pend)+need)
+		grown := make([]byte, len(l.pend), len(l.pend)+need) //logr:allow(noalloc) pending-buffer capacity growth, amortizes to zero
 		copy(grown, l.pend)
 		l.pend = grown
 	}
@@ -374,6 +376,8 @@ func (l *Log) AppendBatch(payloads [][]byte) (int64, error) {
 // startFlushLocked hands the pending buffer to a background write unless
 // one is already in flight (the single-flusher rule keeps on-disk order
 // equal to accept order; the completion handler chains the next flush).
+//
+//logr:holds(l.mu)
 func (l *Log) startFlushLocked() {
 	if l.flushing || len(l.pend) == 0 || l.failed || l.closed {
 		return
@@ -433,6 +437,8 @@ func (l *Log) deferredSync() {
 }
 
 // failLocked poisons the log and stops the timers.
+//
+//logr:holds(l.mu)
 func (l *Log) failLocked(err error) {
 	if l.failed {
 		return
@@ -449,6 +455,8 @@ func (l *Log) failLocked(err error) {
 }
 
 // failedLocked renders the poisoned state as an error.
+//
+//logr:holds(l.mu)
 func (l *Log) failedLocked() error {
 	return fmt.Errorf("wal: log failed on an earlier write; durability can no longer be guaranteed: %w", l.failCause)
 }
@@ -472,6 +480,8 @@ func (l *Log) Commit(end int64) error {
 
 // commitLocked drives flush+fsync until synced covers target, releasing
 // the lock around the fsync so appends and commits keep flowing.
+//
+//logr:holds(l.mu)
 func (l *Log) commitLocked(target int64) error {
 	for l.synced < target {
 		if l.failed {

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -154,11 +155,9 @@ func usBankTemplates(rng *rand.Rand, target int) []bankTemplate {
 		}
 	}
 	// deterministic order: map iteration is random
-	for i := 1; i < len(tables); i++ {
-		for j := i; j > 0 && tables[j-1].schema+tables[j-1].table > tables[j].schema+tables[j].table; j-- {
-			tables[j-1], tables[j] = tables[j], tables[j-1]
-		}
-	}
+	sort.Slice(tables, func(i, j int) bool {
+		return tables[i].schema+tables[i].table < tables[j].schema+tables[j].table
+	})
 
 	seen := map[string]bool{}
 	var out []bankTemplate

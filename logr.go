@@ -281,11 +281,27 @@ func FromEntries(entries []Entry) *Workload {
 	return FromEntriesWithOptions(entries, Options{})
 }
 
-// FromEntriesWithOptions encodes a deduplicated workload.
+// FromEntriesWithOptions encodes a deduplicated workload. The in-memory
+// append cannot fail, so the constructor feeds the store directly rather
+// than routing through Append's durable error path.
 func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
 	w := &Workload{st: store.New(opts.storeOptions()), par: opts.Parallelism}
-	w.Append(entries)
+	w.st.Append(publicToInternal(entries))
 	return w
+}
+
+// publicToInternal converts façade entries to pipeline entries,
+// defaulting non-positive counts to one occurrence.
+func publicToInternal(entries []Entry) []workload.LogEntry {
+	batch := make([]workload.LogEntry, len(entries))
+	for i, e := range entries {
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		batch[i] = workload.LogEntry{SQL: e.SQL, Count: c}
+	}
+	return batch
 }
 
 // Append feeds more entries through the pipeline (a growing log file, a
@@ -305,14 +321,7 @@ func FromEntriesWithOptions(entries []Entry, opts Options) *Workload {
 // failure: the batch was not acknowledged. In-memory workloads apply
 // synchronously and always return nil.
 func (w *Workload) Append(entries []Entry) error {
-	batch := make([]workload.LogEntry, len(entries))
-	for i, e := range entries {
-		c := e.Count
-		if c <= 0 {
-			c = 1
-		}
-		batch[i] = workload.LogEntry{SQL: e.SQL, Count: c}
-	}
+	batch := publicToInternal(entries)
 	if w.d != nil {
 		return w.note(w.d.Append(batch))
 	}
