@@ -4,9 +4,12 @@
 #   make test    run the full test suite
 #   make lint    gofmt check + the project invariant analyzers (cmd/logrvet
 #                via `go vet -vettool`) + govulncheck when installed
+#   make chaos   the exhaustive fault-injection sweep under -race: every IO
+#                op of the durability workload x every fault class, plus the
+#                WAL corruption fuzzer's corpus
 #   make bench   the benchmark harness (see cmd/logr-bench/Makefile)
 
-.PHONY: build test lint bench
+.PHONY: build test lint chaos bench
 
 build:
 	go build ./...
@@ -23,6 +26,13 @@ lint:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
+
+chaos:
+	LOGR_CHAOS=1 go test -race -count=1 \
+		-run 'TestFaultMatrix|TestFaultMatrixSyncLies|TestDegradedModeRecovery|TestCheckpoint|TestAutoCheckpoint|TestCrashBetween' \
+		./internal/store/
+	go test -race -count=1 -run 'TestDegradedModeHTTP' ./internal/server/
+	go test -race -count=1 -run 'FuzzScan' ./internal/wal/
 
 bench:
 	$(MAKE) -C cmd/logr-bench bench

@@ -33,6 +33,10 @@ type Client struct {
 	base string
 	hc   *http.Client
 
+	// timeout bounds one non-streaming request when the caller's context
+	// carries no deadline of its own; see WithTimeout.
+	timeout time.Duration
+
 	// retryOn429/maxRetries implement the daemon's backpressure contract:
 	// a 429 means "the ingest queue is full, come back after Retry-After" —
 	// opt in via WithRetryOn429.
@@ -40,17 +44,33 @@ type Client struct {
 	maxRetries int
 }
 
+// DefaultTimeout bounds every non-streaming request whose context has no
+// deadline, so a hung daemon or a black-holed connection surfaces as an
+// error instead of blocking the caller forever. Override with WithTimeout.
+const DefaultTimeout = 30 * time.Second
+
 // New returns a client for the daemon at base (e.g. "http://host:8080").
-// Pass a custom *http.Client via WithHTTPClient for timeouts or transport
-// tuning; the default is http.DefaultClient.
+// Pass a custom *http.Client via WithHTTPClient for transport tuning; the
+// default is http.DefaultClient with DefaultTimeout applied per request.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient, timeout: DefaultTimeout}
 }
 
 // WithHTTPClient returns a copy of c that uses hc for every request.
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	cp := *c
 	cp.hc = hc
+	return &cp
+}
+
+// WithTimeout returns a copy of c whose non-streaming requests carry a
+// per-request deadline of d whenever the caller's context has none (d <= 0
+// disables the default entirely). Streaming calls — IngestReader's upload
+// and SummaryRaw's download — are exempt: their duration scales with the
+// data, not the round trip; bound them with a context deadline instead.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cp := *c
+	cp.timeout = d
 	return &cp
 }
 
@@ -129,13 +149,16 @@ func (c *Client) send(ctx context.Context, method, u, contentType string, makeBo
 
 // Wire DTOs. Field names are the protocol; both ends marshal these.
 
-// Health is GET /healthz.
+// Health is GET /healthz (and /readyz). /healthz answers 503 with
+// Status "degraded" while the durable store refuses writes; /readyz stays
+// 200 as long as the process serves at all.
 type Health struct {
 	Status   string `json:"status"`
 	Queries  int    `json:"queries"`
 	Active   int    `json:"active_queries"`
 	Segments int    `json:"segments"`
 	Dir      string `json:"dir,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // IngestRequest is the JSON body of POST /ingest.
@@ -230,6 +253,23 @@ type StatsResult struct {
 	// how far the applier trails the acknowledged WAL offset. All-zero for
 	// in-memory workloads.
 	Ingest IngestLagResult `json:"ingest"`
+	// Durability reports the WAL/checkpoint state behind bounded recovery
+	// and whether the store is serving in degraded read-only mode.
+	// All-zero for in-memory workloads.
+	Durability DurabilityResult `json:"durability"`
+}
+
+// DurabilityResult mirrors logr.DurabilityInfo on the wire.
+type DurabilityResult struct {
+	// WalBytes is the live WAL tail — the bytes a recovery would replay.
+	WalBytes int64 `json:"wal_bytes"`
+	// CheckpointOffset is the logical WAL offset the newest checkpoint
+	// covers; everything before it is restored from the checkpoint, not
+	// replayed.
+	CheckpointOffset int64 `json:"checkpoint_offset"`
+	// Degraded reports degraded read-only mode: reads serve, mutations are
+	// refused with 503 until the store's probe re-arms the disk.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // IngestLagResult mirrors logr.IngestLag on the wire.
@@ -244,15 +284,22 @@ type IngestLagResult struct {
 	LagBytes int64 `json:"applied_lag_bytes"`
 }
 
-// ErrorResponse is every non-2xx JSON body.
+// ErrorResponse is every non-2xx JSON body. Degraded marks a refusal by a
+// store in degraded read-only mode (503): the daemon still serves reads,
+// and its background probe re-arms writes once the disk recovers, so the
+// right client move is to retry later or ingest elsewhere.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
-// APIError is a non-2xx daemon response surfaced as a Go error.
+// APIError is a non-2xx daemon response surfaced as a Go error. Degraded
+// mirrors the response body's flag; errors.As plus this field is how a
+// caller distinguishes "store is read-only right now" from a real failure.
 type APIError struct {
 	StatusCode int
 	Message    string
+	Degraded   bool
 }
 
 func (e *APIError) Error() string {
@@ -279,6 +326,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		makeBody = func() io.Reader { return bytes.NewReader(data) }
 		body = nil
 	}
+	// any reader left in body streams, and a stream's duration scales with
+	// the data — only round-trip-shaped requests get the default deadline
+	if body == nil && c.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
 	resp, err := c.send(ctx, method, u, contentType, makeBody, body)
 	if err != nil {
 		return err
@@ -303,7 +359,7 @@ func decodeError(resp *http.Response) error {
 			er.Error = resp.Status
 		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+	return &APIError{StatusCode: resp.StatusCode, Message: er.Error, Degraded: er.Degraded}
 }
 
 // Health checks the daemon.
@@ -332,11 +388,30 @@ func (c *Client) Ingest(ctx context.Context, entries []logr.Entry) (IngestResult
 }
 
 // IngestReader streams a raw or compact ("count<TAB>sql") log file body;
-// the daemon parses it with its configured line limits.
+// the daemon parses it with its configured line limits. The upload is
+// exempt from the client's default timeout (its duration scales with the
+// data) but honors ctx end to end: cancellation aborts the request and
+// stops the body stream between chunks.
 func (c *Client) IngestReader(ctx context.Context, r io.Reader) (IngestResult, error) {
 	var res IngestResult
-	err := c.do(ctx, http.MethodPost, "/ingest", nil, "text/plain", r, &res)
+	err := c.do(ctx, http.MethodPost, "/ingest", nil, "text/plain", &ctxReader{ctx: ctx, r: r}, &res)
 	return res, err
+}
+
+// ctxReader makes a streaming request body observe context cancellation
+// even when the transport is between reads: each Read checks ctx first, so
+// a cancelled upload stops feeding data promptly instead of draining the
+// source to the end.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr *ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
 }
 
 // Estimate asks the summary for a pattern's frequency and count.

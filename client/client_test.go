@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -177,5 +178,73 @@ func TestSummaryRangeOneSidedPair(t *testing.T) {
 	}
 	if _, err := c.SummaryRaw(context.Background(), sink, -1, 5); err == nil {
 		t.Fatal("one-sided range pair must error before any request is sent")
+	}
+}
+
+// TestRequestTimeout: non-streaming requests carry the client's default
+// per-request deadline, so a hung server surfaces as a timeout error
+// instead of blocking the caller forever.
+func TestRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	_, err := New(ts.URL).WithTimeout(50 * time.Millisecond).Health(context.Background())
+	if err == nil {
+		t.Fatal("request against a hung server returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v; the deadline was not applied", elapsed)
+	}
+	// a caller-supplied deadline wins over the client default
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := New(ts.URL).WithTimeout(time.Hour).Health(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// endlessBody feeds IngestReader forever; only context cancellation can
+// terminate the upload.
+type endlessBody struct{}
+
+func (endlessBody) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+// TestIngestReaderCancel: streaming ingest is exempt from the default
+// timeout (uploads may legitimately run long) but must stop promptly when
+// the caller cancels its context, even mid-body.
+func TestIngestReaderCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := New(ts.URL).IngestReader(ctx, endlessBody{})
+	if err == nil {
+		t.Fatal("cancelled streaming ingest returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled streaming ingest error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
 	}
 }

@@ -70,6 +70,23 @@ var blockingFuncs = map[string]string{
 	"(*logr/internal/wal.Log).Commit": "WAL group-commit wait",
 	"(*logr/internal/wal.Log).Sync":   "WAL fsync",
 	"(*logr/internal/wal.Log).Close":  "WAL close (drains + fsyncs)",
+	"(*logr/internal/wal.Log).Rotate": "WAL rotation (copies the live tail)",
+	"logr/internal/wal.Create":        "WAL create",
+
+	// the vfs seam: everything os does, the interface does too — code that
+	// switched to vfs.FS must not silently lose the IO-under-lock audit
+	"(logr/internal/vfs.FS).OpenFile":   "file open",
+	"(logr/internal/vfs.FS).Rename":     "file rename",
+	"(logr/internal/vfs.FS).Remove":     "file remove",
+	"(logr/internal/vfs.FS).ReadDir":    "directory read",
+	"(logr/internal/vfs.FS).MkdirAll":   "mkdir",
+	"(logr/internal/vfs.FS).Stat":       "stat",
+	"(logr/internal/vfs.FS).Lock":       "file lock acquisition",
+	"(logr/internal/vfs.File).Sync":     "fsync",
+	"(logr/internal/vfs.File).Truncate": "file truncate",
+	"logr/internal/vfs.ReadFile":        "file read",
+	"logr/internal/vfs.WriteFileAtomic": "atomic file write (write+fsync+rename)",
+	"logr/internal/vfs.RemoveTempFiles": "directory sweep",
 
 	"logr/internal/cluster.KMeans":              "seal-time clustering",
 	"logr/internal/cluster.KMeansBinary":        "seal-time clustering",

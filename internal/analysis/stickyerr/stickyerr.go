@@ -36,7 +36,9 @@ var mutators = map[string]bool{
 	"(*logr/internal/wal.Log).Commit":           true,
 	"(*logr/internal/wal.Log).Sync":             true,
 	"(*logr/internal/wal.Log).Close":            true,
+	"(*logr/internal/wal.Log).Rotate":           true,
 	"(*logr/internal/store.Durable).Append":     true,
+	"(*logr/internal/store.Durable).Checkpoint": true,
 	"(*logr/internal/store.Durable).Seal":       true,
 	"(*logr/internal/store.Durable).Compact":    true,
 	"(*logr/internal/store.Durable).Sync":       true,

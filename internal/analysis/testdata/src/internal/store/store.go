@@ -12,3 +12,4 @@ func (d *Durable) DropBefore(id int) (int, error)      { return 0, nil }
 func (d *Durable) Compact(minQueries int) (int, error) { return 0, nil }
 func (d *Durable) Sync() error                         { return nil }
 func (d *Durable) Close() error                        { return nil }
+func (d *Durable) Checkpoint() error                   { return nil }

@@ -1,0 +1,31 @@
+// Package vfs stubs logr/internal/vfs with the interface-method and
+// helper signatures the lockdiscipline fixture exercises.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	Lock(name string) (io.Closer, error)
+}
+
+func ReadFile(fsys FS, name string) ([]byte, error)           { return nil, nil }
+func WriteFileAtomic(fsys FS, name string, data []byte) error { return nil }
+func RemoveTempFiles(fsys FS, dir string) error               { return nil }

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"logr/internal/cluster"
+	"logr/internal/vfs"
+	"logr/internal/wal"
 )
 
 type S struct {
@@ -94,4 +96,38 @@ func (s *S) allowForm() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.f.Sync() //logr:allow(lockdiscipline) shutdown path, no concurrent callers remain
+}
+
+// vfsSeam: the vfs.FS indirection carries the same audit as direct os
+// calls — interface-method keys must match.
+type V struct {
+	mu   sync.Mutex
+	fsys vfs.FS
+	w    *wal.Log
+}
+
+func (v *V) renameUnderLock() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fsys.Rename("a.tmp", "a") // want `v\.fsys\.Rename \(file rename\) while holding v\.mu`
+}
+
+func (v *V) atomicWriteUnderLock() {
+	v.mu.Lock()
+	vfs.WriteFileAtomic(v.fsys, "ckpt", nil) // want `vfs\.WriteFileAtomic \(atomic file write \(write\+fsync\+rename\)\) while holding v\.mu`
+	v.mu.Unlock()
+}
+
+func (v *V) rotateUnderLock() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.w.Rotate(0) // want `v\.w\.Rotate \(WAL rotation \(copies the live tail\)\) while holding v\.mu`
+}
+
+// releaseAroundRotate is the fix idiom for all three.
+func (v *V) releaseAroundRotate() error {
+	v.mu.Lock()
+	cut := int64(0)
+	v.mu.Unlock()
+	return v.w.Rotate(cut)
 }

@@ -12,6 +12,8 @@ func discards(l *wal.Log, d *store.Durable) {
 	l.Append(nil)   // want `l\.Append discards its error`
 	d.Append(nil)   // want `d\.Append discards its error`
 	d.Seal()        // want `d\.Seal discards its error`
+	d.Checkpoint()  // want `d\.Checkpoint discards its error`
+	l.Rotate(0)     // want `l\.Rotate discards its error`
 	defer l.Close() // want `defer l\.Close discards its error`
 }
 
@@ -23,6 +25,9 @@ func handled(l *wal.Log, d *store.Durable) error {
 		return err
 	}
 	_ = l.Sync() // explicit discard is the documented opt-out
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
 	return d.Close()
 }
 

@@ -20,6 +20,7 @@ func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 	par := fs.Int("p", 0, "parallelism: worker count (0 = all cores, 1 = serial)")
 	sync := fs.String("sync", "interval", "WAL fsync policy: always | interval | off")
 	syncEvery := fs.Duration("sync-every", 100*time.Millisecond, "staleness bound of -sync interval")
+	checkpoint := fs.Int64("checkpoint", 0, "checkpoint + rotate the WAL every N bytes of log growth (0 = default 1 MiB, negative = off)")
 	maxBody := fs.Int64("max-body", 32<<20, "max /ingest body bytes")
 	maxLine := fs.Int("max-line", 0, "max bytes per text-ingest line (0 = 1 MiB)")
 	extended := fs.Bool("extended", false, "use the extended feature scheme (GROUP BY / ORDER BY / aggregates)")
@@ -51,6 +52,7 @@ func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 			MaxLineBytes:     *maxLine,
 			Sync:             pol,
 			SyncEvery:        *syncEvery,
+			CheckpointBytes:  *checkpoint,
 			SealSummary:      copts,
 		},
 		Server: Options{

@@ -26,8 +26,17 @@
 //	POST /seal|/compact|/dropBefore   segment control
 //	GET  /summary     streams the binary summary artifact (whole workload,
 //	                  or ?from=&to= for a sealed range)
-//	GET  /stats       Table-1-style pipeline statistics
-//	GET  /healthz     liveness + basic gauges
+//	GET  /stats       Table-1-style pipeline statistics + durability gauges
+//	GET  /healthz     health: 503 while the durable store is degraded
+//	GET  /readyz      liveness: 200 whenever the process is serving at all
+//
+// When the durable store degrades (persistent IO failure — see the logr
+// package's failure model), the daemon keeps serving every read endpoint
+// from memory but refuses mutations with 503 and a structured
+// {"error":…, "degraded":true} body; /healthz goes 503 so load balancers
+// drain ingest traffic, while /readyz stays 200 so orchestrators do not
+// kill a replica that is still useful for analytics. The store's
+// background probe re-arms writes automatically once the disk recovers.
 package server
 
 import (
@@ -119,6 +128,7 @@ func New(w *logr.Workload, opts Options) *Server {
 	s.mux.HandleFunc("GET /summary", s.handleSummary)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -139,11 +149,25 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, client.ErrorResponse{Error: err.Error()})
 }
 
-// persisted maps a mutation's outcome: a sticky persistence failure turns
-// the response into a 500 — the WAL can no longer guarantee the
-// acknowledged state, which an ingest client must not mistake for success.
+// writeDegraded refuses a mutation because the durable store is in degraded
+// read-only mode: 503 with Retry-After (the store's probe re-arms writes by
+// itself once the disk recovers) and a structured body a client can branch
+// on without parsing the message.
+func writeDegraded(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, client.ErrorResponse{Error: err.Error(), Degraded: true})
+}
+
+// persisted maps a mutation's outcome: degraded read-only mode is a 503 the
+// client should retry elsewhere or later; any other sticky persistence
+// failure is a 500 — the WAL can no longer guarantee the acknowledged
+// state, which an ingest client must not mistake for success.
 func (s *Server) persisted(w http.ResponseWriter, v any) {
 	if err := s.w.Err(); err != nil {
+		if errors.Is(err, logr.ErrDegraded) {
+			writeDegraded(w, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persistence degraded: %w", err))
 		return
 	}
@@ -206,6 +230,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.w.Append(entries); err != nil {
+		if errors.Is(err, logr.ErrDegraded) {
+			writeDegraded(w, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting ingest: %w", err))
 		return
 	}
@@ -395,6 +423,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.w.Stats()
 	lag := s.w.IngestLag()
+	dur := s.w.Durability()
 	writeJSON(w, http.StatusOK, client.StatsResult{
 		Queries:             st.Queries,
 		DistinctQueries:     st.DistinctQueries,
@@ -415,17 +444,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			AppliedOffset: lag.AppliedOffset,
 			LagBytes:      lag.AckedOffset - lag.AppliedOffset,
 		},
+		Durability: client.DurabilityResult{
+			WalBytes:         dur.WalBytes,
+			CheckpointOffset: dur.CheckpointOffset,
+			Degraded:         dur.Degraded,
+		},
 	})
 }
 
+// handleHealth is the health gate: 503 while the durable store is degraded,
+// so load balancers stop routing ingest here (reads still work — see
+// /readyz for pure liveness).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, client.Health{
+	h := client.Health{
 		Status:   "ok",
 		Queries:  s.w.Queries(),
 		Active:   s.w.ActiveQueries(),
 		Segments: len(s.w.Segments()),
 		Dir:      s.w.Dir(),
-	})
+	}
+	code := http.StatusOK
+	if s.w.Degraded() {
+		h.Status = "degraded"
+		h.Degraded = true
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleReady is pure liveness: 200 whenever the process is serving at all,
+// degraded or not. Orchestrators should restart on /readyz failure and
+// drain traffic on /healthz failure — a degraded replica still answers
+// every analytics read.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{Status: "ok", Queries: s.w.Queries()})
 }
 
 // ReadIngestBody parses a text ingest body — raw one-statement-per-line or

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -15,6 +17,7 @@ import (
 
 	"logr"
 	"logr/client"
+	"logr/internal/vfs/faultfs"
 )
 
 func testEntries(n, offset int) []logr.Entry {
@@ -380,5 +383,103 @@ func TestIngestContentTypeVariants(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed Content-Type: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDegradedModeHTTP pins the serving-layer degraded protocol end to end:
+// a fatal disk fault flips the durable workload read-only; from then on
+// ingest answers 503 with a structured {"degraded":true} body and a
+// Retry-After hint, /healthz reports 503 degraded, /readyz keeps answering
+// 200 (the process is alive and serving reads), and /stats keeps working
+// and reports durability.degraded.
+func TestDegradedModeHTTP(t *testing.T) {
+	ffs := faultfs.New()
+	w, err := logr.OpenDir("data", logr.Options{Sync: logr.SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close() // the filesystem ends the test frozen; close errors are expected
+	srv := New(w, Options{Compress: logr.CompressOptions{Clusters: 2, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, testEntries(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// a fatal fault on the next WAL write that also freezes the disk, so the
+	// background probe cannot re-arm writes for the rest of the test
+	ffs.AddRule(faultfs.Rule{Kind: "write", Path: "wal.log", Err: faultfs.ENOSPC, Crash: true})
+
+	// the faulted request surfaces the fault itself (a plain 5xx); the
+	// degraded protocol owns every mutation after it
+	if _, err := c.Ingest(ctx, testEntries(5, 30)); err == nil {
+		t.Fatal("ingest through a full disk reported success")
+	}
+	var apiErr *client.APIError
+	_, err = c.Ingest(ctx, testEntries(5, 30))
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("degraded ingest error = %v, want *client.APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusServiceUnavailable || !apiErr.Degraded {
+		t.Fatalf("degraded ingest: status=%d degraded=%v, want 503 degraded", apiErr.StatusCode, apiErr.Degraded)
+	}
+
+	// raw wire shape: 503, Retry-After, {"error":..., "degraded":true}
+	body, _ := json.Marshal(client.IngestRequest{Entries: testEntries(3, 60)})
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er client.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("raw degraded ingest: status=%d retry-after=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if !er.Degraded || er.Error == "" {
+		t.Fatalf("degraded error body %+v", er)
+	}
+
+	// /healthz flips to 503 degraded; /readyz stays 200 — the process is
+	// alive, a load balancer should keep routing reads to it
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h client.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "degraded" || !h.Degraded {
+		t.Fatalf("/healthz while degraded: status=%d body=%+v", resp.StatusCode, h)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while degraded: status=%d, want 200", resp.StatusCode)
+	}
+
+	// reads keep serving, and /stats reports the durability state
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats while degraded: %v", err)
+	}
+	if !st.Durability.Degraded {
+		t.Fatalf("stats durability %+v, want degraded", st.Durability)
+	}
+	if st.Durability.WalBytes <= 0 {
+		t.Fatalf("stats wal_bytes = %d, want > 0", st.Durability.WalBytes)
+	}
+	if _, err := c.Segments(ctx); err != nil {
+		t.Fatalf("segment listing while degraded: %v", err)
 	}
 }

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"logr/internal/bitvec"
+	"logr/internal/core"
+	"logr/internal/vfs"
+	"logr/internal/workload"
+)
+
+// Checkpoint files. A checkpoint captures the durable store's complete
+// in-memory state — the incremental encoder (codebook, parse cache,
+// canonical-query table) and the segmented store (segment sub-logs,
+// boundary, counters) — bound to the WAL offset it covers, so recovery
+// restores the checkpoint and replays only the WAL records after that
+// offset. Without one, replay cost and WAL size grow with the store's
+// whole life; with one, both are O(tail since last checkpoint).
+//
+// The checkpoint is self-contained: it does not lean on segment artifacts
+// (which stay pure caches — loadArtifacts still re-installs their summary
+// caches after a checkpointed recovery) and it must serialize full encoder
+// state because the encoder is a function of the entire entry stream ever
+// ingested, not of the current snapshot.
+//
+//	"LGCP" | version u8 | walOffset u64le | encoder state | store state | crc32 u32le
+//
+// written atomically (temp file + fsync + rename), so a crash leaves either
+// the previous checkpoint or the new one. Summary caches (segment sums,
+// the range cache) are deliberately not checkpointed: they rebuild lazily
+// or from artifacts.
+
+const (
+	ckptMagic    = "LGCP"
+	ckptVersion  = 1
+	ckptFileName = "checkpoint"
+)
+
+// encodeCheckpoint serializes the full store state as of WAL offset off.
+// Caller must ensure mem is quiescent apart from readers (the commit stage
+// holds seqMu and the applier is drained).
+func encodeCheckpoint(off int64, mem *Store) []byte {
+	b := make([]byte, 0, 1<<16)
+	b = append(b, ckptMagic...)
+	b = append(b, ckptVersion)
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(off))
+	b = append(b, word[:]...)
+	b = mem.appendState(b)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
+	return append(b, crc[:]...)
+}
+
+// decodeCheckpoint rebuilds a store from a checkpoint blob.
+func decodeCheckpoint(data []byte, opts Options) (*Store, int64, error) {
+	if len(data) < len(ckptMagic)+1+8+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, errors.New("store: not a checkpoint file")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, 0, errors.New("store: checkpoint fails its CRC check")
+	}
+	if body[len(ckptMagic)] != ckptVersion {
+		return nil, 0, fmt.Errorf("store: unsupported checkpoint version %d", body[len(ckptMagic)])
+	}
+	cur := body[len(ckptMagic)+1:]
+	off := int64(binary.LittleEndian.Uint64(cur[:8]))
+	if off < 0 {
+		return nil, 0, errors.New("store: negative checkpoint offset")
+	}
+	mem, rest, err := restoreState(cur[8:], opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) != 0 {
+		return nil, 0, errors.New("store: trailing bytes after checkpoint state")
+	}
+	return mem, off, nil
+}
+
+// loadCheckpoint reads the checkpoint under dir, if any. A missing file is
+// a fresh start (nil store, offset 0); a present but corrupt file is a
+// hard error — the WAL may already be rotated past the covered prefix, so
+// guessing "no checkpoint" could silently lose data.
+func loadCheckpoint(fsys vfs.FS, path string, opts Options) (*Store, int64, error) {
+	data, err := vfs.ReadFile(fsys, path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	mem, off, err := decodeCheckpoint(data, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return mem, off, nil
+}
+
+// appendState serializes the store's durable state (encoder + segments).
+// Held under s.mu so concurrent readers (which may fill the encoder's
+// snapshot cache) cannot interleave.
+func (s *Store) appendState(b []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b = s.enc.AppendState(b)
+	b = binary.AppendUvarint(b, uint64(s.nextID))
+	b = appendEpoch(b, s.boundaryEpoch)
+	b = binary.AppendUvarint(b, uint64(len(s.boundary)))
+	for _, c := range s.boundary {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.segs)))
+	for _, sg := range s.segs {
+		b = binary.AppendUvarint(b, uint64(sg.meta.ID))
+		b = binary.AppendUvarint(b, uint64(sg.meta.EndID))
+		b = appendEpoch(b, sg.meta.StartEpoch)
+		b = appendEpoch(b, sg.meta.Epoch)
+		b = appendSubLog(b, sg.log)
+	}
+	return b
+}
+
+// restoreState rebuilds a store from appendState output. Cached summaries
+// are not part of the state; loadArtifacts re-installs them afterwards.
+func restoreState(data []byte, opts Options) (*Store, []byte, error) {
+	enc, rest, err := workload.RestoreEncoder(opts.Encode, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &ckptReader{b: rest}
+	s := &Store{enc: enc, opts: opts, nextID: r.int()}
+	s.boundaryEpoch = readEpoch(r)
+	if n := r.int(); n > 0 {
+		s.boundary = make([]int, 0, min(n, 1<<20))
+		for i := 0; i < n && r.err == nil; i++ {
+			s.boundary = append(s.boundary, r.int())
+		}
+	}
+	nseg := r.int()
+	for i := 0; i < nseg && r.err == nil; i++ {
+		sg := &Segment{}
+		sg.meta.ID = r.int()
+		sg.meta.EndID = r.int()
+		sg.meta.StartEpoch = readEpoch(r)
+		sg.meta.Epoch = readEpoch(r)
+		sg.log = readSubLog(r)
+		if r.err != nil {
+			break
+		}
+		sg.meta.Queries = sg.log.Total()
+		sg.meta.Distinct = sg.log.Distinct()
+		s.segs = append(s.segs, sg)
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return s, r.b, nil
+}
+
+func appendEpoch(b []byte, e workload.Epoch) []byte {
+	b = binary.AppendUvarint(b, uint64(e.Universe))
+	b = binary.AppendUvarint(b, uint64(e.Total))
+	return binary.AppendUvarint(b, uint64(e.Distinct))
+}
+
+func readEpoch(r *ckptReader) workload.Epoch {
+	return workload.Epoch{Universe: r.int(), Total: r.int(), Distinct: r.int()}
+}
+
+// appendSubLog serializes a segment's sub-log: universe, then each
+// distinct vector in first-appearance order as (multiplicity, support,
+// support × index-delta) — the same shape segment artifacts use.
+func appendSubLog(b []byte, l *core.Log) []byte {
+	b = binary.AppendUvarint(b, uint64(l.Universe()))
+	b = binary.AppendUvarint(b, uint64(l.Distinct()))
+	for i := 0; i < l.Distinct(); i++ {
+		b = binary.AppendUvarint(b, uint64(l.Multiplicity(i)))
+		v := l.Vector(i)
+		b = binary.AppendUvarint(b, uint64(v.Count()))
+		prev := 0
+		v.ForEach(func(bit int) {
+			b = binary.AppendUvarint(b, uint64(bit-prev))
+			prev = bit
+		})
+	}
+	return b
+}
+
+func readSubLog(r *ckptReader) *core.Log {
+	universe := r.int()
+	distinct := r.int()
+	if r.err != nil {
+		return nil
+	}
+	l := core.NewLog(universe)
+	for i := 0; i < distinct && r.err == nil; i++ {
+		mult := r.int()
+		support := r.int()
+		v := bitvec.New(universe)
+		prev := 0
+		for j := 0; j < support && r.err == nil; j++ {
+			prev += r.int()
+			if prev >= universe {
+				r.fail()
+				break
+			}
+			v.Set(prev)
+		}
+		if r.err == nil {
+			// distinct vectors never repeat within one sub-log, so Add
+			// reconstructs the exact first-appearance order
+			l.Add(v, mult)
+		}
+	}
+	return l
+}
+
+// ckptReader mirrors the workload state reader: a cursor latching the
+// first decode error.
+type ckptReader struct {
+	b   []byte
+	err error
+}
+
+func (r *ckptReader) fail() {
+	if r.err == nil {
+		r.err = errors.New("store: truncated or corrupt checkpoint state")
+	}
+}
+
+func (r *ckptReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 || v > maxSegFieldValue {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return int(v)
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -11,23 +12,28 @@ import (
 
 	"logr/internal/cluster"
 	"logr/internal/core"
+	"logr/internal/vfs"
 	"logr/internal/wal"
 	"logr/internal/workload"
 )
 
 // Durable is the disk-backed segmented store: a Store whose every mutating
 // operation is written to a write-ahead log before it is applied, and whose
-// sealed segments are exported as self-contained artifacts. Open replays
-// the WAL into a fresh in-memory store — recovery is equivalent to a store
-// that never crashed, up to the last durable record — and re-installs the
-// seal-time summary caches from the segment artifacts.
+// sealed segments are exported as self-contained artifacts. Open restores
+// the latest checkpoint (if any) and replays the WAL tail after it into a
+// fresh in-memory store — recovery is equivalent to a store that never
+// crashed, up to the last durable record — and re-installs the seal-time
+// summary caches from the segment artifacts.
 //
 // The WAL is the system of record and holds the full raw entry stream;
 // this is what makes recovery exact (the shared codebook, the raw-SQL
 // dedup state and the pipeline statistics are all deterministic functions
 // of the entry sequence) and it is also what the exact-count query path
-// fundamentally needs. Segment artifacts are caches and shippable exports:
-// losing one costs a lazy re-clustering, never data.
+// fundamentally needs. Checkpoints bound its growth: once a checkpoint
+// captures the full in-memory state at a WAL offset, the covered prefix is
+// rotated away and recovery replays only the tail. Segment artifacts are
+// caches and shippable exports: losing one costs a lazy re-clustering,
+// never data.
 //
 // # Ingest pipeline
 //
@@ -50,43 +56,66 @@ import (
 //     applier has caught up to "applied ≥ acknowledged WAL offset".
 //  3. Persist: a background worker rebuilds segment artifacts (including
 //     seal-time summary clustering, under its own parallelism budget)
-//     whenever the segment set changes. A seal therefore never stalls
-//     ingest acknowledgements; Close drains the worker so artifacts are
-//     current before the directory lock is released.
+//     whenever the segment set changes, and takes a checkpoint whenever
+//     the WAL has grown past DurableOptions.CheckpointBytes since the last
+//     one. A seal therefore never stalls ingest acknowledgements; Close
+//     drains the worker so artifacts are current before the directory lock
+//     is released.
 //
-// All methods are safe for concurrent use. Failures on the asynchronous
-// stages (apply-side WAL poisoning, artifact writes) are sticky: Err
-// reports the first one, and Close returns it.
+// # Failure handling
+//
+// IO failures are classified (vfs.Fatal): transient errors get bounded
+// retries with backoff; fatal ones (disk full, read-only filesystem) and
+// exhausted retries put the store into degraded read-only mode. Degraded,
+// the store keeps serving every read from applied in-memory state while
+// mutations fail fast with ErrDegraded, and a background probe watches for
+// the disk to heal. When it does, the store re-arms itself: it writes a
+// checkpoint of the (authoritative) in-memory state, starts a fresh WAL
+// tail at the acknowledged offset, and resumes accepting writes. Entries
+// that were acknowledged under a deferred-sync policy and lost by a crash
+// during the outage are beyond recall — the at-least-once contract is
+// unchanged from a plain crash — but everything applied in memory
+// survives the degrade/re-arm round trip exactly.
+//
+// All methods are safe for concurrent use.
 type Durable struct {
 	// seqMu is the commit-stage sequencing lock: it couples "record
 	// accepted by the WAL" with "job enqueued for apply" so the two orders
 	// can never diverge. It is held only for buffer framing and a channel
-	// send — never for disk I/O or encoding.
+	// send — never for disk I/O or encoding — except by Checkpoint and
+	// re-arm, where stalling the commit stage is the point.
 	seqMu  sync.Mutex
 	closed bool // guarded by seqMu
 
 	mem   *Store
-	w     *wal.Log
+	w     atomic.Pointer[wal.Log] // swapped by re-arm; load once per operation
 	dir   string
 	opts  Options
 	dopts DurableOptions
-	lock  *os.File // the data directory's single-writer flock
+	fs    vfs.FS
+	lock  io.Closer // the data directory's single-writer lock
 
 	applyQ      chan applyJob
 	applierDone chan struct{}
 	persistNote chan struct{}      // coalesced "segment set changed" signal
 	persistSync chan chan struct{} // WaitPersisted rendezvous
 	persistDone chan struct{}
+	stop        chan struct{} // closed by Close; ends the degraded-mode probe
+	probeWg     sync.WaitGroup
 
 	acked   atomic.Int64 // WAL offset of the last acknowledged record
 	applied atomic.Int64 // WAL offset up to which the applier has caught up
 	queued  atomic.Int64 // entries sitting in applyQ, pending apply
+	ckptOff atomic.Int64 // WAL offset covered by the latest checkpoint
 
 	applyMu   sync.Mutex // barrier condition variable
 	applyCond *sync.Cond
 
-	errMu  sync.Mutex
-	sticky error // first asynchronous failure (apply WAL poison, artifact write)
+	degraded     atomic.Bool
+	errMu        sync.Mutex
+	degradeCause error // first fault that degraded the store; nil once re-armed
+	sticky       error // first asynchronous failure (apply WAL poison, artifact write)
+	stopping     bool  // guarded by errMu; Close sets it before waiting out the probe
 }
 
 // applyJob is one WAL record en route to the in-memory store. lsn is the
@@ -133,6 +162,15 @@ type DurableOptions struct {
 	// carry only the sub-log, and summaries are built lazily on first use.
 	// The right setting when recovery warmth matters less than idle CPU.
 	DisableSealSummaries bool
+	// CheckpointBytes is how far the WAL may grow past the last checkpoint
+	// before the persist worker takes a new one (checkpoint the state,
+	// rotate the covered WAL prefix away). 0 selects the 1 MiB default; a
+	// negative value disables automatic checkpoints (Checkpoint still
+	// works on demand).
+	CheckpointBytes int64
+	// FS is the filesystem everything durable runs on. Nil selects the
+	// real one (vfs.OS); tests substitute a fault-injecting filesystem.
+	FS vfs.FS
 }
 
 func (o DurableOptions) sealSummary() (core.CompressOptions, bool) {
@@ -161,14 +199,48 @@ func (o DurableOptions) applyQueue() int {
 	return 64
 }
 
+func (o DurableOptions) fsys() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS
+}
+
+// checkpointEvery returns the auto-checkpoint threshold in WAL bytes,
+// 0 when automatic checkpoints are disabled.
+func (o DurableOptions) checkpointEvery() int64 {
+	if o.CheckpointBytes < 0 {
+		return 0
+	}
+	if o.CheckpointBytes == 0 {
+		return 1 << 20
+	}
+	return o.CheckpointBytes
+}
+
 // ErrClosed reports an operation on a closed durable store.
 var ErrClosed = errors.New("store: durable store is closed")
 
-const walFileName = "wal.log"
+// ErrDegraded reports a mutation on a store in degraded read-only mode:
+// a disk fault exhausted its retries (or was immediately fatal, like a
+// full disk), reads still serve from memory, and a background probe
+// re-enables writes when the disk recovers. Errors returned then wrap
+// ErrDegraded and the original fault.
+var ErrDegraded = errors.New("store: durable store is in degraded read-only mode")
+
+const (
+	walFileName  = "wal.log"
+	lockFileName = "LOCK"
+)
 
 // ingestWindow bounds one WAL record (and one apply job) so a giant batch
 // cannot demand a giant replay allocation.
 const ingestWindow = 8192
+
+// ioRetries bounds the bounded-backoff retry loops on the asynchronous
+// persistence paths (artifact builds, automatic checkpoints) before the
+// store degrades.
+const ioRetries = 3
 
 // recordBufPool recycles the ~150 KiB encode buffers of entry-batch WAL
 // records: the WAL copies payloads during AppendBatch, so the buffer is
@@ -208,54 +280,97 @@ func (sc *appendScratch) release() {
 }
 
 // Open opens (creating if needed) a durable store rooted at dir. Recovery
-// replays the WAL's durable prefix into a fresh store with the same
-// automatic seal/compact triggers live — the replay executes literally the
-// same call sequence the pre-crash store executed, so every truncation
-// point recovers to the state a never-crashed store fed the same durable
-// prefix would hold, automatic boundaries included. A torn tail from a
-// crash is truncated away. Exact pre-crash equivalence therefore assumes
-// reopening with the same Options; opening with, say, a different
-// SealThreshold still yields a valid store, just with segment boundaries
-// re-cut under the new options.
+// restores the checkpoint, then replays the WAL records after its covered
+// offset with the same automatic seal/compact triggers live — the replay
+// executes literally the same call sequence the pre-crash store executed,
+// so every truncation point recovers to the state a never-crashed store
+// fed the same durable prefix would hold, automatic boundaries included.
+// A torn tail from a crash is truncated away. Exact pre-crash equivalence
+// therefore assumes reopening with the same Options; opening with, say, a
+// different SealThreshold still yields a valid store, just with segment
+// boundaries re-cut under the new options.
 func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
-	if err := os.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
+	fsys := dopts.fsys()
+	if err := fsys.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
 		return nil, err
 	}
 	// single-writer guard: two processes appending to one WAL would
 	// interleave records and recovery would silently truncate at the first
 	// torn one
-	lock, err := lockDataDir(dir)
+	lock, err := fsys.Lock(filepath.Join(dir, lockFileName))
 	if err != nil {
 		return nil, err
 	}
-	mem := New(opts)
-	replayErr := func(err error) error {
-		return fmt.Errorf("store: replaying %s: %w", filepath.Join(dir, walFileName), err)
-	}
-	w, err := wal.Open(filepath.Join(dir, walFileName), wal.Options{Sync: dopts.Sync, Interval: dopts.SyncInterval},
-		func(payload []byte, _ int64) error {
-			op, err := decodeOp(payload)
-			if err != nil {
-				return replayErr(err)
-			}
-			if err := applyOp(mem, op); err != nil {
-				return replayErr(err)
-			}
-			return nil
-		})
-	if err != nil {
+	fail := func(err error) (*Durable, error) {
 		lock.Close()
 		return nil, err
 	}
+	// startup hygiene: clear temp files stranded by a crash between a
+	// temp-file write and its rename (segment artifacts, checkpoints, WAL
+	// rotations all land via rename)
+	vfs.RemoveTempFiles(fsys, dir)
+	vfs.RemoveTempFiles(fsys, filepath.Join(dir, segDirName))
+
+	mem, ckptOff, err := loadCheckpoint(fsys, filepath.Join(dir, ckptFileName), opts)
+	if err != nil {
+		return fail(err)
+	}
+	if mem == nil {
+		mem = New(opts)
+	}
+	walPath := filepath.Join(dir, walFileName)
+	replayErr := func(err error) error {
+		return fmt.Errorf("store: replaying %s: %w", walPath, err)
+	}
+	walOpts := wal.Options{Sync: dopts.Sync, Interval: dopts.SyncInterval}
+	w, err := wal.Open(fsys, walPath, walOpts, func(payload []byte, end int64) error {
+		if end <= ckptOff {
+			// covered by the checkpoint; replay only the tail
+			return nil
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return replayErr(err)
+		}
+		if err := applyOp(mem, op); err != nil {
+			return replayErr(err)
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if w.Base() > ckptOff {
+		// the log starts after the checkpoint's coverage: records between
+		// them are unaccounted for. Checkpoint always lands before the
+		// rotation that prunes the WAL, so this means a mismatched or
+		// restored-from-elsewhere file pair.
+		_ = w.Close() // surfacing the mismatch, not the close
+		return fail(fmt.Errorf("store: WAL %s starts at offset %d past checkpoint offset %d",
+			walPath, w.Base(), ckptOff))
+	}
+	if w.Size() < ckptOff {
+		// the WAL ends before the checkpoint's coverage — a crash under a
+		// deferred-sync policy lost a tail the checkpoint had already
+		// captured, or the log was deleted. The checkpoint is authoritative;
+		// start a fresh tail at its offset.
+		_ = w.Close()
+		if w, err = wal.Create(fsys, walPath, ckptOff, walOpts); err != nil {
+			return fail(err)
+		}
+	}
 	d := &Durable{
-		mem: mem, w: w, dir: dir, opts: opts, dopts: dopts, lock: lock,
+		mem: mem, dir: dir, opts: opts, dopts: dopts, fs: fsys, lock: lock,
 		applyQ:      make(chan applyJob, dopts.applyQueue()),
 		applierDone: make(chan struct{}),
 		persistNote: make(chan struct{}, 1),
 		persistSync: make(chan chan struct{}),
 		persistDone: make(chan struct{}),
+		stop:        make(chan struct{}),
 	}
+	d.w.Store(w)
 	d.applyCond = sync.NewCond(&d.applyMu)
+	d.ckptOff.Store(ckptOff)
 	d.acked.Store(w.Size())
 	d.applied.Store(w.Size())
 	d.loadArtifacts()
@@ -307,10 +422,17 @@ func (d *Durable) Append(entries []workload.LogEntry) error {
 		sc.release()
 		return ErrClosed
 	}
-	end, err := d.w.AppendBatch(sc.payloads)
+	if d.degraded.Load() {
+		d.seqMu.Unlock()
+		sc.release()
+		return d.degradedErr()
+	}
+	w := d.w.Load()
+	end, err := w.AppendBatch(sc.payloads)
 	if err != nil {
 		d.seqMu.Unlock()
 		sc.release()
+		d.maybeDegradeWal(w)
 		return err
 	}
 	d.acked.Store(end)
@@ -322,7 +444,10 @@ func (d *Durable) Append(entries []workload.LogEntry) error {
 	d.seqMu.Unlock()
 	sc.release()
 	if d.dopts.Sync == wal.SyncAlways {
-		return d.w.Commit(end)
+		if err := w.Commit(end); err != nil {
+			d.maybeDegradeWal(w)
+			return err
+		}
 	}
 	return nil
 }
@@ -337,17 +462,24 @@ func (d *Durable) control(op walOp, payload []byte) (applyResult, error) {
 		d.seqMu.Unlock()
 		return applyResult{}, ErrClosed
 	}
-	end, err := d.w.AppendBatch([][]byte{payload})
+	if d.degraded.Load() {
+		d.seqMu.Unlock()
+		return applyResult{}, d.degradedErr()
+	}
+	w := d.w.Load()
+	end, err := w.AppendBatch([][]byte{payload})
 	if err != nil {
 		d.seqMu.Unlock()
+		d.maybeDegradeWal(w)
 		return applyResult{}, err
 	}
 	d.acked.Store(end)
 	d.applyQ <- applyJob{op: op, lsn: end, reply: reply}
 	d.seqMu.Unlock()
 	if d.dopts.Sync == wal.SyncAlways {
-		if err := d.w.Commit(end); err != nil {
+		if err := w.Commit(end); err != nil {
 			<-reply // the op still applied in order; report the durability failure
+			d.maybeDegradeWal(w)
 			return applyResult{}, err
 		}
 	}
@@ -368,23 +500,30 @@ func (d *Durable) Seal() (SegmentMeta, bool, error) {
 		d.seqMu.Unlock()
 		return SegmentMeta{}, false, ErrClosed
 	}
+	if d.degraded.Load() {
+		d.seqMu.Unlock()
+		return SegmentMeta{}, false, d.degradedErr()
+	}
 	d.Barrier()
 	if d.mem.ActiveQueries() == 0 {
 		d.seqMu.Unlock()
 		return SegmentMeta{}, false, nil
 	}
 	reply := make(chan applyResult, 1)
-	end, err := d.w.AppendBatch([][]byte{encodeSealOp()})
+	w := d.w.Load()
+	end, err := w.AppendBatch([][]byte{encodeSealOp()})
 	if err != nil {
 		d.seqMu.Unlock()
+		d.maybeDegradeWal(w)
 		return SegmentMeta{}, false, err
 	}
 	d.acked.Store(end)
 	d.applyQ <- applyJob{op: walOp{kind: opSeal}, lsn: end, reply: reply}
 	d.seqMu.Unlock()
 	if d.dopts.Sync == wal.SyncAlways {
-		if err := d.w.Commit(end); err != nil {
+		if err := w.Commit(end); err != nil {
 			<-reply
+			d.maybeDegradeWal(w)
 			return SegmentMeta{}, false, err
 		}
 	}
@@ -397,8 +536,9 @@ func (d *Durable) Seal() (SegmentMeta, bool, error) {
 
 // DropBefore logs and applies retention: segments entirely before seal id
 // are retired and their artifact files removed. The WAL keeps their raw
-// entries — the codebook, dedup state and statistics they contributed are
-// still live state — so reopening replays them and re-drops the segments.
+// entries until the next checkpoint — the codebook, dedup state and
+// statistics they contributed are still live state — so reopening replays
+// them and re-drops the segments.
 func (d *Durable) DropBefore(id int) (int, error) {
 	res, err := d.control(walOp{kind: opDrop, arg: id}, encodeDropOp(id))
 	return res.n, err
@@ -410,6 +550,52 @@ func (d *Durable) DropBefore(id int) (int, error) {
 func (d *Durable) Compact(minQueries int) (int, error) {
 	res, err := d.control(walOp{kind: opCompact, arg: minQueries}, encodeCompactOp(minQueries))
 	return res.n, err
+}
+
+// Checkpoint captures the full in-memory state into the checkpoint file
+// and rotates the covered WAL prefix away, bounding recovery replay (and
+// the WAL itself) to the records since this call. It stalls the commit
+// stage for the duration; the persist worker calls it automatically every
+// DurableOptions.CheckpointBytes of WAL growth.
+func (d *Durable) Checkpoint() error {
+	d.seqMu.Lock()
+	defer d.seqMu.Unlock()
+	return d.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body. The sequencing lock keeps every
+// mutator out, and the barrier drains the applier, so the in-memory state
+// is exactly the state at the acknowledged WAL offset — the one pair a
+// checkpoint must capture atomically. IO under seqMu is deliberate here:
+// a checkpoint is a stall point by design, and the WAL rotation must see
+// no concurrent appends.
+//
+//logr:holds(d.seqMu)
+func (d *Durable) checkpointLocked() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.degraded.Load() {
+		return d.degradedErr()
+	}
+	d.Barrier()
+	cut := d.acked.Load()
+	blob := encodeCheckpoint(cut, d.mem)
+	//logr:allow(lockdiscipline) checkpoint is a deliberate commit-stage stall; see checkpointLocked doc
+	if err := vfs.WriteFileAtomic(d.fs, filepath.Join(d.dir, ckptFileName), blob, 0o644); err != nil {
+		return err
+	}
+	// the checkpoint is durable and authoritative from here: even if the
+	// rotation below fails (or we crash), recovery restores it and skips
+	// the covered records still sitting in the WAL
+	d.ckptOff.Store(cut)
+	w := d.w.Load()
+	//logr:allow(lockdiscipline) WAL rotation must exclude concurrent appends; see checkpointLocked doc
+	if err := w.Rotate(cut); err != nil {
+		d.maybeDegradeWal(w)
+		return err
+	}
+	return nil
 }
 
 // Barrier blocks until the applier has caught up with every batch
@@ -453,10 +639,35 @@ func (d *Durable) Lag() IngestLag {
 	}
 }
 
+// DurabilityInfo is a snapshot of the store's durability state.
+type DurabilityInfo struct {
+	// WalBytes is the WAL tail's logical length: the replay cost of the
+	// next recovery. Checkpoints reset it.
+	WalBytes int64
+	// CheckpointOffset is the WAL offset the latest checkpoint covers.
+	CheckpointOffset int64
+	// Degraded reports degraded read-only mode.
+	Degraded bool
+	// Err is the store's current health (see Durable.Err), nil if healthy.
+	Err error
+}
+
+// Durability reports the store's durability state.
+func (d *Durable) Durability() DurabilityInfo {
+	d.checkWalHealth()
+	w := d.w.Load()
+	return DurabilityInfo{
+		WalBytes:         w.Size() - w.Base(),
+		CheckpointOffset: d.ckptOff.Load(),
+		Degraded:         d.degraded.Load(),
+		Err:              d.Err(),
+	}
+}
+
 // applier is the single ordered apply stage: it drains WAL-committed jobs
 // into the in-memory store, publishes apply progress for Barrier, answers
 // control-op replies, and nudges the persist worker when the segment set
-// changes.
+// changes or the WAL has outgrown its checkpoint threshold.
 func (d *Durable) applier() {
 	defer close(d.applierDone)
 	for job := range d.applyQ {
@@ -482,7 +693,7 @@ func (d *Durable) applier() {
 		if job.reply != nil {
 			job.reply <- res
 		}
-		if job.op.kind != opEntries || d.mem.NextID() != before {
+		if job.op.kind != opEntries || d.mem.NextID() != before || d.wantCheckpoint(job.lsn) {
 			select {
 			case d.persistNote <- struct{}{}:
 			default: // a reconcile is already pending; it will see this change
@@ -491,11 +702,19 @@ func (d *Durable) applier() {
 	}
 }
 
+// wantCheckpoint reports whether the WAL has grown past the automatic
+// checkpoint threshold since the last checkpoint.
+func (d *Durable) wantCheckpoint(lsn int64) bool {
+	every := d.dopts.checkpointEvery()
+	return every > 0 && lsn > 0 && lsn-d.ckptOff.Load() >= every
+}
+
 // persister is the background persist worker: every nudge reconciles the
 // artifact directory against the live segments (clustering seal summaries
-// under DurableOptions.PersistParallelism). Failures are sticky, reported
-// by Err and Close — the WAL already holds the truth, so a failed artifact
-// build costs recovery warmth, never data.
+// under DurableOptions.PersistParallelism) and checkpoints when the WAL
+// has outgrown its threshold. Failures get bounded retries; exhaustion or
+// a fatal fault degrades the store — the WAL already holds the truth, so
+// a failed artifact build costs recovery warmth, never data.
 func (d *Durable) persister() {
 	defer close(d.persistDone)
 	for {
@@ -503,27 +722,63 @@ func (d *Durable) persister() {
 		case _, ok := <-d.persistNote:
 			if !ok {
 				// shutdown: one final reconcile so Close leaves artifacts
-				// current before the directory lock is released
+				// current before the directory lock is released (no degrade
+				// on this path — the store is closing, note the error)
 				if err := d.persistSegments(); err != nil {
 					d.note(err)
 				}
 				return
 			}
-			if err := d.persistSegments(); err != nil {
-				d.note(err)
-			}
+			d.reconcile()
 		case ready := <-d.persistSync:
 			// drain a pending nudge first so the wait covers it
 			select {
 			case <-d.persistNote:
 			default:
 			}
-			if err := d.persistSegments(); err != nil {
-				d.note(err)
-			}
+			d.reconcile()
 			close(ready)
 		}
 	}
+}
+
+// reconcile is one persist-worker pass: artifact reconciliation with
+// bounded retries, then an automatic checkpoint if the WAL has outgrown
+// its threshold. Retry exhaustion or a fatal fault degrades the store.
+func (d *Durable) reconcile() {
+	if err := d.retryIO(d.persistSegments); err != nil {
+		d.degrade(err)
+		return
+	}
+	d.maybeCheckpoint()
+}
+
+// maybeCheckpoint runs an automatic checkpoint when due, with the same
+// retry/degrade policy as artifact persistence.
+func (d *Durable) maybeCheckpoint() {
+	if !d.wantCheckpoint(d.acked.Load()) || d.degraded.Load() {
+		return
+	}
+	err := d.retryIO(d.Checkpoint)
+	if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrDegraded) {
+		return
+	}
+	d.degrade(err)
+}
+
+// retryIO runs fn with bounded backoff retries: transient faults (a path
+// failover, a momentary controller error) get ioRetries attempts, fatal
+// ones (vfs.Fatal: disk full, read-only) fail immediately.
+func (d *Durable) retryIO(fn func() error) error {
+	var err error
+	for attempt := 0; attempt < ioRetries; attempt++ {
+		if err = fn(); err == nil || vfs.Fatal(err) ||
+			errors.Is(err, ErrClosed) || errors.Is(err, ErrDegraded) {
+			return err
+		}
+		time.Sleep((10 * time.Millisecond) << attempt)
+	}
+	return err
 }
 
 // WaitPersisted blocks until the persist worker has reconciled the
@@ -540,6 +795,142 @@ func (d *Durable) WaitPersisted() {
 	}
 }
 
+// degrade moves the store into degraded read-only mode and starts the
+// recovery probe. Idempotent; the first cause wins. It takes only errMu —
+// callers may hold seqMu — and the probe spawn is ordered against Close's
+// stopping flag so a late degrade cannot leak a probe past probeWg.Wait.
+func (d *Durable) degrade(cause error) {
+	if cause == nil {
+		return
+	}
+	d.errMu.Lock()
+	if d.degradeCause == nil {
+		d.degradeCause = cause
+	}
+	if d.degraded.CompareAndSwap(false, true) && !d.stopping {
+		d.probeWg.Add(1)
+		go d.probe()
+	}
+	d.errMu.Unlock()
+}
+
+// degradedErr renders the degraded state as an error wrapping ErrDegraded
+// and the original fault.
+func (d *Durable) degradedErr() error {
+	d.errMu.Lock()
+	cause := d.degradeCause
+	d.errMu.Unlock()
+	if cause == nil {
+		return ErrDegraded
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, cause)
+}
+
+// maybeDegradeWal degrades the store when the WAL has poisoned itself (a
+// failed flush or fsync taints everything after it). Per-call errors that
+// leave the log healthy — an oversized payload, a commit past the end —
+// stay with the caller. Skipped when w is no longer the current log: a
+// straggler committing against a pre-re-arm WAL must not re-degrade the
+// healthy store.
+func (d *Durable) maybeDegradeWal(w *wal.Log) {
+	if cause := w.FailCause(); cause != nil && d.w.Load() == w {
+		d.degrade(cause)
+	}
+}
+
+// checkWalHealth lazily surfaces background WAL poisoning (a deferred
+// interval fsync that failed after the ack) as degraded mode.
+func (d *Durable) checkWalHealth() {
+	d.maybeDegradeWal(d.w.Load())
+}
+
+// probe is the degraded-mode recovery loop: it periodically checks
+// whether the data directory accepts durable writes again and, when it
+// does, re-arms the store. Close ends it.
+func (d *Durable) probe() {
+	defer d.probeWg.Done()
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		if err := d.probeDisk(); err != nil {
+			continue
+		}
+		if err := d.rearm(); err == nil || errors.Is(err, ErrClosed) {
+			return
+		}
+	}
+}
+
+// probeDisk checks that the data directory accepts a durable write:
+// create, write, fsync, remove a scratch file. The .tmp suffix keeps a
+// crash-stranded probe file inside the startup GC's sweep.
+func (d *Durable) probeDisk() error {
+	path := filepath.Join(d.dir, "probe.tmp")
+	f, err := d.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return d.fs.Remove(path)
+}
+
+// rearm rebuilds the durable image from the authoritative in-memory state
+// and re-enables writes: checkpoint at the acknowledged offset, fresh WAL
+// tail starting there, poisoned log discarded. Entries acked under a
+// deferred-sync policy that the fault swallowed before they reached disk
+// are gone from the old WAL either way — the checkpoint captures their
+// applied effects, which is strictly more than a post-crash replay of the
+// poisoned log could recover.
+func (d *Durable) rearm() error {
+	d.seqMu.Lock()
+	if d.closed {
+		d.seqMu.Unlock()
+		return ErrClosed
+	}
+	d.Barrier()
+	cut := d.acked.Load()
+	blob := encodeCheckpoint(cut, d.mem)
+	//logr:allow(lockdiscipline) re-arm must exclude the commit stage while it swaps the WAL
+	if err := vfs.WriteFileAtomic(d.fs, filepath.Join(d.dir, ckptFileName), blob, 0o644); err != nil {
+		d.seqMu.Unlock()
+		return err
+	}
+	//logr:allow(lockdiscipline) re-arm must exclude the commit stage while it swaps the WAL
+	nw, err := wal.Create(d.fs, filepath.Join(d.dir, walFileName),
+		cut, wal.Options{Sync: d.dopts.Sync, Interval: d.dopts.SyncInterval})
+	if err != nil {
+		d.seqMu.Unlock()
+		return err
+	}
+	old := d.w.Swap(nw)
+	d.ckptOff.Store(cut)
+	d.errMu.Lock()
+	d.degradeCause = nil
+	d.sticky = nil
+	d.errMu.Unlock()
+	d.degraded.Store(false)
+	d.seqMu.Unlock()
+	_ = old.Close() // the old WAL is the poisoned one; its close error is moot
+	return nil
+}
+
 // note records the first asynchronous failure.
 func (d *Durable) note(err error) {
 	if err == nil {
@@ -552,27 +943,42 @@ func (d *Durable) note(err error) {
 	d.errMu.Unlock()
 }
 
-// Err reports the first failure from the asynchronous pipeline stages
-// (artifact persistence, deferred WAL flush/fsync poisoning), nil if none.
+// Err reports the store's current health: the degraded-mode cause while
+// degraded (cleared when the probe re-arms writes), else the first
+// asynchronous failure (artifact persistence, deferred WAL fsync
+// poisoning), nil if none.
 func (d *Durable) Err() error {
+	d.checkWalHealth()
+	if d.degraded.Load() {
+		return d.degradedErr()
+	}
 	d.errMu.Lock()
 	defer d.errMu.Unlock()
 	return d.sticky
 }
 
+// Degraded reports whether the store is in degraded read-only mode.
+func (d *Durable) Degraded() bool {
+	d.checkWalHealth()
+	return d.degraded.Load()
+}
+
 // Sync forces every acknowledged record to stable storage (the fsync the
 // configured policy may have deferred).
 func (d *Durable) Sync() error {
-	if err := d.w.Sync(); err != nil {
+	w := d.w.Load()
+	if err := w.Sync(); err != nil {
+		d.maybeDegradeWal(w)
 		return err
 	}
 	return d.Err()
 }
 
-// Close drains the pipeline — applier, then persist worker — syncs and
-// closes the WAL, and releases the data directory's single-writer lock.
-// Reads through Mem keep working; further mutations report ErrClosed.
-// Close returns the first error the asynchronous stages hit, if any.
+// Close drains the pipeline — applier, probe, then persist worker — syncs
+// and closes the WAL, and releases the data directory's single-writer
+// lock. Reads through Mem keep working; further mutations report
+// ErrClosed. Close returns the first error the asynchronous stages hit,
+// if any.
 func (d *Durable) Close() error {
 	d.seqMu.Lock()
 	if d.closed {
@@ -583,10 +989,20 @@ func (d *Durable) Close() error {
 	close(d.applyQ)
 	d.seqMu.Unlock()
 	<-d.applierDone
+	d.errMu.Lock()
+	d.stopping = true
+	d.errMu.Unlock()
+	close(d.stop)
+	d.probeWg.Wait()
 	close(d.persistNote)
 	<-d.persistDone
-	err := d.w.Close()
+	err := d.w.Load().Close()
 	d.lock.Close()
+	if d.degraded.Load() {
+		// the close-time WAL error restates the degrade cause; the
+		// structured degraded error is the better report
+		err = d.degradedErr()
+	}
 	if err == nil {
 		err = d.Err()
 	}
@@ -610,7 +1026,7 @@ func (d *Durable) persistSegments() error {
 	for i, sg := range segs {
 		name := segFileName(sg.meta)
 		keep[name] = true
-		if _, err := os.Stat(filepath.Join(d.segDir(), name)); err == nil {
+		if _, err := d.fs.Stat(filepath.Join(d.segDir(), name)); err == nil {
 			continue
 		}
 		var sum *core.Compressed
@@ -631,7 +1047,7 @@ func (d *Durable) persistSegments() error {
 				sum, sumKey = s, key
 			}
 		}
-		if err := writeSegFile(d.segDir(), sg, sumKey, sum, d.mem.Book()); err != nil && firstErr == nil {
+		if err := writeSegFile(d.fs, d.segDir(), sg, sumKey, sum, d.mem.Book()); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -641,13 +1057,13 @@ func (d *Durable) persistSegments() error {
 
 // gcArtifacts removes artifact files naming no live segment.
 func (d *Durable) gcArtifacts(keep map[string]bool) {
-	ents, err := os.ReadDir(d.segDir())
+	ents, err := d.fs.ReadDir(d.segDir())
 	if err != nil {
 		return
 	}
 	for _, e := range ents {
 		if !keep[e.Name()] {
-			os.Remove(filepath.Join(d.segDir(), e.Name()))
+			d.fs.Remove(filepath.Join(d.segDir(), e.Name()))
 		}
 	}
 }
@@ -661,7 +1077,7 @@ func (d *Durable) loadArtifacts() {
 	keep := make(map[string]bool, len(segs))
 	for _, sg := range segs {
 		keep[segFileName(sg.meta)] = true
-		sumKey, asg, ok := readSegFile(d.segDir(), sg)
+		sumKey, asg, ok := readSegFile(d.fs, d.segDir(), sg)
 		if !ok || sumKey == "" {
 			continue
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"logr/internal/core"
+	"logr/internal/vfs"
 	"logr/internal/wal"
 	"logr/internal/workload"
 )
@@ -174,7 +175,7 @@ func TestKillPointRecovery(t *testing.T) {
 	// record boundaries and the decoded op stream, for prefix references
 	var boundaries []int64
 	var ops []walOp
-	if _, err := wal.Scan(walPath, func(p []byte, end int64) error {
+	if _, err := wal.Scan(vfs.OS, walPath, func(p []byte, end int64) error {
 		op, err := decodeOp(p)
 		if err != nil {
 			return err

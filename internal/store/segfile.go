@@ -11,6 +11,7 @@ import (
 	"logr/internal/cluster"
 	"logr/internal/core"
 	"logr/internal/feature"
+	"logr/internal/vfs"
 )
 
 // Segment artifact files. Sealing a segment writes one self-contained
@@ -54,9 +55,10 @@ func segFileName(meta SegmentMeta) string {
 
 // writeSegFile writes the artifact for sg. sum/sumKey may be nil/"" for a
 // summary-less artifact (compaction products persist their sub-log only and
-// re-cluster lazily). The write lands in a temp file renamed into place, so
-// a crash mid-write leaves no half artifact under the live name.
-func writeSegFile(dir string, sg *Segment, sumKey string, sum *core.Compressed, book *feature.Codebook) error {
+// re-cluster lazily). The write lands atomically — temp file, fsync,
+// rename — so a crash mid-write leaves no half artifact under the live
+// name and a rename that was never fsynced cannot surface torn.
+func writeSegFile(fsys vfs.FS, dir string, sg *Segment, sumKey string, sum *core.Compressed, book *feature.Codebook) error {
 	var buf bytes.Buffer
 	buf.WriteString(segMagic)
 	buf.WriteByte(segVersion)
@@ -110,24 +112,15 @@ func writeSegFile(dir string, sg *Segment, sumKey string, sum *core.Compressed, 
 	binary.LittleEndian.PutUint32(word[:], crc32.ChecksumIEEE(buf.Bytes()))
 	buf.Write(word[:])
 
-	path := filepath.Join(dir, segFileName(meta))
-	tmpPath := path + ".tmp"
-	if err := os.WriteFile(tmpPath, buf.Bytes(), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpPath, path); err != nil {
-		os.Remove(tmpPath)
-		return err
-	}
-	return nil
+	return vfs.WriteFileAtomic(fsys, filepath.Join(dir, segFileName(meta)), buf.Bytes(), 0o644)
 }
 
 // readSegFile loads and validates the artifact for sg against the
 // replayed segment. It returns the cached summary's options key and
 // assignment when the artifact carries one; ok reports whether the artifact
 // is present, intact, and describes exactly this segment.
-func readSegFile(dir string, sg *Segment) (sumKey string, asg cluster.Assignment, ok bool) {
-	data, err := os.ReadFile(filepath.Join(dir, segFileName(sg.meta)))
+func readSegFile(fsys vfs.FS, dir string, sg *Segment) (sumKey string, asg cluster.Assignment, ok bool) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, segFileName(sg.meta)))
 	if err != nil {
 		return "", cluster.Assignment{}, false
 	}

@@ -1,0 +1,27 @@
+package vfs
+
+// Fault classification. The durability layer retries transient write
+// errors with bounded backoff and degrades to read-only on fatal ones; the
+// split is deliberately conservative:
+//
+//   - Fatal: the disk is full or read-only — retrying the same write
+//     cannot succeed (ENOSPC, EDQUOT, EROFS), or the handle itself is gone
+//     (EBADF). These degrade immediately.
+//   - Transient: everything else — an EIO may be a one-off (a path
+//     failover, a momentary controller hiccup), EINTR/EAGAIN are retryable
+//     by definition, and unknown errors get the benefit of bounded
+//     retries before the caller degrades anyway.
+//
+// fsync errors are NEVER retried regardless of class: the kernel reports a
+// writeback error to fsync exactly once, so a retried fsync that succeeds
+// proves nothing about the pages that failed (the "fsyncgate" semantics) —
+// the WAL poisons itself instead and the store degrades.
+
+// Fatal reports whether err is a non-retryable IO failure: retrying the
+// same operation cannot succeed until an operator intervenes. The errno
+// set is platform-specific (fatal_unix.go / fatal_other.go); fault
+// injectors mark fatality by wrapping one of those errnos.
+func Fatal(err error) bool { return fatalErrno(err) }
+
+// Transient reports whether err is worth a bounded retry.
+func Transient(err error) bool { return err != nil && !Fatal(err) }

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// Without a unix errno table every syscall error gets bounded retries; the
+// degrade-on-exhaustion path still bounds the damage.
+func fatalErrno(err error) bool {
+	var errno syscall.Errno
+	if !errors.As(err, &errno) {
+		return false
+	}
+	return errno == syscall.ENOSPC || errno == syscall.EROFS
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+func fatalErrno(err error) bool {
+	var errno syscall.Errno
+	if !errors.As(err, &errno) {
+		return false
+	}
+	switch errno {
+	case syscall.ENOSPC, syscall.EDQUOT, syscall.EROFS, syscall.EBADF:
+		return true
+	}
+	return false
+}

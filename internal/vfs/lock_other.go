@@ -1,0 +1,16 @@
+//go:build !unix
+
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// lockFile on platforms without flock degrades to creating the lock file
+// without an exclusive guard: the durable store still works, but the
+// single-writer protection against two processes sharing one data
+// directory is advisory only.
+func lockFile(path string) (io.Closer, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on path. Two processes
+// appending to one WAL would interleave writes at overlapping offsets and
+// the next recovery would silently truncate at the first torn record — so
+// a second lock of a held path must fail loudly instead.
+//
+// The returned handle holds the lock for the process's life; closing it
+// releases the lock (flocks also die with the process, so a crash never
+// leaves a stale lock).
+func lockFile(path string) (io.Closer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vfs: %s is locked by another process (flock: %w)", path, err)
+	}
+	return f, nil
+}

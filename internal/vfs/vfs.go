@@ -1,0 +1,142 @@
+// Package vfs is the filesystem seam under every durable code path: a
+// minimal FS/File interface pair that the WAL, the segment-artifact writer
+// and the checkpoint codec do all their IO through. Production code uses
+// the passthrough OS implementation; tests substitute
+// internal/vfs/faultfs, a deterministic fault-injecting in-memory
+// filesystem, to explore how the durability layer behaves when any single
+// IO operation lies or dies (see the fault-matrix tests in
+// internal/store).
+//
+// The interface is deliberately small — exactly the operations the
+// durability layer performs, nothing speculative — so the fault matrix
+// "every call site × every fault class" stays enumerable.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem the durability layer runs on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (flag is the usual
+	// os.O_* mask). Missing files report errors satisfying
+	// errors.Is(err, fs.ErrNotExist).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname (os.Rename
+	// semantics): after a crash the target holds either the old or the new
+	// content, never a mix.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// Lock takes the single-writer guard on a data directory (an exclusive
+	// flock on OS filesystems). Closing the returned handle releases it.
+	Lock(name string) (io.Closer, error)
+}
+
+// File is an open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's content to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// OS is the passthrough implementation over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error       { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+func (osFS) Lock(name string) (io.Closer, error)   { return lockFile(name) }
+
+// ReadFile reads the whole of name, like os.ReadFile.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFileAtomic writes data under name via a temp file in the same
+// directory: write, fsync, rename. A crash at any point leaves name either
+// absent/old or fully written — never torn. The temp file is name + ".tmp"
+// (cleaned up by the startup GC if a crash strands it).
+func WriteFileAtomic(fsys FS, name string, data []byte, perm os.FileMode) error {
+	tmp := name + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// RemoveTempFiles deletes every "*.tmp" file directly under dir — the
+// startup hygiene pass that clears temp artifacts stranded by a crash
+// between temp-write and rename. Missing directories are fine; the first
+// removal error is returned (callers treat it as best-effort).
+func RemoveTempFiles(fsys FS, dir string) error {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil // nothing to clean
+	}
+	var firstErr error
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".tmp" {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

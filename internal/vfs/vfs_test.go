@@ -1,0 +1,93 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip pins the passthrough implementation against the contract
+// the durability layer depends on: atomic writes round-trip, temp sweeps
+// only touch *.tmp, and the directory lock is exclusive.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "blob")
+	if err := WriteFileAtomic(OS, name, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(OS, name)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// overwrite through the same path: the reader sees old or new, never a mix
+	if err := WriteFileAtomic(OS, name, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = ReadFile(OS, name); string(got) != "v2" {
+		t.Fatalf("after overwrite ReadFile = %q", got)
+	}
+
+	if _, err := ReadFile(OS, filepath.Join(dir, "missing")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want fs.ErrNotExist", err)
+	}
+
+	if err := WriteFileAtomic(OS, filepath.Join(dir, "keep.dat"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "stranded.tmp")
+	f, err := OS.OpenFile(stray, syscall.O_CREAT|syscall.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := RemoveTempFiles(OS, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(stray); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("RemoveTempFiles left %s (err=%v)", stray, err)
+	}
+	if _, err := OS.Stat(filepath.Join(dir, "keep.dat")); err != nil {
+		t.Fatalf("RemoveTempFiles swept a non-temp file: %v", err)
+	}
+
+	lock, err := OS.Lock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Lock(filepath.Join(dir, "LOCK")); err == nil {
+		t.Fatal("second Lock on a held directory guard succeeded")
+	}
+	if err := lock.Close(); err != nil {
+		t.Fatal(err)
+	}
+	relock, err := OS.Lock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		t.Fatalf("relock after release: %v", err)
+	}
+	relock.Close()
+}
+
+// TestFaultClassification: the transient/fatal split drives the retry and
+// degraded-mode policy, so the errno table is load-bearing.
+func TestFaultClassification(t *testing.T) {
+	for _, err := range []error{syscall.ENOSPC, syscall.EDQUOT, syscall.EROFS, syscall.EBADF} {
+		if !Fatal(err) || Transient(err) {
+			t.Fatalf("%v must classify fatal", err)
+		}
+	}
+	for _, err := range []error{syscall.EIO, syscall.EINTR, errors.New("opaque")} {
+		if Fatal(err) || !Transient(err) {
+			t.Fatalf("%v must classify transient", err)
+		}
+	}
+	if Fatal(nil) || Transient(nil) {
+		t.Fatal("nil is neither fatal nor transient")
+	}
+	// classification must see through wrapping
+	wrapped := &fs.PathError{Op: "write", Path: "wal.log", Err: syscall.ENOSPC}
+	if !Fatal(wrapped) {
+		t.Fatal("wrapped ENOSPC must classify fatal")
+	}
+}

@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"logr/internal/vfs"
+)
+
+// TestRotateTruncatesPrefix: rotating at a record boundary drops the
+// physical prefix while every logical offset stays valid, appends continue
+// after the rotation, and a reopen replays exactly the retained tail plus
+// the new records.
+func TestRotateTruncatesPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var ends []int64
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("pre-rotate-%02d", i))
+		want = append(want, p)
+		end, err := l.AppendBatch([][]byte{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, end)
+	}
+	if err := l.Commit(ends[len(ends)-1]); err != nil {
+		t.Fatal(err)
+	}
+	preSize, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := ends[6] // keep records 7..9
+	if err := l.Rotate(cut); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if got := l.Base(); got != cut {
+		t.Fatalf("Base=%d after Rotate(%d)", got, cut)
+	}
+	postSize, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postSize.Size() >= preSize.Size() {
+		t.Fatalf("rotation did not shrink the file: %d -> %d bytes", preSize.Size(), postSize.Size())
+	}
+	// appends continue on the rotated file with unchanged logical offsets
+	p := []byte("post-rotate")
+	want = append(want, p)
+	end, err := l.AppendBatch([][]byte{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= ends[len(ends)-1] {
+		t.Fatalf("post-rotation offset %d regressed below %d", end, ends[len(ends)-1])
+	}
+	if err := l.Commit(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// a fresh scan sees only records after the cut, at their original
+	// logical offsets
+	var got [][]byte
+	var gotEnds []int64
+	durable, err := Scan(vfs.OS, path, func(pl []byte, e int64) error {
+		got = append(got, append([]byte(nil), pl...))
+		gotEnds = append(gotEnds, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != end {
+		t.Fatalf("durable=%d, want %d", durable, end)
+	}
+	wantTail := want[7:]
+	if len(got) != len(wantTail) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(wantTail))
+	}
+	for i := range wantTail {
+		if !bytes.Equal(got[i], wantTail[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], wantTail[i])
+		}
+	}
+	if gotEnds[0] != ends[7] {
+		t.Fatalf("first retained record ends at %d, want original offset %d", gotEnds[0], ends[7])
+	}
+	// reopen for appending works on a headered file
+	l, err = Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Base(); got != cut {
+		t.Fatalf("reopened Base=%d, want %d", got, cut)
+	}
+	if err := l.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+// TestRotateEverything: cutting at the current size leaves an empty tail
+// whose next scan still reports the full logical offset.
+func TestRotateEverything(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte("record")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := l.Size()
+	if err := l.Rotate(size); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	durable, err := Scan(vfs.OS, path, func([]byte, int64) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || durable != size {
+		t.Fatalf("after full rotation: %d records durable=%d, want 0 records durable=%d", n, durable, size)
+	}
+}
+
+// TestCreateStartsAtBase: a log born by Create carries its base through
+// appends, scans and reopens.
+func TestCreateStartsAtBase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	const base = 12345
+	l, err := Create(vfs.OS, path, base, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != base {
+		t.Fatalf("fresh Size=%d, want %d", got, base)
+	}
+	end, err := l.AppendBatch([][]byte{[]byte("first")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantEnd := int64(base + headerSize + 5); end != wantEnd {
+		t.Fatalf("end=%d, want %d", end, wantEnd)
+	}
+	if err := l.Commit(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	durable, err := Scan(vfs.OS, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != end {
+		t.Fatalf("durable=%d, want %d", durable, end)
+	}
+}
+
+// TestCreateReplacesExistingLog: Create atomically discards whatever log
+// was at the path — the degraded-store rebuild semantics.
+func TestCreateReplacesExistingLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l, err = Create(vfs.OS, path, 999, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var recs [][]byte
+	if _, err := Scan(vfs.OS, path, func(p []byte, _ int64) error {
+		recs = append(recs, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "new" {
+		t.Fatalf("recs=%q, want just %q", recs, "new")
+	}
+}
+
+// TestHeaderStopsLegacyScanner: the rotation header's magic must parse as
+// an implausible record length, so a record-only scanner (the pre-rotation
+// format) reads a rotated file as empty instead of misparsing it.
+func TestHeaderStopsLegacyScanner(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(vfs.OS, path, 7777, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("headered")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := scanRecords(bytes.NewReader(data), 0, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("legacy scan of headered file: durable=%d err=%v, want 0 records", n, err)
+	}
+}
+
+// TestCorruptHeaderRefusesOpen: a present magic with a failing checksum is
+// a hard error — the base offset is load-bearing, so recovery must refuse
+// rather than truncate-and-guess.
+func TestCorruptHeaderRefusesOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(vfs.OS, path, 42, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 0xff // inside the base field
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(vfs.OS, path, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a header with a corrupt checksum")
+	}
+	if _, err := Scan(vfs.OS, path, nil); err == nil {
+		t.Fatal("Scan accepted a header with a corrupt checksum")
+	}
+}

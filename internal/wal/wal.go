@@ -36,6 +36,35 @@
 // record reaches the OS page cache within Options.FlushDelay (or sooner,
 // when FlushBytes accumulate), so a *process* crash can lose at most that
 // window; SyncAlways acknowledges nothing a process crash could lose.
+//
+// # Fault handling
+//
+// Write errors during the background flush are classified through
+// internal/vfs: transient ones (an EIO from a path failover, EINTR) get a
+// handful of short backoff retries before the log poisons itself, fatal
+// ones (ENOSPC, EROFS) poison immediately. fsync errors always poison with
+// no retry — the kernel reports a writeback failure to fsync exactly once,
+// so a retried fsync that "succeeds" proves nothing about the pages that
+// failed. A poisoned log fails every later call with the original cause;
+// the owning store reacts by degrading to read-only and, once the disk
+// heals, replacing the log wholesale (see internal/store).
+//
+// # Rotation and base offsets
+//
+// Offsets handed out by AppendBatch/Commit/Size are logical: byte
+// positions in the infinite record stream, not file positions. A log
+// created by Open on a plain file starts at logical 0 with no file header
+// (the original format). Rotate(cut) rewrites the file to hold only the
+// records after logical offset cut, prefixed with a 17-byte file header
+//
+//	"LGWL" | version u8 | base u64le | crc32(prev 13 bytes) u32le
+//
+// recording cut as the new base, so a checkpointed store can truncate the
+// replayed prefix and keep recovery O(unsealed tail). The magic's
+// little-endian value exceeds the per-record payload cap, so a pre-header
+// scanner reading a rotated file stops cleanly at offset zero instead of
+// misparsing the header as a record. All IO goes through a vfs.FS so
+// fault-injection tests can exercise every call site.
 package wal
 
 import (
@@ -47,6 +76,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"logr/internal/vfs"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -96,6 +127,25 @@ type Options struct {
 	FlushDelay time.Duration
 }
 
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = DefaultFlushBytes
+	}
+	if o.MaxBuffer <= 0 {
+		o.MaxBuffer = DefaultMaxBuffer
+	}
+	if o.MaxBuffer < o.FlushBytes {
+		o.MaxBuffer = o.FlushBytes
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = DefaultFlushDelay
+	}
+	return o
+}
+
 // maxPayload caps one record so a corrupt length prefix cannot demand a
 // multi-GiB allocation before the CRC check gets a chance to reject it.
 const maxPayload = 1 << 30
@@ -103,17 +153,78 @@ const maxPayload = 1 << 30
 // headerSize is the fixed per-record framing overhead.
 const headerSize = 8
 
+// File header of a rotated log. fileMagic's little-endian u32 value
+// (0x4C57474C) exceeds maxPayload, so a scanner unaware of headers reads
+// it as an implausible record length and stops cleanly.
+const (
+	fileMagic      = "LGWL"
+	fileVersion    = 1
+	fileHeaderSize = 4 + 1 + 8 + 4 // magic | version | base | crc
+)
+
+// maxWriteRetries bounds the background flusher's retries of a transient
+// write error before the log poisons itself.
+const maxWriteRetries = 4
+
+func makeFileHeader(base int64) [fileHeaderSize]byte {
+	var hdr [fileHeaderSize]byte
+	copy(hdr[0:4], fileMagic)
+	hdr[4] = fileVersion
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(base))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.ChecksumIEEE(hdr[:13]))
+	return hdr
+}
+
+// readFileHeader probes f for a rotation header. Headerless files (the
+// original format, and every log that has never rotated) report base 0
+// with zero header length. A present magic with a corrupt header is a hard
+// error: the base offset is load-bearing for replay, so recovery must
+// refuse rather than guess.
+func readFileHeader(f vfs.File) (base, hdrLen int64, err error) {
+	var hdr [fileHeaderSize]byte
+	n, rerr := f.ReadAt(hdr[:], 0)
+	if n >= len(fileMagic) && string(hdr[:4]) == fileMagic {
+		if n < fileHeaderSize {
+			return 0, 0, errors.New("wal: truncated file header")
+		}
+		if crc32.ChecksumIEEE(hdr[:13]) != binary.LittleEndian.Uint32(hdr[13:17]) {
+			return 0, 0, errors.New("wal: file header fails its checksum")
+		}
+		if hdr[4] != fileVersion {
+			return 0, 0, fmt.Errorf("wal: unsupported file version %d", hdr[4])
+		}
+		return int64(binary.LittleEndian.Uint64(hdr[5:13])), fileHeaderSize, nil
+	}
+	if rerr != nil && !errors.Is(rerr, io.EOF) {
+		return 0, 0, rerr
+	}
+	return 0, 0, nil
+}
+
 // Log is an open WAL file positioned for appending. All methods are safe
 // for concurrent use; the record order on disk is the order appends
 // acquire the internal lock.
+//
+// All offsets in the API (AppendBatch's return, Commit's argument, Size,
+// Durable, Rotate's cut) are logical stream offsets; after a rotation the
+// file holds only the suffix starting at Base.
 type Log struct {
 	mu sync.Mutex
 	// cond signals every buffer/flush/sync state change: flush completion
 	// (buffer space, flushed advance), fsync completion (synced advance),
 	// and poisoning. Waiters re-check their own predicate.
 	cond sync.Cond
-	f    *os.File
+	fsys vfs.FS
+	path string
+	f    vfs.File
 	opts Options
+
+	// base is the logical offset of the first byte physically present in
+	// the file (0 until the first rotation); hdrLen is the file-header
+	// length (0 for headerless files). Physical position = logical - base
+	// + hdrLen.
+	base   int64
+	hdrLen int64
 
 	size    int64 // logical end offset: every byte ever accepted
 	flushed int64 // bytes handed to write() successfully
@@ -131,11 +242,11 @@ type Log struct {
 
 	closed bool
 	// failed poisons the log after a failure that compromised durability: a
-	// flush write error (records already acknowledged under the interval
-	// policy may sit in a torn tail), or an fsync that errored (the kernel
-	// reports a writeback error to fsync only once, so retrying cannot be
-	// trusted to surface it again). failCause is reported by every
-	// subsequent Append/Commit/Sync/Close.
+	// flush write error that survived its retries (records already
+	// acknowledged under the interval policy may sit in a torn tail), or an
+	// fsync that errored (the kernel reports a writeback error to fsync
+	// only once, so retrying cannot be trusted to surface it again).
+	// failCause is reported by every subsequent Append/Commit/Sync/Close.
 	failed    bool
 	failCause error
 
@@ -148,13 +259,13 @@ type Log struct {
 }
 
 // Scan reads the WAL at path, invoking fn (if non-nil) for every complete,
-// CRC-valid record in order, and returns the durable length: the byte
+// CRC-valid record in order, and returns the durable length: the logical
 // offset one past the last valid record. A missing file scans as empty.
 // The payload passed to fn is only valid for the duration of the call.
-// fn's second argument is the offset one past the record — the truncation
-// boundary that would keep it.
-func Scan(path string, fn func(payload []byte, end int64) error) (int64, error) {
-	f, err := os.Open(path)
+// fn's second argument is the logical offset one past the record — the
+// truncation boundary that would keep it.
+func Scan(fsys vfs.FS, path string, fn func(payload []byte, end int64) error) (int64, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
@@ -162,10 +273,26 @@ func Scan(path string, fn func(payload []byte, end int64) error) (int64, error) 
 		return 0, err
 	}
 	defer f.Close()
-	return scan(f, fn)
+	base, rel, _, err := scanFile(f, fn)
+	return base + rel, err
 }
 
-func scan(f *os.File, fn func(payload []byte, end int64) error) (int64, error) {
+// scanFile probes f's header and scans its records. rel is the length of
+// the valid record stream after the header, so the durable physical size
+// is hdrLen+rel and the durable logical offset is base+rel.
+func scanFile(f vfs.File, fn func(payload []byte, end int64) error) (base, rel, hdrLen int64, err error) {
+	base, hdrLen, err = readFileHeader(f)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := f.Seek(hdrLen, io.SeekStart); err != nil {
+		return base, 0, hdrLen, err
+	}
+	rel, err = scanRecords(f, base, fn)
+	return base, rel, hdrLen, err
+}
+
+func scanRecords(f io.Reader, base int64, fn func(payload []byte, end int64) error) (int64, error) {
 	var (
 		durable int64
 		header  [headerSize]byte
@@ -204,7 +331,7 @@ func scan(f *os.File, fn func(payload []byte, end int64) error) (int64, error) {
 		}
 		durable = r.n
 		if fn != nil {
-			if err := fn(payload, durable); err != nil {
+			if err := fn(payload, base+durable); err != nil {
 				return durable, err
 			}
 		}
@@ -245,50 +372,174 @@ func (b *byteCounter) Read(p []byte) (int, error) {
 // non-nil), truncates any torn tail back to the durable prefix, and
 // positions the writer at the end. If fn returns an error the open is
 // abandoned and the file left untouched.
-func Open(path string, opts Options, fn func(payload []byte, end int64) error) (*Log, error) {
-	if opts.Interval <= 0 {
-		opts.Interval = DefaultSyncInterval
-	}
-	if opts.FlushBytes <= 0 {
-		opts.FlushBytes = DefaultFlushBytes
-	}
-	if opts.MaxBuffer <= 0 {
-		opts.MaxBuffer = DefaultMaxBuffer
-	}
-	if opts.MaxBuffer < opts.FlushBytes {
-		opts.MaxBuffer = opts.FlushBytes
-	}
-	if opts.FlushDelay <= 0 {
-		opts.FlushDelay = DefaultFlushDelay
-	}
-	durable, err := Scan(path, fn)
+func Open(fsys vfs.FS, path string, opts Options, fn func(payload []byte, end int64) error) (*Log, error) {
+	opts = opts.withDefaults()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	st, err := f.Stat()
+	base, rel, hdrLen, err := scanFile(f, fn)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() > durable {
+	physEnd := hdrLen + rel
+	st, err := fsys.Stat(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > physEnd {
 		// torn tail from a crash mid-write: drop it so the next record
 		// starts on a clean boundary
-		if err := f.Truncate(durable); err != nil {
+		if err := f.Truncate(physEnd); err != nil {
 			f.Close()
 			return nil, err
 		}
 	}
-	if _, err := f.Seek(durable, io.SeekStart); err != nil {
+	if _, err := f.Seek(physEnd, io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, opts: opts, size: durable, flushed: durable, synced: durable, lastSync: time.Now()}
+	end := base + rel
+	l := &Log{fsys: fsys, path: path, f: f, opts: opts, base: base, hdrLen: hdrLen,
+		size: end, flushed: end, synced: end, lastSync: time.Now()}
 	l.cond.L = &l.mu
 	return l, nil
+}
+
+// Create writes a fresh WAL at path whose record stream starts at logical
+// offset base, replacing whatever was there: header to a temp file, fsync,
+// rename into place — a crash at any point leaves either the old log or
+// the new one, never a mix. The returned log keeps the temp file's handle
+// (same inode after the rename), already positioned for appending.
+//
+// This is the degraded-store recovery path: after the disk heals, a
+// checkpoint captures the authoritative in-memory state at offset base and
+// Create discards the old, possibly torn log in one atomic step.
+func Create(fsys vfs.FS, path string, base int64, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := makeFileHeader(base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, err
+	}
+	l := &Log{fsys: fsys, path: path, f: f, opts: opts, base: base, hdrLen: fileHeaderSize,
+		size: base, flushed: base, synced: base, lastSync: time.Now()}
+	l.cond.L = &l.mu
+	return l, nil
+}
+
+// Base returns the logical offset of the first byte physically retained in
+// the file (advanced by Rotate). Size()-Base() is the on-disk record
+// volume a recovery would replay.
+func (l *Log) Base() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Rotate truncates the log's physical file to the records after logical
+// offset cut: everything accepted so far is first made durable, then the
+// retained tail is copied into a temp file behind a header recording cut
+// as the new base, fsynced, and renamed over the log. The logical offsets
+// already handed out remain valid; only Base advances.
+//
+// The caller is responsible for cut being a record boundary it can recover
+// without the dropped prefix (i.e. covered by a checkpoint). A failure
+// before the rename leaves the old file fully intact and does not poison
+// the log; a failure on the rename itself is likewise non-destructive.
+func (l *Log) Rotate(cut int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: rotate on closed log")
+	}
+	if l.failed {
+		return l.failedLocked()
+	}
+	if cut < l.base || cut > l.size {
+		return fmt.Errorf("wal: rotate cut %d outside [%d, %d]", cut, l.base, l.size)
+	}
+	// Quiesce: everything accepted must be durable and no flush/fsync in
+	// flight, so the file content is exactly the [base, size) stream and
+	// stable while we copy. Appends are excluded for the duration by l.mu —
+	// rotation cost is O(tail), which checkpointing keeps small.
+	for {
+		target := l.size
+		if err := l.commitLocked(target); err != nil {
+			return err
+		}
+		if l.size == target && !l.flushing && !l.syncing && len(l.pend) == 0 {
+			break
+		}
+	}
+	tmp := l.path + ".tmp"
+	nf, err := l.fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644) //logr:allow(lockdiscipline) rotation IO is bounded by the checkpointed tail and must exclude appends
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		nf.Close()
+		l.fsys.Remove(tmp)
+		return err
+	}
+	hdr := makeFileHeader(cut)
+	if _, err := nf.Write(hdr[:]); err != nil {
+		return abort(err)
+	}
+	// copy the retained tail [cut, size) from the old file
+	var copyBuf [64 << 10]byte
+	for off := cut - l.base + l.hdrLen; off < l.size-l.base+l.hdrLen; {
+		n, rerr := l.f.ReadAt(copyBuf[:min64(int64(len(copyBuf)), l.size-l.base+l.hdrLen-off)], off)
+		if n > 0 {
+			if _, werr := nf.Write(copyBuf[:n]); werr != nil {
+				return abort(werr)
+			}
+			off += int64(n)
+			continue
+		}
+		if rerr != nil {
+			return abort(rerr)
+		}
+	}
+	//logr:allow(lockdiscipline) rotation swaps the live file; it must exclude appends
+	if err := nf.Sync(); err != nil {
+		return abort(err)
+	}
+	//logr:allow(lockdiscipline) rotation swaps the live file; it must exclude appends
+	if err := l.fsys.Rename(tmp, l.path); err != nil {
+		return abort(err)
+	}
+	old := l.f
+	l.f = nf
+	l.base = cut
+	l.hdrLen = fileHeaderSize
+	_ = old.Close()
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Append frames payload as one record and applies the sync policy: under
@@ -390,12 +641,36 @@ func (l *Log) startFlushLocked() {
 	} else {
 		l.pend = nil
 	}
-	go l.flush(buf)
+	go l.flush(l.f, buf)
 }
 
-// flush is the background write of one swapped-out buffer.
-func (l *Log) flush(buf []byte) {
-	_, err := l.f.Write(buf)
+// flush is the background write of one swapped-out buffer. Transient
+// errors (vfs.Transient) are retried with short exponential backoff,
+// resuming after any partial write; a fatal error or exhausted retries
+// poisons the log. The file handle is passed in (captured under l.mu by
+// startFlushLocked) so a concurrent Rotate's handle swap cannot race this
+// goroutine's reads of l.f — Rotate only runs with no flush in flight.
+func (l *Log) flush(f vfs.File, buf []byte) {
+	var err error
+	written := 0
+	for attempt := 0; written < len(buf); attempt++ {
+		n, werr := f.Write(buf[written:])
+		written += n
+		if werr == nil {
+			if n == 0 {
+				werr = io.ErrShortWrite
+			} else {
+				continue
+			}
+		}
+		if vfs.Fatal(werr) || attempt >= maxWriteRetries {
+			err = werr
+			break
+		}
+		// transient: a failover or controller hiccup may clear in
+		// milliseconds; the partial write already landed, retry the rest
+		time.Sleep(time.Millisecond << attempt)
+	}
 	l.mu.Lock()
 	l.flushing = false
 	if err != nil {
@@ -461,6 +736,15 @@ func (l *Log) failedLocked() error {
 	return fmt.Errorf("wal: log failed on an earlier write; durability can no longer be guaranteed: %w", l.failCause)
 }
 
+// FailCause returns the error that poisoned the log, or nil while it is
+// healthy. The store's degraded-mode classifier uses the root cause
+// (fatal vs transient) to pick its recovery posture.
+func (l *Log) FailCause() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failCause
+}
+
 // Commit blocks until every record at or before logical offset end is on
 // stable storage. Concurrent commits coalesce: one fsync covers every
 // record flushed before it started, so N waiting appenders cost one or two
@@ -502,8 +786,9 @@ func (l *Log) commitLocked(target int64) error {
 		}
 		l.syncing = true
 		covered := l.flushed
+		f := l.f // capture before unlocking; Rotate may swap the handle
 		l.mu.Unlock()
-		err := l.f.Sync()
+		err := f.Sync()
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {

@@ -8,13 +8,15 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"logr/internal/vfs"
 )
 
 // collect opens the WAL read-only and gathers its durable records and their
 // end offsets.
 func collect(t *testing.T, path string) (recs [][]byte, ends []int64) {
 	t.Helper()
-	_, err := Scan(path, func(p []byte, end int64) error {
+	_, err := Scan(vfs.OS, path, func(p []byte, end int64) error {
 		recs = append(recs, append([]byte(nil), p...))
 		ends = append(ends, end)
 		return nil
@@ -27,7 +29,7 @@ func collect(t *testing.T, path string) (recs [][]byte, ends []int64) {
 
 func TestAppendReplayRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +57,14 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 
 func TestEmptyAndMissingFile(t *testing.T) {
 	dir := t.TempDir()
-	if n, err := Scan(filepath.Join(dir, "absent.log"), nil); err != nil || n != 0 {
+	if n, err := Scan(vfs.OS, filepath.Join(dir, "absent.log"), nil); err != nil || n != 0 {
 		t.Fatalf("missing file: durable=%d err=%v", n, err)
 	}
 	path := filepath.Join(dir, "empty.log")
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := Scan(path, nil); err != nil || n != 0 {
+	if n, err := Scan(vfs.OS, path, nil); err != nil || n != 0 {
 		t.Fatalf("empty file: durable=%d err=%v", n, err)
 	}
 }
@@ -72,7 +74,7 @@ func TestEmptyAndMissingFile(t *testing.T) {
 func TestTornTailEveryByte(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	l, err := Open(path, Options{Sync: SyncNever}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncNever}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestTornTailEveryByte(t *testing.T) {
 			}
 		}
 		gotN := 0
-		durable, err := Scan(sub, func(p []byte, end int64) error { gotN++; return nil })
+		durable, err := Scan(vfs.OS, sub, func(p []byte, end int64) error { gotN++; return nil })
 		if err != nil {
 			t.Fatalf("cut=%d: %v", cut, err)
 		}
@@ -118,7 +120,7 @@ func TestTornTailEveryByte(t *testing.T) {
 // continue cleanly from the durable prefix.
 func TestOpenRepairsTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestOpenRepairsTornTail(t *testing.T) {
 	f.Write([]byte{42, 0, 0, 0, 1, 2, 3})
 	f.Close()
 
-	l, err = Open(path, Options{Sync: SyncAlways}, nil)
+	l, err = Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestOpenRepairsTornTail(t *testing.T) {
 // corrupted record or anything after it.
 func TestCorruptRecordStopsScan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ func TestCorruptRecordStopsScan(t *testing.T) {
 func TestSyncPolicies(t *testing.T) {
 	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
 		path := filepath.Join(t.TempDir(), "wal.log")
-		l, err := Open(path, Options{Sync: pol}, nil)
+		l, err := Open(vfs.OS, path, Options{Sync: pol}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +215,7 @@ func TestSyncPolicies(t *testing.T) {
 // bound even when ingest goes idle immediately after.
 func TestDeferredIntervalSync(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncInterval, Interval: 20 * time.Millisecond}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncInterval, Interval: 20 * time.Millisecond}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,7 @@ func TestDeferredIntervalSync(t *testing.T) {
 // FlushDelay bound without any explicit Sync/Commit/Close.
 func TestDeferredFlush(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncNever, FlushDelay: 5 * time.Millisecond}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncNever, FlushDelay: 5 * time.Millisecond}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +270,7 @@ func TestDeferredFlush(t *testing.T) {
 // order, and Commit makes the whole batch durable.
 func TestAppendBatchRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +311,7 @@ func TestAppendBatchRoundTrip(t *testing.T) {
 // goroutines and checks every acknowledged record survives.
 func TestConcurrentAppendCommit(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path, Options{Sync: SyncAlways, FlushBytes: 64}, nil)
+	l, err := Open(vfs.OS, path, Options{Sync: SyncAlways, FlushBytes: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"logr/internal/feature"
+)
+
+// Encoder state serialization, used by the durable store's checkpoints.
+//
+// The encoder's state is a function of the entire entry stream ever fed to
+// it — the codebook only grows, every distinct SQL string stays cached,
+// multiplicities accumulate — so a recovery that wants to replay only the
+// WAL tail after a checkpoint must restore the full pipeline state, not
+// just the current snapshot. The codec therefore captures everything Add
+// consults: both codebooks in index order (indices are load-bearing: every
+// stored vector references them), the canonical-query table in admission
+// order (which pins snapshot vector order), and the raw-SQL parse cache.
+//
+// Restoring and then feeding the same suffix of entries yields an encoder
+// byte-identical, snapshot for snapshot, to one that saw the whole stream.
+
+// encStateVersion guards the layout below.
+const encStateVersion = 1
+
+// AppendState appends the encoder's full serialized state to b and returns
+// the extended slice. The encoding is deterministic: the same logical
+// state serializes to the same bytes (map-ordered sections are sorted).
+func (e *Encoder) AppendState(b []byte) []byte {
+	b = append(b, encStateVersion)
+	// maintained counters (the Result-derived stats fields are recomputed
+	// from the tables below and must not be double-restored)
+	b = binary.AppendUvarint(b, uint64(e.stats.TotalQueries))
+	b = binary.AppendUvarint(b, uint64(e.stats.ParsedSelects))
+	b = binary.AppendUvarint(b, uint64(e.stats.StoredProcedures))
+	b = binary.AppendUvarint(b, uint64(e.stats.Unparseable))
+	b = binary.AppendUvarint(b, uint64(e.stats.DistinctQueries))
+	b = binary.AppendUvarint(b, uint64(e.featSum))
+	b = binary.AppendUvarint(b, uint64(e.encodedN))
+	b = appendBook(b, e.book)
+	b = appendBook(b, e.withConstBook)
+	// canonical queries in admission order — the order field is what pins
+	// snapshot vector order, so it is stored implicitly as sequence order
+	b = binary.AppendUvarint(b, uint64(len(e.order)))
+	for _, key := range e.order {
+		c := e.canon[key]
+		b = appendString(b, key)
+		b = binary.AppendUvarint(b, uint64(c.count))
+		b = append(b, boolByte(c.conjunctive), boolByte(c.rewritable))
+		b = binary.AppendUvarint(b, uint64(len(c.indices)))
+		prev := 0
+		for _, idx := range c.indices {
+			b = binary.AppendUvarint(b, uint64(idx-prev))
+			prev = idx
+		}
+	}
+	// raw-SQL parse cache, sorted for determinism; parsed entries reference
+	// their canonical query by admission index
+	canonIdx := make(map[string]int, len(e.order))
+	for i, key := range e.order {
+		canonIdx[key] = i
+	}
+	raws := make([]string, 0, len(e.distinctRaw))
+	for sql := range e.distinctRaw {
+		raws = append(raws, sql)
+	}
+	sort.Strings(raws)
+	b = binary.AppendUvarint(b, uint64(len(raws)))
+	for _, sql := range raws {
+		info := e.distinctRaw[sql]
+		b = appendString(b, sql)
+		b = append(b, byte(info.fail))
+		if info.fail == failNone {
+			b = binary.AppendUvarint(b, uint64(canonIdx[info.canonKey]))
+		}
+	}
+	return b
+}
+
+// RestoreEncoder rebuilds an encoder from AppendState output, returning
+// the bytes following the state blob. Feeding the restored encoder the
+// entries appended after the state was taken reproduces the original
+// exactly.
+func RestoreEncoder(opts EncodeOptions, data []byte) (*Encoder, []byte, error) {
+	r := &stateReader{b: data}
+	if v := r.byte(); v != encStateVersion {
+		if r.err == nil {
+			return nil, nil, fmt.Errorf("workload: unsupported encoder state version %d", v)
+		}
+		return nil, nil, r.err
+	}
+	e := NewEncoder(opts)
+	e.stats.TotalQueries = r.int()
+	e.stats.ParsedSelects = r.int()
+	e.stats.StoredProcedures = r.int()
+	e.stats.Unparseable = r.int()
+	e.stats.DistinctQueries = r.int()
+	e.featSum = r.int()
+	e.encodedN = r.int()
+	if err := restoreBook(r, e.book); err != nil {
+		return nil, nil, err
+	}
+	if err := restoreBook(r, e.withConstBook); err != nil {
+		return nil, nil, err
+	}
+	ncanon := r.int()
+	for i := 0; i < ncanon && r.err == nil; i++ {
+		key := r.string()
+		c := &canonical{count: r.int()}
+		c.conjunctive = r.byte() != 0
+		c.rewritable = r.byte() != 0
+		nidx := r.int()
+		c.indices = make([]int, 0, nidx)
+		prev := 0
+		for j := 0; j < nidx; j++ {
+			prev += r.int()
+			c.indices = append(c.indices, prev)
+		}
+		e.canon[key] = c
+		e.order = append(e.order, key)
+	}
+	nraw := r.int()
+	for i := 0; i < nraw && r.err == nil; i++ {
+		sql := r.string()
+		info := &rawInfo{fail: failKind(r.byte())}
+		if info.fail == failNone {
+			idx := r.int()
+			if idx >= len(e.order) {
+				return nil, nil, errors.New("workload: encoder state references a canonical query out of range")
+			}
+			info.canonKey = e.order[idx]
+		}
+		e.distinctRaw[sql] = info
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return e, r.b, nil
+}
+
+func appendBook(b []byte, book *feature.Codebook) []byte {
+	feats := book.Features()
+	b = binary.AppendUvarint(b, uint64(len(feats)))
+	for _, f := range feats {
+		b = binary.AppendUvarint(b, uint64(f.Kind))
+		b = appendString(b, f.Text)
+	}
+	return b
+}
+
+func restoreBook(r *stateReader, book *feature.Codebook) error {
+	n := r.int()
+	for i := 0; i < n && r.err == nil; i++ {
+		f := feature.Feature{Kind: feature.Kind(r.int()), Text: r.string()}
+		if got := book.Register(f); got != i {
+			return fmt.Errorf("workload: codebook restore assigned index %d to feature %d", got, i)
+		}
+	}
+	return r.err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// stateReader is a cursor over a state blob that latches the first decode
+// error, so restore loops stay linear instead of error-checking every
+// field.
+type stateReader struct {
+	b   []byte
+	err error
+}
+
+func (r *stateReader) fail() {
+	if r.err == nil {
+		r.err = errors.New("workload: truncated or corrupt encoder state")
+	}
+}
+
+func (r *stateReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 || v > 1<<62 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return int(v)
+}
+
+func (r *stateReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *stateReader) string() string {
+	n := r.int()
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}

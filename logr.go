@@ -134,9 +134,17 @@ import (
 	"logr/internal/regularize"
 	"logr/internal/sqlparser"
 	"logr/internal/store"
+	"logr/internal/vfs"
 	"logr/internal/wal"
 	"logr/internal/workload"
 )
+
+// ErrDegraded reports a mutation attempted while a durable workload is in
+// degraded read-only mode: a disk fault exhausted its retries (or was
+// immediately fatal, like a full disk). Reads keep serving from applied
+// in-memory state, and a background probe re-enables writes once the disk
+// recovers; until then every mutation fails wrapping this error.
+var ErrDegraded = store.ErrDegraded
 
 // Entry is one distinct query of a workload with its multiplicity.
 type Entry struct {
@@ -232,6 +240,16 @@ type Options struct {
 	// bit-identical at any setting; this only budgets how much CPU seal-time
 	// clustering may take from the ingest path.
 	PersistParallelism int
+	// CheckpointBytes is how far a durable workload's WAL may grow past the
+	// last checkpoint before a new one is taken automatically (full state
+	// snapshot + WAL rotation, bounding recovery replay to the tail).
+	// 0 selects the 1 MiB default; negative disables automatic checkpoints
+	// (Checkpoint still works on demand). Ignored by in-memory workloads.
+	CheckpointBytes int64
+	// FS substitutes the filesystem a durable workload runs on — the fault
+	// injection seam of the robustness tests (internal/vfs/faultfs). Nil
+	// means the real filesystem; external callers leave it nil.
+	FS vfs.FS
 }
 
 // SyncPolicy selects when a durable workload's WAL reaches stable storage.
@@ -330,9 +348,12 @@ func (w *Workload) Append(entries []Entry) error {
 }
 
 // note records a persistence error in the workload's sticky slot (reported
-// by Err, Sync and Close) and passes it through.
+// by Err, Sync and Close) and passes it through. Degraded-mode errors are
+// deliberately not latched: degradation is current health, owned and
+// cleared by the store's recovery probe, so Err tracks it live instead of
+// pinning the workload to a fault that has since healed.
 func (w *Workload) note(err error) error {
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrDegraded) {
 		w.errMu.Lock()
 		if w.sticky == nil {
 			w.sticky = err
@@ -342,19 +363,67 @@ func (w *Workload) note(err error) error {
 	return err
 }
 
-// Err returns the first persistence error recorded by a mutation whose
-// signature predates durability (Seal, DropBefore, CompactSegments), by
-// Append, or by the asynchronous pipeline stages behind a durable workload
-// (deferred WAL flush/fsync, background artifact persistence). In-memory
-// workloads always report nil.
+// Err reports the workload's persistence health: the degraded-mode cause
+// while a durable workload is degraded (cleared automatically when its
+// recovery probe re-enables writes), else the first persistence error
+// recorded by a mutation whose signature predates durability (Seal,
+// DropBefore, CompactSegments), by Append, or by the asynchronous pipeline
+// stages (deferred WAL flush/fsync, background artifact persistence).
+// In-memory workloads always report nil.
 func (w *Workload) Err() error {
-	w.errMu.Lock()
-	err := w.sticky
-	w.errMu.Unlock()
-	if err == nil && w.d != nil {
-		err = w.d.Err()
+	if w.d != nil {
+		if err := w.d.Err(); err != nil {
+			return err
+		}
 	}
-	return err
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.sticky
+}
+
+// Degraded reports whether a durable workload is in degraded read-only
+// mode (see ErrDegraded). Always false for in-memory workloads.
+func (w *Workload) Degraded() bool {
+	return w.d != nil && w.d.Degraded()
+}
+
+// DurabilityInfo is a snapshot of a durable workload's durability state.
+// The zero value describes an in-memory workload.
+type DurabilityInfo struct {
+	// WalBytes is the WAL tail's logical length — the replay cost of the
+	// next recovery. Checkpoints reset it.
+	WalBytes int64
+	// CheckpointOffset is the WAL offset the latest checkpoint covers.
+	CheckpointOffset int64
+	// Degraded reports degraded read-only mode.
+	Degraded bool
+}
+
+// Durability reports a durable workload's durability state (WAL tail
+// size, checkpoint coverage, degraded mode). In-memory workloads report
+// the zero value.
+func (w *Workload) Durability() DurabilityInfo {
+	if w.d == nil {
+		return DurabilityInfo{}
+	}
+	info := w.d.Durability()
+	return DurabilityInfo{
+		WalBytes:         info.WalBytes,
+		CheckpointOffset: info.CheckpointOffset,
+		Degraded:         info.Degraded,
+	}
+}
+
+// Checkpoint captures a durable workload's full in-memory state into the
+// checkpoint file and rotates the covered WAL prefix away, bounding the
+// next recovery's replay to the records since this call. Automatic
+// checkpoints run every Options.CheckpointBytes of WAL growth; this forces
+// one now. A no-op on in-memory workloads.
+func (w *Workload) Checkpoint() error {
+	if w.d == nil {
+		return nil
+	}
+	return w.note(w.d.Checkpoint())
 }
 
 // barrier waits, on a durable workload, until the asynchronous applier has
@@ -453,14 +522,15 @@ func fromInternal(entries []workload.LogEntry, opts Options) *Workload {
 // append-only, CRC-checked write-ahead log under dir before it is applied,
 // and each sealed segment is exported as a self-contained artifact (its
 // binary summary plus sub-log). Opening an existing directory recovers by
-// replaying the WAL — recovery is equivalent to a workload that never
-// crashed, up to the last durable record; a torn tail from a crash is
-// truncated — and re-installs the seal-time summary caches from the
-// artifacts.
+// restoring the latest checkpoint and replaying the WAL tail after it —
+// recovery is equivalent to a workload that never crashed, up to the last
+// durable record; a torn tail from a crash is truncated — and re-installs
+// the seal-time summary caches from the artifacts.
 //
-// The WAL holds the full raw entry stream (which the exact-count path needs
-// anyway), so reopen cost grows with ingest history; segment artifacts
-// spare recovery the re-clustering. For exact pre-crash equivalence reopen
+// Checkpoints (automatic every Options.CheckpointBytes of WAL growth)
+// bound both the WAL's size and the recovery replay to the tail since the
+// last one; segment artifacts spare recovery the re-clustering. For exact
+// pre-crash equivalence reopen
 // with the same Options — SegmentThreshold and CompactSegments govern where
 // replay re-cuts automatic boundaries.
 func OpenDir(dir string, opts Options) (*Workload, error) {
@@ -475,6 +545,8 @@ func OpenDir(dir string, opts Options) (*Workload, error) {
 		DisableSealSummaries: opts.DisableSealSummaries,
 		ApplyQueue:           opts.ApplyQueue,
 		PersistParallelism:   opts.PersistParallelism,
+		CheckpointBytes:      opts.CheckpointBytes,
+		FS:                   opts.FS,
 	})
 	if err != nil {
 		return nil, err
