@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -49,17 +50,44 @@ type Client struct {
 // error instead of blocking the caller forever. Override with WithTimeout.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultTransport is the pooled *http.Transport every client built by New
+// shares. One shared pool matters for fan-out callers — the gateway holds
+// a client per shard, and without a shared transport each would open fresh
+// connections per burst (the net/http zero value keeps only 2 idle conns
+// per host). Keep-alives stay on and the per-host idle pool is sized for a
+// wide scatter-gather so repeated fan-outs reuse warm connections.
+var DefaultTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// defaultClient wraps DefaultTransport once; New hands the same
+// *http.Client to every Client so the connection pool is genuinely shared.
+var defaultClient = &http.Client{Transport: DefaultTransport}
+
 // New returns a client for the daemon at base (e.g. "http://host:8080").
-// Pass a custom *http.Client via WithHTTPClient for transport tuning; the
-// default is http.DefaultClient with DefaultTimeout applied per request.
+// All clients built here share DefaultTransport's connection pool; use
+// WithTransport (or WithHTTPClient) for per-client transport tuning. The
+// default timeout is DefaultTimeout applied per request.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient, timeout: DefaultTimeout}
+	return &Client{base: strings.TrimRight(base, "/"), hc: defaultClient, timeout: DefaultTimeout}
 }
 
 // WithHTTPClient returns a copy of c that uses hc for every request.
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	cp := *c
 	cp.hc = hc
+	return &cp
+}
+
+// WithTransport returns a copy of c whose requests go through rt instead
+// of the shared DefaultTransport — connection-pool isolation for tests and
+// fan-out tuning for gateways (e.g. MaxIdleConnsPerHost sized to the shard
+// fan-out).
+func (c *Client) WithTransport(rt http.RoundTripper) *Client {
+	cp := *c
+	cp.hc = &http.Client{Transport: rt}
 	return &cp
 }
 
@@ -481,8 +509,31 @@ func (c *Client) Drift(ctx context.Context, baseFrom, baseTo, winFrom, winTo int
 // one-sided pair is an error (matching the server), not a silent fallback
 // to the whole workload.
 func (c *Client) SummaryRaw(ctx context.Context, w io.Writer, from, to int) (int64, error) {
+	n, _, err := c.SummaryRawMeta(ctx, w, from, to)
+	return n, err
+}
+
+// SummaryMeta is the /summary response metadata the daemon reports in
+// X-Logr-* headers alongside the binary artifact.
+type SummaryMeta struct {
+	// Clusters is the mixture's component count.
+	Clusters int
+	// Epoch is the snapshot version the summary covers.
+	Epoch Epoch
+	// Err is the summary's Generalized Reproduction Error in nats — the
+	// ground truth the artifact itself cannot carry. NaN when the server
+	// did not report one.
+	Err float64
+}
+
+// SummaryRawMeta is SummaryRaw plus the X-Logr-* response metadata. The
+// Err field lets a reader re-attach the Reproduction Error to the restored
+// summary (logr.ReadSummary marks it NaN): the gateway's cross-shard merge
+// uses exactly this to keep merged error bookkeeping exact.
+func (c *Client) SummaryRawMeta(ctx context.Context, w io.Writer, from, to int) (int64, SummaryMeta, error) {
+	meta := SummaryMeta{Err: math.NaN()}
 	if (from >= 0) != (to >= 0) {
-		return 0, fmt.Errorf("logrd: summary range needs both from and to (got from=%d, to=%d)", from, to)
+		return 0, meta, fmt.Errorf("logrd: summary range needs both from and to (got from=%d, to=%d)", from, to)
 	}
 	q := url.Values{}
 	if from >= 0 && to >= 0 {
@@ -495,13 +546,22 @@ func (c *Client) SummaryRaw(ctx context.Context, w io.Writer, from, to int) (int
 	}
 	resp, err := c.send(ctx, http.MethodGet, u, "", nil, nil)
 	if err != nil {
-		return 0, err
+		return 0, meta, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return 0, decodeError(resp)
+		return 0, meta, decodeError(resp)
 	}
-	return io.Copy(w, resp.Body)
+	meta.Clusters, _ = strconv.Atoi(resp.Header.Get("X-Logr-Clusters"))
+	meta.Epoch.Universe, _ = strconv.Atoi(resp.Header.Get("X-Logr-Epoch-Universe"))
+	meta.Epoch.TotalQueries, _ = strconv.Atoi(resp.Header.Get("X-Logr-Epoch-Queries"))
+	if h := resp.Header.Get("X-Logr-Err"); h != "" {
+		if e, perr := strconv.ParseFloat(h, 64); perr == nil {
+			meta.Err = e
+		}
+	}
+	n, err := io.Copy(w, resp.Body)
+	return n, meta, err
 }
 
 // Summary fetches the binary artifact and restores it as a *logr.Summary:
@@ -522,4 +582,101 @@ func (c *Client) summary(ctx context.Context, from, to int) (*logr.Summary, erro
 		return nil, err
 	}
 	return logr.ReadSummary(&buf)
+}
+
+// Cluster DTOs — the logrd-gateway's wire protocol. Every gateway
+// response is a superset of the matching single-node DTO (the extra
+// fields ride alongside the embedded struct), so a plain Client pointed
+// at a gateway keeps working; decode into these types to see the
+// cluster-only annotations. The partial-result contract: a read
+// endpoint answers 200 with the reachable shards' data as long as at
+// least one shard responded, and Unavailable lists the shard base URLs
+// that did not contribute (ejected or failed mid-request). Only when
+// every shard is unreachable does the gateway answer 502.
+
+// ClusterIngestResult is the gateway's POST /ingest response.
+type ClusterIngestResult struct {
+	IngestResult
+	// Spilled counts entries routed past their rendezvous owner to a
+	// fallback shard because the owner was ejected or refused the batch.
+	Spilled int `json:"spilled,omitempty"`
+	// Unavailable lists shards that could not accept their partition
+	// (their entries were spilled or, if Rejected > 0, lost).
+	Unavailable []string `json:"shards_unavailable,omitempty"`
+	// Rejected counts entries no healthy shard would accept; > 0 only on
+	// a 502 response.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// ClusterEstimateResult is the gateway's GET /estimate response: an
+// estimate from the merged cross-shard summary.
+type ClusterEstimateResult struct {
+	EstimateResult
+	// Err, when present, is the merged summary's Reproduction Error in
+	// nats (exact for the lossless merge; an upper bound once the
+	// gateway's component budget forces coalescing).
+	Err *float64 `json:"err,omitempty"`
+	// Shards is how many shard summaries the merge covered.
+	Shards      int      `json:"shards"`
+	Unavailable []string `json:"shards_unavailable,omitempty"`
+}
+
+// ClusterCountResult is the gateway's GET /count response: the sum of
+// the reachable shards' exact counts.
+type ClusterCountResult struct {
+	CountResult
+	Unavailable []string `json:"shards_unavailable,omitempty"`
+}
+
+// ClusterDriftResult is the gateway's GET /drift response: per-shard
+// drift reports plus a query-weighted aggregate.
+type ClusterDriftResult struct {
+	DriftResult
+	Shards      map[string]DriftResult `json:"shards"`
+	Unavailable []string               `json:"shards_unavailable,omitempty"`
+}
+
+// ClusterStatsResult is the gateway's GET /stats response: summed
+// cluster totals plus each shard's full statistics payload.
+type ClusterStatsResult struct {
+	// Queries and Unparseable are summed across reachable shards;
+	// distinct-query counts do not add across shards (the same statement
+	// is distinct on every shard it hashes near), so per-shard values
+	// live under Shards.
+	Queries     int                    `json:"queries"`
+	Unparseable int                    `json:"unparseable"`
+	Shards      map[string]StatsResult `json:"shards"`
+	Unavailable []string               `json:"shards_unavailable,omitempty"`
+}
+
+// ClusterSegmentsResult is the gateway's GET /segments response.
+type ClusterSegmentsResult struct {
+	// ActiveQueries and Segments are summed across reachable shards.
+	ActiveQueries int                       `json:"active_queries"`
+	Segments      int                       `json:"segments"`
+	Shards        map[string]SegmentsResult `json:"shards"`
+	Unavailable   []string                  `json:"shards_unavailable,omitempty"`
+}
+
+// ClusterSealResult is the gateway's POST /seal response.
+type ClusterSealResult struct {
+	Shards      map[string]SealResult `json:"shards"`
+	Unavailable []string              `json:"shards_unavailable,omitempty"`
+}
+
+// ShardHealth is one shard's state in the gateway's GET /healthz view.
+type ShardHealth struct {
+	Healthy bool `json:"healthy"`
+	// Fails is the consecutive-failure streak driving ejection.
+	Fails   int `json:"fails,omitempty"`
+	Queries int `json:"queries"`
+}
+
+// ClusterHealth is the gateway's GET /healthz response. Status is "ok"
+// with every shard admitted, "partial" with some ejected, "down" with
+// none reachable (also a 503).
+type ClusterHealth struct {
+	Status  string                 `json:"status"`
+	Queries int                    `json:"queries"`
+	Shards  map[string]ShardHealth `json:"shards"`
 }

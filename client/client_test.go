@@ -248,3 +248,43 @@ func TestIngestReaderCancel(t *testing.T) {
 		t.Fatalf("cancellation took %v", elapsed)
 	}
 }
+
+// TestSharedTransportDefault pins the pooling contract behind gateway
+// fan-out: every client from New shares one *http.Client (and so one
+// DefaultTransport connection pool), while WithTransport and
+// WithHTTPClient peel a client off onto its own.
+func TestSharedTransportDefault(t *testing.T) {
+	a := New("http://shard-a:8080")
+	b := New("http://shard-b:8080")
+	if a.hc != b.hc {
+		t.Fatal("two New clients do not share the default *http.Client")
+	}
+	if a.hc.Transport != http.RoundTripper(DefaultTransport) {
+		t.Fatal("default client does not use DefaultTransport")
+	}
+	rt := &http.Transport{MaxIdleConnsPerHost: 1}
+	c := a.WithTransport(rt)
+	if c.hc == a.hc {
+		t.Fatal("WithTransport did not isolate the http client")
+	}
+	if c.hc.Transport != http.RoundTripper(rt) {
+		t.Fatal("WithTransport did not install the given transport")
+	}
+	if a.hc != defaultClient {
+		t.Fatal("WithTransport mutated the receiver's shared client")
+	}
+	// the override keeps working end to end
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+	if _, err := New(ts.URL).WithTransport(&http.Transport{}).Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests", hits.Load())
+	}
+}

@@ -13,7 +13,10 @@
 // CompressRange over sealed segments vs full recompress; part of "all"),
 // serve (HTTP ingest throughput + WAL recovery time of the logrd serving
 // path; part of "all"), sustained (sustained-q/s durable ingest: ack
-// latency quantiles, recovery, RSS; writes -json; not part of "all"), all.
+// latency quantiles, recovery, RSS; writes -json; not part of "all"),
+// cluster (logrd-gateway scale-out: ingest q/s vs shard count, merged
+// summary accuracy, hedged tail latency; writes -json; not part of
+// "all"), all.
 // Scales: small, medium, paper.
 // DESIGN.md maps each experiment id to the paper artifact it regenerates;
 // EXPERIMENTS.md records measured-vs-paper shapes.
@@ -47,11 +50,11 @@ type perfSnapshot struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, incremental, sustained, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig9, table2, incremental, sustained, cluster, all)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	csvDir := flag.String("csv", "", "directory for CSV series (created if missing)")
 	perfOut := flag.String("perf", "", "write a JSON perf snapshot (per-experiment wall time) to this file")
-	jsonOut := flag.String("json", "", "write the sustained experiment's structured results to this file")
+	jsonOut := flag.String("json", "", "write the sustained/cluster experiment's structured results to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -186,6 +189,12 @@ func main() {
 			fmt.Print(out)
 		case "sustained":
 			out, err := sustainedExperiment(scale, *jsonOut)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "cluster":
+			out, err := clusterExperiment(scale, *jsonOut)
 			if err != nil {
 				return err
 			}

@@ -22,7 +22,7 @@ func runRemote(ctx context.Context, args []string) error {
 	if defAddr == "" {
 		defAddr = "http://localhost:8080"
 	}
-	addr := fs.String("addr", defAddr, "daemon base URL (or $LOGRD_ADDR)")
+	addr := fs.String("addr", defAddr, "daemon base URL, or a comma-separated shard list (or $LOGRD_ADDR)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: logr remote [-addr URL] <verb> [flags]
 
@@ -49,8 +49,13 @@ verbs:
 		fs.Usage()
 		return fmt.Errorf("remote: missing verb")
 	}
-	c := client.New(*addr)
 	verb, rest := fs.Arg(0), fs.Args()[1:]
+	if addrs := splitAddrs(*addr); len(addrs) > 1 {
+		// a comma-separated -addr is a shard list: fan out with the same
+		// rendezvous placement logrd-gateway uses over the same addresses
+		return runRemoteMulti(ctx, addrs, verb, rest)
+	}
+	c := client.New(*addr)
 	switch verb {
 	case "health":
 		h, err := c.Health(ctx)

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"logr"
+	"logr/client"
+	"logr/internal/gateway"
+	"logr/internal/server"
+)
+
+// runRemoteMulti is `logr remote` against a shard list: -addr took a
+// comma-separated set of logrd base URLs. Placement matches logrd-gateway
+// exactly — the same rendezvous ranking over the same address strings —
+// so the CLI and a gateway fronting the same shards route every query to
+// the same owner. Reads fan out: count sums exact per-shard counts,
+// estimate and summary merge the shards' binary summaries client-side
+// (logr.MergeSummaries), and health/stats/segments/drift print per-shard
+// sections. Mutations (seal, compact, drop) fan out to every shard.
+func runRemoteMulti(ctx context.Context, addrs []string, verb string, rest []string) error {
+	clients := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = client.New(a)
+	}
+	switch verb {
+	case "health":
+		return multiEach(addrs, func(i int) error {
+			h, err := clients[i].Health(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %s, %d queries (%d active), %d segments\n",
+				addrs[i], h.Status, h.Queries, h.Active, h.Segments)
+			return nil
+		})
+	case "stats":
+		total, unparseable := 0, 0
+		err := multiEach(addrs, func(i int) error {
+			s, err := clients[i].Stats(ctx)
+			if err != nil {
+				return err
+			}
+			total += s.Queries
+			unparseable += s.Unparseable
+			fmt.Printf("%s: %d queries, %d distinct, %d unparseable\n",
+				addrs[i], s.Queries, s.DistinctQueries, s.Unparseable)
+			return nil
+		})
+		fmt.Printf("cluster: %d queries, %d unparseable across %d shards\n", total, unparseable, len(addrs))
+		return err
+	case "ingest":
+		return multiIngest(ctx, addrs, clients, rest)
+	case "count":
+		q, err := patternArg("count", rest)
+		if err != nil {
+			return err
+		}
+		total := 0
+		err = multiEach(addrs, func(i int) error {
+			n, err := clients[i].Count(ctx, q)
+			if err != nil {
+				// 404 = this shard never saw the pattern's features: zero
+				// matches there, same folding the gateway does
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+					return nil
+				}
+				return err
+			}
+			total += n
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("true count: %d queries across %d shards\n", total, len(addrs))
+		return nil
+	case "estimate":
+		q, err := patternArg("estimate", rest)
+		if err != nil {
+			return err
+		}
+		sum, err := multiMergedSummary(ctx, addrs, clients)
+		if err != nil {
+			return err
+		}
+		freq, err := sum.EstimateFrequency(q)
+		if err != nil {
+			return err
+		}
+		count, _ := sum.EstimateCount(q)
+		fmt.Printf("estimated frequency: %.4f (%.0f queries of %d at epoch, %d shards merged)\n",
+			freq, count, sum.Epoch().TotalQueries, len(addrs))
+		if e := sum.Error(); !math.IsNaN(e) {
+			fmt.Printf("merged summary error: %.4f nats/query\n", e)
+		}
+		return nil
+	case "summary":
+		sfs := flag.NewFlagSet("remote summary", flag.ExitOnError)
+		out := sfs.String("out", "", "output file (default stdout)")
+		maxK := sfs.Int("max-components", 0, "coalesce the merged summary to this component budget (0 = lossless)")
+		if err := sfs.Parse(rest); err != nil {
+			return err
+		}
+		sums, err := multiSummaries(ctx, addrs, clients)
+		if err != nil {
+			return err
+		}
+		merged, err := logr.MergeSummaries(sums, logr.MergeSummariesOptions{MaxComponents: *maxK})
+		if err != nil {
+			return err
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := merged.Save(w); err != nil {
+			return err
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote merged summary of %d shards (%d clusters, %d queries) to %s\n",
+				len(sums), merged.Clusters(), merged.Epoch().TotalQueries, *out)
+		}
+		return nil
+	case "seal":
+		return multiEach(addrs, func(i int) error {
+			r, err := clients[i].Seal(ctx)
+			if err != nil {
+				return err
+			}
+			if r.Sealed {
+				fmt.Printf("%s: sealed segment %d\n", addrs[i], r.ID)
+			} else {
+				fmt.Printf("%s: nothing to seal\n", addrs[i])
+			}
+			return nil
+		})
+	case "segments":
+		return multiEach(addrs, func(i int) error {
+			r, err := clients[i].Segments(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %d sealed segments, %d active queries\n", addrs[i], len(r.Segments), r.ActiveQueries)
+			return nil
+		})
+	case "drift":
+		dfs := flag.NewFlagSet("remote drift", flag.ExitOnError)
+		baseFrom := dfs.Int("base-from", -1, "baseline range start seal id")
+		baseTo := dfs.Int("base-to", -1, "baseline range end seal id (exclusive)")
+		winFrom := dfs.Int("win-from", -1, "window range start seal id")
+		winTo := dfs.Int("win-to", -1, "window range end seal id (exclusive)")
+		if err := dfs.Parse(rest); err != nil {
+			return err
+		}
+		return multiEach(addrs, func(i int) error {
+			rep, err := clients[i].Drift(ctx, *baseFrom, *baseTo, *winFrom, *winTo)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %.2f nats/query excess, %.2f%% novel, alert=%v\n",
+				addrs[i], rep.Score, rep.NoveltyRate*100, rep.Alert)
+			return nil
+		})
+	case "compact":
+		cfs := flag.NewFlagSet("remote compact", flag.ExitOnError)
+		minQ := cfs.Int("min", 0, "merge runs of adjacent segments smaller than this many queries")
+		if err := cfs.Parse(rest); err != nil {
+			return err
+		}
+		if *minQ <= 0 {
+			return fmt.Errorf("remote compact: -min is required")
+		}
+		return multiEach(addrs, func(i int) error {
+			r, err := clients[i].Compact(ctx, *minQ)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: eliminated %d segments\n", addrs[i], r.Eliminated)
+			return nil
+		})
+	case "drop":
+		dfs := flag.NewFlagSet("remote drop", flag.ExitOnError)
+		id := dfs.Int("id", -1, "retire segments entirely before this seal id")
+		if err := dfs.Parse(rest); err != nil {
+			return err
+		}
+		if *id < 0 {
+			return fmt.Errorf("remote drop: -id is required")
+		}
+		return multiEach(addrs, func(i int) error {
+			r, err := clients[i].DropBefore(ctx, *id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: dropped %d segments\n", addrs[i], r.Dropped)
+			return nil
+		})
+	}
+	return fmt.Errorf("remote: verb %q does not support a multi-shard -addr list", verb)
+}
+
+// multiEach runs fn per shard in order, printing all shards before
+// reporting the first error (partial visibility beats fail-fast when
+// operating a cluster by hand).
+func multiEach(addrs []string, fn func(i int) error) error {
+	var firstErr error
+	for i := range addrs {
+		if err := fn(i); err != nil {
+			fmt.Printf("%s: error: %v\n", addrs[i], err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// multiIngest reads the log locally, partitions entries by the shared
+// rendezvous ranking, and fans the sub-batches out concurrently.
+func multiIngest(ctx context.Context, addrs []string, clients []*client.Client, rest []string) error {
+	fs := flag.NewFlagSet("remote ingest", flag.ExitOnError)
+	in := fs.String("in", "", "raw or compact log file (\"-\" = stdin)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("remote ingest: -in is required")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := server.ReadIngestBody(r, 0)
+	if err != nil {
+		return err
+	}
+	parts := make([][]logr.Entry, len(addrs))
+	for _, e := range entries {
+		i := gateway.Owner(e.SQL, addrs)
+		parts[i] = append(parts[i], e)
+	}
+	results := make([]client.IngestResult, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i := range addrs {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = clients[i].Ingest(ctx, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	accepted, clusterTotal := 0, 0
+	var firstErr error
+	for i := range addrs {
+		if errs[i] != nil {
+			fmt.Printf("%s: error: %v\n", addrs[i], errs[i])
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if len(parts[i]) > 0 {
+			fmt.Printf("%s: ingested %d entries (shard now holds %d queries)\n",
+				addrs[i], results[i].Entries, results[i].TotalQueries)
+			accepted += results[i].Entries
+			clusterTotal += results[i].TotalQueries
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Printf("ingested %d entries across %d shards\n", accepted, len(addrs))
+	return nil
+}
+
+// multiSummaries fetches every shard's binary summary, error re-attached
+// from the X-Logr-Err header.
+func multiSummaries(ctx context.Context, addrs []string, clients []*client.Client) ([]*logr.Summary, error) {
+	sums := make([]*logr.Summary, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i := range addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf strings.Builder
+			_, meta, err := clients[i].SummaryRawMeta(ctx, &buf, -1, -1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sum, err := logr.ReadSummary(strings.NewReader(buf.String()))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sums[i] = sum.WithError(meta.Err)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", addrs[i], err)
+		}
+	}
+	return sums, nil
+}
+
+func multiMergedSummary(ctx context.Context, addrs []string, clients []*client.Client) (*logr.Summary, error) {
+	sums, err := multiSummaries(ctx, addrs, clients)
+	if err != nil {
+		return nil, err
+	}
+	return logr.MergeSummaries(sums, logr.MergeSummariesOptions{})
+}
+
+// splitAddrs parses -addr: one base URL, or a comma-separated shard list.
+func splitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, strings.TrimRight(a, "/"))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,51 @@
+// Command logrd-gateway fronts a set of logrd shards with one HTTP
+// endpoint: ingest is hash-partitioned across the shards by rendezvous
+// hashing on the query text, and analytics reads scatter-gather — the
+// cluster /estimate and /summary are served from the shards' merged
+// binary summaries, /count sums exact per-shard counts, and /stats,
+// /segments and /drift aggregate per-shard payloads. Reads hedge slow
+// shards after their observed p95 latency, failing shards are ejected
+// after consecutive errors and re-admitted by health probes, and
+// partial results carry a shards_unavailable annotation instead of
+// failing the request.
+//
+//	logrd-gateway -addr :8081 -shards http://s1:8080,http://s2:8080,http://s3:8080
+//
+// SIGINT/SIGTERM shut down gracefully; the gateway is stateless, so a
+// restart needs nothing but the same -shards list to route identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"logr/internal/gateway"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// first signal starts the graceful drain; unregistering then restores
+	// default delivery so a second signal force-kills a hung shutdown
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "logrd-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("logrd-gateway", flag.ExitOnError)
+	cfg, err := gateway.ParseFlags(fs, args)
+	if err != nil {
+		return err
+	}
+	return gateway.Run(ctx, cfg)
+}

@@ -88,6 +88,30 @@ var blockingFuncs = map[string]string{
 	"logr/internal/vfs.WriteFileAtomic": "atomic file write (write+fsync+rename)",
 	"logr/internal/vfs.RemoveTempFiles": "directory sweep",
 
+	// the gateway fan-out surface: every client method is at least one
+	// HTTP round trip to a shard (two when hedged). The gateway's
+	// shard-health mutex is documented as "never a network call under
+	// the lock" — these keys are what enforce it.
+	"(*logr/client.Client).Ingest":         "shard HTTP round-trip",
+	"(*logr/client.Client).IngestReader":   "shard HTTP round-trip",
+	"(*logr/client.Client).Estimate":       "shard HTTP round-trip",
+	"(*logr/client.Client).Count":          "shard HTTP round-trip",
+	"(*logr/client.Client).Health":         "shard HTTP round-trip",
+	"(*logr/client.Client).Stats":          "shard HTTP round-trip",
+	"(*logr/client.Client).Seal":           "shard HTTP round-trip",
+	"(*logr/client.Client).Segments":       "shard HTTP round-trip",
+	"(*logr/client.Client).Drift":          "shard HTTP round-trip",
+	"(*logr/client.Client).Compact":        "shard HTTP round-trip",
+	"(*logr/client.Client).DropBefore":     "shard HTTP round-trip",
+	"(*logr/client.Client).Summary":        "shard HTTP round-trip",
+	"(*logr/client.Client).SummaryRange":   "shard HTTP round-trip",
+	"(*logr/client.Client).SummaryRaw":     "shard HTTP round-trip",
+	"(*logr/client.Client).SummaryRawMeta": "shard HTTP round-trip",
+
+	// gateway fan-out entry points: one call is N shard round trips
+	"(*logr/internal/gateway.Gateway).Ingest":        "cluster ingest fan-out (N shard round trips)",
+	"(*logr/internal/gateway.Gateway).MergedSummary": "cluster summary fan-out (N shard round trips + merge)",
+
 	"logr/internal/cluster.KMeans":              "seal-time clustering",
 	"logr/internal/cluster.KMeansBinary":        "seal-time clustering",
 	"logr/internal/cluster.DistanceMatrix":      "seal-time clustering",

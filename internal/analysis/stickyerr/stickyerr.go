@@ -47,6 +47,12 @@ var mutators = map[string]bool{
 	"(*logr.Workload).Append":                   true,
 	"(*logr.Workload).Sync":                     true,
 	"(*logr.Workload).Close":                    true,
+
+	// gateway mutators: a dropped Ingest error loses the partial-result
+	// report (spills, rejected entries); Close keeps the shutdown-path
+	// convention the façade set
+	"(*logr/internal/gateway.Gateway).Ingest": true,
+	"(*logr/internal/gateway.Gateway).Close":  true,
 }
 
 // appliedReads are Store methods that serve applied state; a Workload

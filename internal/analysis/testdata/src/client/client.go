@@ -1,0 +1,22 @@
+// Package client stubs logr/client with the round-trip signatures the
+// lockdiscipline fixture exercises: every method is a shard HTTP round
+// trip and must never run under a held mutex.
+package client
+
+type Client struct{}
+
+func (c *Client) Ingest(entries []string) (int, error)   { return 0, nil }
+func (c *Client) IngestReader(r any) (int, error)        { return 0, nil }
+func (c *Client) Estimate(pattern string) (int, error)   { return 0, nil }
+func (c *Client) Count(pattern string) (int, error)      { return 0, nil }
+func (c *Client) Health() (int, error)                   { return 0, nil }
+func (c *Client) Stats() (int, error)                    { return 0, nil }
+func (c *Client) Seal() (int, error)                     { return 0, nil }
+func (c *Client) Segments() (int, error)                 { return 0, nil }
+func (c *Client) Drift(a, b, x, y int) (int, error)      { return 0, nil }
+func (c *Client) Compact(minQueries int) (int, error)    { return 0, nil }
+func (c *Client) DropBefore(id int) (int, error)         { return 0, nil }
+func (c *Client) Summary() (int, error)                  { return 0, nil }
+func (c *Client) SummaryRange(from, to int) (int, error) { return 0, nil }
+func (c *Client) SummaryRaw(w any) (int64, error)        { return 0, nil }
+func (c *Client) SummaryRawMeta(w any) (int64, error)    { return 0, nil }

@@ -1,0 +1,9 @@
+// Package gateway stubs logr/internal/gateway with the fan-out entry
+// points the lockdiscipline and stickyerr fixtures exercise.
+package gateway
+
+type Gateway struct{}
+
+func (g *Gateway) Ingest(entries []string) (int, error) { return 0, nil }
+func (g *Gateway) MergedSummary() (int, error)          { return 0, nil }
+func (g *Gateway) Close() error                         { return nil }

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"logr/client"
 	"logr/internal/cluster"
+	"logr/internal/gateway"
 	"logr/internal/vfs"
 	"logr/internal/wal"
 )
@@ -130,4 +132,38 @@ func (v *V) releaseAroundRotate() error {
 	cut := int64(0)
 	v.mu.Unlock()
 	return v.w.Rotate(cut)
+}
+
+// gatewayShard mirrors the gateway's shard struct: the health mutex
+// guards counters only — a client round trip under it would serialize
+// the whole fan-out behind one shard's network latency.
+type gatewayShard struct {
+	mu      sync.Mutex
+	healthy bool
+	c       *client.Client
+	g       *gateway.Gateway
+}
+
+func (s *gatewayShard) countUnderLock() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Count("q") // want `s\.c\.Count \(shard HTTP round-trip\) while holding s\.mu`
+}
+
+func (s *gatewayShard) ingestFanOutUnderLock() {
+	s.mu.Lock()
+	s.g.Ingest(nil) // want `s\.g\.Ingest \(cluster ingest fan-out \(N shard round trips\)\) while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// snapshotThenCall is the gateway's actual idiom: copy health state
+// under the lock, release, then do the round trip.
+func (s *gatewayShard) snapshotThenCall() (int, error) {
+	s.mu.Lock()
+	ok := s.healthy
+	s.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	return s.c.Count("q")
 }

@@ -4,6 +4,7 @@
 package stickyfix
 
 import (
+	"logr/internal/gateway"
 	"logr/internal/store"
 	"logr/internal/wal"
 )
@@ -39,4 +40,18 @@ func (lookalike) Append(p []byte) error { return nil }
 
 func notAMutator(x lookalike) {
 	x.Append(nil)
+}
+
+// gatewayDiscards: a dropped Gateway.Ingest error loses the spill and
+// rejection report; Close keeps the shutdown-path convention.
+func gatewayDiscards(g *gateway.Gateway) {
+	g.Ingest(nil)   // want `g\.Ingest discards its error`
+	defer g.Close() // want `defer g\.Close discards its error`
+}
+
+func gatewayHandled(g *gateway.Gateway) error {
+	if _, err := g.Ingest(nil); err != nil {
+		return err
+	}
+	return g.Close()
 }

@@ -1,0 +1,863 @@
+// Package gateway is logrd's horizontal scale-out front: one HTTP
+// endpoint that hash-partitions ingest across N logrd shards and
+// answers analytics reads by scatter-gather over them — the paper's
+// merge algebra doing distributed work. Because per-shard summaries
+// combine losslessly (logr.MergeSummaries: union codebook, remapped
+// mixtures, query-weighted error), the gateway serves a whole-cluster
+// /estimate and /summary without ever moving raw queries between
+// shards; /count sums exact per-shard counts; /stats, /segments and
+// /drift aggregate per-shard payloads under a "shards" field.
+//
+// Placement is rendezvous hashing on the query's SQL text: a shard-set
+// change remaps only ~1/N of the keyspace, and each key's full score
+// ranking doubles as its failover order. Robustness is part of the
+// design, not an afterthought:
+//
+//   - hedged reads: every read fan-out launches a backup request when a
+//     shard has not answered within its observed p95 latency (clamped),
+//     and the first response wins — the tail-at-scale recipe;
+//   - health ejection: consecutive shard failures (request-path or
+//     background probe) eject a shard from reads and ingest ownership;
+//     any later success — probe or request — re-admits it;
+//   - partial results: reads answer with the reachable shards' data and
+//     a shards_unavailable annotation instead of failing the request;
+//     only a fully unreachable cluster is an error (502);
+//   - ingest spill: entries owned by an ejected or refusing shard fall
+//     through their rendezvous ranking to the next healthy shard, so a
+//     single shard outage degrades placement, not durability.
+//
+// Wire DTOs live in package logr/client (Cluster*), supersets of the
+// single-node types, so any logrd client can point at a gateway.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"mime"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"logr"
+	"logr/client"
+	"logr/internal/server"
+)
+
+// Options configure a Gateway.
+type Options struct {
+	// Shards are the logrd base URLs (e.g. "http://10.0.0.1:8080").
+	// Order is irrelevant to placement — rendezvous scores are — but the
+	// list is the cluster identity: every gateway instance configured
+	// with the same set routes identically.
+	Shards []string
+	// MaxComponents, when > 0, coalesces the merged cross-shard summary
+	// down to this component budget (the reported error becomes an upper
+	// bound); 0 keeps the lossless merge, one component per shard
+	// cluster.
+	MaxComponents int
+	// MaxBodyBytes caps one /ingest request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxLineBytes caps one line of a text/plain ingest body (default
+	// 1 MiB, matching logrd).
+	MaxLineBytes int
+	// HedgeAfter, when > 0, is a fixed hedging delay for read fan-outs.
+	// 0 means adaptive: each shard's observed p95 read latency, clamped
+	// to [HedgeMin, HedgeMax].
+	HedgeAfter time.Duration
+	// HedgeMin/HedgeMax clamp the adaptive hedging delay (defaults 2ms
+	// and 1s).
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// ProbeInterval is the background health-probe cadence (default 2s).
+	ProbeInterval time.Duration
+	// EjectAfter is the consecutive-failure streak that ejects a shard
+	// (default 3).
+	EjectAfter int
+	// Timeout bounds one shard round trip when the inbound request's
+	// context has no deadline (default 15s).
+	Timeout time.Duration
+	// Transport overrides the shared client transport (tests, fan-out
+	// tuning). Nil uses client.DefaultTransport.
+	Transport http.RoundTripper
+	// Logf logs ejections, re-admissions and lifecycle (default: drop).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 2 * time.Millisecond
+	}
+	if o.HedgeMax <= 0 {
+		o.HedgeMax = time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 15 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Gateway fronts a set of logrd shards. All handlers are safe for
+// concurrent use. Construct with New; Close stops the health prober.
+type Gateway struct {
+	opts   Options
+	addrs  []string
+	shards []*shard
+	mux    *http.ServeMux
+	logf   func(format string, args ...any)
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+
+	// sumMu guards the merged-summary cache; the cache key is the set of
+	// participating shards with their query totals, so any acknowledged
+	// ingest anywhere invalidates it.
+	sumMu  sync.Mutex
+	cached *mergedCache
+}
+
+type mergedCache struct {
+	sum  *logr.Summary
+	key  string
+	n    int      // participating shards
+	miss []string // shards that did not contribute
+}
+
+// New builds a gateway over opts.Shards and starts its health prober.
+func New(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("gateway: no shards configured")
+	}
+	seen := map[string]bool{}
+	g := &Gateway{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		logf:      opts.Logf,
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, raw := range opts.Shards {
+		addr := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if addr == "" || seen[addr] {
+			return nil, fmt.Errorf("gateway: empty or duplicate shard address %q", raw)
+		}
+		seen[addr] = true
+		c := client.New(addr).WithTimeout(opts.Timeout)
+		if opts.Transport != nil {
+			c = c.WithTransport(opts.Transport).WithTimeout(opts.Timeout)
+		}
+		g.addrs = append(g.addrs, addr)
+		g.shards = append(g.shards, &shard{addr: addr, c: c, healthy: true})
+	}
+	g.mux.HandleFunc("POST /ingest", g.handleIngest)
+	g.mux.HandleFunc("GET /estimate", g.handleEstimate)
+	g.mux.HandleFunc("GET /count", g.handleCount)
+	g.mux.HandleFunc("GET /drift", g.handleDrift)
+	g.mux.HandleFunc("GET /segments", g.handleSegments)
+	g.mux.HandleFunc("GET /stats", g.handleStats)
+	g.mux.HandleFunc("GET /summary", g.handleSummary)
+	g.mux.HandleFunc("POST /seal", g.handleSeal)
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /readyz", g.handleReady)
+	go g.probeLoop()
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Close stops the background health prober. It never fails; the error
+// return keeps the shutdown-path convention (and the stickyerr vet rule)
+// of the other long-lived components.
+func (g *Gateway) Close() error {
+	select {
+	case <-g.probeStop:
+	default:
+		close(g.probeStop)
+	}
+	<-g.probeDone
+	return nil
+}
+
+// probeLoop polls every shard's /healthz on ProbeInterval: failures feed
+// the ejection streak, successes re-admit and refresh the shard's query
+// total. Ejection is therefore never permanent — a shard that comes back
+// is readmitted within one probe interval even with zero traffic.
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	t := time.NewTicker(g.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-t.C:
+			g.probeOnce()
+		}
+	}
+}
+
+func (g *Gateway) probeOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.ProbeInterval)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, s := range g.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			h, err := s.c.Health(ctx)
+			if err != nil {
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) {
+					// the daemon answered (degraded counts): alive
+					if s.noteSuccess(-1, 0) {
+						g.logf("gateway: shard %s re-admitted (probe)", s.addr)
+					}
+					return
+				}
+				if s.noteFailure(g.opts.EjectAfter) {
+					g.logf("gateway: shard %s ejected after %d probe failures", s.addr, g.opts.EjectAfter)
+				}
+				return
+			}
+			if s.noteSuccess(h.Queries, 0) {
+				g.logf("gateway: shard %s re-admitted (probe)", s.addr)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// healthyIdx returns the indexes of admitted shards — or every index
+// when all are ejected: during a full outage trying everyone is both
+// the only useful move and the fastest path to re-admission.
+func (g *Gateway) healthyIdx() []int {
+	var out []int
+	for i, s := range g.shards {
+		if ok, _, _ := s.snapshotHealth(); ok {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		out = make([]int, len(g.shards))
+		for i := range out {
+			out[i] = i
+		}
+	}
+	return out
+}
+
+// skippedAddrs lists the shards a fan-out over idxs did not even try —
+// the currently-ejected set. Reads annotate them as unavailable so the
+// partial-result contract covers shards skipped by ejection exactly like
+// shards that failed mid-request.
+func (g *Gateway) skippedAddrs(idxs []int) []string {
+	tried := map[int]bool{}
+	for _, i := range idxs {
+		tried[i] = true
+	}
+	var out []string
+	for i, a := range g.addrs {
+		if !tried[i] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// callOutcome is one shard's result in a scatter round.
+type callOutcome[T any] struct {
+	idx int
+	v   T
+	err error
+}
+
+// scatter fans fn out to the given shards concurrently with hedging and
+// health accounting, and returns one outcome per index. A transport
+// error feeds the ejection streak; an HTTP-level error (the daemon
+// answered, just not 2xx) counts as alive but still fails the call.
+func scatter[T any](ctx context.Context, g *Gateway, idxs []int, fn func(context.Context, *client.Client) (T, error)) []callOutcome[T] {
+	out := make([]callOutcome[T], len(idxs))
+	var wg sync.WaitGroup
+	for oi, idx := range idxs {
+		wg.Add(1)
+		go func(oi, idx int) {
+			defer wg.Done()
+			s := g.shards[idx]
+			delay := g.opts.HedgeAfter
+			if delay <= 0 {
+				delay = s.hedgeDelay(g.opts.HedgeMin, g.opts.HedgeMax)
+			}
+			start := time.Now()
+			v, err := hedged(ctx, delay, func(hctx context.Context) (T, error) {
+				return fn(hctx, s.c)
+			})
+			g.noteOutcome(s, err, time.Since(start))
+			out[oi] = callOutcome[T]{idx: idx, v: v, err: err}
+		}(oi, idx)
+	}
+	wg.Wait()
+	return out
+}
+
+// noteOutcome translates a shard call result into health state.
+func (g *Gateway) noteOutcome(s *shard, err error, d time.Duration) {
+	if err == nil {
+		if s.noteSuccess(-1, d) {
+			g.logf("gateway: shard %s re-admitted (request)", s.addr)
+		}
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		// an HTTP response is proof of life even when it is a refusal
+		if s.noteSuccess(-1, 0) {
+			g.logf("gateway: shard %s re-admitted (request)", s.addr)
+		}
+		return
+	}
+	if s.noteFailure(g.opts.EjectAfter) {
+		g.logf("gateway: shard %s ejected after %d failures: %v", s.addr, g.opts.EjectAfter, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, client.ErrorResponse{Error: err.Error()})
+}
+
+// --- ingest -----------------------------------------------------------
+
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	entries, err := g.readEntries(w, r)
+	if err != nil {
+		writeErr(w, badBodyStatus(err), err)
+		return
+	}
+	res, err := g.Ingest(r.Context(), entries)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	code := http.StatusOK
+	if res.Rejected > 0 {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, res)
+}
+
+func (g *Gateway) readEntries(w http.ResponseWriter, r *http.Request) ([]logr.Entry, error) {
+	body := http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes)
+	mediaType := ""
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			return nil, fmt.Errorf("bad Content-Type %q: %w", ct, err)
+		}
+		mediaType = mt
+	}
+	if mediaType == "" || mediaType == "application/json" {
+		var req client.IngestRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding ingest body: %w", err)
+		}
+		return req.Entries, nil
+	}
+	entries, err := server.ReadIngestBody(body, g.opts.MaxLineBytes)
+	if err != nil {
+		return nil, fmt.Errorf("reading ingest body: %w", err)
+	}
+	return entries, nil
+}
+
+func badBodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// Ingest partitions entries by rendezvous owner and fans the
+// sub-batches out concurrently. Entries whose owner is ejected — or
+// whose owner fails the batch — spill down their rendezvous ranking to
+// the next healthy shard; only entries no shard would accept are
+// counted in Rejected (and the response becomes a 502 upstream). The
+// returned TotalQueries is the cluster total: fresh counts from the
+// shards that answered plus the last-known counts of the rest.
+func (g *Gateway) Ingest(ctx context.Context, entries []logr.Entry) (client.ClusterIngestResult, error) {
+	res := client.ClusterIngestResult{}
+	healthySet := map[int]bool{}
+	for _, i := range g.healthyIdx() {
+		healthySet[i] = true
+	}
+	// exclude[i] accumulates shards that already failed this request so
+	// respill rounds route around them
+	exclude := map[int]bool{}
+	pending := entries
+	spilled := 0
+	var unavailable []string
+	freshTotals := map[int]int{}
+	for round := 0; len(pending) > 0; round++ {
+		parts := make([][]logr.Entry, len(g.shards))
+		rejected := 0
+		for _, e := range pending {
+			owner := -1
+			for _, i := range Rank(e.SQL, g.addrs) {
+				if healthySet[i] && !exclude[i] {
+					owner = i
+					break
+				}
+			}
+			if owner < 0 {
+				rejected++
+				continue
+			}
+			if round > 0 {
+				spilled++
+			}
+			parts[owner] = append(parts[owner], e)
+		}
+		if rejected > 0 {
+			res.Rejected = rejected
+		}
+		var idxs []int
+		for i, p := range parts {
+			if len(p) > 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			break
+		}
+		// mutations do not hedge: /ingest is not idempotent
+		type ingestOut struct {
+			idx int
+			r   client.IngestResult
+			err error
+		}
+		outs := make([]ingestOut, len(idxs))
+		var wg sync.WaitGroup
+		for oi, idx := range idxs {
+			wg.Add(1)
+			go func(oi, idx int) {
+				defer wg.Done()
+				s := g.shards[idx]
+				start := time.Now()
+				ir, err := s.c.Ingest(ctx, parts[idx])
+				g.noteOutcome(s, err, time.Since(start))
+				outs[oi] = ingestOut{idx: idx, r: ir, err: err}
+			}(oi, idx)
+		}
+		wg.Wait()
+		pending = pending[:0:0]
+		for _, o := range outs {
+			if o.err != nil {
+				exclude[o.idx] = true
+				unavailable = append(unavailable, g.addrs[o.idx])
+				pending = append(pending, parts[o.idx]...)
+				continue
+			}
+			res.Entries += o.r.Entries
+			freshTotals[o.idx] = o.r.TotalQueries
+		}
+		if len(pending) > 0 && len(exclude) >= len(healthySet) {
+			res.Rejected += len(pending)
+			break
+		}
+	}
+	for i, s := range g.shards {
+		if t, ok := freshTotals[i]; ok {
+			res.TotalQueries += t
+			continue
+		}
+		_, _, q := s.snapshotHealth()
+		res.TotalQueries += q
+	}
+	res.Spilled = spilled
+	sort.Strings(unavailable)
+	res.Unavailable = unavailable
+	return res, nil
+}
+
+// --- merged summary ---------------------------------------------------
+
+// MergedSummary scatter-gathers every healthy shard's binary summary
+// and merges them into one cluster summary (logr.MergeSummaries). The
+// result is cached and revalidated per call against the shards' query
+// totals — one cheap hedged /healthz round — so a steady estimate
+// stream pays the summary fetches only when ingest actually advanced
+// somewhere. The second return lists shards that did not contribute.
+func (g *Gateway) MergedSummary(ctx context.Context) (*logr.Summary, []string, error) {
+	idxs := g.healthyIdx()
+	checks := scatter(ctx, g, idxs, func(ctx context.Context, c *client.Client) (client.Health, error) {
+		return c.Health(ctx)
+	})
+	var live []int
+	miss := g.skippedAddrs(idxs)
+	totals := map[int]int{}
+	for _, o := range checks {
+		if o.err != nil {
+			miss = append(miss, g.addrs[o.idx])
+			continue
+		}
+		live = append(live, o.idx)
+		totals[o.idx] = o.v.Queries
+	}
+	if len(live) == 0 {
+		return nil, miss, fmt.Errorf("gateway: no shard reachable (%d configured)", len(g.shards))
+	}
+	key := cacheKey(g.addrs, live, totals)
+	g.sumMu.Lock()
+	cached := g.cached
+	g.sumMu.Unlock()
+	if cached != nil && cached.key == key {
+		return cached.sum, append(miss, cached.miss...), nil
+	}
+	type fetched struct {
+		sum     *logr.Summary
+		queries int
+	}
+	outs := scatter(ctx, g, live, func(ctx context.Context, c *client.Client) (fetched, error) {
+		var buf strings.Builder
+		_, meta, err := c.SummaryRawMeta(ctx, &buf, -1, -1)
+		if err != nil {
+			return fetched{}, err
+		}
+		sum, err := logr.ReadSummary(strings.NewReader(buf.String()))
+		if err != nil {
+			return fetched{}, err
+		}
+		return fetched{sum: sum.WithError(meta.Err), queries: meta.Epoch.TotalQueries}, nil
+	})
+	var sums []*logr.Summary
+	var have []int
+	for _, o := range outs {
+		if o.err != nil {
+			miss = append(miss, g.addrs[o.idx])
+			continue
+		}
+		sums = append(sums, o.v.sum)
+		have = append(have, o.idx)
+		totals[o.idx] = o.v.queries
+	}
+	if len(sums) == 0 {
+		return nil, miss, fmt.Errorf("gateway: no shard summary fetchable (%d configured)", len(g.shards))
+	}
+	merged, err := logr.MergeSummaries(sums, logr.MergeSummariesOptions{MaxComponents: g.opts.MaxComponents})
+	if err != nil {
+		return nil, miss, fmt.Errorf("gateway: merging %d shard summaries: %w", len(sums), err)
+	}
+	sort.Strings(miss)
+	g.sumMu.Lock()
+	g.cached = &mergedCache{sum: merged, key: cacheKey(g.addrs, have, totals), n: len(have), miss: miss}
+	g.sumMu.Unlock()
+	return merged, miss, nil
+}
+
+// cacheKey fingerprints a participating shard set and its query totals.
+func cacheKey(addrs []string, idxs []int, totals map[int]int) string {
+	sorted := append([]int(nil), idxs...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for _, i := range sorted {
+		fmt.Fprintf(&b, "%s=%d;", addrs[i], totals[i])
+	}
+	return b.String()
+}
+
+func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?q= pattern"))
+		return
+	}
+	sum, miss, err := g.MergedSummary(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	freq, err := sum.EstimateFrequency(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count, _ := sum.EstimateCount(q)
+	res := client.ClusterEstimateResult{
+		EstimateResult: client.EstimateResult{
+			Frequency: freq,
+			Count:     count,
+			Epoch:     client.Epoch{Universe: sum.Epoch().Universe, TotalQueries: sum.Epoch().TotalQueries},
+		},
+		Shards:      len(g.shards) - len(miss),
+		Unavailable: miss,
+	}
+	if e := sum.Error(); !math.IsNaN(e) {
+		res.Err = &e
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum, miss, err := g.MergedSummary(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Logr-Clusters", strconv.Itoa(sum.Clusters()))
+	w.Header().Set("X-Logr-Epoch-Universe", strconv.Itoa(sum.Epoch().Universe))
+	w.Header().Set("X-Logr-Epoch-Queries", strconv.Itoa(sum.Epoch().TotalQueries))
+	if e := sum.Error(); !math.IsNaN(e) {
+		w.Header().Set("X-Logr-Err", strconv.FormatFloat(e, 'g', -1, 64))
+	}
+	if len(miss) > 0 {
+		w.Header().Set("X-Logr-Shards-Unavailable", strings.Join(miss, ","))
+	}
+	sum.Save(w)
+}
+
+// --- scatter-gather reads --------------------------------------------
+
+func (g *Gateway) handleCount(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?q= pattern"))
+		return
+	}
+	idxs := g.healthyIdx()
+	outs := scatter(r.Context(), g, idxs, func(ctx context.Context, c *client.Client) (int, error) {
+		return c.Count(ctx, q)
+	})
+	res := client.ClusterCountResult{}
+	res.Unavailable = g.skippedAddrs(idxs)
+	ok := 0
+	var lastErr error
+	for _, o := range outs {
+		if o.err != nil {
+			// 404 = the shard never saw the pattern's features; under hash
+			// partitioning that is the common case and means zero matches
+			var apiErr *client.APIError
+			if errors.As(o.err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+				ok++
+				continue
+			}
+			res.Unavailable = append(res.Unavailable, g.addrs[o.idx])
+			lastErr = o.err
+			continue
+		}
+		ok++
+		res.Count += o.v
+	}
+	if ok == 0 {
+		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /count: %w", lastErr))
+		return
+	}
+	sort.Strings(res.Unavailable)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleDrift(w http.ResponseWriter, r *http.Request) {
+	var params [4]int
+	for i, name := range []string{"baseFrom", "baseTo", "winFrom", "winTo"} {
+		v := -1
+		if raw := r.URL.Query().Get(name); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad ?%s=%q", name, raw))
+				return
+			}
+			v = n
+		}
+		params[i] = v
+	}
+	idxs := g.healthyIdx()
+	outs := scatter(r.Context(), g, idxs, func(ctx context.Context, c *client.Client) (client.DriftResult, error) {
+		return c.Drift(ctx, params[0], params[1], params[2], params[3])
+	})
+	res := client.ClusterDriftResult{Shards: map[string]client.DriftResult{}}
+	res.Unavailable = g.skippedAddrs(idxs)
+	totalW := 0.0
+	var lastErr error
+	for _, o := range outs {
+		if o.err != nil {
+			res.Unavailable = append(res.Unavailable, g.addrs[o.idx])
+			lastErr = o.err
+			continue
+		}
+		res.Shards[g.addrs[o.idx]] = o.v
+		_, _, q := g.shards[o.idx].snapshotHealth()
+		wgt := float64(q)
+		if wgt <= 0 {
+			wgt = 1
+		}
+		totalW += wgt
+		res.Score += wgt * o.v.Score
+		res.NoveltyRate += wgt * o.v.NoveltyRate
+		res.Alert = res.Alert || o.v.Alert
+	}
+	if len(res.Shards) == 0 {
+		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /drift: %w", lastErr))
+		return
+	}
+	res.Score /= totalW
+	res.NoveltyRate /= totalW
+	sort.Strings(res.Unavailable)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	idxs := g.healthyIdx()
+	outs := scatter(r.Context(), g, idxs, func(ctx context.Context, c *client.Client) (client.StatsResult, error) {
+		return c.Stats(ctx)
+	})
+	res := client.ClusterStatsResult{Shards: map[string]client.StatsResult{}}
+	res.Unavailable = g.skippedAddrs(idxs)
+	var lastErr error
+	for _, o := range outs {
+		if o.err != nil {
+			res.Unavailable = append(res.Unavailable, g.addrs[o.idx])
+			lastErr = o.err
+			continue
+		}
+		res.Shards[g.addrs[o.idx]] = o.v
+		res.Queries += o.v.Queries
+		res.Unparseable += o.v.Unparseable
+	}
+	if len(res.Shards) == 0 {
+		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /stats: %w", lastErr))
+		return
+	}
+	sort.Strings(res.Unavailable)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleSegments(w http.ResponseWriter, r *http.Request) {
+	idxs := g.healthyIdx()
+	outs := scatter(r.Context(), g, idxs, func(ctx context.Context, c *client.Client) (client.SegmentsResult, error) {
+		return c.Segments(ctx)
+	})
+	res := client.ClusterSegmentsResult{Shards: map[string]client.SegmentsResult{}}
+	res.Unavailable = g.skippedAddrs(idxs)
+	var lastErr error
+	for _, o := range outs {
+		if o.err != nil {
+			res.Unavailable = append(res.Unavailable, g.addrs[o.idx])
+			lastErr = o.err
+			continue
+		}
+		res.Shards[g.addrs[o.idx]] = o.v
+		res.ActiveQueries += o.v.ActiveQueries
+		res.Segments += len(o.v.Segments)
+	}
+	if len(res.Shards) == 0 {
+		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /segments: %w", lastErr))
+		return
+	}
+	sort.Strings(res.Unavailable)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleSeal(w http.ResponseWriter, r *http.Request) {
+	// a mutation: fan out without hedging
+	idxs := g.healthyIdx()
+	type sealOut struct {
+		idx int
+		r   client.SealResult
+		err error
+	}
+	outs := make([]sealOut, len(idxs))
+	var wg sync.WaitGroup
+	for oi, idx := range idxs {
+		wg.Add(1)
+		go func(oi, idx int) {
+			defer wg.Done()
+			s := g.shards[idx]
+			sr, err := s.c.Seal(r.Context())
+			g.noteOutcome(s, err, 0)
+			outs[oi] = sealOut{idx: idx, r: sr, err: err}
+		}(oi, idx)
+	}
+	wg.Wait()
+	res := client.ClusterSealResult{Shards: map[string]client.SealResult{}}
+	res.Unavailable = g.skippedAddrs(idxs)
+	var lastErr error
+	for _, o := range outs {
+		if o.err != nil {
+			res.Unavailable = append(res.Unavailable, g.addrs[o.idx])
+			lastErr = o.err
+			continue
+		}
+		res.Shards[g.addrs[o.idx]] = o.r
+	}
+	if len(res.Shards) == 0 {
+		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /seal: %w", lastErr))
+		return
+	}
+	sort.Strings(res.Unavailable)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// gatherFailureStatus maps a whole-cluster gather failure onto a
+// status: a shard's own HTTP error passes through (e.g. 400 for a bad
+// pattern, identical on every shard), transport-level failure is 502.
+func gatherFailureStatus(err error) int {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode
+	}
+	return http.StatusBadGateway
+}
+
+// --- health -----------------------------------------------------------
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	res := client.ClusterHealth{Shards: map[string]client.ShardHealth{}}
+	healthy := 0
+	for _, s := range g.shards {
+		ok, fails, queries := s.snapshotHealth()
+		if ok {
+			healthy++
+		}
+		res.Queries += queries
+		res.Shards[s.addr] = client.ShardHealth{Healthy: ok, Fails: fails, Queries: queries}
+	}
+	code := http.StatusOK
+	switch {
+	case healthy == len(g.shards):
+		res.Status = "ok"
+	case healthy > 0:
+		res.Status = "partial"
+	default:
+		res.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, res)
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{Status: "ok"})
+}

@@ -1,0 +1,425 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logr"
+	"logr/client"
+	"logr/internal/server"
+)
+
+func gwEntries(n, offset int) []logr.Entry {
+	tables := []string{"messages", "contacts", "orders", "events"}
+	out := make([]logr.Entry, n)
+	for i := range out {
+		t := tables[(offset+i)%len(tables)]
+		out[i] = logr.Entry{
+			SQL:   fmt.Sprintf("SELECT c%d FROM %s WHERE k%d = ?", (offset+i)%5, t, (offset+i)%3),
+			Count: 1 + (offset+i)%3,
+		}
+	}
+	return out
+}
+
+// gwSkewedEntries is a query-log-shaped workload: few hot patterns and a
+// tail, with per-pattern multiplicity. Rendezvous placement is by query
+// text, so every repetition of a pattern colocates on one shard — each
+// shard models a narrower sub-workload at the same K, which is exactly
+// why the merged cluster error beats a single node's (the property the
+// equivalence test pins).
+func gwSkewedEntries(n int) []logr.Entry {
+	var pats []string
+	for t := 0; t < 4; t++ {
+		for c := 0; c < 5; c++ {
+			pats = append(pats, fmt.Sprintf("SELECT c%d FROM t%d WHERE k = ?", c, t))
+		}
+	}
+	out := make([]logr.Entry, n)
+	for i := range out {
+		out[i] = logr.Entry{SQL: pats[(i*i)%len(pats)], Count: 1 + 20/(1+(i%len(pats)))}
+	}
+	return out
+}
+
+// newShard spins up one logrd over a temp dir and returns its base URL
+// plus the workload for ground truth.
+func newShard(t *testing.T) (string, *logr.Workload) {
+	t.Helper()
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(w, server.Options{Compress: logr.CompressOptions{Clusters: 2, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); w.Close() })
+	return ts.URL, w
+}
+
+func newGateway(t *testing.T, opts Options) (*Gateway, string) {
+	t.Helper()
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = time.Hour // tests drive probes by hand
+	}
+	opts.Logf = t.Logf
+	g, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() { ts.Close(); g.Close() })
+	return g, ts.URL
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestGatewayEquivalence is the scale-out contract: a 3-shard gateway
+// must agree with one logrd holding the identical workload — exact
+// /count and /stats totals equal, and the merged summary's reported
+// error no worse than the single node's (pinned: the merge is lossless,
+// so splitting a workload across shards never costs accuracy).
+func TestGatewayEquivalence(t *testing.T) {
+	ctx := context.Background()
+	refURL, refW := newShard(t)
+	var shardURLs []string
+	for i := 0; i < 3; i++ {
+		u, _ := newShard(t)
+		shardURLs = append(shardURLs, u)
+	}
+	_, gwURL := newGateway(t, Options{Shards: shardURLs})
+
+	entries := gwSkewedEntries(300)
+	ref := client.New(refURL)
+	if _, err := ref.Ingest(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	gwc := client.New(gwURL)
+	res, err := gwc.Ingest(ctx, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != len(entries) {
+		t.Fatalf("gateway accepted %d entries, want %d", res.Entries, len(entries))
+	}
+	if res.TotalQueries != refW.Queries() {
+		t.Fatalf("cluster total %d != single-node total %d", res.TotalQueries, refW.Queries())
+	}
+
+	// exact counts must match the single node exactly, pattern by pattern
+	for _, pattern := range []string{
+		"SELECT c0 FROM t0 WHERE k = ?",
+		"SELECT * FROM t1",
+		"SELECT c1 FROM t3 WHERE k = ?",
+	} {
+		truth, err := refW.Count(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cr client.ClusterCountResult
+		if code := getJSON(t, gwURL+"/count?q="+escapeQ(pattern), &cr); code != http.StatusOK {
+			t.Fatalf("/count status %d", code)
+		}
+		if cr.Count != truth {
+			t.Fatalf("gateway count %d != single-node %d for %q", cr.Count, truth, pattern)
+		}
+		if len(cr.Unavailable) != 0 {
+			t.Fatalf("healthy cluster reported unavailable shards %v", cr.Unavailable)
+		}
+	}
+
+	// stats totals sum to the single node's
+	var st client.ClusterStatsResult
+	if code := getJSON(t, gwURL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	refStats, err := ref.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != refStats.Queries || len(st.Shards) != 3 {
+		t.Fatalf("cluster stats %d queries over %d shards, want %d over 3", st.Queries, len(st.Shards), refStats.Queries)
+	}
+
+	// merged estimate: same epoch, a real frequency, and — pinned — a
+	// merged error no worse than the single node's summary error
+	pattern := "SELECT c0 FROM t0 WHERE k = ?"
+	var er client.ClusterEstimateResult
+	if code := getJSON(t, gwURL+"/estimate?q="+escapeQ(pattern), &er); code != http.StatusOK {
+		t.Fatalf("/estimate status %d", code)
+	}
+	if er.Shards != 3 || len(er.Unavailable) != 0 {
+		t.Fatalf("estimate fanned to %d shards, unavailable %v", er.Shards, er.Unavailable)
+	}
+	if er.Epoch.TotalQueries != refW.Queries() {
+		t.Fatalf("merged epoch %d queries, want %d", er.Epoch.TotalQueries, refW.Queries())
+	}
+	if er.Frequency <= 0 {
+		t.Fatalf("merged frequency %v, want > 0", er.Frequency)
+	}
+	if er.Err == nil {
+		t.Fatal("merged estimate carries no error bound")
+	}
+	var sink discard
+	_, meta, err := ref.SummaryRawMeta(ctx, &sink, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *er.Err > meta.Err+1e-9 {
+		t.Fatalf("merged summary error %.6f worse than single-node %.6f", *er.Err, meta.Err)
+	}
+
+	// the gateway's binary /summary round-trips into a client-side
+	// Summary whose estimate matches the JSON endpoint
+	gsum, err := gwc.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := gsum.EstimateFrequency(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := freq - er.Frequency; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("binary summary frequency %v != JSON estimate %v", freq, er.Frequency)
+	}
+
+	// a K-budgeted gateway coalesces the merged summary under the cap
+	_, gw2URL := newGateway(t, Options{Shards: shardURLs, MaxComponents: 2})
+	bsum, err := client.New(gw2URL).Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsum.Clusters() > 2 {
+		t.Fatalf("MaxComponents=2 summary has %d clusters", bsum.Clusters())
+	}
+	if _, err := bsum.EstimateFrequency(pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func escapeQ(s string) string { return url.QueryEscape(s) }
+
+// TestGatewayPartialResults: a dead shard degrades answers, not the
+// cluster. Ingest spills its entries to live shards with zero loss, reads
+// return 200 with a shards_unavailable annotation, and once the failure
+// streak crosses EjectAfter the dead shard is skipped outright (and still
+// annotated).
+func TestGatewayPartialResults(t *testing.T) {
+	ctx := context.Background()
+	var shardURLs []string
+	var workloads []*logr.Workload
+	for i := 0; i < 2; i++ {
+		u, w := newShard(t)
+		shardURLs = append(shardURLs, u)
+		workloads = append(workloads, w)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+	shardURLs = append(shardURLs, deadURL)
+	g, gwURL := newGateway(t, Options{Shards: shardURLs, EjectAfter: 2, HedgeAfter: time.Millisecond})
+
+	entries := gwEntries(60, 0)
+	owned := 0
+	for _, e := range entries {
+		if g.addrs[Owner(e.SQL, g.addrs)] == deadURL {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("test workload gives the dead shard no entries; widen it")
+	}
+	res, err := g.Ingest(ctx, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != len(entries) || res.Rejected != 0 {
+		t.Fatalf("ingest with dead shard: %+v, want all %d accepted", res, len(entries))
+	}
+	if res.Spilled < owned {
+		t.Fatalf("spilled %d entries, want >= %d (the dead shard's share)", res.Spilled, owned)
+	}
+	if len(res.Unavailable) != 1 || res.Unavailable[0] != deadURL {
+		t.Fatalf("ingest unavailable %v, want [%s]", res.Unavailable, deadURL)
+	}
+	// nothing lost: the live shards hold every query
+	wantTotal := 0
+	for _, e := range entries {
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		wantTotal += c
+	}
+	gotTotal := workloads[0].Queries() + workloads[1].Queries()
+	if gotTotal != wantTotal {
+		t.Fatalf("live shards hold %d queries, want %d (zero loss)", gotTotal, wantTotal)
+	}
+
+	// ingest counted failure 1; this read is failure 2 → ejection, while
+	// the response stays 200-with-annotation
+	pattern := "SELECT c0 FROM messages WHERE k0 = ?"
+	var cr client.ClusterCountResult
+	if code := getJSON(t, gwURL+"/count?q="+escapeQ(pattern), &cr); code != http.StatusOK {
+		t.Fatalf("/count status %d with a dead shard", code)
+	}
+	if len(cr.Unavailable) != 1 || cr.Unavailable[0] != deadURL {
+		t.Fatalf("count unavailable %v, want [%s]", cr.Unavailable, deadURL)
+	}
+	var h client.ClusterHealth
+	if code := getJSON(t, gwURL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("/healthz status %d, want 200 (partial)", code)
+	}
+	if h.Status != "partial" || h.Shards[deadURL].Healthy {
+		t.Fatalf("health %+v, want partial with %s unhealthy", h, deadURL)
+	}
+	// ejected now: the next read must not even try the dead shard, yet
+	// still annotate it
+	var cr2 client.ClusterCountResult
+	if code := getJSON(t, gwURL+"/count?q="+escapeQ(pattern), &cr2); code != http.StatusOK {
+		t.Fatalf("/count status %d after ejection", code)
+	}
+	if len(cr2.Unavailable) != 1 || cr2.Unavailable[0] != deadURL {
+		t.Fatalf("post-ejection unavailable %v, want [%s]", cr2.Unavailable, deadURL)
+	}
+	if ok, _, _ := g.shards[2].snapshotHealth(); ok {
+		t.Fatal("dead shard still admitted after EjectAfter failures")
+	}
+
+	// merged estimate survives the outage too
+	var er client.ClusterEstimateResult
+	if code := getJSON(t, gwURL+"/estimate?q="+escapeQ(pattern), &er); code != http.StatusOK {
+		t.Fatalf("/estimate status %d with a dead shard", code)
+	}
+	if er.Shards != 2 || len(er.Unavailable) != 1 {
+		t.Fatalf("estimate %d shards, unavailable %v", er.Shards, er.Unavailable)
+	}
+}
+
+// TestGatewayEjectionAndReadmission: a flaky shard is ejected after its
+// failure streak and re-admitted by the next successful health probe.
+func TestGatewayEjectionAndReadmission(t *testing.T) {
+	stableURL, stableW := newShard(t)
+	if err := stableW.Append(gwEntries(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(gwEntries(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	inner := server.New(w, server.Options{}).Handler()
+	var failing atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			hj, ok := rw.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close() // transport-level failure, not an HTTP error
+			}
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer flaky.Close()
+
+	g, gwURL := newGateway(t, Options{Shards: []string{stableURL, flaky.URL}, EjectAfter: 1, HedgeAfter: time.Millisecond})
+	failing.Store(true)
+	var cr client.ClusterCountResult
+	if code := getJSON(t, gwURL+"/count?q="+escapeQ("SELECT c0 FROM messages WHERE k0 = ?"), &cr); code != http.StatusOK {
+		t.Fatalf("/count status %d", code)
+	}
+	if len(cr.Unavailable) != 1 || cr.Unavailable[0] != flaky.URL {
+		t.Fatalf("unavailable %v, want the flaky shard", cr.Unavailable)
+	}
+	if ok, _, _ := g.shards[1].snapshotHealth(); ok {
+		t.Fatal("flaky shard not ejected after EjectAfter=1 failure")
+	}
+	failing.Store(false)
+	g.probeOnce()
+	if ok, _, _ := g.shards[1].snapshotHealth(); !ok {
+		t.Fatal("recovered shard not re-admitted by the probe")
+	}
+	var cr2 client.ClusterCountResult
+	if code := getJSON(t, gwURL+"/count?q="+escapeQ("SELECT c0 FROM messages WHERE k0 = ?"), &cr2); code != http.StatusOK {
+		t.Fatalf("/count status %d after re-admission", code)
+	}
+	if len(cr2.Unavailable) != 0 {
+		t.Fatalf("re-admitted cluster still reports unavailable %v", cr2.Unavailable)
+	}
+}
+
+// TestGatewayHedging: a read stuck behind one slow response gets a backup
+// request after HedgeAfter, the backup's answer wins, and the slow
+// loser's context is canceled rather than abandoned.
+func TestGatewayHedging(t *testing.T) {
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(gwEntries(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	inner := server.New(w, server.Options{}).Handler()
+	var hits atomic.Int32
+	canceled := make(chan struct{}, 1)
+	shard := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/count" && hits.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+				canceled <- struct{}{}
+			case <-time.After(5 * time.Second):
+			}
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer shard.Close()
+
+	_, gwURL := newGateway(t, Options{Shards: []string{shard.URL}, HedgeAfter: 10 * time.Millisecond})
+	start := time.Now()
+	var cr client.ClusterCountResult
+	if code := getJSON(t, gwURL+"/count?q="+escapeQ("SELECT c0 FROM messages WHERE k0 = ?"), &cr); code != http.StatusOK {
+		t.Fatalf("/count status %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged read took %v; the backup should have answered fast", elapsed)
+	}
+	if n := hits.Load(); n < 2 {
+		t.Fatalf("shard saw %d /count requests, want >= 2 (primary + hedge)", n)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow primary's context was never canceled")
+	}
+}

@@ -1,0 +1,70 @@
+package gateway
+
+// Rendezvous (highest-random-weight) hashing assigns every query key a
+// stable owner among the shard set: each (shard, key) pair gets a
+// pseudo-random score and the highest score wins. Unlike modulo
+// hashing, removing or adding one shard only remaps the keys whose
+// winning shard changed — ~1/N of traffic — so a shard-set change never
+// reshuffles the whole keyspace. The full descending-score order doubles
+// as the failover ranking: when a key's owner is ejected, its entries
+// spill to the next-ranked healthy shard, and every gateway instance
+// computes the same ranking from nothing but the shard address list.
+
+import "sort"
+
+// score is the rendezvous weight of key on the shard named addr. It
+// must depend only on (addr, key) — placement has to agree between
+// gateway instances, restarts and the multi-shard CLI, so no
+// process-local seeding (which rules out hash/maphash): FNV-1a over
+// addr, a separator, then key.
+func score(addr, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("ab","c") must not collide with ("a","bc")
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return h
+}
+
+// Owner returns the index of key's rendezvous owner among addrs.
+func Owner(key string, addrs []string) int {
+	best, bestScore := 0, uint64(0)
+	for i, a := range addrs {
+		if s := score(a, key); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Rank returns shard indexes in descending rendezvous-score order for
+// key: Rank(...)[0] is the owner, the rest is the spill order. Ties
+// break by index so the ranking is total and identical everywhere.
+func Rank(key string, addrs []string) []int {
+	type ranked struct {
+		i int
+		s uint64
+	}
+	rs := make([]ranked, len(addrs))
+	for i, a := range addrs {
+		rs[i] = ranked{i, score(a, key)}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].s != rs[b].s {
+			return rs[a].s > rs[b].s
+		}
+		return rs[a].i < rs[b].i
+	})
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.i
+	}
+	return out
+}

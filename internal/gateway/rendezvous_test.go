@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("SELECT c%d FROM t%d WHERE k%d = ?", i%17, i%31, i%7)
+	}
+	return keys
+}
+
+func TestOwnerDeterministicAndRanked(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, k := range testKeys(500) {
+		o := Owner(k, addrs)
+		if o2 := Owner(k, addrs); o2 != o {
+			t.Fatalf("Owner(%q) unstable: %d then %d", k, o, o2)
+		}
+		r := Rank(k, addrs)
+		if len(r) != len(addrs) {
+			t.Fatalf("Rank(%q) has %d entries, want %d", k, len(r), len(addrs))
+		}
+		if r[0] != o {
+			t.Fatalf("Rank(%q)[0] = %d, Owner = %d", k, r[0], o)
+		}
+		seen := map[int]bool{}
+		for _, i := range r {
+			if seen[i] {
+				t.Fatalf("Rank(%q) repeats shard %d", k, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestOwnerIndependentOfOrder: rendezvous placement depends only on the
+// address strings, never on list order — a gateway and the multi-shard
+// CLI configured with permuted lists route identically.
+func TestOwnerIndependentOfOrder(t *testing.T) {
+	a := []string{"http://a:1", "http://b:1", "http://c:1"}
+	b := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for _, k := range testKeys(500) {
+		if a[Owner(k, a)] != b[Owner(k, b)] {
+			t.Fatalf("key %q owner differs across permuted shard lists", k)
+		}
+	}
+}
+
+// TestRendezvousMinimalRemap: growing the shard set from N to N+1 moves
+// only the keys the new shard now wins — about 1/(N+1) of the keyspace —
+// and every moved key moves TO the new shard.
+func TestRendezvousMinimalRemap(t *testing.T) {
+	base := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	grown := append(append([]string{}, base...), "http://e:1")
+	keys := testKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		before, after := Owner(k, base), Owner(k, grown)
+		if base[before] == grown[after] {
+			continue
+		}
+		moved++
+		if grown[after] != "http://e:1" {
+			t.Fatalf("key %q moved to %s, not the new shard", k, grown[after])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.33 {
+		t.Fatalf("adding 1 of 5 shards remapped %.1f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+// TestRendezvousBalance: owners spread across shards without gross skew.
+func TestRendezvousBalance(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	keys := testKeys(10000)
+	counts := make([]int, len(addrs))
+	for _, k := range keys {
+		counts[Owner(k, addrs)]++
+	}
+	for i, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %d owns %.1f%% of keys: %v", i, frac*100, counts)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"logr/client"
+	"logr/internal/stats"
+)
+
+// shard is one logrd backend as the gateway sees it: a typed client
+// plus mutable health and latency state. The mutex guards only that
+// state — never a network call; every client round trip happens with
+// the lock released (the lockdiscipline analyzer enforces this).
+type shard struct {
+	addr string
+	c    *client.Client
+
+	mu sync.Mutex
+	// healthy is the admission flag: ejected shards are skipped by reads
+	// and by ingest ownership until a probe re-admits them.
+	healthy bool
+	// fails is the consecutive-failure streak; EjectAfter of them ejects.
+	fails int
+	// queries is the shard's query total from its last successful
+	// health probe or summary fetch — the staleness key for the
+	// gateway's merged-summary cache.
+	queries int
+	// hist records successful read round-trip latencies (ns); the
+	// hedging delay derives from its p95.
+	hist stats.Histogram
+}
+
+// snapshotHealth returns (healthy, fails, queries) consistently.
+func (s *shard) snapshotHealth() (bool, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy, s.fails, s.queries
+}
+
+// noteSuccess records a successful shard interaction: the failure
+// streak resets and an ejected shard is re-admitted. Re-admission on
+// the request path is deliberate — a shard that answers is healthy, no
+// matter what the prober last thought. d > 0 also feeds the read-
+// latency histogram behind adaptive hedging. queries < 0 leaves the
+// last-seen total unchanged.
+func (s *shard) noteSuccess(queries int, d time.Duration) (readmitted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	readmitted = !s.healthy
+	s.healthy = true
+	s.fails = 0
+	if queries >= 0 {
+		s.queries = queries
+	}
+	if d > 0 {
+		s.hist.RecordDuration(d)
+	}
+	return readmitted
+}
+
+// noteFailure records a failed interaction; after ejectAfter
+// consecutive failures the shard is ejected. Reports whether this call
+// crossed the threshold.
+func (s *shard) noteFailure(ejectAfter int) (ejected bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fails++
+	if s.healthy && s.fails >= ejectAfter {
+		s.healthy = false
+		return true
+	}
+	return false
+}
+
+// hedgeDelay is how long a read fan-out waits for this shard before
+// launching its backup request: the shard's observed p95 read latency,
+// clamped to [min, max]. With no history yet the floor applies — the
+// first requests hedge eagerly and the histogram tightens the delay as
+// traffic flows.
+func (s *shard) hedgeDelay(min, max time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := min
+	if s.hist.Count() >= 16 {
+		d = s.hist.QuantileDuration(0.95)
+	}
+	if d < min {
+		d = min
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// hedged runs call against a shard with tail-latency hedging: a backup
+// attempt launches if the primary has not answered within delay, and
+// the first response wins — the loser's context is canceled. Both
+// attempts failing returns the primary's error. This trades a bounded
+// amount of duplicate work (only requests slower than the shard's p95
+// hedge) for a p99 that tracks the shard's median, the classic
+// tail-at-scale move.
+func hedged[T any](ctx context.Context, delay time.Duration, call func(context.Context) (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, 2)
+	attempt := func() {
+		v, err := call(cctx)
+		results <- outcome{v, err}
+	}
+	go attempt()
+	pending, backupUp := 1, false
+	var firstErr error
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				return r.v, nil
+			}
+			var apiErr *client.APIError
+			if errors.As(r.err, &apiErr) {
+				// an HTTP-level error is the daemon's definitive answer
+				// (404 = zero matches here, 429 = refusal): it wins the
+				// hedge like a success would — a retry cannot change it,
+				// and waiting for a slower duplicate answer only
+				// re-inflates the tail the hedge exists to cut
+				var zero T
+				return zero, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !backupUp {
+				// primary failed outright before the delay: the backup
+				// doubles as the retry
+				backupUp = true
+				pending++
+				go attempt()
+			} else if pending == 0 {
+				var zero T
+				return zero, firstErr
+			}
+		case <-timer.C:
+			if !backupUp {
+				backupUp = true
+				pending++
+				go attempt()
+			}
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
 	"net/http"
 	"runtime"
@@ -298,6 +299,13 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.w.Count(q)
 	if err != nil {
+		// a never-seen feature is a definite zero-match answer, not a bad
+		// request: 404 lets cluster gateways fold this shard in as zero
+		var unk *logr.UnknownFeatureError
+		if errors.As(err, &unk) {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -417,6 +425,12 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Logr-Clusters", strconv.Itoa(sum.Clusters()))
 	w.Header().Set("X-Logr-Epoch-Universe", strconv.Itoa(sum.Epoch().Universe))
 	w.Header().Set("X-Logr-Epoch-Queries", strconv.Itoa(sum.Epoch().TotalQueries))
+	// the artifact cannot carry its Reproduction Error (no ground truth
+	// travels with it); the header lets readers — the gateway's cross-shard
+	// merge above all — re-attach it via Summary.WithError
+	if e := sum.Error(); !math.IsNaN(e) {
+		w.Header().Set("X-Logr-Err", strconv.FormatFloat(e, 'g', -1, 64))
+	}
 	sum.Save(w)
 }
 

@@ -652,6 +652,21 @@ func (w *Workload) Count(patternSQL string) (int, error) {
 // about them. Callers holding the live Workload can retry on a fresh
 // snapshot; callers holding only a Summary should treat the pattern as
 // unseen by it.
+// UnknownFeatureError reports a pattern using features this workload has
+// never seen. For containment counts that is a definite answer — zero
+// queries can match — which is why the serving layer maps it to 404 and
+// the cluster gateway folds such shards in as zero instead of treating
+// them as unavailable: under hash partitioning most shards never see most
+// patterns' features.
+type UnknownFeatureError struct {
+	// Features are the never-seen features, rendered ⟨text, kind⟩.
+	Features []string
+}
+
+func (e *UnknownFeatureError) Error() string {
+	return "logr: pattern uses features absent from the workload: " + strings.Join(e.Features, ", ")
+}
+
 type OutOfSnapshotError struct {
 	// Features are the out-of-snapshot features, rendered ⟨text, kind⟩.
 	Features []string
@@ -671,7 +686,7 @@ func pattern(res workload.EncodeResult, patternSQL string) (bitvec.Vector, error
 		return bitvec.Vector{}, err
 	}
 	if len(p.unknown) > 0 {
-		return bitvec.Vector{}, fmt.Errorf("logr: pattern uses features absent from the workload: %s", strings.Join(p.unknown, ", "))
+		return bitvec.Vector{}, &UnknownFeatureError{Features: p.unknown}
 	}
 	if len(p.stale) > 0 {
 		return bitvec.Vector{}, &OutOfSnapshotError{Features: p.stale}
@@ -1239,6 +1254,110 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 		c:     &core.Compressed{Mixture: m, Err: math.NaN()},
 		book:  book,
 		epoch: workload.Epoch{Universe: m.Universe, Total: m.Total},
+	}, nil
+}
+
+// WithError returns a copy of the summary whose Error is e. Summaries
+// restored with ReadSummary carry Error NaN (the artifact holds no ground
+// truth to evaluate against); a producer that reported its Reproduction
+// Error out of band — logrd's X-Logr-Err response header, for instance —
+// re-attaches it here so merge algebra over restored summaries can keep
+// the error bookkeeping exact.
+func (s *Summary) WithError(e float64) *Summary {
+	cp := *s
+	cc := *s.c
+	cc.Err = e
+	cp.c = &cc
+	return &cp
+}
+
+// MergeSummariesOptions configure MergeSummaries.
+type MergeSummariesOptions struct {
+	// MaxComponents, when > 0, coalesces the merged mixture down to at
+	// most this many components (see core.CoalesceMixture). 0 keeps the
+	// lossless merge: one component per input cluster.
+	MaxComponents int
+}
+
+// MergeSummaries combines summaries of disjoint sub-logs — typically the
+// per-shard summaries of a hash-partitioned cluster — into one summary
+// over the union of their feature universes. Unlike the segment algebra
+// inside one workload, the inputs need not share a codebook: each
+// summary's features are re-registered into a fresh union codebook (in
+// input order, so the result is deterministic) and its mixture is
+// remapped onto the union indexing before the ordinary Grow/Merge
+// weight rescaling applies. All inputs must use the same feature scheme.
+//
+// The merge itself is lossless: remapping permutes marginals without
+// changing them, so the result's Reproduction Error is exactly the
+// query-weighted combination of the inputs' errors — NaN if any input's
+// error is unknown (ReadSummary without WithError). With MaxComponents
+// set, the coalescing step adds its model-entropy bound to the error,
+// making the reported Error an upper bound rather than exact.
+func MergeSummaries(sums []*Summary, opts MergeSummariesOptions) (*Summary, error) {
+	if len(sums) == 0 {
+		return nil, errors.New("logr: MergeSummaries over no summaries")
+	}
+	if len(sums) == 1 && opts.MaxComponents <= 0 {
+		return sums[0], nil
+	}
+	scheme := sums[0].book.Scheme()
+	for i, s := range sums {
+		if s == nil {
+			return nil, fmt.Errorf("logr: MergeSummaries: summary %d is nil", i)
+		}
+		if s.book.Scheme() != scheme {
+			return nil, fmt.Errorf("logr: MergeSummaries: summary %d uses a different feature scheme", i)
+		}
+	}
+	// Pass 1: build the union codebook and each summary's remap. Features
+	// are registered in input order, so identical inputs always produce an
+	// identical union indexing.
+	union := feature.NewCodebook(scheme)
+	remaps := make([][]int, len(sums))
+	for i, s := range sums {
+		feats := s.book.Features()
+		if len(feats) > s.c.Mixture.Universe {
+			feats = feats[:s.c.Mixture.Universe]
+		}
+		remap := make([]int, len(feats))
+		for j, f := range feats {
+			remap[j] = union.Register(f)
+		}
+		remaps[i] = remap
+	}
+	// Pass 2: remap every mixture onto the final union universe, then fold
+	// with the weight-rescaling Merge. Errors combine query-weighted.
+	n := union.Size()
+	merged, err := core.RemapMixture(sums[0].c.Mixture, remaps[0], n)
+	if err != nil {
+		return nil, err
+	}
+	total := sums[0].c.Mixture.Total
+	werr := sums[0].c.Err * float64(total)
+	for i, s := range sums[1:] {
+		m, err := core.RemapMixture(s.c.Mixture, remaps[i+1], n)
+		if err != nil {
+			return nil, err
+		}
+		merged = merged.Merge(m)
+		total += s.c.Mixture.Total
+		werr += s.c.Err * float64(s.c.Mixture.Total)
+	}
+	mergedErr := math.NaN()
+	if total > 0 {
+		mergedErr = werr / float64(total)
+	}
+	if opts.MaxComponents > 0 && merged.K() > opts.MaxComponents {
+		var bound float64
+		merged, bound = core.CoalesceMixture(merged, opts.MaxComponents)
+		mergedErr += bound
+	}
+	return &Summary{
+		c:           &core.Compressed{Mixture: merged, Err: mergedErr},
+		book:        union,
+		epoch:       workload.Epoch{Universe: n, Total: total},
+		incremental: len(sums) > 1,
 	}, nil
 }
 

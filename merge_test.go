@@ -1,0 +1,138 @@
+package logr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// wireTrip simulates a shard summary crossing the gateway's wire: binary
+// save, restore (which drops Err), then re-attach the error out-of-band
+// the way the X-Logr-Err header does.
+func wireTrip(t *testing.T, s *Summary) *Summary {
+	t.Helper()
+	var b strings.Builder
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadSummary(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(r.Error()) {
+		t.Fatalf("restored summary claims error %v; the artifact carries none", r.Error())
+	}
+	return r.WithError(s.Error())
+}
+
+func shardSummary(t *testing.T, entries []Entry) *Summary {
+	t.Helper()
+	w := FromEntries(entries)
+	s, err := w.Compress(CompressOptions{Clusters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wireTrip(t, s)
+}
+
+// TestMergeSummariesCrossCodebook: two shards that registered features in
+// different arrival orders merge into one summary whose estimates respect
+// each shard's contribution exactly — the union-codebook remap is what
+// makes index i mean the same feature everywhere.
+func TestMergeSummariesCrossCodebook(t *testing.T) {
+	// disjoint tables: every pattern lives wholly on one shard, and the
+	// shards see their features in unrelated orders
+	aEntries := []Entry{
+		{SQL: "SELECT _id FROM messages WHERE status = ?", Count: 500},
+		{SQL: "SELECT _time FROM messages WHERE sms_type = ?", Count: 300},
+	}
+	bEntries := []Entry{
+		{SQL: "SELECT name FROM contacts WHERE chat_id = ?", Count: 150},
+		{SQL: "SELECT name, circle_id FROM contacts WHERE circle_id = ?", Count: 50},
+	}
+	a := shardSummary(t, aEntries)
+	b := shardSummary(t, bEntries)
+	merged, err := MergeSummaries([]*Summary{a, b}, MergeSummariesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := a.Epoch().TotalQueries, b.Epoch().TotalQueries
+	if got := merged.Epoch().TotalQueries; got != na+nb {
+		t.Fatalf("merged total %d, want %d", got, na+nb)
+	}
+	if merged.Clusters() != a.Clusters()+b.Clusters() {
+		t.Fatalf("lossless merge has %d clusters, want %d", merged.Clusters(), a.Clusters()+b.Clusters())
+	}
+	// a pattern only shard A knows: the merged estimate is A's estimate
+	// rescaled by A's share of the cluster — B's components contribute 0
+	pattern := "SELECT _id FROM messages WHERE status = ?"
+	fa, err := a.EstimateFrequency(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := merged.EstimateFrequency(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fa * float64(na) / float64(na+nb)
+	if math.Abs(fm-want) > 1e-9 {
+		t.Fatalf("merged frequency %v, want %v (shard estimate %v rescaled)", fm, want, fa)
+	}
+	// merged error is the query-weighted combination of shard errors
+	wantErr := (a.Error()*float64(na) + b.Error()*float64(nb)) / float64(na+nb)
+	if math.Abs(merged.Error()-wantErr) > 1e-9 {
+		t.Fatalf("merged error %v, want weighted combination %v", merged.Error(), wantErr)
+	}
+}
+
+// TestMergeSummariesCoalesce: a component budget triggers coalescing —
+// the cluster count respects the cap and the reported error picks up the
+// (non-negative) pooling bound.
+func TestMergeSummariesCoalesce(t *testing.T) {
+	a := shardSummary(t, toyEntries())
+	b := shardSummary(t, []Entry{
+		{SQL: "SELECT a FROM logs WHERE lvl = ?", Count: 200},
+		{SQL: "SELECT b FROM logs WHERE src = ?", Count: 100},
+	})
+	lossless, err := MergeSummaries([]*Summary{a, b}, MergeSummariesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := MergeSummaries([]*Summary{a, b}, MergeSummariesOptions{MaxComponents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Clusters() > 2 {
+		t.Fatalf("budget 2 produced %d clusters", budgeted.Clusters())
+	}
+	if budgeted.Error()+1e-12 < lossless.Error() {
+		t.Fatalf("budgeted error %v below lossless %v", budgeted.Error(), lossless.Error())
+	}
+	if _, err := budgeted.EstimateFrequency("SELECT a FROM logs WHERE lvl = ?"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSummariesDegenerate(t *testing.T) {
+	if _, err := MergeSummaries(nil, MergeSummariesOptions{}); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	a := shardSummary(t, toyEntries())
+	one, err := MergeSummaries([]*Summary{a}, MergeSummariesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Epoch().TotalQueries != a.Epoch().TotalQueries || one.Clusters() != a.Clusters() {
+		t.Fatalf("single-input merge changed the summary: %d queries, %d clusters",
+			one.Epoch().TotalQueries, one.Clusters())
+	}
+	// scheme mismatch is an error, not silent nonsense
+	w := FromEntriesWithOptions(toyEntries(), Options{ExtendedScheme: true})
+	ext, err := w.Compress(CompressOptions{Clusters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSummaries([]*Summary{a, wireTrip(t, ext)}, MergeSummariesOptions{}); err == nil {
+		t.Fatal("mixed-scheme merge accepted")
+	}
+}
