@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"logr"
+	"logr/internal/obs"
 )
 
 // Client talks to one logrd daemon. The zero value is not usable; construct
@@ -151,6 +152,11 @@ func (c *Client) send(ctx context.Context, method, u, contentType string, makeBo
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		// propagate the request id when an obs-traced handler (gateway
+		// fan-out) is the caller, so one id follows the whole request tree
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -328,9 +334,16 @@ type APIError struct {
 	StatusCode int
 	Message    string
 	Degraded   bool
+	// RequestID echoes the X-Logr-Request-Id response header when the
+	// daemon set one — the key for finding the request in the server's
+	// GET /debug/requests ring.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("logrd: %s (HTTP %d, request %s)", e.Message, e.StatusCode, e.RequestID)
+	}
 	return fmt.Sprintf("logrd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
@@ -387,7 +400,12 @@ func decodeError(resp *http.Response) error {
 			er.Error = resp.Status
 		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: er.Error, Degraded: er.Degraded}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    er.Error,
+		Degraded:   er.Degraded,
+		RequestID:  resp.Header.Get(obs.RequestIDHeader),
+	}
 }
 
 // Health checks the daemon.
@@ -646,6 +664,10 @@ type ClusterStatsResult struct {
 	Queries     int                    `json:"queries"`
 	Unparseable int                    `json:"unparseable"`
 	Shards      map[string]StatsResult `json:"shards"`
+	// Health is the gateway prober's view of every configured shard —
+	// including ejected ones absent from Shards — so one /stats call
+	// shows both the workload statistics and why a shard is missing.
+	Health      map[string]ShardHealth `json:"shard_health,omitempty"`
 	Unavailable []string               `json:"shards_unavailable,omitempty"`
 }
 
@@ -670,6 +692,9 @@ type ShardHealth struct {
 	// Fails is the consecutive-failure streak driving ejection.
 	Fails   int `json:"fails,omitempty"`
 	Queries int `json:"queries"`
+	// LastError is the most recent transport-level failure against this
+	// shard (cleared by the next success); empty when healthy.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // ClusterHealth is the gateway's GET /healthz response. Status is "ok"

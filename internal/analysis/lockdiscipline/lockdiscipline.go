@@ -112,6 +112,14 @@ var blockingFuncs = map[string]string{
 	"(*logr/internal/gateway.Gateway).Ingest":        "cluster ingest fan-out (N shard round trips)",
 	"(*logr/internal/gateway.Gateway).MergedSummary": "cluster summary fan-out (N shard round trips + merge)",
 
+	// the telemetry scrape path: rendering walks every family and series
+	// under registry locks and writes to the scrape connection. The obs
+	// *record* surface (Counter.Add, Gauge.Set, Histogram.Record, ...) is
+	// deliberately absent from this list — those are atomic bumps and
+	// striped short critical sections, designed to be safe under
+	// application locks; only the scrape path blocks.
+	"(*logr/internal/obs.Registry).WritePrometheus": "metrics scrape render (walks all series, writes to the connection)",
+
 	"logr/internal/cluster.KMeans":              "seal-time clustering",
 	"logr/internal/cluster.KMeansBinary":        "seal-time clustering",
 	"logr/internal/cluster.DistanceMatrix":      "seal-time clustering",

@@ -1,0 +1,38 @@
+// Package obs stubs logr/internal/obs for the lockdiscipline fixture:
+// the record surface (Counter/Gauge/Histogram methods) is non-blocking
+// and allowed under locks, while Registry.WritePrometheus is a blocking
+// scrape-path key.
+package obs
+
+import (
+	"io"
+	"time"
+)
+
+type Counter struct{}
+
+func (c *Counter) Inc()         {}
+func (c *Counter) Add(n int64)  {}
+func (c *Counter) Value() int64 { return 0 }
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64)  {}
+func (g *Gauge) SetInt(v int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Record(v int64)              {}
+func (h *Histogram) RecordSince(start time.Time) {}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram { return &Histogram{} }
+
+func (r *Registry) WritePrometheus(w io.Writer) error { return nil }

@@ -12,6 +12,7 @@ import (
 	"logr/client"
 	"logr/internal/cluster"
 	"logr/internal/gateway"
+	"logr/internal/obs"
 	"logr/internal/vfs"
 	"logr/internal/wal"
 )
@@ -166,4 +167,41 @@ func (s *gatewayShard) snapshotThenCall() (int, error) {
 		return 0, nil
 	}
 	return s.c.Count("q")
+}
+
+// instrumented mirrors a component carrying obs handles: the record
+// surface (atomic counters, set gauges, striped histograms) is designed
+// to sit inside critical sections, so none of these calls are findings.
+type instrumented struct {
+	mu    sync.Mutex
+	reg   *obs.Registry
+	calls *obs.Counter
+	depth *obs.Gauge
+	lat   *obs.Histogram
+}
+
+func (i *instrumented) recordUnderLock(start time.Time) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.calls.Inc()
+	i.calls.Add(3)
+	i.depth.SetInt(7)
+	i.lat.Record(42)
+	i.lat.RecordSince(start)
+}
+
+// scrapeUnderLock is the one obs call that DOES block: rendering walks
+// every series and writes to the scrape connection.
+func (i *instrumented) scrapeUnderLock() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.reg.WritePrometheus(os.Stdout) // want `i\.reg\.WritePrometheus \(metrics scrape render \(walks all series, writes to the connection\)\) while holding i\.mu`
+}
+
+// scrapeAfterUnlock is the fix idiom: render with no application lock.
+func (i *instrumented) scrapeAfterUnlock() error {
+	i.mu.Lock()
+	i.calls.Inc()
+	i.mu.Unlock()
+	return i.reg.WritePrometheus(os.Stdout)
 }

@@ -46,6 +46,7 @@ import (
 
 	"logr"
 	"logr/client"
+	"logr/internal/obs"
 	"logr/internal/server"
 )
 
@@ -85,6 +86,17 @@ type Options struct {
 	// Transport overrides the shared client transport (tests, fan-out
 	// tuning). Nil uses client.DefaultTransport.
 	Transport http.RoundTripper
+	// Obs is the telemetry registry served at GET /metrics. Nil gets a
+	// private registry: instrumentation is always on, callers opt into
+	// sharing the registry (e.g. Run wires one per process).
+	Obs *obs.Registry
+	// SlowRequest selects which completed requests the /debug/requests
+	// ring keeps: 0 means obs.DefaultSlowRequest, negative means every
+	// request (errored requests are always kept).
+	SlowRequest time.Duration
+	// RequestRing is the /debug/requests ring capacity (0 selects
+	// obs.DefaultRingSize).
+	RequestRing int
 	// Logf logs ejections, re-admissions and lifecycle (default: drop).
 	Logf func(format string, args ...any)
 }
@@ -111,6 +123,9 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
+	}
 	return o
 }
 
@@ -125,6 +140,18 @@ type Gateway struct {
 
 	probeStop chan struct{}
 	probeDone chan struct{}
+
+	// telemetry (see Options.Obs; the registry is never nil after New)
+	httpm        *obs.HTTP
+	ingested     *obs.Counter   // entries acknowledged by shards
+	spilled      *obs.Counter   // entries routed past their rendezvous owner
+	rejected     *obs.Counter   // entries no shard would accept
+	hedgeFired   *obs.Counter   // backup requests launched by the hedge timer
+	hedgeWon     *obs.Counter   // hedges whose backup answered first
+	hedgeWasted  *obs.Counter   // hedges whose primary answered first anyway
+	mergeSeconds *obs.Histogram // cache-miss merged-summary builds (fetch + merge)
+	sumCacheHits *obs.Counter   // merged-summary epoch-cache hits
+	sumCacheMiss *obs.Counter   // merged-summary rebuilds
 
 	// sumMu guards the merged-summary cache; the cache key is the set of
 	// participating shards with their query totals, so any acknowledged
@@ -154,6 +181,7 @@ func New(opts Options) (*Gateway, error) {
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	reg := opts.Obs
 	for _, raw := range opts.Shards {
 		addr := strings.TrimRight(strings.TrimSpace(raw), "/")
 		if addr == "" || seen[addr] {
@@ -164,22 +192,60 @@ func New(opts Options) (*Gateway, error) {
 		if opts.Transport != nil {
 			c = c.WithTransport(opts.Transport).WithTimeout(opts.Timeout)
 		}
+		s := &shard{addr: addr, c: c, healthy: true}
+		s.ejects = reg.Counter("logr_shard_ejections_total",
+			"Shards ejected from reads and ingest ownership after consecutive failures.",
+			"shard", addr)
+		reg.GaugeFunc("logr_shard_healthy",
+			"1 while the shard is admitted, 0 while ejected.",
+			func() float64 {
+				if ok, _, _ := s.snapshotHealth(); ok {
+					return 1
+				}
+				return 0
+			}, "shard", addr)
+		reg.GaugeFunc("logr_shard_consecutive_failures",
+			"The shard's current consecutive-failure streak (EjectAfter of them ejects).",
+			func() float64 { _, fails, _ := s.snapshotHealth(); return float64(fails) },
+			"shard", addr)
 		g.addrs = append(g.addrs, addr)
-		g.shards = append(g.shards, &shard{addr: addr, c: c, healthy: true})
+		g.shards = append(g.shards, s)
 	}
-	g.mux.HandleFunc("POST /ingest", g.handleIngest)
-	g.mux.HandleFunc("GET /estimate", g.handleEstimate)
-	g.mux.HandleFunc("GET /count", g.handleCount)
-	g.mux.HandleFunc("GET /drift", g.handleDrift)
-	g.mux.HandleFunc("GET /segments", g.handleSegments)
-	g.mux.HandleFunc("GET /stats", g.handleStats)
-	g.mux.HandleFunc("GET /summary", g.handleSummary)
-	g.mux.HandleFunc("POST /seal", g.handleSeal)
-	g.mux.HandleFunc("GET /healthz", g.handleHealth)
-	g.mux.HandleFunc("GET /readyz", g.handleReady)
+	g.ingested = reg.Counter("logr_ingest_queries_total", "Queries acknowledged by shards through this gateway (entry multiplicities summed).")
+	g.spilled = reg.Counter("logr_ingest_spilled_total", "Ingest entries routed past their rendezvous owner to a healthy shard.")
+	g.rejected = reg.Counter("logr_ingest_rejected_total", "Ingest entries no shard would accept.")
+	g.hedgeFired = reg.Counter("logr_hedge_fired_total", "Backup read requests launched because a shard outlived its hedging delay.")
+	g.hedgeWon = reg.Counter("logr_hedge_won_total", "Hedged reads won by the backup request.")
+	g.hedgeWasted = reg.Counter("logr_hedge_wasted_total", "Hedged reads the primary answered first anyway (duplicate work).")
+	g.mergeSeconds = reg.Histogram("logr_merge_seconds", "Cache-miss merged-summary builds: per-shard summary fetch plus merge.")
+	g.sumCacheHits = reg.Counter("logr_summary_epoch_cache_hits_total", "Merged-summary requests answered from the epoch cache.")
+	g.sumCacheMiss = reg.Counter("logr_summary_epoch_cache_misses_total", "Merged-summary rebuilds (some shard's query total advanced).")
+	g.httpm = obs.NewHTTP(reg, obs.NewRequestRing(opts.RequestRing), opts.SlowRequest)
+
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		g.mux.Handle(pattern, g.httpm.Wrap(route, h))
+	}
+	handle("POST /ingest", "/ingest", g.handleIngest)
+	handle("GET /estimate", "/estimate", g.handleEstimate)
+	handle("GET /count", "/count", g.handleCount)
+	handle("GET /drift", "/drift", g.handleDrift)
+	handle("GET /segments", "/segments", g.handleSegments)
+	handle("GET /stats", "/stats", g.handleStats)
+	handle("GET /summary", "/summary", g.handleSummary)
+	handle("POST /seal", "/seal", g.handleSeal)
+	handle("GET /healthz", "/healthz", g.handleHealth)
+	handle("GET /readyz", "/readyz", g.handleReady)
+	g.mux.Handle("GET /metrics", obs.Handler(reg))
+	g.mux.Handle("GET /debug/requests", obs.RequestsHandler(g.httpm.Ring()))
 	go g.probeLoop()
 	return g, nil
 }
+
+// Obs returns the gateway's telemetry registry (never nil).
+func (g *Gateway) Obs() *obs.Registry { return g.opts.Obs }
+
+// Ring returns the gateway's /debug/requests ring.
+func (g *Gateway) Ring() *obs.RequestRing { return g.httpm.Ring() }
 
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.mux }
@@ -233,7 +299,7 @@ func (g *Gateway) probeOnce() {
 					}
 					return
 				}
-				if s.noteFailure(g.opts.EjectAfter) {
+				if s.noteFailure(g.opts.EjectAfter, err) {
 					g.logf("gateway: shard %s ejected after %d probe failures", s.addr, g.opts.EjectAfter)
 				}
 				return
@@ -307,10 +373,13 @@ func scatter[T any](ctx context.Context, g *Gateway, idxs []int, fn func(context
 				delay = s.hedgeDelay(g.opts.HedgeMin, g.opts.HedgeMax)
 			}
 			start := time.Now()
-			v, err := hedged(ctx, delay, func(hctx context.Context) (T, error) {
+			m := hedgeObs{fired: g.hedgeFired, won: g.hedgeWon, wasted: g.hedgeWasted}
+			v, err := hedged(ctx, delay, m, func(hctx context.Context) (T, error) {
 				return fn(hctx, s.c)
 			})
-			g.noteOutcome(s, err, time.Since(start))
+			d := time.Since(start)
+			g.noteOutcome(s, err, d)
+			obs.AddStage(ctx, "shard "+s.addr, d)
 			out[oi] = callOutcome[T]{idx: idx, v: v, err: err}
 		}(oi, idx)
 	}
@@ -334,7 +403,7 @@ func (g *Gateway) noteOutcome(s *shard, err error, d time.Duration) {
 		}
 		return
 	}
-	if s.noteFailure(g.opts.EjectAfter) {
+	if s.noteFailure(g.opts.EjectAfter, err) {
 		g.logf("gateway: shard %s ejected after %d failures: %v", s.addr, g.opts.EjectAfter, err)
 	}
 }
@@ -419,6 +488,7 @@ func (g *Gateway) Ingest(ctx context.Context, entries []logr.Entry) (client.Clus
 	exclude := map[int]bool{}
 	pending := entries
 	spilled := 0
+	var ingestedQueries int64
 	var unavailable []string
 	freshTotals := map[int]int{}
 	for round := 0; len(pending) > 0; round++ {
@@ -482,6 +552,7 @@ func (g *Gateway) Ingest(ctx context.Context, entries []logr.Entry) (client.Clus
 				continue
 			}
 			res.Entries += o.r.Entries
+			ingestedQueries += entryQueries(parts[o.idx])
 			freshTotals[o.idx] = o.r.TotalQueries
 		}
 		if len(pending) > 0 && len(exclude) >= len(healthySet) {
@@ -498,9 +569,26 @@ func (g *Gateway) Ingest(ctx context.Context, entries []logr.Entry) (client.Clus
 		res.TotalQueries += q
 	}
 	res.Spilled = spilled
+	g.ingested.Add(ingestedQueries)
+	g.spilled.Add(int64(spilled))
+	g.rejected.Add(int64(res.Rejected))
 	sort.Strings(unavailable)
 	res.Unavailable = unavailable
 	return res, nil
+}
+
+// entryQueries sums entry multiplicities the way the shards count them:
+// a non-positive Count ingests as one occurrence.
+func entryQueries(entries []logr.Entry) int64 {
+	var n int64
+	for _, e := range entries {
+		if e.Count > 0 {
+			n += int64(e.Count)
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // --- merged summary ---------------------------------------------------
@@ -535,8 +623,11 @@ func (g *Gateway) MergedSummary(ctx context.Context) (*logr.Summary, []string, e
 	cached := g.cached
 	g.sumMu.Unlock()
 	if cached != nil && cached.key == key {
+		g.sumCacheHits.Inc()
 		return cached.sum, append(miss, cached.miss...), nil
 	}
+	g.sumCacheMiss.Inc()
+	buildStart := time.Now()
 	type fetched struct {
 		sum     *logr.Summary
 		queries int
@@ -572,6 +663,8 @@ func (g *Gateway) MergedSummary(ctx context.Context) (*logr.Summary, []string, e
 		return nil, miss, fmt.Errorf("gateway: merging %d shard summaries: %w", len(sums), err)
 	}
 	sort.Strings(miss)
+	g.mergeSeconds.RecordSince(buildStart)
+	obs.AddStage(ctx, "merge", time.Since(buildStart))
 	g.sumMu.Lock()
 	g.cached = &mergedCache{sum: merged, key: cacheKey(g.addrs, have, totals), n: len(have), miss: miss}
 	g.sumMu.Unlock()
@@ -751,8 +844,25 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, gatherFailureStatus(lastErr), fmt.Errorf("gateway: no shard answered /stats: %w", lastErr))
 		return
 	}
+	res.Health = g.shardHealthView()
 	sort.Strings(res.Unavailable)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// shardHealthView snapshots every shard's prober state (admission flag,
+// consecutive-failure streak, last transport error, query total).
+func (g *Gateway) shardHealthView() map[string]client.ShardHealth {
+	out := make(map[string]client.ShardHealth, len(g.shards))
+	for _, s := range g.shards {
+		ok, fails, queries := s.snapshotHealth()
+		out[s.addr] = client.ShardHealth{
+			Healthy:   ok,
+			Fails:     fails,
+			Queries:   queries,
+			LastError: s.snapshotLastErr(),
+		}
+	}
+	return out
 }
 
 func (g *Gateway) handleSegments(w http.ResponseWriter, r *http.Request) {
@@ -835,15 +945,13 @@ func gatherFailureStatus(err error) int {
 // --- health -----------------------------------------------------------
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
-	res := client.ClusterHealth{Shards: map[string]client.ShardHealth{}}
+	res := client.ClusterHealth{Shards: g.shardHealthView()}
 	healthy := 0
-	for _, s := range g.shards {
-		ok, fails, queries := s.snapshotHealth()
-		if ok {
+	for _, sh := range res.Shards {
+		if sh.Healthy {
 			healthy++
 		}
-		res.Queries += queries
-		res.Shards[s.addr] = client.ShardHealth{Healthy: ok, Fails: fails, Queries: queries}
+		res.Queries += sh.Queries
 	}
 	code := http.StatusOK
 	switch {

@@ -1,0 +1,266 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"logr"
+	"logr/client"
+	"logr/internal/obs"
+	"logr/internal/server"
+)
+
+// newObsShard boots one logrd whose workload and serving layer share a
+// registry — the process wiring server.Run does — with the debug ring
+// capturing every request.
+func newObsShard(t *testing.T) (string, *server.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	w, err := logr.OpenDir(t.TempDir(), logr.Options{Sync: logr.SyncNever, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(w, server.Options{Obs: reg, SlowRequest: -1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); w.Close() })
+	return ts.URL, srv
+}
+
+// scrape fetches a /metrics endpoint and parses the text exposition,
+// failing the test on any malformed line. It returns every series
+// (name{labels} -> value) plus the set of distinct family names.
+func scrape(t *testing.T, base string) (map[string]float64, map[string]bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]float64{}
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment form: %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed series line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		key := line[:i]
+		if _, dup := series[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		series[key] = v
+		name := key
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		// fold histogram sub-series onto their family
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		families[name] = true
+	}
+	return series, families
+}
+
+// TestClusterMetricsExposition is the tentpole's acceptance test: after
+// real traffic through a 2-shard cluster, both /metrics endpoints serve
+// parseable Prometheus text, the union covers the wal, store, server and
+// gateway layers with at least 25 distinct families, and the gateway's
+// ingest counter equals the number of queries acknowledged (entry
+// multiplicities summed, matching how the shards count them).
+func TestClusterMetricsExposition(t *testing.T) {
+	s1, _ := newObsShard(t)
+	s2, _ := newObsShard(t)
+	_, gwURL := newGateway(t, Options{Shards: []string{s1, s2}})
+
+	entries := gwEntries(120, 0)
+	var wantQueries float64
+	for _, e := range entries {
+		wantQueries += float64(e.Count)
+	}
+	body, _ := json.Marshal(client.IngestRequest{Entries: entries})
+	resp, err := http.Post(gwURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest: %d", resp.StatusCode)
+	}
+	// drive the read path too: merged summary (cache miss then hit)
+	estURL := gwURL + "/estimate?q=" + url.QueryEscape("SELECT c0 FROM messages WHERE k0 = ?")
+	for i := 0; i < 2; i++ {
+		resp, err = http.Get(estURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /estimate: %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	gwSeries, gwFams := scrape(t, gwURL)
+	shardSeries, shardFams := scrape(t, s1)
+	_, shard2Fams := scrape(t, s2)
+
+	if got := gwSeries["logr_ingest_queries_total"]; got != wantQueries {
+		t.Errorf("gateway logr_ingest_queries_total = %v, want %v", got, wantQueries)
+	}
+	union := map[string]bool{}
+	for f := range gwFams {
+		union[f] = true
+	}
+	for f := range shardFams {
+		union[f] = true
+	}
+	for f := range shard2Fams {
+		union[f] = true
+	}
+	if len(union) < 25 {
+		t.Errorf("cluster exposes %d distinct metric families, want >= 25: %v", len(union), union)
+	}
+	// one anchor per instrumented layer
+	for _, name := range []string{
+		"logr_wal_flushes_total",     // wal
+		"logr_applied_entries_total", // store
+		"logr_apply_queue_depth",     // store sampled gauges
+		"logr_http_requests_total",   // serving middleware
+		"logr_summary_error_nats",    // server analytics
+		"logr_hedge_fired_total",     // gateway hedging
+		"logr_shard_healthy",         // gateway health view
+		"logr_merge_seconds",         // gateway merge histogram
+	} {
+		if !union[name] {
+			t.Errorf("metric family %s missing from the cluster exposition", name)
+		}
+	}
+	// the shards saw the gateway's fan-out: their ingest counters sum to
+	// the acknowledged total
+	total := shardSeries["logr_ingest_queries_total"]
+	s2Series, _ := scrape(t, s2)
+	total += s2Series["logr_ingest_queries_total"]
+	if total != wantQueries {
+		t.Errorf("shard ingest counters sum to %v, want %v", total, wantQueries)
+	}
+	// cache instrumentation: two /estimate calls against unchanged shards
+	// are one rebuild and at least one epoch-cache hit
+	if gwSeries["logr_summary_epoch_cache_misses_total"] < 1 || gwSeries["logr_summary_epoch_cache_hits_total"] < 1 {
+		t.Errorf("summary cache counters: hits=%v misses=%v, want both >= 1",
+			gwSeries["logr_summary_epoch_cache_hits_total"], gwSeries["logr_summary_epoch_cache_misses_total"])
+	}
+}
+
+// TestRequestIDPropagation pins the tracing contract end to end: the id
+// the gateway mints for an /ingest request must come back on the gateway
+// response AND appear in a shard-side /debug/requests ring entry, carried
+// there by the client fan-out's X-Logr-Request-Id header.
+func TestRequestIDPropagation(t *testing.T) {
+	s1, _ := newObsShard(t)
+	_, gwURL := newGateway(t, Options{Shards: []string{s1}, SlowRequest: -1})
+
+	body, _ := json.Marshal(client.IngestRequest{Entries: gwEntries(10, 0)})
+	resp, err := http.Post(gwURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		t.Fatal("gateway response carries no X-Logr-Request-Id")
+	}
+
+	var ring struct {
+		Requests []obs.RequestEntry `json:"requests"`
+	}
+	if code := getJSON(t, s1+"/debug/requests", &ring); code != http.StatusOK {
+		t.Fatalf("GET /debug/requests: %d", code)
+	}
+	found := false
+	for _, e := range ring.Requests {
+		if e.ID == id {
+			found = true
+			if e.Route != "/ingest" {
+				t.Errorf("traced shard request has route %q, want /ingest", e.Route)
+			}
+			if len(e.Stages) == 0 {
+				t.Errorf("shard ring entry for %s has no stages (want decode/append timings)", id)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("gateway-minted id %s not in shard ring: %+v", id, ring.Requests)
+	}
+
+	// the gateway's own ring captured the inbound request under that id
+	var gwRing struct {
+		Requests []obs.RequestEntry `json:"requests"`
+	}
+	getJSON(t, gwURL+"/debug/requests", &gwRing)
+	found = false
+	for _, e := range gwRing.Requests {
+		if e.ID == id && e.Route == "/ingest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("id %s not in the gateway's own ring", id)
+	}
+}
+
+// TestAPIErrorRequestID pins that a shard's error response carries the
+// request id into client.APIError, so operators can jump from a failed
+// call to the shard's debug ring.
+func TestAPIErrorRequestID(t *testing.T) {
+	s1, _ := newObsShard(t)
+	c := client.New(s1).WithTimeout(5 * time.Second)
+	_, err := c.Count(context.Background(), "SELECT nope FROM nowhere WHERE never = ?")
+	if err == nil {
+		t.Fatal("expected an error for an unknown pattern")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error is not an APIError: %v", err)
+	}
+	if apiErr.RequestID == "" {
+		t.Errorf("APIError carries no RequestID: %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.RequestID) {
+		t.Errorf("APIError.Error() %q does not mention the request id", apiErr.Error())
+	}
+}

@@ -10,12 +10,18 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"logr/internal/obs"
 )
 
 // RunConfig configures a gateway run (cmd/logrd-gateway).
 type RunConfig struct {
 	// Addr is the listen address (e.g. ":8081"; ":0" picks a free port).
 	Addr string
+	// PprofAddr, when non-empty, serves net/http/pprof on its own listener
+	// and mux at this address (profiling never shares the API surface).
+	// Empty means no profiling endpoint at all.
+	PprofAddr string
 	// Gateway are the fan-out options, including the shard list.
 	Gateway Options
 	// ShutdownGrace bounds the drain of in-flight requests at shutdown
@@ -31,6 +37,7 @@ type RunConfig struct {
 // ParseFlags registers and parses the gateway's flag set into a RunConfig.
 func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 	addr := fs.String("addr", ":8081", "listen address")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (own listener; empty = off)")
 	shards := fs.String("shards", "", "comma-separated logrd base URLs (required)")
 	maxComponents := fs.Int("max-components", 0, "coalesce the merged cluster summary to this component budget (0 = lossless merge)")
 	hedge := fs.Duration("hedge", 0, "fixed hedging delay for read fan-outs (0 = adaptive per-shard p95)")
@@ -54,7 +61,8 @@ func ParseFlags(fs *flag.FlagSet, args []string) (RunConfig, error) {
 		return RunConfig{}, errors.New("-shards is required (comma-separated logrd base URLs)")
 	}
 	return RunConfig{
-		Addr: *addr,
+		Addr:      *addr,
+		PprofAddr: *pprofAddr,
 		Gateway: Options{
 			Shards:        list,
 			MaxComponents: *maxComponents,
@@ -101,6 +109,18 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		cfg.OnListen(ln.Addr())
 	}
 	logf("logrd-gateway: listening on %s, %d shards: %s", ln.Addr(), len(cfg.Gateway.Shards), strings.Join(cfg.Gateway.Shards, ", "))
+
+	if cfg.PprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			ln.Close()
+			return errors.Join(fmt.Errorf("pprof listener: %w", err), g.Close())
+		}
+		ps := &http.Server{Handler: obs.PprofMux()}
+		go ps.Serve(pln)
+		defer ps.Close()
+		logf("logrd-gateway: pprof on %s", pln.Addr())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"logr/client"
+	"logr/internal/obs"
 	"logr/internal/stats"
 )
 
@@ -17,6 +18,9 @@ import (
 type shard struct {
 	addr string
 	c    *client.Client
+	// ejects counts this shard's ejections (resolved per shard at New;
+	// obs counters record without blocking, so bumping under mu is fine).
+	ejects *obs.Counter
 
 	mu sync.Mutex
 	// healthy is the admission flag: ejected shards are skipped by reads
@@ -28,6 +32,9 @@ type shard struct {
 	// health probe or summary fetch — the staleness key for the
 	// gateway's merged-summary cache.
 	queries int
+	// lastErr is the most recent transport-level failure, kept for the
+	// operator's /healthz and /metrics views; the next success clears it.
+	lastErr string
 	// hist records successful read round-trip latencies (ns); the
 	// hedging delay derives from its p95.
 	hist stats.Histogram
@@ -38,6 +45,13 @@ func (s *shard) snapshotHealth() (bool, int, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.healthy, s.fails, s.queries
+}
+
+// snapshotLastErr returns the most recent transport failure, or "".
+func (s *shard) snapshotLastErr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
 }
 
 // noteSuccess records a successful shard interaction: the failure
@@ -52,6 +66,7 @@ func (s *shard) noteSuccess(queries int, d time.Duration) (readmitted bool) {
 	readmitted = !s.healthy
 	s.healthy = true
 	s.fails = 0
+	s.lastErr = ""
 	if queries >= 0 {
 		s.queries = queries
 	}
@@ -64,12 +79,16 @@ func (s *shard) noteSuccess(queries int, d time.Duration) (readmitted bool) {
 // noteFailure records a failed interaction; after ejectAfter
 // consecutive failures the shard is ejected. Reports whether this call
 // crossed the threshold.
-func (s *shard) noteFailure(ejectAfter int) (ejected bool) {
+func (s *shard) noteFailure(ejectAfter int, err error) (ejected bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fails++
+	if err != nil {
+		s.lastErr = err.Error()
+	}
 	if s.healthy && s.fails >= ejectAfter {
 		s.healthy = false
+		s.ejects.Inc()
 		return true
 	}
 	return false
@@ -96,6 +115,15 @@ func (s *shard) hedgeDelay(min, max time.Duration) time.Duration {
 	return d
 }
 
+// hedgeObs counts hedging outcomes for the gateway's /metrics: fired =
+// a backup launched by the timer, won = that backup answered first,
+// wasted = the primary answered first anyway. Retry backups launched
+// because the primary failed outright are not hedges and count nowhere.
+// The zero value records nothing (obs counters are nil-safe).
+type hedgeObs struct {
+	fired, won, wasted *obs.Counter
+}
+
 // hedged runs call against a shard with tail-latency hedging: a backup
 // attempt launches if the primary has not answered within delay, and
 // the first response wins — the loser's context is canceled. Both
@@ -103,28 +131,40 @@ func (s *shard) hedgeDelay(min, max time.Duration) time.Duration {
 // amount of duplicate work (only requests slower than the shard's p95
 // hedge) for a p99 that tracks the shard's median, the classic
 // tail-at-scale move.
-func hedged[T any](ctx context.Context, delay time.Duration, call func(context.Context) (T, error)) (T, error) {
+func hedged[T any](ctx context.Context, delay time.Duration, m hedgeObs, call func(context.Context) (T, error)) (T, error) {
 	type outcome struct {
-		v   T
-		err error
+		v      T
+		err    error
+		backup bool
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan outcome, 2)
-	attempt := func() {
+	attempt := func(backup bool) {
 		v, err := call(cctx)
-		results <- outcome{v, err}
+		results <- outcome{v, err, backup}
 	}
-	go attempt()
-	pending, backupUp := 1, false
+	go attempt(false)
+	pending, backupUp, hedgeLaunched := 1, false, false
 	var firstErr error
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
+	settle := func(backupAnswered bool) {
+		if !hedgeLaunched {
+			return
+		}
+		if backupAnswered {
+			m.won.Inc()
+		} else {
+			m.wasted.Inc()
+		}
+	}
 	for {
 		select {
 		case r := <-results:
 			pending--
 			if r.err == nil {
+				settle(r.backup)
 				return r.v, nil
 			}
 			var apiErr *client.APIError
@@ -134,6 +174,7 @@ func hedged[T any](ctx context.Context, delay time.Duration, call func(context.C
 				// hedge like a success would — a retry cannot change it,
 				// and waiting for a slower duplicate answer only
 				// re-inflates the tail the hedge exists to cut
+				settle(r.backup)
 				var zero T
 				return zero, r.err
 			}
@@ -145,7 +186,7 @@ func hedged[T any](ctx context.Context, delay time.Duration, call func(context.C
 				// doubles as the retry
 				backupUp = true
 				pending++
-				go attempt()
+				go attempt(true)
 			} else if pending == 0 {
 				var zero T
 				return zero, firstErr
@@ -153,8 +194,10 @@ func hedged[T any](ctx context.Context, delay time.Duration, call func(context.C
 		case <-timer.C:
 			if !backupUp {
 				backupUp = true
+				hedgeLaunched = true
+				m.fired.Inc()
 				pending++
-				go attempt()
+				go attempt(true)
 			}
 		}
 	}

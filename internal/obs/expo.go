@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label string, histograms as cumulative _bucket/_sum/_count
+// triplets. Scrape-path only — it takes registry and family locks, calls
+// sampled-gauge callbacks and writes to w, so it must never be called
+// while holding application locks (lockdiscipline enforces this).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) {
+	// fns snapshots each series' sampled-gauge callback under the family
+	// lock: GaugeFunc replaces it there, so reading it later would race
+	fns := make(map[*series]func() float64)
+	f.mu.RLock()
+	ser := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ser = append(ser, s)
+		if s.fn != nil {
+			fns[s] = s.fn
+		}
+	}
+	f.mu.RUnlock()
+	sort.Slice(ser, func(i, j int) bool { return ser[i].labels < ser[j].labels })
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	for _, s := range ser {
+		switch f.kind {
+		case kindCounter:
+			w.WriteString(f.name)
+			w.WriteString(s.labels)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(s.counter.Value(), 10))
+			w.WriteByte('\n')
+		case kindGauge:
+			v := s.gauge.Value()
+			if fn := fns[s]; fn != nil {
+				v = fn()
+			}
+			w.WriteString(f.name)
+			w.WriteString(s.labels)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			w.WriteByte('\n')
+		case kindHistogram:
+			f.writeHistogram(w, s)
+		}
+	}
+}
+
+// writeHistogram folds the merged shard snapshot onto the family's le
+// ladder. A stats bucket spans at most ≈3.1% of its value, so attributing
+// its whole count to the ladder step holding its upper edge keeps every
+// cumulative count within that relative error; _sum and _count are exact.
+func (f *family) writeHistogram(w *bufio.Writer, s *series) {
+	snap := s.hist.Snapshot()
+	perStep := make([]uint64, len(f.ladder))
+	var over uint64
+	snap.ForEachBucket(func(upper int64, count uint64) {
+		i := sort.Search(len(f.ladder), func(i int) bool { return f.ladder[i] >= upper })
+		if i == len(f.ladder) {
+			over += count
+		} else {
+			perStep[i] += count
+		}
+	})
+	var running uint64
+	for i, le := range f.ladder {
+		running += perStep[i]
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		w.WriteString(bucketLabels(s.labels, strconv.FormatFloat(float64(le)/f.scale, 'g', -1, 64)))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(running, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(f.name)
+	w.WriteString("_bucket")
+	w.WriteString(bucketLabels(s.labels, "+Inf"))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(snap.Count(), 10))
+	w.WriteByte('\n')
+	w.WriteString(f.name)
+	w.WriteString("_sum")
+	w.WriteString(s.labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(float64(snap.Sum())/f.scale, 'g', -1, 64))
+	w.WriteByte('\n')
+	w.WriteString(f.name)
+	w.WriteString("_count")
+	w.WriteString(s.labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(snap.Count(), 10))
+	w.WriteByte('\n')
+}
+
+// bucketLabels splices le into a rendered label string.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// Handler serves reg in the Prometheus text exposition format — mount it
+// at GET /metrics.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}

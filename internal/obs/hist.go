@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logr/internal/stats"
+)
+
+// histShards is the recorder stripe width (power of two). Eight shards
+// keep the shard mutexes effectively uncontended at the concurrency the
+// servers run handlers at, while scrape-time merge cost stays trivial.
+const histShards = 8
+
+// Histogram is a concurrency-safe latency/size histogram: recordings are
+// striped over per-shard stats.Histogram instances, each behind its own
+// mutex, and the shards merge exactly at scrape time (bucket alignment
+// makes stats.Histogram.Merge exact). Record is an atomic increment plus
+// one short, uncontended critical section — no allocation, no blocking
+// work — so it is safe under application locks and inside //logr:noalloc
+// paths. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	next   atomic.Uint32
+	shards [histShards]histShard
+}
+
+type histShard struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Record adds one observation (nanoseconds for duration series, bytes for
+// size series). Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.shards[h.next.Add(1)&(histShards-1)]
+	s.mu.Lock()
+	s.h.Record(v)
+	s.mu.Unlock()
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Record(int64(d))
+}
+
+// RecordSince records the time elapsed since start.
+func (h *Histogram) RecordSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.RecordDuration(time.Since(start))
+}
+
+// Snapshot merges the per-shard histograms into one exact aggregate.
+// Scrape-path only: it copies each 16 KiB shard under its mutex.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	out := &stats.Histogram{}
+	if h == nil {
+		return out
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		shard := s.h
+		s.mu.Unlock()
+		out.Merge(&shard)
+	}
+	return out
+}
+
+// latencyLadder is the le ladder of duration histograms, in nanoseconds
+// (exposed in seconds, scale 1e9): 10µs to 10s, covering fsync latencies
+// on fast disks through hedged wide-area fan-outs.
+var latencyLadder = []int64{
+	10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000,
+	1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000,
+}
+
+// byteLadder is the le ladder of size histograms, in bytes: powers of four
+// from 256 B to 16 MiB (WAL flush batches, checkpoint blobs).
+var byteLadder = []int64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20,
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DefaultSlowRequest is the ring-capture threshold when HTTP is built
+// with slow == 0: completed requests at least this slow are recorded in
+// the debug ring even when they succeeded.
+const DefaultSlowRequest = 250 * time.Millisecond
+
+// HTTP instruments handlers: per-route request count (by status code),
+// latency histogram and response bytes, plus request-ID minting and
+// propagation and capture of slow or errored requests into a debug ring.
+type HTTP struct {
+	reg  *Registry
+	ring *RequestRing
+	slow time.Duration // <0: capture every request (tests, tracing)
+}
+
+// NewHTTP returns middleware recording into reg and ring (ring may be
+// nil). slow selects which completed requests the ring keeps: 0 means
+// DefaultSlowRequest, negative means every request.
+func NewHTTP(reg *Registry, ring *RequestRing, slow time.Duration) *HTTP {
+	if slow == 0 {
+		slow = DefaultSlowRequest
+	}
+	return &HTTP{reg: reg, ring: ring, slow: slow}
+}
+
+// Ring returns the middleware's debug ring (nil if none).
+func (h *HTTP) Ring() *RequestRing { return h.ring }
+
+// Wrap instruments next under the given route label. It adopts an
+// incoming X-Logr-Request-Id (minting one at the edge otherwise), echoes
+// it on the response, and threads a Trace through the request context so
+// handlers can AddStage and clients can propagate the ID downstream.
+func (h *HTTP) Wrap(route string, next http.Handler) http.Handler {
+	requests := func(code int) *Counter {
+		return h.reg.Counter("logr_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			"route", route, "code", strconv.Itoa(code))
+	}
+	seconds := h.reg.Histogram("logr_http_request_seconds",
+		"HTTP request latency by route.", "route", route)
+	bytes := h.reg.Counter("logr_http_response_bytes_total",
+		"HTTP response body bytes written, by route.", "route", route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		tr := &Trace{ID: id}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ContextWithTrace(r.Context(), tr)))
+		d := time.Since(start)
+		code := sw.Code()
+		requests(code).Inc()
+		seconds.RecordDuration(d)
+		bytes.Add(sw.bytes)
+		if h.ring != nil && (code >= 400 || h.slow < 0 || d >= h.slow) {
+			h.ring.Add(RequestEntry{
+				ID:      id,
+				Method:  r.Method,
+				Route:   route,
+				Status:  code,
+				Start:   start.UTC(),
+				Seconds: d.Seconds(),
+				Bytes:   sw.bytes,
+				Stages:  tr.snapshotStages(),
+			})
+		}
+	})
+}
+
+// statusWriter captures status code and body bytes while passing Flush
+// and Hijack through to the underlying ResponseWriter, so streamed and
+// hijacked responses still work (and still get counted: a hijacked
+// connection records as 101 unless the handler wrote a header first).
+type statusWriter struct {
+	http.ResponseWriter
+	status   int
+	bytes    int64
+	hijacked bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Code is the status to record: what the handler set, 101 for hijacked
+// connections that never wrote a header, 200 otherwise.
+func (w *statusWriter) Code() int {
+	switch {
+	case w.status != 0:
+		return w.status
+	case w.hijacked:
+		return http.StatusSwitchingProtocols
+	default:
+		return http.StatusOK
+	}
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, http.ErrNotSupported
+	}
+	w.hijacked = true
+	return hj.Hijack()
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// PprofMux builds a standalone mux serving the runtime profiles — the
+// opt-in debug listener of logrd and logrd-gateway. Registering
+// explicitly (rather than importing net/http/pprof for its side effect)
+// keeps the profiles off the service handlers.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,302 @@
+// Package obs is logr's telemetry subsystem: a concurrency-safe registry
+// of counters, gauges and histograms, a hand-written Prometheus text
+// exposition endpoint (the build environment has no network, so no
+// client_golang — the format is small and stable), HTTP middleware that
+// records per-route request count/latency/status/bytes, and lightweight
+// request tracing (an X-Logr-Request-Id header propagated gateway → shard
+// plus an in-memory ring of recent slow or errored requests served at
+// GET /debug/requests).
+//
+// The recording surface is deliberately boring so it can sit on hot
+// paths: Counter.Add is one atomic add, Gauge.Set one atomic store, and
+// Histogram.Record stripes over per-shard stats.Histogram instances (the
+// shards merge exactly at scrape time — see stats.Histogram.Merge). None
+// of the record methods allocate or block, so they are safe under
+// application locks and inside //logr:noalloc paths; all of them are
+// additionally no-ops on a nil receiver, so optional instrumentation
+// needs no nil checks at call sites. Registry.WritePrometheus, by
+// contrast, walks every series and writes to an io.Writer — it is
+// scrape-path only and must not be called under application locks
+// (logrvet's lockdiscipline analyzer enforces this).
+//
+// Metric handles are resolved once (Registry.Counter et al. get-or-create
+// by name + label set) and cached by the instrumented component; the
+// registry lookup itself takes locks and allocates and is not for hot
+// paths.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and are no-ops on a nil receiver. Add is a single atomic
+// add — zero-allocation, non-blocking — safe under locks and inside
+// //logr:noalloc paths.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Non-positive deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. All methods are safe
+// for concurrent use and are no-ops on a nil receiver; Set is one atomic
+// store.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt is Set for integer instruments.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// SetBool sets 1 for true, 0 for false — the flag-gauge convention.
+func (g *Gauge) SetBool(b bool) {
+	if b {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+// Add shifts the gauge by d (CAS loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its metadata plus every label combination
+// (series) recorded under it.
+type family struct {
+	name, help string
+	kind       metricKind
+	// histogram exposition shape: ascending le edges in recorded units,
+	// and how many recorded units make one exposed unit (1e9 for
+	// nanosecond recordings exposed as seconds).
+	ladder []int64
+	scale  float64
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one (name, label values) time series.
+type series struct {
+	labels  string // pre-rendered `{k="v",...}`, or "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // sampled gauge; nil for set gauges
+	hist    *Histogram
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; create one with NewRegistry. Lookups get-or-create,
+// so independent components may resolve the same series and share it.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter series for name and the given label pairs
+// ("key", "value", ...), creating family and series as needed. The help
+// text of the first registration wins. Resolve once and cache the handle;
+// this lookup is not for hot paths.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.getOrCreate(name, help, kindCounter, nil, 0, labels).counter
+}
+
+// Gauge returns the gauge series for name and the given label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.getOrCreate(name, help, kindGauge, nil, 0, labels).gauge
+}
+
+// GaugeFunc registers a sampled gauge: fn is invoked at scrape time.
+// Re-registering the same series replaces the callback, so a component
+// that is torn down and reopened (tests, recovery) re-binds cleanly.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.getOrCreate(name, help, kindGauge, nil, 0, labels)
+	fam := r.familyOf(name)
+	fam.mu.Lock()
+	s.fn = fn
+	fam.mu.Unlock()
+}
+
+// Histogram returns the duration-histogram series for name: recordings
+// are nanoseconds, exposed in seconds over a fixed latency ladder.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.getOrCreate(name, help, kindHistogram, latencyLadder, 1e9, labels).hist
+}
+
+// ByteHistogram returns a size-histogram series: recordings are bytes,
+// exposed in bytes over a fixed power-of-four ladder.
+func (r *Registry) ByteHistogram(name, help string, labels ...string) *Histogram {
+	return r.getOrCreate(name, help, kindHistogram, byteLadder, 1, labels).hist
+}
+
+func (r *Registry) familyOf(name string) *family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fams[name]
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, ladder []int64, scale float64, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list (want key/value pairs)", name))
+	}
+	r.mu.RLock()
+	fam := r.fams[name]
+	r.mu.RUnlock()
+	if fam == nil {
+		r.mu.Lock()
+		if fam = r.fams[name]; fam == nil {
+			fam = &family{name: name, help: help, kind: kind, ladder: ladder, scale: scale, series: make(map[string]*series)}
+			r.fams[name] = fam
+		}
+		r.mu.Unlock()
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	key := renderLabels(labels)
+	fam.mu.RLock()
+	s := fam.series[key]
+	fam.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	if s = fam.series[key]; s != nil {
+		return s
+	}
+	s = &series{labels: key}
+	switch kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{}
+	}
+	fam.series[key] = s
+	return s
+}
+
+// renderLabels renders sorted, escaped label pairs as `{k="v",...}` — the
+// series key and its exposition form at once. Empty label lists render "".
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text exposition: family and series
+// ordering, label escaping, histogram bucket folding, _sum/_count.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests.",
+		"route", "a\"b\\c\n", "code", "200").Add(3)
+	reg.Gauge("test_depth", "Depth.").Set(2.5)
+	reg.GaugeFunc("test_flag", "Flag.", func() float64 { return 1 })
+	h := reg.ByteHistogram("test_bytes", "Bytes.")
+	for _, v := range []int64{100, 150, 200, 2000, 1_000_000} {
+		h.Record(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP test_bytes Bytes.
+# TYPE test_bytes histogram
+test_bytes_bucket{le="256"} 3
+test_bytes_bucket{le="1024"} 3
+test_bytes_bucket{le="4096"} 4
+test_bytes_bucket{le="16384"} 4
+test_bytes_bucket{le="65536"} 4
+test_bytes_bucket{le="262144"} 4
+test_bytes_bucket{le="1.048576e+06"} 5
+test_bytes_bucket{le="4.194304e+06"} 5
+test_bytes_bucket{le="1.6777216e+07"} 5
+test_bytes_bucket{le="+Inf"} 5
+test_bytes_sum 1.00245e+06
+test_bytes_count 5
+# HELP test_depth Depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_flag Flag.
+# TYPE test_flag gauge
+test_flag 1
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{code="200",route="a\"b\\c\n"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrent hammers resolution, recording and scraping from
+// many goroutines at once; run under -race this is the registry's
+// thread-safety proof, and the final counter value is its exactness proof.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// re-resolve every iteration: get-or-create must be safe
+				// against itself and against scrapes
+				reg.Counter("conc_total", "c").Inc()
+				reg.Counter("conc_by_worker_total", "c", "w", fmt.Sprint(w%4)).Inc()
+				reg.Gauge("conc_gauge", "g").SetInt(int64(i))
+				reg.Histogram("conc_seconds", "h").Record(int64(i))
+				if i%100 == 0 {
+					reg.GaugeFunc("conc_fn", "f", func() float64 { return 1 })
+					if err := reg.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("conc_total", "c").Value(); got != workers*perWorker {
+		t.Errorf("conc_total = %d, want %d", got, workers*perWorker)
+	}
+	var sum uint64
+	for w := 0; w < 4; w++ {
+		sum += reg.Counter("conc_by_worker_total", "c", "w", fmt.Sprint(w)).Value()
+	}
+	if sum != workers*perWorker {
+		t.Errorf("labeled total = %d, want %d", sum, workers*perWorker)
+	}
+	if got := reg.Histogram("conc_seconds", "h").Snapshot().Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Record(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("fn_gauge", "f", func() float64 { return 1 })
+	reg.GaugeFunc("fn_gauge", "f", func() float64 { return 2 })
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "fn_gauge 2\n") {
+		t.Errorf("re-registered GaugeFunc must replace the callback:\n%s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mixed", "c")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name under two kinds must panic")
+		}
+	}()
+	reg.Gauge("mixed", "g")
+}
+
+func TestOddLabelListPanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list must panic")
+		}
+	}()
+	reg.Counter("odd", "c", "key-without-value")
+}
+
+func TestCounterIgnoresNonPositive(t *testing.T) {
+	var c Counter
+	c.Add(-3)
+	c.Add(0)
+	c.Add(2)
+	if c.Value() != 2 {
+		t.Errorf("Value = %d, want 2", c.Value())
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader carries the per-request ID minted at the cluster edge
+// (the gateway, or logrd itself when addressed directly). The client
+// forwards it on every fan-out call and servers echo it on the response,
+// so one ID correlates a gateway request with the shard-side work — and
+// with the shard's /debug/requests ring — it caused.
+const RequestIDHeader = "X-Logr-Request-Id"
+
+// NewRequestID mints a 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the platforms logr runs on; a fixed
+		// fallback keeps the header non-empty rather than panicking a
+		// serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Stage is one timed step of a traced request.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Trace accumulates one request's identity and per-stage timings. It
+// travels in the request context; fan-out goroutines may add stages
+// concurrently.
+type Trace struct {
+	ID string
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+func (t *Trace) addStage(name string, d time.Duration) {
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Seconds: d.Seconds()})
+	t.mu.Unlock()
+}
+
+func (t *Trace) snapshotStages() []Stage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stages) == 0 {
+		return nil
+	}
+	out := make([]Stage, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying tr.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the Trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
+// AddStage records a named duration on ctx's trace, if any — handlers
+// call it to break a slow request down (decode, append, scatter, merge).
+func AddStage(ctx context.Context, name string, d time.Duration) {
+	if tr := TraceFrom(ctx); tr != nil {
+		tr.addStage(name, d)
+	}
+}
+
+// RequestEntry is one completed request captured in the debug ring.
+type RequestEntry struct {
+	ID      string    `json:"id"`
+	Method  string    `json:"method"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Bytes   int64     `json:"bytes"`
+	Stages  []Stage   `json:"stages,omitempty"`
+}
+
+// RequestRing is a fixed-size ring of recent slow or errored requests.
+// Add overwrites the oldest entry once full; Snapshot returns newest
+// first. Safe for concurrent use.
+type RequestRing struct {
+	mu   sync.Mutex
+	buf  []RequestEntry
+	next int // slot the next Add writes
+	n    int // live entries, ≤ len(buf)
+}
+
+// DefaultRingSize is the ring capacity when NewRequestRing is given 0.
+const DefaultRingSize = 128
+
+// NewRequestRing returns a ring holding the last size entries (0 selects
+// DefaultRingSize).
+func NewRequestRing(size int) *RequestRing {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &RequestRing{buf: make([]RequestEntry, size)}
+}
+
+// Add records e, evicting the oldest entry when full.
+func (r *RequestRing) Add(e RequestEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the ring's entries, newest first.
+func (r *RequestRing) Snapshot() []RequestEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RequestEntry, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// RequestsHandler serves the ring as JSON, newest first — mount it at
+// GET /debug/requests.
+func RequestsHandler(ring *RequestRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Requests []RequestEntry `json:"requests"`
+		}{Requests: ring.Snapshot()})
+	})
+}

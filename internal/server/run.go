@@ -7,23 +7,11 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"time"
 
 	"logr"
+	"logr/internal/obs"
 )
-
-// pprofMux builds a standalone profiling mux so the pprof handlers never
-// register on the API mux or the global DefaultServeMux.
-func pprofMux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("/debug/pprof/", pprof.Index)
-	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return m
-}
 
 // RunConfig configures a daemon run (shared by cmd/logrd and `logr serve`).
 type RunConfig struct {
@@ -66,6 +54,14 @@ func Run(ctx context.Context, cfg RunConfig) error {
 	if grace <= 0 {
 		grace = 10 * time.Second
 	}
+	// One registry serves the whole process: the workload's WAL/store
+	// series and the serving layer's HTTP series land in the same /metrics.
+	if cfg.Server.Obs == nil {
+		cfg.Server.Obs = obs.NewRegistry()
+	}
+	if cfg.Workload.Metrics == nil {
+		cfg.Workload.Metrics = cfg.Server.Obs
+	}
 	w, err := logr.OpenDir(cfg.Dir, cfg.Workload)
 	if err != nil {
 		return err
@@ -89,7 +85,7 @@ func Run(ctx context.Context, cfg RunConfig) error {
 			ln.Close()
 			return errors.Join(fmt.Errorf("pprof listener: %w", err), w.Close())
 		}
-		ps := &http.Server{Handler: pprofMux()}
+		ps := &http.Server{Handler: obs.PprofMux()}
 		go ps.Serve(pln)
 		defer ps.Close()
 		logf("logrd: pprof on %s", pln.Addr())

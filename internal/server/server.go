@@ -29,6 +29,10 @@
 //	GET  /stats       Table-1-style pipeline statistics + durability gauges
 //	GET  /healthz     health: 503 while the durable store is degraded
 //	GET  /readyz      liveness: 200 whenever the process is serving at all
+//	GET  /metrics     Prometheus text exposition of the process registry
+//	                  (WAL, store, HTTP and analytics series; internal/obs)
+//	GET  /debug/requests  JSON ring of recent slow or errored requests with
+//	                  per-stage timings, keyed by X-Logr-Request-Id
 //
 // When the durable store degrades (persistent IO failure — see the logr
 // package's failure model), the daemon keeps serving every read endpoint
@@ -50,9 +54,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"logr"
 	"logr/client"
+	"logr/internal/obs"
 	"logr/internal/workload"
 )
 
@@ -76,11 +82,28 @@ type Options struct {
 	// DriftLookback is how many segments before the window form the default
 	// /drift baseline when the request does not pin one (default 4).
 	DriftLookback int
+	// Obs is the telemetry registry /metrics scrapes. Pass the same
+	// registry as logr.Options.Metrics so one scrape covers the WAL, the
+	// store and the serving layer (the daemon runner wires this up). Nil
+	// means the server creates a private registry: /metrics still serves,
+	// covering the HTTP and serving-layer series.
+	Obs *obs.Registry
+	// SlowRequest selects which completed requests the /debug/requests
+	// ring keeps: errored requests always, plus any at least this slow.
+	// 0 means obs.DefaultSlowRequest; negative records every request
+	// (tracing mode — tests and incident debugging).
+	SlowRequest time.Duration
+	// RequestRing is the /debug/requests ring capacity
+	// (0 = obs.DefaultRingSize).
+	RequestRing int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Compress.Clusters == 0 && o.Compress.TargetError == 0 {
 		o.Compress = logr.CompressOptions{Clusters: 8, Seed: 1}
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
@@ -102,6 +125,16 @@ type Server struct {
 
 	ingestSem chan struct{}
 
+	// telemetry: the middleware records per-route series; the handles
+	// below are the serving layer's own counters, resolved once at New.
+	httpm           *obs.HTTP
+	ingested        *obs.Counter // entries accepted through POST /ingest
+	backpressure    *obs.Counter // 429 refusals (ingest semaphore full)
+	degradedRejects *obs.Counter // 503 refusals (degraded read-only mode)
+	cacheHits       *obs.Counter // estimation-summary cache hits
+	cacheMisses     *obs.Counter // estimation-summary cache refreshes
+	sumErrNats      *obs.Gauge   // live summary Reproduction Error
+
 	// sumMu guards the cached summary the estimation endpoints share; the
 	// refresh is an incremental Recompress of the delta since the cache's
 	// epoch.
@@ -112,29 +145,58 @@ type Server struct {
 // New builds a server over w.
 func New(w *logr.Workload, opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := opts.Obs
 	s := &Server{
 		w:         w,
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		ingestSem: make(chan struct{}, opts.MaxConcurrentIngest),
+		httpm:     obs.NewHTTP(reg, obs.NewRequestRing(opts.RequestRing), opts.SlowRequest),
+		ingested: reg.Counter("logr_ingest_queries_total",
+			"Queries accepted through POST /ingest (entry multiplicities summed)."),
+		backpressure: reg.Counter("logr_ingest_backpressure_total",
+			"Ingest requests refused with 429 because the concurrent-ingest semaphore was full."),
+		degradedRejects: reg.Counter("logr_degraded_rejections_total",
+			"Mutations refused with 503 because the durable store is in degraded read-only mode."),
+		cacheHits: reg.Counter("logr_summary_cache_hits_total",
+			"Estimation requests served from the cached summary."),
+		cacheMisses: reg.Counter("logr_summary_cache_misses_total",
+			"Estimation-summary refreshes (incremental Recompress of the delta)."),
+		sumErrNats: reg.Gauge("logr_summary_error_nats",
+			"Reproduction Error of the live estimation summary, in nats/query (NaN until first build)."),
 	}
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
-	s.mux.HandleFunc("GET /count", s.handleCount)
-	s.mux.HandleFunc("GET /drift", s.handleDrift)
-	s.mux.HandleFunc("GET /segments", s.handleSegments)
-	s.mux.HandleFunc("POST /seal", s.handleSeal)
-	s.mux.HandleFunc("POST /compact", s.handleCompact)
-	s.mux.HandleFunc("POST /dropBefore", s.handleDropBefore)
-	s.mux.HandleFunc("GET /summary", s.handleSummary)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.sumErrNats.Set(math.NaN())
+	s.handle("POST /ingest", "/ingest", s.handleIngest)
+	s.handle("GET /estimate", "/estimate", s.handleEstimate)
+	s.handle("GET /count", "/count", s.handleCount)
+	s.handle("GET /drift", "/drift", s.handleDrift)
+	s.handle("GET /segments", "/segments", s.handleSegments)
+	s.handle("POST /seal", "/seal", s.handleSeal)
+	s.handle("POST /compact", "/compact", s.handleCompact)
+	s.handle("POST /dropBefore", "/dropBefore", s.handleDropBefore)
+	s.handle("GET /summary", "/summary", s.handleSummary)
+	s.handle("GET /stats", "/stats", s.handleStats)
+	s.handle("GET /healthz", "/healthz", s.handleHealth)
+	s.handle("GET /readyz", "/readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", obs.Handler(reg))
+	s.mux.Handle("GET /debug/requests", obs.RequestsHandler(s.httpm.Ring()))
 	return s
+}
+
+// handle mounts h under the mux pattern, wrapped in the telemetry
+// middleware with route as its metric label.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.httpm.Wrap(route, h))
 }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Obs returns the server's telemetry registry (the one /metrics serves).
+func (s *Server) Obs() *obs.Registry { return s.opts.Obs }
+
+// Ring returns the /debug/requests ring.
+func (s *Server) Ring() *obs.RequestRing { return s.httpm.Ring() }
 
 // Workload returns the served workload (the daemon runner seals and closes
 // it at shutdown).
@@ -166,6 +228,7 @@ func writeDegraded(w http.ResponseWriter, err error) {
 func (s *Server) persisted(w http.ResponseWriter, v any) {
 	if err := s.w.Err(); err != nil {
 		if errors.Is(err, logr.ErrDegraded) {
+			s.degradedRejects.Inc()
 			writeDegraded(w, err)
 			return
 		}
@@ -181,13 +244,16 @@ func (s *Server) summary() (*logr.Summary, error) {
 	s.sumMu.Lock()
 	defer s.sumMu.Unlock()
 	if s.cur != nil && s.cur.Epoch().TotalQueries == s.w.Queries() {
+		s.cacheHits.Inc()
 		return s.cur, nil
 	}
+	s.cacheMisses.Inc()
 	next, err := s.w.Recompress(s.cur, logr.RecompressOptions{CompressOptions: s.opts.Compress})
 	if err != nil {
 		return nil, err
 	}
 	s.cur = next
+	s.sumErrNats.Set(next.Error())
 	return next, nil
 }
 
@@ -196,10 +262,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.ingestSem <- struct{}{}:
 		defer func() { <-s.ingestSem }()
 	default:
+		s.backpressure.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeErr(w, http.StatusTooManyRequests, errors.New("ingest backlog full, retry later"))
 		return
 	}
+	decodeStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	// the media type decides the codec; parameters (charset) and casing
 	// must not push a JSON body down the raw-SQL text path
@@ -230,15 +298,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.w.Append(entries); err != nil {
+	obs.AddStage(r.Context(), "decode", time.Since(decodeStart))
+	appendStart := time.Now()
+	err := s.w.Append(entries)
+	obs.AddStage(r.Context(), "append", time.Since(appendStart))
+	if err != nil {
 		if errors.Is(err, logr.ErrDegraded) {
+			s.degradedRejects.Inc()
 			writeDegraded(w, err)
 			return
 		}
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting ingest: %w", err))
 		return
 	}
+	s.ingested.Add(entryQueries(entries))
 	writeJSON(w, http.StatusOK, client.IngestResult{Entries: len(entries), TotalQueries: s.w.Queries()})
+}
+
+// entryQueries sums entry multiplicities the way the workload counts them:
+// a non-positive Count ingests as one occurrence.
+func entryQueries(entries []logr.Entry) int64 {
+	var n int64
+	for _, e := range entries {
+		if e.Count > 0 {
+			n += int64(e.Count)
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // retryAfter derives the 429 Retry-After hint from the durable pipeline's

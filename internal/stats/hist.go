@@ -135,6 +135,26 @@ func (h *Histogram) QuantileDuration(q float64) time.Duration {
 	return time.Duration(h.Quantile(q))
 }
 
+// Sum returns the exact sum of recorded observations (0 when empty).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// ForEachBucket calls fn for every non-empty bucket in ascending value
+// order with the bucket's inclusive upper edge and its count. Exposition
+// formats (internal/obs) fold these into their own coarser ladders; because
+// a bucket spans at most ≈3.1% of its value, attributing its whole count to
+// the ladder step holding its upper edge keeps cumulative counts within
+// that relative error.
+func (h *Histogram) ForEachBucket(fn func(upper int64, count uint64)) {
+	if h.n == 0 {
+		return
+	}
+	for b, c := range h.counts {
+		if c > 0 {
+			fn(bucketHigh(b), c)
+		}
+	}
+}
+
 // Merge folds other into h. Buckets align by construction, so merging
 // per-worker histograms is exact.
 func (h *Histogram) Merge(other *Histogram) {

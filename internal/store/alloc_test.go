@@ -3,6 +3,7 @@ package store
 import (
 	"testing"
 
+	"logr/internal/obs"
 	"logr/internal/wal"
 	"logr/internal/workload"
 )
@@ -13,12 +14,15 @@ import (
 // per call. The pre-pooling implementation built three fresh slices and a
 // cleanup closure per batch (5+ allocations before the encode buffer), so
 // the bound below is a real regression tripwire, with slack only for the
-// group-commit goroutine's background noise.
+// group-commit goroutine's background noise. The store runs with a live
+// obs registry: instrumentation is part of the steady state being pinned
+// (counters and striped histograms must not cost the hot path an
+// allocation).
 func TestAppendSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector shadow state allocates on the apply-queue channel ops")
 	}
-	d, err := Open(t.TempDir(), Options{}, DurableOptions{Sync: wal.SyncNever})
+	d, err := Open(t.TempDir(), Options{}, DurableOptions{Sync: wal.SyncNever, Obs: obs.NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"logr/internal/cluster"
 	"logr/internal/core"
+	"logr/internal/obs"
 	"logr/internal/vfs"
 	"logr/internal/wal"
 	"logr/internal/workload"
@@ -111,6 +112,8 @@ type Durable struct {
 	applyMu   sync.Mutex // barrier condition variable
 	applyCond *sync.Cond
 
+	m *durableMetrics // never nil; zero-value set records nothing
+
 	degraded     atomic.Bool
 	errMu        sync.Mutex
 	degradeCause error // first fault that degraded the store; nil once re-armed
@@ -171,6 +174,10 @@ type DurableOptions struct {
 	// FS is the filesystem everything durable runs on. Nil selects the
 	// real one (vfs.OS); tests substitute a fault-injecting filesystem.
 	FS vfs.FS
+	// Obs receives the store's and its WAL's telemetry (queue/lag gauges,
+	// barrier waits, seal and checkpoint costs, retry and degrade counts,
+	// flush/fsync series). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (o DurableOptions) sealSummary() (core.CompressOptions, bool) {
@@ -322,7 +329,8 @@ func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
 	replayErr := func(err error) error {
 		return fmt.Errorf("store: replaying %s: %w", walPath, err)
 	}
-	walOpts := wal.Options{Sync: dopts.Sync, Interval: dopts.SyncInterval}
+	dm := newDurableMetrics(dopts.Obs)
+	walOpts := wal.Options{Sync: dopts.Sync, Interval: dopts.SyncInterval, Metrics: dm.wal}
 	w, err := wal.Open(fsys, walPath, walOpts, func(payload []byte, end int64) error {
 		if end <= ckptOff {
 			// covered by the checkpoint; replay only the tail
@@ -360,7 +368,7 @@ func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
 		}
 	}
 	d := &Durable{
-		mem: mem, dir: dir, opts: opts, dopts: dopts, fs: fsys, lock: lock,
+		mem: mem, dir: dir, opts: opts, dopts: dopts, fs: fsys, lock: lock, m: dm,
 		applyQ:      make(chan applyJob, dopts.applyQueue()),
 		applierDone: make(chan struct{}),
 		persistNote: make(chan struct{}, 1),
@@ -374,6 +382,9 @@ func Open(dir string, opts Options, dopts DurableOptions) (*Durable, error) {
 	d.acked.Store(w.Size())
 	d.applied.Store(w.Size())
 	d.loadArtifacts()
+	if dopts.Obs != nil {
+		d.registerGauges(dopts.Obs)
+	}
 	go d.applier()
 	go d.persister()
 	return d, nil
@@ -589,6 +600,8 @@ func (d *Durable) checkpointLocked() error {
 	// rotation below fails (or we crash), recovery restores it and skips
 	// the covered records still sitting in the WAL
 	d.ckptOff.Store(cut)
+	d.m.checkpoints.Inc()
+	d.m.checkpointBytes.Add(int64(len(blob)))
 	w := d.w.Load()
 	//logr:allow(lockdiscipline) WAL rotation must exclude concurrent appends; see checkpointLocked doc
 	if err := w.Rotate(cut); err != nil {
@@ -606,11 +619,13 @@ func (d *Durable) Barrier() {
 	if d.applied.Load() >= target {
 		return
 	}
+	start := time.Now() // slow path only: the fast path stays two atomic loads
 	d.applyMu.Lock()
 	for d.applied.Load() < target {
 		d.applyCond.Wait()
 	}
 	d.applyMu.Unlock()
+	d.m.barrierWait.RecordSince(start)
 }
 
 // IngestLag is a snapshot of the ingest pipeline's backlog: how far the
@@ -677,6 +692,7 @@ func (d *Durable) applier() {
 		case opEntries:
 			d.mem.Append(job.op.entries)
 			d.queued.Add(-int64(len(job.op.entries)))
+			d.m.appliedEntries.Add(int64(len(job.op.entries)))
 		case opSeal:
 			res.meta, res.ok = d.mem.Seal()
 		case opDrop:
@@ -776,6 +792,7 @@ func (d *Durable) retryIO(fn func() error) error {
 			errors.Is(err, ErrClosed) || errors.Is(err, ErrDegraded) {
 			return err
 		}
+		d.m.ioRetries.Inc()
 		time.Sleep((10 * time.Millisecond) << attempt)
 	}
 	return err
@@ -807,9 +824,12 @@ func (d *Durable) degrade(cause error) {
 	if d.degradeCause == nil {
 		d.degradeCause = cause
 	}
-	if d.degraded.CompareAndSwap(false, true) && !d.stopping {
-		d.probeWg.Add(1)
-		go d.probe()
+	if d.degraded.CompareAndSwap(false, true) {
+		d.m.degradeEvents.Inc()
+		if !d.stopping {
+			d.probeWg.Add(1)
+			go d.probe()
+		}
 	}
 	d.errMu.Unlock()
 }
@@ -914,7 +934,7 @@ func (d *Durable) rearm() error {
 	}
 	//logr:allow(lockdiscipline) re-arm must exclude the commit stage while it swaps the WAL
 	nw, err := wal.Create(d.fs, filepath.Join(d.dir, walFileName),
-		cut, wal.Options{Sync: d.dopts.Sync, Interval: d.dopts.SyncInterval})
+		cut, wal.Options{Sync: d.dopts.Sync, Interval: d.dopts.SyncInterval, Metrics: d.m.wal})
 	if err != nil {
 		d.seqMu.Unlock()
 		return err
@@ -1037,9 +1057,11 @@ func (d *Durable) persistSegments() error {
 			if i > 0 {
 				prev = segs[i-1].cached(key)
 			}
+			start := time.Now()
 			s, err := sg.summary(opts, key, func() [][]float64 {
 				return warmCentroids(prev, sg.log.Universe(), opts.K)
 			})
+			d.m.sealSeconds.RecordSince(start)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -1049,6 +1071,8 @@ func (d *Durable) persistSegments() error {
 		}
 		if err := writeSegFile(d.fs, d.segDir(), sg, sumKey, sum, d.mem.Book()); err != nil && firstErr == nil {
 			firstErr = err
+		} else if err == nil {
+			d.m.segmentsPersisted.Inc()
 		}
 	}
 	d.gcArtifacts(keep)

@@ -1,0 +1,39 @@
+package wal
+
+import "logr/internal/obs"
+
+// Metrics holds the WAL writer's telemetry handles. Every field is
+// optional: obs record methods are no-ops on nil handles, so a partially
+// (or zero-) populated Metrics is valid and records nothing. All record
+// sites are atomic counter bumps or striped histogram records — no
+// allocation, no blocking — so the hot append path and the flusher's
+// critical sections stay zero-alloc (the //logr:noalloc pins cover the
+// instrumented build).
+type Metrics struct {
+	Flushes         *obs.Counter   // background writes completed
+	FlushBytes      *obs.Counter   // bytes handed to write()
+	FlushBatchBytes *obs.Histogram // size of each flushed batch
+	FlushSeconds    *obs.Histogram // duration of each background write
+	FlushDelay      *obs.Histogram // buffered time before a flush started
+	Fsyncs          *obs.Counter   // fsyncs issued
+	FsyncSeconds    *obs.Histogram // duration of each fsync
+	FsyncCoalesced  *obs.Counter   // commit waits piggybacked on an in-flight fsync
+	Poisoned        *obs.Counter   // poison events (log failed permanently)
+	Rotations       *obs.Counter   // completed rotations
+}
+
+// NewMetrics resolves the WAL metric series on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Flushes:         reg.Counter("logr_wal_flushes_total", "WAL background writes completed."),
+		FlushBytes:      reg.Counter("logr_wal_flush_bytes_total", "Bytes written to the WAL file by background flushes."),
+		FlushBatchBytes: reg.ByteHistogram("logr_wal_flush_batch_bytes", "Size of each WAL flush batch."),
+		FlushSeconds:    reg.Histogram("logr_wal_flush_seconds", "Duration of each WAL background write."),
+		FlushDelay:      reg.Histogram("logr_wal_flush_delay_seconds", "Time records sat buffered before their flush started."),
+		Fsyncs:          reg.Counter("logr_wal_fsyncs_total", "WAL fsyncs issued."),
+		FsyncSeconds:    reg.Histogram("logr_wal_fsync_seconds", "Duration of each WAL fsync."),
+		FsyncCoalesced:  reg.Counter("logr_wal_fsync_coalesced_total", "Commit waits that piggybacked on an in-flight fsync instead of issuing their own."),
+		Poisoned:        reg.Counter("logr_wal_poisoned_total", "WAL poison events: failures after which durability cannot be guaranteed."),
+		Rotations:       reg.Counter("logr_wal_rotations_total", "Completed WAL rotations."),
+	}
+}

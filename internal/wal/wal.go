@@ -125,9 +125,16 @@ type Options struct {
 	// before a write is forced, so a quiet log still reaches the page
 	// cache promptly (0 = 5ms).
 	FlushDelay time.Duration
+	// Metrics receives the writer's telemetry (flush sizes and latencies,
+	// fsync durations and coalescing, poison events, rotations). Nil
+	// disables instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{} // all-nil handles: every record site no-ops
+	}
 	if o.Interval <= 0 {
 		o.Interval = DefaultSyncInterval
 	}
@@ -235,6 +242,9 @@ type Log struct {
 	// flushing marks the single in-flight background write; at most one
 	// write runs at a time so records land on disk in accept order.
 	flushing bool
+	// pendSince is when pend last went empty→non-empty — the flush-delay
+	// metric's anchor.
+	pendSince time.Time
 	// syncing marks the single in-flight fsync; Commit waiters piggyback
 	// on it instead of stacking redundant fsyncs.
 	syncing  bool
@@ -531,6 +541,7 @@ func (l *Log) Rotate(cut int64) error {
 	l.f = nf
 	l.base = cut
 	l.hdrLen = fileHeaderSize
+	l.opts.Metrics.Rotations.Inc()
 	_ = old.Close()
 	return nil
 }
@@ -595,6 +606,9 @@ func (l *Log) AppendBatch(payloads [][]byte) (int64, error) {
 			return 0, l.failedLocked()
 		}
 	}
+	if len(l.pend) == 0 {
+		l.pendSince = time.Now() // flush-delay anchor: buffer goes non-empty
+	}
 	if cap(l.pend)-len(l.pend) < need {
 		grown := make([]byte, len(l.pend), len(l.pend)+need) //logr:allow(noalloc) pending-buffer capacity growth, amortizes to zero
 		copy(grown, l.pend)
@@ -634,6 +648,7 @@ func (l *Log) startFlushLocked() {
 		return
 	}
 	l.flushing = true
+	l.opts.Metrics.FlushDelay.RecordSince(l.pendSince)
 	buf := l.pend
 	if l.spare != nil {
 		l.pend = l.spare[:0]
@@ -651,6 +666,7 @@ func (l *Log) startFlushLocked() {
 // startFlushLocked) so a concurrent Rotate's handle swap cannot race this
 // goroutine's reads of l.f — Rotate only runs with no flush in flight.
 func (l *Log) flush(f vfs.File, buf []byte) {
+	start := time.Now()
 	var err error
 	written := 0
 	for attempt := 0; written < len(buf); attempt++ {
@@ -681,6 +697,11 @@ func (l *Log) flush(f vfs.File, buf []byte) {
 		l.failLocked(err)
 	} else {
 		l.flushed += int64(len(buf))
+		m := l.opts.Metrics
+		m.Flushes.Inc()
+		m.FlushBytes.Add(int64(len(buf)))
+		m.FlushBatchBytes.Record(int64(len(buf)))
+		m.FlushSeconds.RecordSince(start)
 		l.spare = buf[:0]
 		if len(l.pend) >= l.opts.FlushBytes {
 			l.startFlushLocked()
@@ -719,6 +740,7 @@ func (l *Log) failLocked(err error) {
 		return
 	}
 	l.failed, l.failCause = true, err
+	l.opts.Metrics.Poisoned.Inc()
 	if l.flushTimer != nil {
 		l.flushTimer.Stop()
 		l.flushTimer = nil
@@ -781,6 +803,7 @@ func (l *Log) commitLocked(target int64) error {
 		}
 		if l.syncing {
 			// piggyback: the in-flight fsync may cover us; re-check after
+			l.opts.Metrics.FsyncCoalesced.Inc()
 			l.cond.Wait()
 			continue
 		}
@@ -788,7 +811,10 @@ func (l *Log) commitLocked(target int64) error {
 		covered := l.flushed
 		f := l.f // capture before unlocking; Rotate may swap the handle
 		l.mu.Unlock()
+		start := time.Now()
 		err := f.Sync()
+		l.opts.Metrics.Fsyncs.Inc()
+		l.opts.Metrics.FsyncSeconds.RecordSince(start)
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {

@@ -131,6 +131,7 @@ import (
 	"logr/internal/cluster"
 	"logr/internal/core"
 	"logr/internal/feature"
+	"logr/internal/obs"
 	"logr/internal/regularize"
 	"logr/internal/sqlparser"
 	"logr/internal/store"
@@ -250,6 +251,13 @@ type Options struct {
 	// injection seam of the robustness tests (internal/vfs/faultfs). Nil
 	// means the real filesystem; external callers leave it nil.
 	FS vfs.FS
+	// Metrics receives a durable workload's telemetry: WAL flush/fsync
+	// series, apply-queue depth and lag gauges, barrier waits, seal and
+	// checkpoint costs, retry and degrade counts. Pass the same registry
+	// the serving layer scrapes (internal/obs; logrd wires this up
+	// automatically). Nil disables instrumentation. Ignored by in-memory
+	// workloads.
+	Metrics *obs.Registry
 }
 
 // SyncPolicy selects when a durable workload's WAL reaches stable storage.
@@ -547,6 +555,7 @@ func OpenDir(dir string, opts Options) (*Workload, error) {
 		PersistParallelism:   opts.PersistParallelism,
 		CheckpointBytes:      opts.CheckpointBytes,
 		FS:                   opts.FS,
+		Obs:                  opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
